@@ -1,0 +1,74 @@
+"""Ablation: the K-blocking factor MK (paper §V-A, §V-B).
+
+"Blocking is used to achieve high parallel efficiency rather than to
+maximize cache utilization": small MK gives a fine-grained pipeline
+(fast fill) but many messages; large MK amortizes messages but
+coarsens the pipeline and eventually overflows the 256 KB local store.
+The bench sweeps MK at a mid-size configuration and checks that the
+paper's MK=20 sits on the efficient plateau.
+"""
+
+import dataclasses
+
+from benchmarks.conftest import emit
+from repro.comm.cml import INTERNODE_CELL_PATH
+from repro.core.report import format_table
+from repro.sweep3d.cellport import CellPortModel, grind_time
+from repro.hardware.cell import POWERXCELL_8I
+from repro.sweep3d.decomposition import Decomposition2D
+from repro.sweep3d.input import SweepInput
+from repro.sweep3d.perfmodel import SweepMachineParams, WavefrontModel
+
+MK_VALUES = (1, 2, 5, 10, 20, 40, 80, 200, 400)
+
+
+def _sweep_mk():
+    base = SweepInput.paper_scaling()
+    decomp = Decomposition2D.near_square(64 * 32)  # a 64-node job
+    params = SweepMachineParams(
+        name="cell measured",
+        grind_time=grind_time(POWERXCELL_8I),
+        comm=INTERNODE_CELL_PATH,
+        per_message_overhead=INTERNODE_CELL_PATH.zero_byte_latency,
+        serial_fill_messages=True,
+    )
+    port = CellPortModel()
+    rows = []
+    for mk in MK_VALUES:
+        inp = dataclasses.replace(base, mk=mk)
+        model = WavefrontModel(inp, decomp, params)
+        rows.append(
+            (
+                mk,
+                model.iteration_time(),
+                port.block_fits_local_store(inp),
+            )
+        )
+    return rows
+
+
+def test_ablation_blocking(benchmark):
+    rows = benchmark(_sweep_mk)
+
+    times = {mk: t for mk, t, _fits in rows}
+    fits = {mk: f for mk, _t, f in rows}
+    best = min(times.values())
+    # The sweep is U-shaped: per-message overhead punishes tiny blocks,
+    # pipeline coarseness (and eventually the local store) punishes
+    # huge ones.
+    assert times[1] > times[5] < times[80] < times[400]
+    # The paper's MK=20 sits on the efficient shoulder (within 1.5x of
+    # the model's optimum) and fits the local store; far larger factors
+    # do not fit at all.
+    assert times[20] < 1.5 * best
+    assert fits[20]
+    assert times[400] > 2 * times[20]
+    assert not fits[400] and not fits[200]
+
+    emit(
+        format_table(
+            ["MK", "iteration time (s)", "fits 256 KiB LS"],
+            [(mk, f"{t:.3f}", "yes" if f else "NO") for mk, t, f in rows],
+            title="Ablation: K-blocking factor at 64 nodes (paper runs MK=20)",
+        )
+    )

@@ -1,0 +1,55 @@
+"""Ablation/validation: the analytic wavefront model against the
+discrete-event simulation of the real distributed sweep (DESIGN.md
+decision 4: two-path validation)."""
+
+import pytest
+
+from benchmarks.conftest import emit
+from repro.comm.mpi import UniformFabric
+from repro.comm.transport import Transport
+from repro.core.report import format_table
+from repro.sweep3d.decomposition import Decomposition2D
+from repro.sweep3d.input import SweepInput
+from repro.sweep3d.parallel import ParallelSweep
+from repro.sweep3d.perfmodel import SweepMachineParams, WavefrontModel
+from repro.units import US
+
+CONFIGS = [
+    ("free links, 4x4", Decomposition2D(4, 4), Transport("free", 1e-12, 1e18)),
+    ("free links, 6x6", Decomposition2D(6, 6), Transport("free", 1e-12, 1e18)),
+    ("IB-like, 4x4", Decomposition2D(4, 4), Transport("ib", 2.16 * US, 1e9)),
+    ("slow links, 8x8", Decomposition2D(8, 8), Transport("slow", 5 * US, 1e9)),
+]
+
+
+def _compare():
+    inp = SweepInput(it=2, jt=2, kt=8, mk=2, mmi=2)
+    grind = 100e-9
+    rows = []
+    for name, decomp, transport in CONFIGS:
+        des = ParallelSweep(
+            inp, decomp, grind, UniformFabric(transport)
+        ).run().iteration_time
+        model = WavefrontModel(
+            inp, decomp, SweepMachineParams("v", grind, transport)
+        ).iteration_time()
+        rows.append((name, des, model, des / model))
+    return rows
+
+
+def test_ablation_des_validation(benchmark):
+    rows = benchmark(_compare)
+
+    for name, des, model, ratio in rows:
+        assert ratio == pytest.approx(1.0, abs=0.1), name
+
+    emit(
+        format_table(
+            ["configuration", "DES (s)", "model (s)", "DES/model"],
+            [
+                (n, f"{d:.6f}", f"{m:.6f}", f"{r:.3f}")
+                for n, d, m, r in rows
+            ],
+            title="Two-path validation: discrete-event sweep vs analytic model",
+        )
+    )

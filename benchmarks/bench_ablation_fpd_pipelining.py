@@ -1,0 +1,84 @@
+"""Ablation: the FPD-unit redesign is the *only* lever.
+
+DESIGN.md decision 2 says every CBE -> PXC8i factor in the library
+derives from the SPE pipeline tables.  This bench verifies it by
+surgery: re-stalling the PowerXCell 8i's FPD unit (latency 9 -> 13,
+repetition 1 -> 7) must reproduce the Cell BE's behaviour on every
+workload, and un-stalling the Cell BE's must reproduce the PXC8i's.
+"""
+
+import pytest
+
+from benchmarks.conftest import emit
+from repro.apps.workloads import APP_WORKLOADS
+from repro.core.report import format_table
+from repro.hardware.spe_pipeline import (
+    CELL_BE_TABLE,
+    POWERXCELL_8I_TABLE,
+    GroupTiming,
+    InstructionGroup,
+    PipelineTable,
+    SPEPipeline,
+    build_interleaved_stream,
+)
+
+_G = InstructionGroup
+
+
+def _with_fpd(table: PipelineTable, name: str, timing: GroupTiming) -> PipelineTable:
+    timings = dict(table.timings)
+    timings[_G.FPD] = timing
+    return PipelineTable(name=name, timings=timings)
+
+
+def _cycles(table: PipelineTable, mix) -> float:
+    stream = build_interleaved_stream(mix, repeats=32)
+    return SPEPipeline(table).run_cycles(stream) / 32
+
+
+def _ablate():
+    restalled = _with_fpd(
+        POWERXCELL_8I_TABLE, "PXC8i with CBE's FPD", GroupTiming(13, 1, 6)
+    )
+    unstalled = _with_fpd(
+        CELL_BE_TABLE, "CBE with PXC8i's FPD", GroupTiming(9, 1, 0)
+    )
+    rows = []
+    for name, app in APP_WORKLOADS.items():
+        rows.append(
+            (
+                name,
+                _cycles(CELL_BE_TABLE, app.mix),
+                _cycles(restalled, app.mix),
+                _cycles(POWERXCELL_8I_TABLE, app.mix),
+                _cycles(unstalled, app.mix),
+            )
+        )
+    return rows
+
+
+def test_ablation_fpd_pipelining(benchmark):
+    rows = benchmark(_ablate)
+
+    for name, cbe, restalled, pxc, unstalled in rows:
+        assert restalled == pytest.approx(cbe), name
+        assert unstalled == pytest.approx(pxc), name
+        # Derived peaks swap accordingly.
+    restalled_tbl = _with_fpd(POWERXCELL_8I_TABLE, "x", GroupTiming(13, 1, 6))
+    assert restalled_tbl.dp_flops_per_cycle == pytest.approx(
+        CELL_BE_TABLE.dp_flops_per_cycle
+    )
+
+    emit(
+        format_table(
+            ["workload", "Cell BE", "PXC8i+stall", "PXC8i", "CBE+pipelined"],
+            [
+                (n, f"{a:.0f}", f"{b:.0f}", f"{c:.0f}", f"{d:.0f}")
+                for n, a, b, c, d in rows
+            ],
+            title=(
+                "Ablation (cycles/work unit): swapping only the FPD timing "
+                "swaps the whole processor's behaviour"
+            ),
+        )
+    )

@@ -1,0 +1,69 @@
+"""Cross-layer validation: the Figs 6-7 quantities *measured* with the
+DES ping-pong microbenchmark must equal the analytic transport curves
+the other benchmarks assert against."""
+
+import pytest
+
+from benchmarks.conftest import emit
+from repro.comm.cml import INTERNODE_CELL_PATH
+from repro.comm.dacs import DACS_MEASURED
+from repro.comm.mpi import Location, UniformFabric
+from repro.core.report import format_table
+from repro.microbench.pingpong import bandwidth_sweep, pingpong
+from repro.units import to_mb_s, to_us
+from repro.validation import paper_data
+
+SIZES = [0, 4096, 65536, 1_000_000]
+
+
+def _measure():
+    out = {}
+    for name, transport in (
+        ("DaCS/PCIe", DACS_MEASURED),
+        ("Cell-to-Cell internode", INTERNODE_CELL_PATH),
+    ):
+        fabric = UniformFabric(transport)
+        out[name] = bandwidth_sweep(
+            fabric, Location(0), Location(1), sizes=SIZES, repetitions=3
+        )
+    return out
+
+
+def test_des_pingpong_matches_analytic(benchmark):
+    measured = benchmark(_measure)
+
+    for name, transport in (
+        ("DaCS/PCIe", DACS_MEASURED),
+        ("Cell-to-Cell internode", INTERNODE_CELL_PATH),
+    ):
+        for probe in measured[name]:
+            assert probe.one_way_time == pytest.approx(
+                transport.one_way_time(probe.size), rel=1e-9
+            ), (name, probe.size)
+
+    # The measured zero-byte numbers are the published Fig 6 values.
+    dacs0 = measured["DaCS/PCIe"][0]
+    cell0 = measured["Cell-to-Cell internode"][0]
+    assert to_us(dacs0.one_way_time) == pytest.approx(paper_data.DACS_LATENCY_US)
+    assert to_us(cell0.one_way_time) == pytest.approx(
+        paper_data.CELL_TO_CELL_INTERNODE_LATENCY_US, abs=0.01
+    )
+
+    rows = []
+    for name in measured:
+        for probe in measured[name]:
+            rows.append(
+                (
+                    name,
+                    probe.size,
+                    f"{to_us(probe.one_way_time):.2f} us",
+                    f"{to_mb_s(probe.bandwidth):.1f} MB/s" if probe.size else "-",
+                )
+            )
+    emit(
+        format_table(
+            ["path", "size (B)", "measured one-way", "measured bandwidth"],
+            rows,
+            title="DES ping-pong microbenchmark vs analytic transports",
+        )
+    )

@@ -1,0 +1,49 @@
+"""§II-C: the '2:1 reduced fat tree' — taper and waist of the fabric."""
+
+import pytest
+
+from benchmarks.conftest import emit
+from repro.core.report import format_table
+from repro.network.loadmap import (
+    bisection_summary,
+    cross_side_links,
+    cu_oversubscription,
+    max_link_load,
+)
+
+
+def test_fabric_taper(benchmark, topology):
+    summary = benchmark(bisection_summary)
+
+    # The paper's "2:1 reduced": 180 node links share 96 uplinks per CU.
+    assert cu_oversubscription() == pytest.approx(1.875)
+    assert cross_side_links() == 96
+    assert summary["cu_oversubscription"] == pytest.approx(180 / 96)
+
+    # Routed evidence: an all-out-of-CU pattern (every node of CU 1
+    # sending to its same-index partner in CU 2) loads each uplink
+    # evenly — 180 flows over at most 96 distinct uplinks.
+    pairs = [(n, 180 + n) for n in range(180)]
+    hottest = max_link_load(topology, pairs)
+    # The deterministic route uses uplink 0 of each lower crossbar, so
+    # 8 same-crossbar flows share each used uplink.
+    assert hottest == 8
+
+    emit(
+        format_table(
+            ["quantity", "value"],
+            [
+                ("CU node-facing capacity", f"{summary['cu_node_capacity'] / 1e9:.0f} GB/s"),
+                ("CU uplink capacity", f"{summary['cu_uplink_capacity'] / 1e9:.0f} GB/s"),
+                ("oversubscription", f"{summary['cu_oversubscription']:.3f} : 1"),
+                ("cross-side (F-M) links", cross_side_links()),
+                ("cross-side capacity", f"{summary['cross_side_capacity'] / 1e9:.0f} GB/s"),
+                ("far-side nodes", int(summary["far_side_nodes"])),
+                (
+                    "far-side per-node share",
+                    f"{summary['far_side_per_node_share'] / 1e9:.2f} GB/s",
+                ),
+            ],
+            title="§II-C (reproduced): the 2:1 reduced fat tree's taper",
+        )
+    )

@@ -1,0 +1,45 @@
+"""Fig 13: Sweep3D weak scaling, 1 to 3,060 nodes: Opteron-only vs
+Cell (measured) vs Cell (best achievable)."""
+
+from benchmarks.conftest import emit
+from repro.core.report import format_series
+from repro.sweep3d.scaling import ScalingStudy
+from repro.validation import paper_data
+
+COUNTS = list(paper_data.SCALING_NODE_COUNTS)
+
+
+def test_fig13_weak_scaling(benchmark):
+    study = ScalingStudy()
+    series = benchmark(lambda: study.fig13_series(COUNTS))
+
+    opteron = [p.iteration_time for p in series["opteron"]]
+    measured = [p.iteration_time for p in series["cell_measured"]]
+    best = [p.iteration_time for p in series["cell_best"]]
+
+    # Shapes the paper shows: all rise with scale; Cell < Opteron
+    # everywhere; best <= measured; measured close to best at small
+    # scale, ~2x apart at full scale.
+    for curve in (opteron, measured, best):
+        assert all(b >= a for a, b in zip(curve, curve[1:]))
+    assert all(m < o for m, o in zip(measured, opteron))
+    assert all(b <= m for b, m in zip(best, measured))
+    assert measured[0] / best[0] < 2.0
+    assert 1.5 < measured[-1] / best[-1] < 2.2
+    # Absolute endpoint: the Opteron-only curve tops out in the
+    # figure's 0.6-0.8 s band.
+    assert 0.5 < opteron[-1] < 0.8
+
+    emit(
+        format_series(
+            "nodes",
+            COUNTS,
+            {
+                "Opteron only (s)": opteron,
+                "Cell measured (s)": measured,
+                "Cell best (s)": best,
+            },
+            fmt="{:.3f}",
+            title="Fig 13 (reproduced): Sweep3D iteration time, weak scaling",
+        )
+    )

@@ -1,0 +1,43 @@
+"""Fig 4: measured latency of each SPE execution group, CBE vs PXC8i."""
+
+from benchmarks.conftest import emit
+from repro.core.report import format_table
+from repro.hardware.spe_pipeline import (
+    CELL_BE_TABLE,
+    INSTRUCTION_GROUPS,
+    POWERXCELL_8I_TABLE,
+    InstructionGroup,
+    SPEPipeline,
+)
+from repro.validation import paper_data
+
+
+def _measure():
+    out = {}
+    for table in (CELL_BE_TABLE, POWERXCELL_8I_TABLE):
+        pipe = SPEPipeline(table)
+        out[table.name] = {
+            g: pipe.measure_latency(g) for g in INSTRUCTION_GROUPS
+        }
+    return out
+
+
+def test_fig4_instruction_latency(benchmark):
+    measured = benchmark(_measure)
+
+    cbe = measured["Cell BE"]
+    pxc = measured["PowerXCell 8i"]
+    # Only FPD differs; 13 -> 9 cycles.
+    assert cbe[InstructionGroup.FPD] == paper_data.FPD_LATENCY_CELLBE
+    assert pxc[InstructionGroup.FPD] == paper_data.FPD_LATENCY_PXC8I
+    for g in INSTRUCTION_GROUPS:
+        if g is not InstructionGroup.FPD:
+            assert cbe[g] == pxc[g]
+
+    emit(
+        format_table(
+            ["group", "Cell BE (cycles)", "PowerXCell 8i (cycles)"],
+            [(g.value, f"{cbe[g]:.0f}", f"{pxc[g]:.0f}") for g in INSTRUCTION_GROUPS],
+            title="Fig 4 (reproduced): instruction latency by execution group",
+        )
+    )

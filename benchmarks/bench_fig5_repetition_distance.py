@@ -1,0 +1,54 @@
+"""Fig 5: measured repetition distance of each SPE execution group."""
+
+import pytest
+
+from benchmarks.conftest import emit
+from repro.core.report import format_table
+from repro.hardware.spe_pipeline import (
+    CELL_BE_TABLE,
+    INSTRUCTION_GROUPS,
+    POWERXCELL_8I_TABLE,
+    InstructionGroup,
+    SPEPipeline,
+)
+from repro.units import GFLOPS
+from repro.validation import paper_data
+
+
+def _measure():
+    out = {}
+    for table in (CELL_BE_TABLE, POWERXCELL_8I_TABLE):
+        pipe = SPEPipeline(table)
+        out[table.name] = {
+            g: pipe.measure_repetition(g) for g in INSTRUCTION_GROUPS
+        }
+    return out
+
+
+def test_fig5_repetition_distance(benchmark):
+    measured = benchmark(_measure)
+
+    cbe = measured["Cell BE"]
+    pxc = measured["PowerXCell 8i"]
+    # Only the Cell BE's FPD unit is not fully pipelined.
+    for g in INSTRUCTION_GROUPS:
+        assert pxc[g] == paper_data.FPD_REPETITION_PXC8I == 1
+        if g is not InstructionGroup.FPD:
+            assert cbe[g] == 1
+    assert cbe[InstructionGroup.FPD] == 7
+
+    # The un-stalled FPD unit yields exactly the published peak rates.
+    pxc_peak = 8 * POWERXCELL_8I_TABLE.dp_flops_per_cycle * 3.2e9
+    cbe_peak = 8 * CELL_BE_TABLE.dp_flops_per_cycle * 3.2e9
+    assert pxc_peak == pytest.approx(paper_data.PXC8I_SPE_PEAK_DP_GFLOPS * GFLOPS)
+    assert cbe_peak == pytest.approx(
+        paper_data.CELLBE_SPE_PEAK_DP_GFLOPS * GFLOPS, rel=0.01
+    )
+
+    emit(
+        format_table(
+            ["group", "Cell BE (cycles)", "PowerXCell 8i (cycles)"],
+            [(g.value, f"{cbe[g]:.0f}", f"{pxc[g]:.0f}") for g in INSTRUCTION_GROUPS],
+            title="Fig 5 (reproduced): repetition distance by execution group",
+        )
+    )

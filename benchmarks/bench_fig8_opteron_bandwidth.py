@@ -1,0 +1,52 @@
+"""Fig 8: internode Opteron-to-Opteron bandwidth by core pair."""
+
+import pytest
+
+from benchmarks.conftest import emit
+from repro.comm.ib import ib_between_cores
+from repro.core.report import format_series
+from repro.units import to_mb_s
+from repro.validation import paper_data
+
+SIZES = [1, 10, 100, 1000, 10_000, 100_000, 1_000_000, 10_000_000]
+
+
+def _curves():
+    return {
+        "cores 1<->3": [
+            ib_between_cores(1, 3).effective_bandwidth(s) for s in SIZES
+        ],
+        "cores 0<->2": [
+            ib_between_cores(0, 2).effective_bandwidth(s) for s in SIZES
+        ],
+        "core 0<->1": [
+            ib_between_cores(0, 1).effective_bandwidth(s) for s in SIZES
+        ],
+    }
+
+
+def test_fig8_opteron_bandwidth(benchmark):
+    curves = benchmark(_curves)
+
+    assert to_mb_s(curves["cores 1<->3"][-1]) == pytest.approx(
+        paper_data.OPTERON_NEAR_HCA_MB_S, rel=0.01
+    )
+    assert to_mb_s(curves["cores 0<->2"][-1]) == pytest.approx(
+        paper_data.OPTERON_FAR_HCA_MB_S, rel=0.01
+    )
+    # A mixed pair is limited by its slower endpoint.
+    assert curves["core 0<->1"][-1] == curves["cores 0<->2"][-1]
+    # Near pair beats far pair at every size.
+    for near, far in zip(curves["cores 1<->3"], curves["cores 0<->2"]):
+        assert near >= far
+
+    emit(
+        format_series(
+            "size (B)",
+            SIZES,
+            {k: [to_mb_s(v) for v in series] for k, series in curves.items()},
+            fmt="{:.1f}",
+            title="Fig 8 (reproduced): Opteron-Opteron bandwidth (MB/s); "
+            "paper: 1,478 vs 1,087 at large sizes",
+        )
+    )

@@ -1,0 +1,47 @@
+"""Fig 9: DaCS-over-PCIe vs MPI-over-InfiniBand bandwidth and their
+ratio across message sizes."""
+
+import pytest
+
+from benchmarks.conftest import emit
+from repro.comm.dacs import DACS_MEASURED
+from repro.comm.ib import IB_DEFAULT
+from repro.core.report import format_series
+from repro.units import KIB, to_mb_s
+from repro.validation import paper_data
+
+SIZES = [1, 10, 100, 1000, 2048, 8192, 16384, 65536, 262144, 1_000_000]
+
+
+def _curves():
+    dacs = [DACS_MEASURED.effective_bandwidth(s) for s in SIZES]
+    ib = [IB_DEFAULT.effective_bandwidth(s) for s in SIZES]
+    return dacs, ib
+
+
+def test_fig9_dacs_vs_ib(benchmark):
+    dacs, ib = benchmark(_curves)
+    ratio = [i / d if d else float("inf") for i, d in zip(ib, dacs)]
+
+    # Paper: DaCS under half of IB in the small-message range...
+    for size, r in zip(SIZES, ratio):
+        if 2 * KIB <= size <= 20 * KIB:
+            assert r > 1 / paper_data.DACS_SMALL_MSG_RATIO_MAX, size
+    # ... and the ratio approaches 1 for large messages.
+    assert ratio[-1] == pytest.approx(1.0, abs=0.1)
+    # IB is never meaningfully slower than the early DaCS stack.
+    assert all(r >= 0.95 for r in ratio)
+
+    emit(
+        format_series(
+            "size (B)",
+            SIZES,
+            {
+                "DaCS (MB/s)": [to_mb_s(v) for v in dacs],
+                "InfiniBand (MB/s)": [to_mb_s(v) for v in ib],
+                "relative (IB/DaCS)": ratio,
+            },
+            fmt="{:.2f}",
+            title="Fig 9 (reproduced): InfiniBand vs DaCS PCIe performance",
+        )
+    )

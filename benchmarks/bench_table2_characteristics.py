@@ -1,0 +1,45 @@
+"""Table II: performance characteristics of Roadrunner."""
+
+import pytest
+
+from benchmarks.conftest import emit
+from repro.core.report import format_table
+from repro.validation import paper_data
+
+
+def test_table2_characteristics(benchmark, machine):
+    chars = benchmark(machine.characteristics)
+
+    assert chars["cu_count"] == paper_data.CU_COUNT
+    assert chars["node_count"] == paper_data.NODE_COUNT
+    assert chars["peak_dp_pflops"] == pytest.approx(
+        paper_data.PEAK_DP_PFLOPS, rel=0.005
+    )
+    assert chars["peak_sp_pflops"] == pytest.approx(
+        paper_data.PEAK_SP_PFLOPS, rel=0.005
+    )
+    assert chars["cu_peak_dp_tflops"] == pytest.approx(
+        paper_data.CU_PEAK_DP_TFLOPS, rel=0.002
+    )
+    assert chars["node_cell_peak_dp_gflops"] == pytest.approx(
+        paper_data.NODE_CELL_PEAK_DP_GFLOPS
+    )
+    assert chars["node_opteron_peak_dp_gflops"] == pytest.approx(
+        paper_data.NODE_OPTERON_PEAK_DP_GFLOPS
+    )
+
+    emit(
+        format_table(
+            ["characteristic", "reproduced", "paper"],
+            [
+                ["CU count", chars["cu_count"], 17],
+                ["node count", chars["node_count"], 3060],
+                ["peak DP (Pflop/s)", f"{chars['peak_dp_pflops']:.2f}", 1.38],
+                ["peak SP (Pflop/s)", f"{chars['peak_sp_pflops']:.2f}", 2.91],
+                ["CU peak DP (Tflop/s)", f"{chars['cu_peak_dp_tflops']:.1f}", 80.9],
+                ["node Cell DP (Gflop/s)", chars["node_cell_peak_dp_gflops"], 435.2],
+                ["node Opteron DP (Gflop/s)", chars["node_opteron_peak_dp_gflops"], 14.4],
+            ],
+            title="Table II (reproduced)",
+        )
+    )

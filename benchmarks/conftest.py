@@ -1,0 +1,31 @@
+"""Shared fixtures for the benchmark harness.
+
+Every module in this directory regenerates one table or figure of the
+paper: it times the model computation with pytest-benchmark, checks the
+output against the published values in
+:mod:`repro.validation.paper_data`, and prints the reproduced rows
+(visible with ``pytest benchmarks/ --benchmark-only -s``).
+"""
+
+import pytest
+
+from repro.core.machine import RoadrunnerMachine
+from repro.network.topology import RoadrunnerTopology
+
+
+@pytest.fixture(scope="session")
+def machine():
+    """The full 17-CU machine model, shared across benchmarks."""
+    return RoadrunnerMachine()
+
+
+@pytest.fixture(scope="session")
+def topology():
+    """The full fabric, built once."""
+    return RoadrunnerTopology(cu_count=17)
+
+
+def emit(text: str) -> None:
+    """Print a reproduced table/series under a separator."""
+    print()
+    print(text)

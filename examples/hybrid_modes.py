@@ -1,0 +1,89 @@
+#!/usr/bin/env python
+"""Roadrunner's three usage models and what the PowerXCell 8i buys each
+application (paper §III, §IV-A, Table IV).
+
+Run:  python examples/hybrid_modes.py
+"""
+
+from repro.apps.speedup import all_speedups, workload_cycles
+from repro.apps.workloads import APP_WORKLOADS
+from repro.core.modes import MODES
+from repro.core.report import format_table
+from repro.hardware.cell import CELL_BE, POWERXCELL_8I
+from repro.sweep3d.cellport import CellPortModel, grind_time
+from repro.sweep3d.input import SweepInput
+from repro.sweep3d.masterworker import MasterWorkerModel
+
+
+def main() -> None:
+    print("== The three usage models (paper §III) ==\n")
+    for profile in MODES.values():
+        print(f"--- {profile.mode.value} ---")
+        print(f"  ranks    : {profile.rank_placement}")
+        print(f"  peak     : {profile.peak_fraction:.1%} of the node's DP peak")
+        print(f"  layers   : {' -> '.join(profile.layers)}")
+        print(f"  examples : {', '.join(profile.example_applications)}")
+        print(f"  {profile.description}\n")
+
+    print("== What the PowerXCell 8i's DP redesign buys (paper §IV-A) ==")
+    rows = []
+    for name, speedup in all_speedups().items():
+        app = APP_WORKLOADS[name]
+        rows.append(
+            (
+                name,
+                "DP" if app.uses_double_precision else "SP",
+                f"{app.fpd_count}/{sum(app.mix.values())}",
+                f"{workload_cycles(app, CELL_BE):.0f}",
+                f"{workload_cycles(app, POWERXCELL_8I):.0f}",
+                f"{speedup:.2f}x",
+            )
+        )
+    print(
+        format_table(
+            ["application", "precision", "FPD share", "CBE cycles",
+             "PXC8i cycles", "speedup"],
+            rows,
+        )
+    )
+    print("(paper: SPaSM and Milagro 1.5x, VPIC unchanged, Sweep3D ~1.9x —\n"
+          " all derived here from the SPE pipeline tables alone)\n")
+
+    print("== Table IV: two ways to port Sweep3D to the Cell ==")
+    inp = SweepInput.paper_table4()
+    previous = MasterWorkerModel()
+    ours_cbe = inp.angle_work * grind_time(CELL_BE)
+    ours_pxc = inp.angle_work * grind_time(POWERXCELL_8I)
+    rows = [
+        ("previous (master/worker)", f"{previous.iteration_time(inp):.2f} s", "N/A"),
+        ("ours (SPE-centric)", f"{ours_cbe:.2f} s", f"{ours_pxc:.2f} s"),
+    ]
+    print(format_table(["implementation", "Cell BE", "PowerXCell 8i"], rows))
+    print(f"\nimplementation speedup on the Cell BE : "
+          f"{previous.iteration_time(inp) / ours_cbe:.1f}x (paper: ~3x)")
+    print(f"CBE -> PXC8i for the SPE-centric port : "
+          f"{ours_cbe / ours_pxc:.2f}x (paper: 1.9x)")
+    print(
+        "\nWhy the old port could not benefit: it moved data *volumes* "
+        "and was bound by the\n25.6 GB/s memory interface "
+        f"(bandwidth time {previous.bandwidth_time(inp):.2f} s vs compute "
+        f"{previous.compute_time(inp):.2f} s);\nthe same model on the "
+        "PowerXCell 8i predicts "
+        f"{MasterWorkerModel(variant=POWERXCELL_8I).iteration_time(inp):.2f} s "
+        "— no gain from faster DP."
+    )
+
+    print("\n== The SPE-centric port is compute-bound by design (§V-B) ==")
+    port = CellPortModel()
+    scaling = SweepInput.paper_scaling()
+    print(f"block local-store footprint : {port.block_ls_bytes(scaling):,} B "
+          f"(fits 256 KiB: {port.block_fits_local_store(scaling)})")
+    print(f"largest feasible MK         : {port.max_mk(scaling)} "
+          f"(the paper runs MK={scaling.mk})")
+    print(f"per-block compute           : {port.block_compute_time(scaling) * 1e6:.1f} us")
+    print(f"per-block DMA (1/8 share)   : {port.block_dma_time(scaling) * 1e6:.1f} us "
+          "(hidden under compute)")
+
+
+if __name__ == "__main__":
+    main()

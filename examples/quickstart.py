@@ -1,0 +1,69 @@
+#!/usr/bin/env python
+"""Quickstart: build the Roadrunner machine model and reproduce the
+paper's headline numbers in a few lines.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import RoadrunnerMachine, SINGLE_CU
+from repro.core.report import format_table
+from repro.units import to_us
+
+
+def main() -> None:
+    machine = RoadrunnerMachine()
+
+    print("== The machine (paper Table II) ==")
+    chars = machine.characteristics()
+    print(
+        format_table(
+            ["characteristic", "value"],
+            [
+                ["Connected Units", chars["cu_count"]],
+                ["compute nodes", chars["node_count"]],
+                ["Opteron cores", chars["opteron_cores"]],
+                ["SPEs", chars["spes"]],
+                ["peak DP", f"{chars['peak_dp_pflops']:.2f} Pflop/s"],
+                ["peak SP", f"{chars['peak_sp_pflops']:.2f} Pflop/s"],
+                ["peak DP per CU", f"{chars['cu_peak_dp_tflops']:.1f} Tflop/s"],
+                ["Cell blades per node", f"{chars['node_cell_peak_dp_gflops']:.1f} Gflop/s"],
+                ["Opteron blade per node", f"{chars['node_opteron_peak_dp_gflops']:.1f} Gflop/s"],
+            ],
+        )
+    )
+    print(
+        f"\n{machine.cell_fraction_of_peak():.0%} of peak comes from the "
+        "PowerXCell 8i processors (paper: ~95%)."
+    )
+
+    print("\n== LINPACK (May 2008 run, modeled) ==")
+    run = machine.linpack()
+    print(f"problem size N        : {run.n:,}")
+    print(f"sustained Rmax        : {run.rmax_flops / 1e15:.3f} Pflop/s (paper: 1.026)")
+    print(f"efficiency            : {run.efficiency:.1%}")
+    print(f"run time              : {run.time_seconds / 3600:.1f} h")
+    print(f"Green500              : {machine.green500_mflops_per_watt():.0f} Mflop/s/W (paper: 437)")
+    print(
+        "without accelerators  : "
+        f"{machine.linpack_opteron_only().rmax_flops / 1e12:.1f} Tflop/s ~ "
+        f"Top 500 position {machine.opteron_only_top500_position()} (paper: ~50)"
+    )
+
+    print("\n== The fabric (paper Table I) ==")
+    census = machine.hop_census()
+    for hops in sorted(census):
+        print(f"  {census[hops]:>5} destinations at {hops} crossbar hops")
+    print(f"  average: {machine.average_hop_count():.2f} hops (paper: 5.38)")
+
+    print("\n== Zero-byte latency from node 0 (paper Fig 10) ==")
+    series = machine.latency_map()
+    for dst in (1, 100, 400, 2500):
+        print(f"  node {dst:>5}: {to_us(series[dst]):.2f} us")
+
+    print("\n== A single CU is a stand-alone 180-node cluster ==")
+    cu = RoadrunnerMachine(SINGLE_CU)
+    print(f"  {cu.node_count} nodes, {cu.peak_dp_pflops * 1000:.1f} Tflop/s peak DP")
+
+
+if __name__ == "__main__":
+    main()

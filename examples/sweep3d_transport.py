@@ -1,0 +1,88 @@
+#!/usr/bin/env python
+"""Sweep3D end to end: solve a real neutron-transport problem, then run
+the same sweep distributed across a simulated Roadrunner node and check
+that (a) the physics is identical and (b) the simulated time matches
+the analytic wavefront model.
+
+Run:  python examples/sweep3d_transport.py
+"""
+
+import numpy as np
+
+from repro.comm.cml import CellMessagePath
+from repro.sweep3d import (
+    Decomposition2D,
+    ParallelSweep,
+    SweepInput,
+    SweepMachineParams,
+    WavefrontModel,
+    solve,
+)
+from repro.sweep3d.cellport import grind_time
+from repro.hardware.cell import POWERXCELL_8I
+from repro.sweep3d.placement import boundary_classes, cell_fabric, spe_locations
+from repro.sweep3d.quadrature import make_angle_set
+from repro.sweep3d.solver import sweep_all_octants
+from repro.units import to_ms
+
+
+def main() -> None:
+    # --- 1. the physics, sequentially --------------------------------------
+    inp = SweepInput(it=8, jt=8, kt=8, mk=2, mmi=6,
+                     sigma_t=1.0, sigma_s=0.5, q=1.0)
+    result = solve(inp, max_iterations=100)
+    print("== Sequential source iteration ==")
+    print(f"converged in {result.iterations} iterations "
+          f"(rel change {result.rel_change:.2e})")
+    print(f"particle balance residual: {result.balance_residual:.2e}")
+    print(f"peak scalar flux         : {result.phi.max():.4f}")
+    print(f"leakage                  : {result.leakage:.4f}")
+
+    # --- 2. the same sweep, distributed over 32 simulated SPEs -------------
+    decomp = Decomposition2D(8, 4)  # one triblade's 32 SPEs
+    sub = SweepInput(it=2, jt=2, kt=8, mk=2, mmi=6)  # weak-scaled subgrid
+    sweep = ParallelSweep(
+        sub,
+        decomp,
+        grind_time=grind_time(POWERXCELL_8I),
+        fabric=cell_fabric(),
+        locations=spe_locations(decomp),
+    )
+    parallel = sweep.run()
+    census = boundary_classes(decomp)
+
+    # The distributed sweep of the assembled global problem must equal a
+    # sequential sweep of that global grid, bit-for-bit up to round-off.
+    global_inp = sub.with_subgrid(sub.it * 8, sub.jt * 4, sub.kt)
+    src = np.full((global_inp.it, global_inp.jt, global_inp.kt), sub.q)
+    phi_seq, _, _ = sweep_all_octants(global_inp, src, make_angle_set(sub.mmi))
+    err = np.abs(parallel.phi - phi_seq).max()
+    print("\n== Distributed sweep on 32 simulated SPEs (one triblade) ==")
+    print(f"global grid              : {global_inp.it}x{global_inp.jt}x{global_inp.kt}")
+    print(f"max |parallel - serial|  : {err:.2e}")
+    print(f"messages / bytes         : {parallel.messages} / {parallel.bytes_sent:,}")
+    print(f"boundary classes         : {census}")
+    print(f"simulated iteration time : {to_ms(parallel.iteration_time):.3f} ms")
+    print(f"measured efficiency      : {parallel.parallel_efficiency:.1%}")
+
+    # --- 3. cross-check against the analytic wavefront model ----------------
+    params = SweepMachineParams(
+        name="one-node SPE-centric",
+        grind_time=grind_time(POWERXCELL_8I),
+        comm=CellMessagePath().intranode,
+    )
+    model = WavefrontModel(sub, decomp, params)
+    print("\n== Analytic wavefront model ==")
+    print(f"modeled iteration time   : {to_ms(model.iteration_time()):.3f} ms")
+    print(f"work / fill steps        : {model.work_steps} / {model.fill_steps:.0f}")
+    print(f"parallel efficiency      : {model.parallel_efficiency():.1%}")
+    print(
+        "(the model charges every boundary the slowest link present —\n"
+        " PCIe within the node — while the DES resolves that most of\n"
+        " this layout's boundaries ride the on-chip EIB, so the model\n"
+        " is a conservative upper bound here)"
+    )
+
+
+if __name__ == "__main__":
+    main()

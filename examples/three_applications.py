@@ -1,0 +1,69 @@
+#!/usr/bin/env python
+"""Three real mini-applications, three Roadrunner stories (§III, §IV-A):
+
+* **MiniPIC** (VPIC surrogate, SPE-centric, single precision) — runs a
+  genuine two-stream instability; the PowerXCell 8i buys it nothing.
+* **MiniMD** (SPaSM surrogate, accelerator model, double precision) —
+  integrates real Lennard-Jones dynamics; offload to the Cell pays a
+  few-x, limited by Amdahl and PCIe locality.
+* **Sweep3D** (the paper's case study, SPE-centric, double precision)
+  — the 1.9x DP story, reproduced throughout this library.
+
+Run:  python examples/three_applications.py
+"""
+
+from repro.apps.minimd import MDTimestepModel, MiniMD
+from repro.apps.minipic import MiniPIC, PICTimestepModel
+from repro.apps.speedup import all_speedups
+from repro.core.report import format_table
+from repro.hardware.cell import CELL_BE, POWERXCELL_8I
+from repro.units import to_us
+
+
+def main() -> None:
+    print("== MiniPIC: a trillion-particle code in miniature ==")
+    pic = MiniPIC(beam_speed=0.2, dt=0.1)
+    fe0 = pic.field_energy()
+    tot0 = fe0 + pic.kinetic_energy()
+    pic.step(250)
+    fe1 = pic.field_energy()
+    tot1 = fe1 + pic.kinetic_energy()
+    print(f"particles                 : {pic.n_particles} (all float32, like VPIC)")
+    print(f"two-stream field energy   : {fe0:.2e} -> {fe1:.2e} "
+          f"({fe1 / fe0:.0f}x growth, then saturation)")
+    print(f"total energy drift        : {abs(tot1 - tot0) / tot0:.2%}")
+    model = PICTimestepModel()
+    print(f"step on Cell BE           : {to_us(model.timestep_time(pic, CELL_BE)):.1f} us")
+    print(f"step on PowerXCell 8i     : {to_us(model.timestep_time(pic, POWERXCELL_8I)):.1f} us")
+    print(f"PXC8i speedup             : {model.pxc8i_speedup(pic):.2f}x "
+          "(paper: 'no significant improvement' — SP code)\n")
+
+    print("== MiniMD: molecular dynamics under the accelerator model ==")
+    md = MiniMD(cells_per_side=3)
+    e0 = md.total_energy()
+    md.step(50)
+    e1 = md.total_energy()
+    timing = MDTimestepModel()
+    offload = timing.offload_model(md)
+    print(f"atoms                     : {md.n_atoms} (FCC, periodic, LJ)")
+    print(f"energy drift over 50 steps: {abs(e1 - e0) / abs(e0):.2e}")
+    print(f"interacting pairs         : {md.interacting_pairs()}")
+    print(f"host-only timestep        : {to_us(timing.timestep_time(md, False)):.1f} us")
+    print(f"offloaded timestep        : {to_us(timing.timestep_time(md, True)):.1f} us")
+    print(f"offload speedup           : {timing.speedup(md):.1f}x "
+          f"(kernel {offload.kernel_speedup:.0f}x, Amdahl+PCIe take the rest)\n")
+
+    print("== The §IV-A scorecard, all derived from the FPD pipeline change ==")
+    rows = [
+        (name, f"{speedup:.2f}x",
+         {"VPIC": "SP: nothing to gain",
+          "SPaSM": "DP force loops",
+          "Milagro": "DP tallies, branchy",
+          "Sweep3D": "DP-dense inner loop"}[name])
+        for name, speedup in all_speedups().items()
+    ]
+    print(format_table(["application", "PXC8i vs CBE", "why"], rows))
+
+
+if __name__ == "__main__":
+    main()

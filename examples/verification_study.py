@@ -1,0 +1,83 @@
+#!/usr/bin/env python
+"""How the reproduction validates itself: exact-solution convergence,
+flux fixup, roofline cross-check, and a wavefront Gantt chart.
+
+Run:  python examples/verification_study.py
+"""
+
+import numpy as np
+
+from repro.comm.mpi import UniformFabric
+from repro.comm.transport import Transport
+from repro.core.report import format_table, sparkline
+from repro.hardware.roofline import ROOFLINES, sweep3d_operating_point
+from repro.sim.timeline import Timeline
+from repro.sweep3d.decomposition import Decomposition2D
+from repro.sweep3d.fixup import sweep_octant_fixup
+from repro.sweep3d.input import SweepInput
+from repro.sweep3d.kernel import sweep_octant
+from repro.sweep3d.parallel import ParallelSweep
+from repro.sweep3d.quadrature import make_angle_set
+from repro.sweep3d.verification import convergence_study
+
+
+def main() -> None:
+    print("== Grid convergence against the exact pure-absorber solution ==")
+    points, order = convergence_study((8, 16, 32))
+    print(
+        format_table(
+            ["cells/axis", "h", "L2 error", "Linf error"],
+            [(p.n_cells, f"{p.h:.3f}", f"{p.l2_error:.2e}", f"{p.linf_error:.2e}")
+             for p in points],
+        )
+    )
+    print(f"observed order of accuracy: {order:.2f} "
+          "(diamond difference: formally 2; kinked exact solution pulls "
+          "it slightly below)\n")
+
+    print("== Negative-flux fixup ==")
+    ang = make_angle_set(6)
+    src = np.zeros((3, 3, 3))
+    strong_inflow = np.full((3, 3, 6), 10.0)
+    zeros = np.zeros((3, 3, 6))
+    _, ox, oy, oz = sweep_octant(8.0, src, 1, 1, 1, ang,
+                                 strong_inflow, zeros, zeros)
+    _, fx, fy, fz = sweep_octant_fixup(8.0, src, 1, 1, 1, ang,
+                                       strong_inflow, zeros, zeros)
+    print(f"plain kernel minimum outflow : {min(ox.min(), oy.min(), oz.min()):+.3f}"
+          "  (negative: the classic DD failure in thick cells)")
+    print(f"fixup kernel minimum outflow : {min(fx.min(), fy.min(), fz.min()):+.3f}"
+          "  (clamped, balance-preserving)\n")
+
+    print("== Two independent derivations of Sweep3D's efficiency ==")
+    point = sweep3d_operating_point()
+    roof = ROOFLINES["SPE vs local store"]
+    print(f"roofline: intensity {point['intensity_flops_per_byte']:.3f} flop/B "
+          f"on the {roof.bandwidth / 1e9:.1f} GB/s local store "
+          f"-> attainable {point['attainable_flops'] / 1e9:.2f} Gflop/s")
+    print(f"pipeline schedule: achieved {point['achieved_flops'] / 1e9:.2f} Gflop/s "
+          f"({point['fraction_of_peak']:.1%} of SPE peak)")
+    print("both say the same thing: the inner loop is local-store-traffic "
+          "bound,\nwhich is why 'typically it does not achieve high "
+          "single-core efficiency'.\n")
+
+    print("== The wavefront, visualized (4x4 ranks, free links) ==")
+    inp = SweepInput(it=2, jt=2, kt=8, mk=2, mmi=1)
+    dec = Decomposition2D(4, 4)
+    tl = Timeline()
+    fabric = UniformFabric(Transport("free", 1e-12, 1e18))
+    result = ParallelSweep(inp, dec, 1e-6, fabric, timeline=tl).run()
+    print(tl.render(width=64))
+    print(f"\nmeasured parallel efficiency: {result.parallel_efficiency:.1%} "
+          "(the idle stripes are pipeline fill/drain at octant corner "
+          "changes)")
+
+    print("\n== Fig 10's staircase, as a sparkline over the first 3 CUs ==")
+    from repro.core.machine import RoadrunnerMachine
+
+    series = RoadrunnerMachine().latency_map()[1:540]
+    print(sparkline(series[::6]))
+
+
+if __name__ == "__main__":
+    main()

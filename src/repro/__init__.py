@@ -1,0 +1,35 @@
+"""repro — a modeling-and-simulation reproduction of *Entering the
+Petaflop Era: The Architecture and Performance of Roadrunner* (SC 2008).
+
+The physical machine is replaced by explicit, parameterized models —
+spec-derived hardware descriptions, a port-wired fabric topology,
+LogGP-style communication stacks, a cycle-level SPE pipeline model, a
+discrete-event simulator — plus a *real* Sweep3D discrete-ordinates
+solver that runs distributed on the simulated machine.  Every table
+and figure of the paper regenerates from these models; see DESIGN.md
+for the experiment index and ``benchmarks/`` for the drivers.
+
+Quick start::
+
+    from repro import RoadrunnerMachine
+    machine = RoadrunnerMachine()
+    machine.peak_dp_pflops        # 1.38
+    machine.linpack().rmax_flops  # ~1.026e15
+    machine.hop_census()          # Table I
+"""
+
+from repro.core.config import FULL_SYSTEM, SINGLE_CU, SystemConfig
+from repro.core.machine import RoadrunnerMachine
+from repro.core.modes import MODES, UsageMode
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "FULL_SYSTEM",
+    "SINGLE_CU",
+    "SystemConfig",
+    "RoadrunnerMachine",
+    "MODES",
+    "UsageMode",
+    "__version__",
+]

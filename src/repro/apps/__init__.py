@@ -1,0 +1,28 @@
+"""Application-workload surrogates (paper §IV-A).
+
+The paper reports how the PowerXCell 8i's redesigned double-precision
+unit translated into application speedups over the Cell BE: SPaSM and
+Milagro by ~1.5x, VPIC essentially unchanged (single-precision code),
+and Sweep3D by ~1.9x (§VI).  Each application is represented by the
+instruction mix of its SPE hot loop; the speedups then *derive* from
+the SPE pipeline tables, making the §IV-A factors an output of the
+FPD-unit redesign rather than quoted constants.
+"""
+
+from repro.apps.workloads import APP_WORKLOADS, AppWorkload
+from repro.apps.speedup import pxc8i_speedup, all_speedups
+from repro.apps.offload import OffloadModel
+from repro.apps.minimd import MiniMD, MDTimestepModel
+from repro.apps.minipic import MiniPIC, PICTimestepModel
+
+__all__ = [
+    "AppWorkload",
+    "APP_WORKLOADS",
+    "pxc8i_speedup",
+    "all_speedups",
+    "OffloadModel",
+    "MiniMD",
+    "MDTimestepModel",
+    "MiniPIC",
+    "PICTimestepModel",
+]

@@ -1,0 +1,188 @@
+"""A miniature molecular-dynamics application (the SPaSM surrogate).
+
+SPaSM is the paper's flagship *accelerator-model* application (§III;
+the 350-450 Tflop/s Gordon Bell run of [8]).  This module provides a
+real — if small — MD code in its image: Lennard-Jones particles on an
+FCC lattice, minimum-image periodic boundaries, velocity-Verlet
+integration.  The numerics are genuine (energy and momentum
+conservation are tested); the *timing* of a timestep on Roadrunner
+comes from composing the force kernel's work with the
+:class:`repro.apps.offload.OffloadModel`, exactly the hotspot-offload
+structure SPaSM used.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.apps.offload import OffloadModel
+from repro.comm.dacs import DACS_MEASURED
+from repro.comm.transport import Transport
+
+__all__ = ["MiniMD", "MDTimestepModel"]
+
+#: Lennard-Jones parameters in reduced units.
+_EPSILON = 1.0
+_SIGMA = 1.0
+
+
+@dataclass
+class MiniMD:
+    """An N-particle Lennard-Jones system in a periodic cubic box.
+
+    ``cells_per_side`` FCC unit cells per axis give
+    ``4 * cells_per_side**3`` particles at the chosen reduced density.
+    """
+
+    cells_per_side: int = 3
+    density: float = 0.8442
+    cutoff: float = 2.5
+    dt: float = 0.004
+    seed: int = 2008
+    temperature: float = 0.2
+
+    positions: np.ndarray = field(init=False, repr=False)
+    velocities: np.ndarray = field(init=False, repr=False)
+    box: float = field(init=False)
+
+    def __post_init__(self):
+        if self.cells_per_side < 1:
+            raise ValueError("cells_per_side must be >= 1")
+        if self.density <= 0 or self.cutoff <= 0 or self.dt <= 0:
+            raise ValueError("density, cutoff, and dt must be positive")
+        n_cells = self.cells_per_side
+        # FCC basis in a unit cell.
+        basis = np.array(
+            [[0.0, 0.0, 0.0], [0.5, 0.5, 0.0], [0.5, 0.0, 0.5], [0.0, 0.5, 0.5]]
+        )
+        n_atoms = 4 * n_cells**3
+        self.box = (n_atoms / self.density) ** (1.0 / 3.0)
+        if self.cutoff > self.box / 2:
+            raise ValueError(
+                f"cutoff {self.cutoff} exceeds half the box ({self.box / 2:.3f}); "
+                "minimum-image convention would be violated — use more cells "
+                "or a shorter cutoff"
+            )
+        a = self.box / n_cells
+        cells = np.stack(
+            np.meshgrid(range(n_cells), range(n_cells), range(n_cells),
+                        indexing="ij"),
+            axis=-1,
+        ).reshape(-1, 3)
+        self.positions = (
+            (cells[:, None, :] + basis[None, :, :]).reshape(-1, 3) * a
+        )
+        rng = np.random.default_rng(self.seed)
+        v = rng.normal(scale=np.sqrt(self.temperature), size=(n_atoms, 3))
+        v -= v.mean(axis=0)  # zero net momentum
+        self.velocities = v
+
+    @property
+    def n_atoms(self) -> int:
+        return len(self.positions)
+
+    # -- physics -----------------------------------------------------------
+    def _pair_terms(self):
+        """Minimum-image displacements, squared distances, cutoff mask."""
+        delta = self.positions[:, None, :] - self.positions[None, :, :]
+        delta -= self.box * np.rint(delta / self.box)
+        r2 = (delta**2).sum(axis=-1)
+        np.fill_diagonal(r2, np.inf)
+        mask = r2 < self.cutoff**2
+        return delta, r2, mask
+
+    def forces(self) -> tuple[np.ndarray, float]:
+        """LJ forces and potential energy (O(N^2) with cutoff)."""
+        delta, r2, mask = self._pair_terms()
+        inv_r2 = np.where(mask, 1.0 / r2, 0.0)
+        sr6 = (_SIGMA**2 * inv_r2) ** 3
+        sr12 = sr6**2
+        # dU/dr / r  (negated): magnitude of the pair force over r.
+        f_over_r = 24.0 * _EPSILON * (2.0 * sr12 - sr6) * inv_r2
+        forces = (f_over_r[:, :, None] * delta).sum(axis=1)
+        potential = 2.0 * _EPSILON * (sr12 - sr6)[mask].sum()  # x4/2 pairs
+        return forces, float(potential)
+
+    def kinetic_energy(self) -> float:
+        return float(0.5 * (self.velocities**2).sum())
+
+    def total_energy(self) -> float:
+        _f, potential = self.forces()
+        return self.kinetic_energy() + potential
+
+    def momentum(self) -> np.ndarray:
+        return self.velocities.sum(axis=0)
+
+    def step(self, n: int = 1) -> None:
+        """Advance ``n`` velocity-Verlet timesteps."""
+        if n < 1:
+            raise ValueError("n must be >= 1")
+        f, _ = self.forces()
+        for _ in range(n):
+            self.velocities += 0.5 * self.dt * f
+            self.positions = (self.positions + self.dt * self.velocities) % self.box
+            f, _ = self.forces()
+            self.velocities += 0.5 * self.dt * f
+
+    # -- workload accounting --------------------------------------------------
+    def interacting_pairs(self) -> int:
+        """Pairs inside the cutoff (each counted once)."""
+        _delta, _r2, mask = self._pair_terms()
+        return int(mask.sum() // 2)
+
+    def force_flops(self, flops_per_pair: int = 50) -> float:
+        """Floating-point work of one force evaluation."""
+        return self.interacting_pairs() * flops_per_pair
+
+
+@dataclass(frozen=True)
+class MDTimestepModel:
+    """Roadrunner timing of one MiniMD timestep via hotspot offload.
+
+    The force kernel (the hotspot) offloads to the paired Cell at the
+    pipeline-derived SPaSM speedup; integration and neighbour upkeep
+    stay on the Opteron.  Per step, positions go down and forces come
+    back over the PCIe link.
+    """
+
+    #: sustained Opteron rate on the force kernel, flop/s
+    host_rate: float = 0.9e9
+    #: fraction of a step that is force computation
+    hotspot_fraction: float = 0.95
+    link: Transport = DACS_MEASURED
+
+    def offload_model(self, system: MiniMD) -> OffloadModel:
+        from repro.apps.speedup import pxc8i_speedup
+        from repro.apps.workloads import APP_WORKLOADS
+        from repro.hardware.cell import CELL_BE, POWERXCELL_8I
+        from repro.apps.speedup import workload_cycles
+
+        force_time = system.force_flops() / self.host_rate
+        cpu_time = force_time / self.hotspot_fraction
+        # Kernel speedup over the host: 8 SPEs at the SPaSM mix's
+        # cycles-per-pair vs the host's rate, folded into one factor.
+        spasm = APP_WORKLOADS["SPaSM"]
+        spe_rate = (
+            50 / (workload_cycles(spasm, POWERXCELL_8I) / 3.2e9)
+        ) * 8  # flops/s across the paired Cell's SPEs
+        kernel_speedup = spe_rate / self.host_rate
+        bytes_each_way = system.n_atoms * 3 * 8
+        return OffloadModel(
+            cpu_time=cpu_time,
+            hotspot_fraction=self.hotspot_fraction,
+            kernel_speedup=kernel_speedup,
+            bytes_down=bytes_each_way,
+            bytes_up=bytes_each_way,
+            link=self.link,
+        )
+
+    def timestep_time(self, system: MiniMD, accelerated: bool = True) -> float:
+        """Modeled seconds per MD step on one Opteron core (+ Cell)."""
+        model = self.offload_model(system)
+        return model.hybrid_time() if accelerated else model.cpu_time
+
+    def speedup(self, system: MiniMD) -> float:
+        """Accelerated over host-only step time."""
+        return self.offload_model(system).speedup()

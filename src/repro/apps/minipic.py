@@ -1,0 +1,163 @@
+"""A miniature particle-in-cell code (the VPIC surrogate).
+
+VPIC is the paper's flagship *SPE-centric* application (§III; the
+0.365 Pflop/s trillion-particle Gordon Bell run of [9]) and the §IV-A
+example of a code the PowerXCell 8i does *not* speed up, "as its
+calculations use single precision floating-point operations".
+
+This module is a real 1-D electrostatic PIC code — cloud-in-cell
+deposition, periodic FFT-free field solve, leapfrog push — carried out
+in ``float32`` end to end like VPIC.  Its physics is testable (charge
+conservation, momentum conservation, the two-stream instability), and
+its Roadrunner timing follows the SPE-centric model with the VPIC
+instruction mix, whose CBE->PXC8i speedup is 1.0 by construction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = ["MiniPIC", "PICTimestepModel"]
+
+
+@dataclass
+class MiniPIC:
+    """Electrons on a periodic 1-D grid with a neutralizing background.
+
+    Normalized units: plasma frequency = 1, cell size via ``length``.
+    """
+
+    n_cells: int = 64
+    particles_per_cell: int = 20
+    length: float = 2 * np.pi
+    dt: float = 0.1
+    #: two-stream beam speed (0 disables the instability setup)
+    beam_speed: float = 0.2
+    seed: int = 2008
+
+    positions: np.ndarray = field(init=False, repr=False)
+    velocities: np.ndarray = field(init=False, repr=False)
+
+    def __post_init__(self):
+        if self.n_cells < 2 or self.particles_per_cell < 1:
+            raise ValueError("need >= 2 cells and >= 1 particle per cell")
+        if self.length <= 0 or self.dt <= 0:
+            raise ValueError("length and dt must be positive")
+        n = self.n_particles
+        rng = np.random.default_rng(self.seed)
+        # Quiet start: uniform positions with a tiny seeded ripple.
+        x = (np.arange(n) + 0.5) / n * self.length
+        x += 1e-3 * np.sin(2 * np.pi * x / self.length) * self.length / (2 * np.pi)
+        self.positions = x.astype(np.float32) % np.float32(self.length)
+        v = np.where(np.arange(n) % 2 == 0, self.beam_speed, -self.beam_speed)
+        v = v + rng.normal(scale=1e-4, size=n)
+        self.velocities = v.astype(np.float32)
+
+    @property
+    def n_particles(self) -> int:
+        return self.n_cells * self.particles_per_cell
+
+    @property
+    def dx(self) -> float:
+        return self.length / self.n_cells
+
+    # -- PIC machinery (all float32, like VPIC) ------------------------------
+    def deposit_charge(self) -> np.ndarray:
+        """Cloud-in-cell charge density (background-subtracted)."""
+        x = self.positions / np.float32(self.dx)
+        left = np.floor(x).astype(np.int64) % self.n_cells
+        frac = (x - np.floor(x)).astype(np.float32)
+        rho = np.zeros(self.n_cells, dtype=np.float32)
+        np.add.at(rho, left, 1.0 - frac)
+        np.add.at(rho, (left + 1) % self.n_cells, frac)
+        # Normalize so the neutralizing background gives <rho> = 0.
+        rho /= np.float32(self.particles_per_cell)
+        return rho - np.float32(1.0)
+
+    def solve_field(self, rho: np.ndarray) -> np.ndarray:
+        """Electric field from Gauss's law, solved spectrally.
+
+        ``rho`` is the electron *excess* density (n_e - 1); the charge
+        density is its negative, so ``dE/dx = -(n_e - 1)``.  The
+        symmetric spectral solve (with linear deposition and gather)
+        makes the scheme momentum-conserving.
+        """
+        rho_hat = np.fft.rfft(-rho.astype(np.float64))
+        k = 2 * np.pi * np.fft.rfftfreq(self.n_cells, d=self.dx)
+        with np.errstate(divide="ignore", invalid="ignore"):
+            e_hat = np.where(k > 0, rho_hat / (1j * k), 0.0)
+        e = np.fft.irfft(e_hat, n=self.n_cells)
+        return e.astype(np.float32)
+
+    def gather_field(self, e_grid: np.ndarray) -> np.ndarray:
+        """Field at particle positions (linear interpolation)."""
+        x = self.positions / np.float32(self.dx)
+        left = np.floor(x).astype(np.int64) % self.n_cells
+        frac = (x - np.floor(x)).astype(np.float32)
+        return (1.0 - frac) * e_grid[left] + frac * e_grid[(left + 1) % self.n_cells]
+
+    def step(self, n: int = 1) -> None:
+        """Advance ``n`` leapfrog steps."""
+        if n < 1:
+            raise ValueError("n must be >= 1")
+        for _ in range(n):
+            rho = self.deposit_charge()
+            e_grid = self.solve_field(rho)
+            e_part = self.gather_field(e_grid)
+            # Electrons: acceleration = -E in these units.
+            self.velocities -= np.float32(self.dt) * e_part
+            self.positions = (
+                self.positions + np.float32(self.dt) * self.velocities
+            ) % np.float32(self.length)
+
+    # -- diagnostics ------------------------------------------------------------
+    def field_energy(self) -> float:
+        rho = self.deposit_charge()
+        e = self.solve_field(rho)
+        return float(0.5 * (e.astype(np.float64) ** 2).sum() * self.dx)
+
+    def kinetic_energy(self) -> float:
+        return float(0.5 * (self.velocities.astype(np.float64) ** 2).sum())
+
+    def total_momentum(self) -> float:
+        return float(self.velocities.astype(np.float64).sum())
+
+    def charge_total(self) -> float:
+        """Background-subtracted total charge (must be ~0)."""
+        return float(self.deposit_charge().astype(np.float64).sum())
+
+    def uses_single_precision(self) -> bool:
+        return (
+            self.positions.dtype == np.float32
+            and self.velocities.dtype == np.float32
+        )
+
+
+@dataclass(frozen=True)
+class PICTimestepModel:
+    """Roadrunner timing of a PIC step under the SPE-centric model.
+
+    Work per particle per step follows the VPIC instruction mix; being
+    single precision, the mix contains no FPD and the Cell BE ->
+    PowerXCell 8i 'upgrade' changes nothing — §IV-A's VPIC row.
+    """
+
+    def particle_cycles(self, variant) -> float:
+        from repro.apps.speedup import workload_cycles
+        from repro.apps.workloads import APP_WORKLOADS
+
+        return workload_cycles(APP_WORKLOADS["VPIC"], variant)
+
+    def timestep_time(self, system: MiniPIC, variant) -> float:
+        """Seconds per step with the particles spread over 8 SPEs."""
+        cycles = self.particle_cycles(variant) * system.n_particles / 8
+        return cycles / variant.clock_hz
+
+    def pxc8i_speedup(self, system: MiniPIC) -> float:
+        from repro.hardware.cell import CELL_BE, POWERXCELL_8I
+
+        return self.timestep_time(system, CELL_BE) / self.timestep_time(
+            system, POWERXCELL_8I
+        )

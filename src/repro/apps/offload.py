@@ -1,0 +1,105 @@
+"""The accelerator usage model: hotspot offload over PCIe (paper §III).
+
+"Users can identify performance-critical sections of code and modify
+those sections to run on the Cell blades" — SPaSM and Milagro took this
+path.  The model is Amdahl's law with explicit transfer costs on the
+Cell-Opteron link: per timestep,
+
+    T_hybrid = (1 - f) * T_cpu                     (unported remainder)
+             + f * T_cpu / kernel_speedup          (hotspot on the Cell)
+             + transfers                           (DaCS/PCIe crossings)
+
+where ``f`` is the hotspot's fraction of the original CPU time.  The
+model exposes the design pressure the paper describes: with the SPEs
+~30x faster than an Opteron core on DP-dense kernels, the achievable
+application speedup is set by ``f`` and by how rarely data crosses the
+PCIe bus — "the SPE programs run for long stretches of time out of
+Cell memory".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.comm.dacs import DACS_MEASURED
+from repro.comm.transport import Transport
+
+__all__ = ["OffloadModel"]
+
+
+@dataclass(frozen=True)
+class OffloadModel:
+    """Hotspot offload of one application timestep."""
+
+    #: original all-CPU time per timestep, seconds
+    cpu_time: float
+    #: fraction of ``cpu_time`` spent in the offloadable hotspot
+    hotspot_fraction: float
+    #: how much faster the Cell runs the hotspot than the host core
+    kernel_speedup: float
+    #: bytes shipped to the Cell per timestep (and back)
+    bytes_down: int = 0
+    bytes_up: int = 0
+    #: number of offload invocations per timestep (each pays latency)
+    calls: int = 1
+    #: the host<->accelerator link
+    link: Transport = DACS_MEASURED
+
+    def __post_init__(self):
+        if self.cpu_time <= 0:
+            raise ValueError("cpu_time must be positive")
+        if not 0 <= self.hotspot_fraction <= 1:
+            raise ValueError("hotspot_fraction must be in [0, 1]")
+        if self.kernel_speedup <= 0:
+            raise ValueError("kernel_speedup must be positive")
+        if self.bytes_down < 0 or self.bytes_up < 0 or self.calls < 1:
+            raise ValueError("invalid transfer parameters")
+
+    # -- components ---------------------------------------------------------
+    @property
+    def host_time(self) -> float:
+        """Time of the unported remainder on the Opteron."""
+        return (1.0 - self.hotspot_fraction) * self.cpu_time
+
+    @property
+    def kernel_time(self) -> float:
+        """Hotspot time on the accelerator."""
+        return self.hotspot_fraction * self.cpu_time / self.kernel_speedup
+
+    @property
+    def transfer_time(self) -> float:
+        """PCIe crossings per timestep (down + up, per call)."""
+        per_call_down = self.bytes_down // self.calls
+        per_call_up = self.bytes_up // self.calls
+        return self.calls * (
+            self.link.one_way_time(per_call_down)
+            + self.link.one_way_time(per_call_up)
+        )
+
+    # -- the model -------------------------------------------------------------
+    def hybrid_time(self) -> float:
+        """Per-timestep time in accelerator mode."""
+        return self.host_time + self.kernel_time + self.transfer_time
+
+    def speedup(self) -> float:
+        """Application speedup over the all-CPU run."""
+        return self.cpu_time / self.hybrid_time()
+
+    def amdahl_limit(self) -> float:
+        """Speedup with an infinitely fast accelerator and free links."""
+        serial = 1.0 - self.hotspot_fraction
+        return float("inf") if serial == 0 else 1.0 / serial
+
+    def transfer_bound_speedup(self) -> float:
+        """Speedup if compute on the accelerator were free but the
+        transfers remained — the locality ceiling of §III."""
+        denom = self.host_time + self.transfer_time
+        return float("inf") if denom == 0 else self.cpu_time / denom
+
+    def breakeven_kernel_speedup(self) -> float:
+        """Minimum kernel speedup for which offloading wins at all."""
+        hotspot = self.hotspot_fraction * self.cpu_time
+        budget = hotspot - self.transfer_time
+        if budget <= 0:
+            return float("inf")  # transfers alone already eat the gain
+        return hotspot / budget

@@ -1,0 +1,30 @@
+"""PowerXCell 8i speedups derived from the pipeline tables (§IV-A)."""
+
+from __future__ import annotations
+
+from repro.apps.workloads import APP_WORKLOADS, AppWorkload
+from repro.hardware.cell import CELL_BE, POWERXCELL_8I, CellVariant
+from repro.hardware.spe_pipeline import SPEPipeline, build_interleaved_stream
+
+__all__ = ["workload_cycles", "pxc8i_speedup", "all_speedups"]
+
+
+def workload_cycles(
+    workload: AppWorkload, variant: CellVariant, repeats: int = 64
+) -> float:
+    """Cycles per work unit of ``workload`` on one SPE of ``variant``."""
+    pipe = SPEPipeline(variant.pipeline)
+    stream = build_interleaved_stream(workload.mix, repeats=repeats)
+    return pipe.run_cycles(stream) / repeats
+
+
+def pxc8i_speedup(workload: AppWorkload) -> float:
+    """Cell BE -> PowerXCell 8i speedup of the workload's hot loop."""
+    return workload_cycles(workload, CELL_BE) / workload_cycles(
+        workload, POWERXCELL_8I
+    )
+
+
+def all_speedups() -> dict[str, float]:
+    """§IV-A's table: speedup per application, keyed by name."""
+    return {name: pxc8i_speedup(app) for name, app in APP_WORKLOADS.items()}

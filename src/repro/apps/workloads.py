@@ -1,0 +1,104 @@
+"""Instruction-mix surrogates of the LANL applications of §IV-A.
+
+Each :class:`AppWorkload` captures the SPE inner loop of one
+application as per-work-unit instruction counts:
+
+* **VPIC** — relativistic particle-in-cell; "its calculations use
+  single precision floating-point operations", so its mix is FP6-heavy
+  with *no* FPD at all.
+* **SPaSM** — molecular dynamics (Lennard-Jones/EAM force loops):
+  DP-heavy but with substantial neighbour-list integer/load work.
+* **Milagro** — implicit Monte Carlo radiation transport: DP arithmetic
+  interleaved with branchy event logic and table lookups.
+* **Sweep3D** — the §V port; its mix lives in
+  :mod:`repro.sweep3d.cellport` and is re-exported here.
+
+The FPD share of each mix is what determines the Cell BE -> PowerXCell
+8i speedup (each FPD stalls the Cell BE's pipelines for 6 extra
+cycles); the mixes below are calibrated so the §IV-A factors emerge.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from types import MappingProxyType
+from typing import Mapping
+
+from repro.hardware.spe_pipeline import InstructionGroup
+from repro.sweep3d.cellport import SWEEP_MIX_PER_CELL_ANGLE
+
+__all__ = ["AppWorkload", "APP_WORKLOADS"]
+
+_G = InstructionGroup
+
+
+@dataclass(frozen=True)
+class AppWorkload:
+    """One application's SPE hot-loop instruction mix."""
+
+    name: str
+    description: str
+    mix: Mapping[InstructionGroup, int]
+    #: what one repetition of the mix accomplishes (for documentation)
+    work_unit: str
+
+    def __post_init__(self):
+        if not self.mix or all(v == 0 for v in self.mix.values()):
+            raise ValueError(f"workload {self.name!r} has an empty mix")
+
+    @property
+    def uses_double_precision(self) -> bool:
+        return self.mix.get(_G.FPD, 0) > 0
+
+    @property
+    def fpd_count(self) -> int:
+        return self.mix.get(_G.FPD, 0)
+
+
+def _mix(**counts: int) -> Mapping[InstructionGroup, int]:
+    return MappingProxyType({_G[name]: n for name, n in counts.items()})
+
+
+VPIC = AppWorkload(
+    name="VPIC",
+    description=(
+        "Particle-in-cell plasma simulation; single-precision particle "
+        "push and current deposition (0.365 Pflop/s Gordon Bell run)"
+    ),
+    mix=_mix(FP6=40, FX2=30, LS=45, SHUF=20, BR=5),
+    work_unit="one particle push",
+)
+
+SPASM = AppWorkload(
+    name="SPaSM",
+    description=(
+        "Classical molecular dynamics; double-precision pair-force "
+        "kernels over neighbour lists (350-450 Tflop/s Gordon Bell run)"
+    ),
+    mix=_mix(FPD=10, FP7=10, FX2=50, LS=80, SHUF=30, BR=10),
+    work_unit="one pair interaction batch",
+)
+
+MILAGRO = AppWorkload(
+    name="Milagro",
+    description=(
+        "Implicit Monte Carlo thermal radiative transfer; double-"
+        "precision tallies amid branchy per-particle event logic"
+    ),
+    mix=_mix(FPD=12, FP7=8, FX2=60, LS=95, SHUF=35, BR=14),
+    work_unit="one particle event",
+)
+
+SWEEP3D = AppWorkload(
+    name="Sweep3D",
+    description=(
+        "Discrete-ordinates neutron transport; the SPE-centric port of "
+        "§V (16 two-wide DP FMAs per cell-angle)"
+    ),
+    mix=MappingProxyType(dict(SWEEP_MIX_PER_CELL_ANGLE)),
+    work_unit="one cell-angle update",
+)
+
+APP_WORKLOADS: Mapping[str, AppWorkload] = MappingProxyType(
+    {app.name: app for app in (VPIC, SPASM, MILAGRO, SWEEP3D)}
+)

@@ -1,0 +1,104 @@
+"""Command-line interface: regenerate any reproduced table or figure.
+
+    python -m repro list            # what can be produced
+    python -m repro table1          # print Table I
+    python -m repro fig13 fig14     # several at once
+    python -m repro all             # everything
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.core.artifacts import ARTIFACTS, available, produce
+
+__all__ = ["main"]
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description=(
+            "Reproduce the tables and figures of 'Entering the Petaflop "
+            "Era: The Architecture and Performance of Roadrunner' (SC 2008)"
+        ),
+    )
+    parser.add_argument(
+        "artifacts",
+        nargs="+",
+        metavar="ARTIFACT",
+        help="'list', 'all', 'validate', or any of: " + ", ".join(sorted(ARTIFACTS)),
+    )
+    parser.add_argument(
+        "--json",
+        action="store_true",
+        help="emit machine-readable JSON instead of formatted text",
+    )
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Entry point; returns the process exit code."""
+    args = _build_parser().parse_args(argv)
+    requested = list(args.artifacts)
+
+    if args.json:
+        import json
+
+        from repro.core.data import DATA_PRODUCERS, produce_data
+
+        if "all" in requested:
+            requested = [n for n in DATA_PRODUCERS if n != "fig5"]
+        unknown = [n for n in requested if n not in DATA_PRODUCERS]
+        if unknown:
+            print(f"no JSON producer for: {', '.join(unknown)}", file=sys.stderr)
+            return 2
+        payload = {name: produce_data(name) for name in requested}
+        if len(requested) == 1:
+            payload = payload[requested[0]]
+        print(json.dumps(payload, indent=2, sort_keys=True))
+        return 0
+
+    if "list" in requested:
+        width = max(len(name) for name, _ in available())
+        for name, desc in available():
+            print(f"{name.ljust(width)}  {desc}")
+        print(f"{'validate'.ljust(width)}  run every claim check (PASS/FAIL table)")
+        return 0
+
+    if "validate" in requested:
+        from repro.validation.report import render_report, run_checks
+
+        results = run_checks()
+        print(render_report(results))
+        return 0 if all(r.passed for r in results) else 1
+
+    if "all" in requested:
+        # fig4 and fig5 share a producer; emit it once.
+        requested = [n for n in ARTIFACTS if n != "fig5"]
+
+    unknown = [n for n in requested if n not in ARTIFACTS]
+    if unknown:
+        print(
+            f"unknown artifact(s): {', '.join(unknown)}; "
+            f"try 'python -m repro list'",
+            file=sys.stderr,
+        )
+        return 2
+
+    try:
+        for i, name in enumerate(requested):
+            if i:
+                print()
+            print(produce(name))
+    except BrokenPipeError:
+        # Downstream pager/head closed the pipe: not an error.
+        import os
+
+        try:
+            sys.stdout.close()
+        except BrokenPipeError:
+            os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+        return 0
+    return 0

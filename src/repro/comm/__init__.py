@@ -1,0 +1,43 @@
+"""Communication-stack models: DaCS, MPI-over-InfiniBand, the EIB, and
+the Cell Messaging Layer, plus a DES-backed simulated MPI.
+
+Transports are *mechanisms* (latency + piecewise bandwidth with protocol
+knees), calibrated so the published curve points of Figs 6-9 come out of
+the model; the message-passing layers compose them along the paper's
+Cell -> Opteron -> InfiniBand -> Opteron -> Cell path.
+"""
+
+from repro.comm.transport import PipelinePath, Transport
+from repro.comm.dacs import DACS_MEASURED, PCIE_RAW
+from repro.comm.ib import (
+    IB_DEFAULT,
+    IB_PINNED,
+    ib_between_cores,
+    IB_NEAR_PAIR,
+    IB_FAR_PAIR,
+)
+from repro.comm.eib import CML_EIB_PAIR, EIBRing
+from repro.comm.cml import CellMessagePath, INTERNODE_CELL_PATH, INTRANODE_CELL_PATH
+from repro.comm.mpi import Location, SimMPI, UniformFabric, ANY_SOURCE, ANY_TAG
+
+__all__ = [
+    "Transport",
+    "PipelinePath",
+    "DACS_MEASURED",
+    "PCIE_RAW",
+    "IB_DEFAULT",
+    "IB_PINNED",
+    "IB_NEAR_PAIR",
+    "IB_FAR_PAIR",
+    "ib_between_cores",
+    "CML_EIB_PAIR",
+    "EIBRing",
+    "CellMessagePath",
+    "INTERNODE_CELL_PATH",
+    "INTRANODE_CELL_PATH",
+    "Location",
+    "SimMPI",
+    "UniformFabric",
+    "ANY_SOURCE",
+    "ANY_TAG",
+]

@@ -1,0 +1,45 @@
+"""DaCS-over-PCIe transport models (Figs 6, 7, 9; §IV-C, §VI-A).
+
+Two parameterizations of the same PCIe x8 link:
+
+* :data:`DACS_MEASURED` — the early-software DaCS stack the paper
+  measures: 3.19 µs one-way latency, a slow bounce-buffered eager path
+  below ~16 KB (which is why Fig 9 shows DaCS under half of InfiniBand's
+  bandwidth for small messages), and ~1.0 GB/s sustained for large
+  transfers (Fig 7's 2,017 MB/s two-times-unidirectional intranode).
+* :data:`PCIE_RAW` — the measured capability of the raw link (§VI-A):
+  2 µs latency and 1.6 GB/s, the parameters behind the paper's
+  'Cell (best)' Sweep3D projection.
+"""
+
+from __future__ import annotations
+
+from repro.comm.transport import Transport
+from repro.units import GB_S, KIB, MB_S, US
+
+__all__ = ["DACS_MEASURED", "PCIE_RAW"]
+
+#: The pre-production DaCS stack.  The eager path's 350 MB/s reflects the
+#: driver's copy-in/copy-out bounce buffering; the rendezvous path adds a
+#: 5 µs handshake and sustains 1.017 GB/s so a 1 MB transfer achieves the
+#: ~1,008 MB/s unidirectional rate behind Fig 7's intranode curve.  The
+#: 0.64 bidirectional factor is Fig 7's measured 1,295/2,017 ratio.
+DACS_MEASURED = Transport(
+    name="DaCS over PCIe (measured)",
+    latency=3.19 * US,
+    bandwidth=1.017 * GB_S,
+    eager_threshold=16 * KIB,
+    eager_bandwidth=350 * MB_S,
+    rendezvous_latency=5.0 * US,
+    bidirectional_factor=0.64,
+)
+
+#: What the PCIe x8 link itself can do (measured with a small
+#: microbenchmark, §VI-A): the software ceiling DaCS should approach as
+#: it matures.
+PCIE_RAW = Transport(
+    name="raw PCIe x8",
+    latency=2.0 * US,
+    bandwidth=1.6 * GB_S,
+    bidirectional_factor=0.64,
+)

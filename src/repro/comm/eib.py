@@ -1,0 +1,54 @@
+"""Element Interconnect Bus (EIB) model and CML intra-socket transport.
+
+The EIB is the on-chip ring joining the eight SPEs, the PPE, and the
+memory controller; it moves 96 bytes per 3.2 GHz cycle in aggregate
+(§IV-B).  A single SPE-to-SPE CML transfer achieves 0.272 µs latency and
+22.4 GB/s for a 128 KB message (§V-C) — the fastest layer of
+Roadrunner's communication hierarchy and the reason the SPE-centric
+Sweep3D keeps most traffic on-chip.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.comm.transport import Transport
+from repro.units import GB_S, KIB, US
+
+__all__ = ["CML_EIB_PAIR", "EIBRing"]
+
+#: One SPE-to-SPE CML transfer over the EIB.  The 23.5 GB/s wire rate is
+#: chosen so a 128 KiB message achieves exactly the published 22.4 GB/s
+#: once the 0.272 µs latency is charged.
+CML_EIB_PAIR = Transport(
+    name="CML intra-socket (SPE-SPE over EIB)",
+    latency=0.272 * US,
+    bandwidth=23.5 * GB_S,
+)
+
+
+@dataclass(frozen=True)
+class EIBRing:
+    """Aggregate capacity of one Cell's on-chip interconnect."""
+
+    clock_hz: float = 3.2e9
+    bytes_per_cycle: int = 96
+
+    @property
+    def aggregate_bandwidth(self) -> float:
+        """Total B/s the ring can move among all units (307.2 GB/s)."""
+        return self.bytes_per_cycle * self.clock_hz
+
+    def fair_share(self, concurrent_flows: int) -> float:
+        """Per-flow B/s when ``concurrent_flows`` transfers share the
+        ring, capped by the single-pair wire rate."""
+        if concurrent_flows < 1:
+            raise ValueError("need at least one flow")
+        return min(
+            CML_EIB_PAIR.bandwidth, self.aggregate_bandwidth / concurrent_flows
+        )
+
+    def supports_all_pairs(self, pair_bandwidth: float, flows: int) -> bool:
+        """Whether ``flows`` simultaneous transfers can each sustain
+        ``pair_bandwidth`` without exceeding the ring's capacity."""
+        return pair_bandwidth * flows <= self.aggregate_bandwidth

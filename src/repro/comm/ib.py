@@ -1,0 +1,79 @@
+"""MPI-over-InfiniBand transport models (Figs 6-10; §IV-C).
+
+Tunings:
+
+* :data:`IB_DEFAULT` — default Open MPI parameters: 2.16 µs latency
+  (Fig 6's Opteron-Opteron leg) and 980 MB/s at 1 MB (the rank-0 average
+  the paper reports).
+* :data:`IB_PINNED` — pinned memory buffers: 1.6 GB/s at 1 MB.
+* :data:`IB_NEAR_PAIR` / :data:`IB_FAR_PAIR` — Fig 8's core-dependent
+  rates.  Cores 0/2 sit one HyperTransport hop farther from the HCA, so
+  the far-pair bandwidth is the harmonic combination of the near rate
+  with an HT-crossing penalty; the penalty constant is fit so the two
+  published endpoints (1,478 and 1,087 MB/s) come out.
+"""
+
+from __future__ import annotations
+
+from repro.comm.transport import Transport
+from repro.units import GB_S, MB_S, US
+
+__all__ = [
+    "IB_DEFAULT",
+    "IB_PINNED",
+    "IB_NEAR_PAIR",
+    "IB_FAR_PAIR",
+    "HT_EXTRA_HOP_BANDWIDTH",
+    "ib_between_cores",
+]
+
+_LATENCY = 2.16 * US
+
+IB_DEFAULT = Transport(
+    name="MPI over InfiniBand (default Open MPI)",
+    latency=_LATENCY,
+    bandwidth=983 * MB_S,
+    bidirectional_factor=0.70,
+)
+
+IB_PINNED = Transport(
+    name="MPI over InfiniBand (pinned buffers)",
+    latency=_LATENCY,
+    bandwidth=1.61 * GB_S,
+    bidirectional_factor=0.70,
+)
+
+#: Cores 1 and 3 (and their memory) are adjacent to the HCA (Fig 8).
+IB_NEAR_PAIR = Transport(
+    name="MPI over InfiniBand (cores 1<->3, near HCA)",
+    latency=_LATENCY,
+    bandwidth=1.480 * GB_S,
+    bidirectional_factor=0.70,
+)
+
+#: Effective bandwidth of the extra HyperTransport crossing that traffic
+#: from cores 0/2 pays to reach the HCA: fit from Fig 8's endpoints,
+#: 1/(1/1087 - 1/1478) MB/s ~= 4.1 GB/s (~64% of the HT x16 peak).
+HT_EXTRA_HOP_BANDWIDTH = 1.0 / (1.0 / (1.087 * GB_S) - 1.0 / (1.480 * GB_S))
+
+IB_FAR_PAIR = Transport(
+    name="MPI over InfiniBand (cores 0<->2, far from HCA)",
+    latency=_LATENCY,
+    bandwidth=1.0 / (1.0 / IB_NEAR_PAIR.bandwidth + 1.0 / HT_EXTRA_HOP_BANDWIDTH),
+    bidirectional_factor=0.70,
+)
+
+
+def ib_between_cores(core_a: int, core_b: int) -> Transport:
+    """The internode transport between two Opteron cores (Fig 8).
+
+    The slower endpoint dominates: if either core is far from its HCA,
+    the whole path pays the extra HyperTransport crossing.
+    """
+    from repro.hardware.node import HCA_NEAR_CORES
+
+    if not (0 <= core_a < 4 and 0 <= core_b < 4):
+        raise ValueError("Opteron core indices are 0-3")
+    if core_a in HCA_NEAR_CORES and core_b in HCA_NEAR_CORES:
+        return IB_NEAR_PAIR
+    return IB_FAR_PAIR

@@ -1,0 +1,394 @@
+"""SimMPI: a simulated MPI subset running on the DES engine.
+
+Ranks are generator processes.  Each rank owns a mailbox; ``send``
+charges the sender its serialization time (LogGP's ``o + s·G``) and
+delivers the message — payload included, by reference — into the
+destination mailbox after the path's one-way time.  ``recv`` matches on
+``(source, tag)`` with wildcards in arrival order.  Collectives
+(barrier, broadcast, reduce, allreduce) are binomial trees built from
+the point-to-point layer, mirroring how CML implements them on the SPEs.
+
+The *fabric* maps a pair of :class:`Location` endpoints to a transport
+cost; :class:`UniformFabric` applies one transport everywhere, while
+Sweep3D's runs use location-aware fabrics from :mod:`repro.comm.cml`
+and :mod:`repro.network.latency`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, NamedTuple
+
+from repro.comm.transport import PipelinePath, Transport
+from repro.sim.engine import Event, Simulator
+from repro.sim.trace import NULL_TRACER, Tracer
+
+__all__ = [
+    "ANY_SOURCE",
+    "ANY_TAG",
+    "Location",
+    "Message",
+    "UniformFabric",
+    "TransportMapFabric",
+    "SimMPI",
+    "Rank",
+]
+
+ANY_SOURCE = -1
+ANY_TAG = -1
+
+
+class Location(NamedTuple):
+    """Where a rank physically lives in the machine."""
+
+    node: int
+    cell: int = 0
+    spe: int = 0
+
+
+@dataclass(frozen=True)
+class Message:
+    """An in-flight or delivered message."""
+
+    source: int
+    dest: int
+    tag: int
+    size: int
+    payload: Any = None
+    sent_at: float = 0.0
+    delivered_at: float = 0.0
+
+
+class UniformFabric:
+    """One transport between every distinct pair; zero cost to self."""
+
+    def __init__(self, transport: Transport | PipelinePath):
+        self.transport = transport
+
+    def one_way_time(self, src: Location, dst: Location, size: int) -> float:
+        if src == dst:
+            return 0.0
+        return self.transport.one_way_time(size)
+
+    def zero_byte_latency(self, src: Location, dst: Location) -> float:
+        return self.one_way_time(src, dst, 0)
+
+
+class TransportMapFabric:
+    """Location-aware fabric: a classifier picks the transport.
+
+    ``classify(src, dst)`` returns a key into ``transports`` (or
+    ``None`` for free self-messages).
+    """
+
+    def __init__(
+        self,
+        transports: dict[str, Transport | PipelinePath],
+        classify: Callable[[Location, Location], str | None],
+    ):
+        self.transports = transports
+        self.classify = classify
+
+    def one_way_time(self, src: Location, dst: Location, size: int) -> float:
+        key = self.classify(src, dst)
+        if key is None:
+            return 0.0
+        return self.transports[key].one_way_time(size)
+
+    def zero_byte_latency(self, src: Location, dst: Location) -> float:
+        return self.one_way_time(src, dst, 0)
+
+
+@dataclass
+class _Mailbox:
+    pending: list[Message] = field(default_factory=list)
+    waiters: list[tuple[int, int, Event]] = field(default_factory=list)
+
+    def deliver(self, msg: Message) -> None:
+        for i, (src, tag, evt) in enumerate(self.waiters):
+            if _matches(msg, src, tag):
+                del self.waiters[i]
+                evt.succeed(msg)
+                return
+        self.pending.append(msg)
+
+    def take(self, sim: Simulator, source: int, tag: int) -> Event:
+        evt = Event(sim)
+        for i, msg in enumerate(self.pending):
+            if _matches(msg, source, tag):
+                del self.pending[i]
+                evt.succeed(msg)
+                return evt
+        self.waiters.append((source, tag, evt))
+        return evt
+
+
+def _matches(msg: Message, source: int, tag: int) -> bool:
+    return (source == ANY_SOURCE or msg.source == source) and (
+        tag == ANY_TAG or msg.tag == tag
+    )
+
+
+class SimMPI:
+    """A simulated communicator over ``len(locations)`` ranks."""
+
+    #: tag space reserved for collectives
+    _COLL_TAG = 1 << 20
+
+    def __init__(
+        self,
+        sim: Simulator,
+        fabric,
+        locations: list[Location],
+        tracer: Tracer = NULL_TRACER,
+    ):
+        if not locations:
+            raise ValueError("communicator needs at least one rank")
+        self.sim = sim
+        self.fabric = fabric
+        self.locations = list(locations)
+        self.tracer = tracer
+        self._mailboxes = [_Mailbox() for _ in locations]
+        #: statistics: (messages, bytes) sent per rank
+        self.sent_counts = [0] * len(locations)
+        self.sent_bytes = [0] * len(locations)
+        # Per-rank collective-invocation counters.  MPI requires every
+        # rank to call collectives in the same order, so these counters
+        # agree across ranks and give each invocation a fresh tag block,
+        # preventing messages of consecutive collectives from matching
+        # each other.
+        self._coll_seq = [0] * len(locations)
+
+    @property
+    def size(self) -> int:
+        return len(self.locations)
+
+    def rank(self, index: int) -> "Rank":
+        """Handle used by rank ``index``'s process."""
+        if not 0 <= index < self.size:
+            raise ValueError(f"rank {index} out of range 0..{self.size - 1}")
+        return Rank(self, index)
+
+
+class Rank:
+    """Per-rank MPI API.  All methods are generators to be ``yield
+    from``-ed inside a simulation process (or events to ``yield``)."""
+
+    def __init__(self, comm: SimMPI, index: int):
+        self.comm = comm
+        self.index = index
+        self.sim = comm.sim
+
+    @property
+    def location(self) -> Location:
+        return self.comm.locations[self.index]
+
+    @property
+    def size(self) -> int:
+        return self.comm.size
+
+    # -- point to point ------------------------------------------------------
+    def send(self, dest: int, size: int, tag: int = 0, payload: Any = None):
+        """Blocking send (generator): the sender is busy for its
+        serialization time; delivery happens one wire latency later."""
+        if not 0 <= dest < self.comm.size:
+            raise ValueError(f"destination rank {dest} out of range")
+        if size < 0:
+            raise ValueError("message size must be >= 0")
+        comm, sim = self.comm, self.sim
+        src_loc = self.location
+        dst_loc = comm.locations[dest]
+        total = comm.fabric.one_way_time(src_loc, dst_loc, size)
+        latency = comm.fabric.zero_byte_latency(src_loc, dst_loc)
+        sent_at = sim.now
+        comm.sent_counts[self.index] += 1
+        comm.sent_bytes[self.index] += size
+        comm.tracer.record(sim.now, "mpi.send", self.index,
+                           {"dest": dest, "size": size, "tag": tag})
+        if hasattr(comm.fabric, "transfer"):
+            # Contended fabric: the bandwidth phase runs through shared
+            # link resources; the sender is occupied until its payload
+            # clears them (conservative store-and-forward semantics).
+            yield comm.fabric.transfer(src_loc, dst_loc, size)
+        else:
+            serialize = max(0.0, total - latency)
+            if serialize > 0:
+                yield sim.timeout(serialize)
+        msg = Message(
+            source=self.index, dest=dest, tag=tag, size=size,
+            payload=payload, sent_at=sent_at,
+            delivered_at=sim.now + latency,
+        )
+        deliver = sim.timeout(latency)
+        deliver.callbacks.append(
+            lambda _evt, m=msg: comm._mailboxes[m.dest].deliver(m)
+        )
+        return msg
+
+    def recv(self, source: int = ANY_SOURCE, tag: int = ANY_TAG):
+        """Blocking receive (generator); returns the :class:`Message`."""
+        msg = yield self.irecv(source=source, tag=tag)
+        self.comm.tracer.record(self.sim.now, "mpi.recv", self.index,
+                                {"source": msg.source, "size": msg.size})
+        return msg
+
+    def irecv(self, source: int = ANY_SOURCE, tag: int = ANY_TAG) -> Event:
+        """Non-blocking receive: an event firing with the message."""
+        return self.comm._mailboxes[self.index].take(self.sim, source, tag)
+
+    # -- collectives (binomial trees over point-to-point) ---------------------
+    def _next_coll_tag(self) -> int:
+        """Fresh 64-tag block for one collective invocation."""
+        seq = self.comm._coll_seq[self.index]
+        self.comm._coll_seq[self.index] += 1
+        return SimMPI._COLL_TAG + seq * 64
+
+    def barrier(self):
+        """Dissemination barrier (generator)."""
+        tag = self._next_coll_tag()
+        n = self.comm.size
+        if n == 1:
+            return
+        round_no = 0
+        distance = 1
+        while distance < n:
+            dest = (self.index + distance) % n
+            src = (self.index - distance) % n
+            yield from self.send(dest, 0, tag=tag + round_no)
+            yield from self.recv(source=src, tag=tag + round_no)
+            distance *= 2
+            round_no += 1
+
+    def bcast(self, value: Any, root: int = 0, size: int = 8, tag: int | None = None):
+        """Binomial-tree broadcast (generator); returns the value."""
+        tag = tag if tag is not None else self._next_coll_tag()
+        n = self.comm.size
+        if n == 1:
+            return value
+        vrank = (self.index - root) % n
+        mask = 1
+        while mask < n:
+            if vrank & mask:
+                src = ((vrank ^ mask) + root) % n
+                msg = yield from self.recv(source=src, tag=tag)
+                value = msg.payload
+                break
+            mask <<= 1
+        # mask is now the receiver's lowest set bit (or >= n at the root);
+        # fan out to children below that bit.
+        mask >>= 1
+        while mask > 0:
+            if vrank + mask < n:
+                dest = (vrank + mask + root) % n
+                yield from self.send(dest, size, tag=tag, payload=value)
+            mask >>= 1
+        return value
+
+    def reduce(
+        self,
+        value: Any,
+        op: Callable[[Any, Any], Any],
+        root: int = 0,
+        size: int = 8,
+        tag: int | None = None,
+    ):
+        """Binomial-tree reduction (generator); root returns the result,
+        other ranks return ``None``."""
+        tag = tag if tag is not None else self._next_coll_tag()
+        n = self.comm.size
+        vrank = (self.index - root) % n
+        acc = value
+        mask = 1
+        while mask < n:
+            if vrank & mask:
+                dest = ((vrank ^ mask) + root) % n
+                yield from self.send(dest, size, tag=tag, payload=acc)
+                return None
+            partner = vrank | mask
+            if partner < n:
+                msg = yield from self.recv(source=(partner + root) % n, tag=tag)
+                acc = op(acc, msg.payload)
+            mask <<= 1
+        return acc
+
+    def allreduce(
+        self,
+        value: Any,
+        op: Callable[[Any, Any], Any],
+        size: int = 8,
+    ):
+        """Reduce-to-root then broadcast (generator); all ranks return
+        the reduced value."""
+        reduced = yield from self.reduce(value, op, root=0, size=size)
+        result = yield from self.bcast(reduced, root=0, size=size)
+        return result
+
+    def gather(self, value: Any, root: int = 0, size: int = 8):
+        """Gather every rank's value at ``root`` (generator); root gets
+        the list ordered by rank, others get ``None``."""
+        tag = self._next_coll_tag()
+        n = self.comm.size
+        if self.index == root:
+            values: list[Any] = [None] * n
+            values[self.index] = value
+            for _ in range(n - 1):
+                msg = yield from self.recv(source=ANY_SOURCE, tag=tag)
+                values[msg.source] = msg.payload
+            return values
+        yield from self.send(root, size, tag=tag, payload=value)
+        return None
+
+    def scatter(self, values: list[Any] | None, root: int = 0, size: int = 8):
+        """Scatter ``values`` (length = communicator size, significant
+        at root only); every rank returns its element."""
+        tag = self._next_coll_tag()
+        n = self.comm.size
+        if self.index == root:
+            if values is None or len(values) != n:
+                raise ValueError("root must supply one value per rank")
+            for dest in range(n):
+                if dest != root:
+                    yield from self.send(dest, size, tag=tag, payload=values[dest])
+            return values[root]
+        msg = yield from self.recv(source=root, tag=tag)
+        return msg.payload
+
+    def allgather(self, value: Any, size: int = 8):
+        """Bruck-style allgather (generator): every rank returns the
+        list of all ranks' values, ordered by rank."""
+        tag = self._next_coll_tag()
+        n = self.comm.size
+        values: dict[int, Any] = {self.index: value}
+        distance = 1
+        round_no = 0
+        while distance < n:
+            dest = (self.index + distance) % n
+            src = (self.index - distance) % n
+            chunk = dict(values)
+            yield from self.send(
+                dest, size * len(chunk), tag=tag + round_no, payload=chunk
+            )
+            msg = yield from self.recv(source=src, tag=tag + round_no)
+            values.update(msg.payload)
+            distance *= 2
+            round_no += 1
+        return [values[r] for r in range(n)]
+
+    def alltoall(self, values: list[Any], size: int = 8):
+        """Personalized all-to-all (generator): rank i's ``values[j]``
+        lands at rank j; returns the list received, ordered by source."""
+        tag = self._next_coll_tag()
+        n = self.comm.size
+        if len(values) != n:
+            raise ValueError("alltoall needs one value per rank")
+        received: list[Any] = [None] * n
+        received[self.index] = values[self.index]
+        # Ring exchange: round k sends to (i+k) and receives from (i-k);
+        # one tag suffices since each round's source is distinct.
+        for k in range(1, n):
+            dest = (self.index + k) % n
+            src = (self.index - k) % n
+            yield from self.send(dest, size, tag=tag, payload=values[dest])
+            msg = yield from self.recv(source=src, tag=tag)
+            received[src] = msg.payload
+        return received

@@ -1,0 +1,161 @@
+"""CML's remote procedure call mechanism (paper §V-C).
+
+"CML does provide a convenient remote procedure call (RPC) mechanism
+that enables a SPE to invoke a function on the PPE, and the PPE to
+invoke a function on the Opteron, and receive the result."  Sweep3D
+uses it for ``malloc()`` on the PPE (main-memory buffers) and for
+reading the input file via the Opteron (the parallel filesystem is not
+exposed to the PPEs).
+
+The DES implementation runs a server process per tier; a call costs a
+request message up the hierarchy, the handler's execution time, and the
+response message back down.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable
+
+from repro.comm.transport import PipelinePath, Transport
+from repro.sim.engine import Event, Simulator
+from repro.sim.resources import Store
+
+__all__ = ["RpcError", "RpcTarget", "RpcEndpoint"]
+
+
+class RpcError(RuntimeError):
+    """Raised at the caller when the remote handler fails or the
+    requested function does not exist."""
+
+
+@dataclass(frozen=True)
+class RpcTarget:
+    """One callable tier (a PPE or an Opteron) reachable over a link."""
+
+    name: str
+    #: the link between caller and this tier
+    link: Transport | PipelinePath
+    #: registered functions: name -> (handler, execution_time_fn)
+    handlers: dict[str, tuple[Callable[..., Any], Callable[..., float]]]
+
+    def register(
+        self,
+        func_name: str,
+        handler: Callable[..., Any],
+        execution_time: float | Callable[..., float] = 0.0,
+    ) -> None:
+        """Expose ``handler`` as ``func_name``; ``execution_time`` may
+        be a constant or a function of the call arguments."""
+        if callable(execution_time):
+            time_fn = execution_time
+        else:
+            fixed = float(execution_time)
+            if fixed < 0:
+                raise ValueError("execution_time must be >= 0")
+            time_fn = lambda *a, **k: fixed  # noqa: E731
+        self.handlers[func_name] = (handler, time_fn)
+
+
+class RpcEndpoint:
+    """Caller-side RPC runtime on the DES.
+
+    One server process per target drains a request queue, executes
+    handlers (charging their execution time), and responds.  Calls from
+    multiple client processes serialize at the server, as they did on
+    the single PPE thread.
+    """
+
+    def __init__(self, sim: Simulator):
+        self.sim = sim
+        self._targets: dict[str, RpcTarget] = {}
+        self._queues: dict[str, Store] = {}
+        #: completed call count per (target, function)
+        self.call_counts: dict[tuple[str, str], int] = {}
+
+    def add_target(self, name: str, link: Transport | PipelinePath) -> RpcTarget:
+        """Create a tier reachable over ``link`` and start its server."""
+        if name in self._targets:
+            raise ValueError(f"target {name!r} already exists")
+        target = RpcTarget(name=name, link=link, handlers={})
+        self._targets[name] = target
+        queue = Store(self.sim)
+        self._queues[name] = queue
+        self.sim.process(self._server(target, queue), name=f"rpc-{name}")
+        return target
+
+    def target(self, name: str) -> RpcTarget:
+        return self._targets[name]
+
+    def _server(self, target: RpcTarget, queue: Store):
+        while True:
+            request = yield queue.get()
+            func_name, args, kwargs, request_bytes, reply = request
+            entry = target.handlers.get(func_name)
+            if entry is None:
+                reply.fail(RpcError(
+                    f"no function {func_name!r} on target {target.name!r}"
+                ))
+                continue
+            handler, time_fn = entry
+            exec_time = time_fn(*args, **kwargs)
+            if exec_time > 0:
+                yield self.sim.timeout(exec_time)
+            try:
+                result = handler(*args, **kwargs)
+            except Exception as exc:  # handler bug surfaces at the caller
+                reply.fail(RpcError(str(exc)))
+                continue
+            self.call_counts[(target.name, func_name)] = (
+                self.call_counts.get((target.name, func_name), 0) + 1
+            )
+            # Response crosses the link back to the caller.
+            response_bytes = _sizeof(result)
+            reply.succeed((result, target.link.one_way_time(response_bytes)))
+
+    def call(
+        self,
+        target_name: str,
+        func_name: str,
+        *args: Any,
+        request_bytes: int = 64,
+        **kwargs: Any,
+    ):
+        """Invoke a remote function (generator); returns its result.
+
+        Charges: request crossing, queueing + execution at the server,
+        response crossing.
+        """
+        if target_name not in self._targets:
+            raise KeyError(f"unknown RPC target {target_name!r}")
+        target = self._targets[target_name]
+        # Request travels up the hierarchy.
+        yield self.sim.timeout(target.link.one_way_time(request_bytes))
+        reply = Event(self.sim)
+        self._queues[target_name].put(
+            (func_name, args, kwargs, request_bytes, reply)
+        )
+        result, response_time = yield reply
+        if response_time > 0:
+            yield self.sim.timeout(response_time)
+        return result
+
+
+def _sizeof(value: Any) -> int:
+    """Crude wire size of a result (bytes)."""
+    if value is None:
+        return 8
+    if isinstance(value, (int, float)):
+        return 8
+    if isinstance(value, (bytes, bytearray)):
+        return len(value)
+    if isinstance(value, str):
+        return len(value.encode())
+    try:
+        import numpy as np
+
+        if isinstance(value, np.ndarray):
+            return int(value.nbytes)
+    except ImportError:  # pragma: no cover
+        pass
+    return 64

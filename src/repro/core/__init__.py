@@ -1,0 +1,24 @@
+"""Public facade: the assembled Roadrunner machine model.
+
+:class:`~repro.core.machine.RoadrunnerMachine` is the one-object entry
+point a downstream user starts from: it owns the node model, the
+fabric, the communication stacks, the LINPACK/power models, and the
+Sweep3D study drivers, and exposes each published table/figure as a
+method.
+"""
+
+from repro.core.config import FULL_SYSTEM, SINGLE_CU, SystemConfig
+from repro.core.machine import RoadrunnerMachine
+from repro.core.modes import MODES, UsageMode
+from repro.core.report import format_series, format_table
+
+__all__ = [
+    "FULL_SYSTEM",
+    "SINGLE_CU",
+    "SystemConfig",
+    "RoadrunnerMachine",
+    "MODES",
+    "UsageMode",
+    "format_series",
+    "format_table",
+]

@@ -1,0 +1,469 @@
+"""Every reproduced table/figure as a formatted-text artifact.
+
+The registry behind ``python -m repro <artifact>``; each producer
+returns the same rows the corresponding benchmark asserts against.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.core.report import format_series, format_table
+from repro.units import KIB, MB, to_gb_s, to_mb_s, to_ms, to_us
+
+__all__ = ["ARTIFACTS", "produce", "available"]
+
+
+def _table1() -> str:
+    from repro.core.machine import RoadrunnerMachine
+
+    machine = RoadrunnerMachine()
+    census = machine.hop_census()
+    rows = [
+        ("Self", 1, 0),
+        ("Within same crossbar", census[1], 1),
+        ("Same CU / CUs 2-12 same crossbar", census[3], 3),
+        ("CUs 2-12 diff xbar / CUs 13-17 same", census[5], 5),
+        ("CUs 13-17 different crossbar", census[7], 7),
+        ("Total", sum(census.values()), f"{machine.average_hop_count():.2f} (avg)"),
+    ]
+    return format_table(
+        ["Destination", "No. of destinations", "Hop count"], rows,
+        title="Table I: distances from node 0 (crossbar hops)",
+    )
+
+
+def _table2() -> str:
+    from repro.core.machine import RoadrunnerMachine
+
+    chars = RoadrunnerMachine().characteristics()
+    rows = [
+        ("CU count", chars["cu_count"]),
+        ("node count", chars["node_count"]),
+        ("peak DP", f"{chars['peak_dp_pflops']:.2f} Pflop/s"),
+        ("peak SP", f"{chars['peak_sp_pflops']:.2f} Pflop/s"),
+        ("peak DP per CU", f"{chars['cu_peak_dp_tflops']:.1f} Tflop/s"),
+        ("node Cell blades DP", f"{chars['node_cell_peak_dp_gflops']:.1f} Gflop/s"),
+        ("node Opteron blade DP", f"{chars['node_opteron_peak_dp_gflops']:.1f} Gflop/s"),
+        ("Opteron cores / SPEs", f"{chars['opteron_cores']} / {chars['spes']}"),
+    ]
+    return format_table(["characteristic", "value"], rows,
+                        title="Table II: Roadrunner characteristics")
+
+
+def _table3() -> str:
+    from repro.hardware.memory import MEMORY_SYSTEMS
+    from repro.units import MIB, NS
+
+    rows = [
+        (
+            name,
+            f"{to_gb_s(sys.stream_triad_bandwidth()):.2f}",
+            f"{sys.memtime_latency(256 * MIB) / NS:.1f}",
+        )
+        for name, sys in MEMORY_SYSTEMS.items()
+    ]
+    return format_table(
+        ["processor", "STREAM TRIAD (GB/s)", "latency (ns)"], rows,
+        title="Table III: measured memory performance",
+    )
+
+
+def _table4() -> str:
+    from repro.hardware.cell import CELL_BE, POWERXCELL_8I
+    from repro.sweep3d.cellport import grind_time
+    from repro.sweep3d.input import SweepInput
+    from repro.sweep3d.masterworker import MasterWorkerModel
+
+    inp = SweepInput.paper_table4()
+    rows = [
+        ("CBE", f"{MasterWorkerModel().iteration_time(inp):.2f} s",
+         f"{inp.angle_work * grind_time(CELL_BE):.2f} s"),
+        ("PowerXCell 8i", "N/A",
+         f"{inp.angle_work * grind_time(POWERXCELL_8I):.2f} s"),
+    ]
+    return format_table(["", "previous Sweep3D", "our Sweep3D"], rows,
+                        title="Table IV: Sweep3D Cell implementations (50x50x50)")
+
+
+def _fig1() -> str:
+    from repro.hardware.chipset import build_triblade_fabric
+    from repro.hardware.node import TRIBLADE
+
+    fabric = build_triblade_fabric()
+    rows = []
+    for bridge in fabric.bridges:
+        rows.append(
+            (bridge.name, bridge.ht_port, ", ".join(bridge.pcie_ports),
+             f"{bridge.downstream_capacity / 1e9:.0f} GB/s PCIe under "
+             f"{bridge.HT_BANDWIDTH / 1e9:.1f} GB/s HT")
+        )
+    wiring = format_table(
+        ["bridge", "HT x16 uplink", "PCIe x8 ports", "capacity"],
+        rows,
+        title="Fig 1 (reproduced): triblade internal wiring",
+    )
+    links = format_table(
+        ["link", "per-direction bandwidth"],
+        [(lk.name, f"{lk.bandwidth_per_direction / 1e9:.1f} GB/s")
+         for lk in TRIBLADE.links],
+        title="Triblade links",
+    )
+    pairing = ", ".join(
+        f"core{c}->cell{TRIBLADE.paired_cell(c)}" for c in range(4)
+    )
+    return (
+        f"{wiring}\n\n{links}\n\nOpteron-Cell pairing: {pairing}\n"
+        f"HCA-near cores: 1, 3 (socket 1 carries the IB HCA's bridge)"
+    )
+
+
+def _fig2() -> str:
+    from repro.network.loadmap import bisection_summary, cross_side_links
+    from repro.network.topology import RoadrunnerTopology
+
+    topo = RoadrunnerTopology(cu_count=17)
+    xbars = [v for v in topo.graph if hasattr(v, "level")]
+    by_level: dict[str, int] = {}
+    for x in xbars:
+        by_level[x.level] = by_level.get(x.level, 0) + 1
+    summary = bisection_summary()
+    structure = format_table(
+        ["crossbar level", "count", "role"],
+        [
+            ("L (CU lower)", by_level["L"], "8 nodes + 12 up + 4 uplinks each"),
+            ("U (CU upper)", by_level["U"], "24 ports to the CU's lowers"),
+            ("F (inter-CU first)", by_level["F"], "one port per CU 1-12"),
+            ("M (inter-CU middle)", by_level["M"], "bridges F and T"),
+            ("T (inter-CU third)", by_level["T"], "one port per CU 13-17"),
+        ],
+        title="Fig 2 (reproduced): the fabric's crossbar inventory",
+    )
+    return (
+        f"{structure}\n\n"
+        f"uplinks per CU: 96 (12 to each of 8 inter-CU switches)\n"
+        f"oversubscription: {summary['cu_oversubscription']:.3f}:1 "
+        "(the '2:1 reduced fat tree')\n"
+        f"cross-side waist: {cross_side_links()} F-M links\n"
+        f"port-budget check: no crossbar exceeds 24 ports "
+        f"(validated over {len(xbars)} crossbars)"
+    )
+
+
+def _fig3() -> str:
+    from repro.hardware.node import TRIBLADE
+    from repro.units import GIB, MIB, to_gflops
+
+    flops = TRIBLADE.flop_breakdown_dp()
+    memory = TRIBLADE.memory_breakdown()
+    part_a = format_table(
+        ["component", "DP Gflop/s"],
+        [(k, f"{to_gflops(v):.1f}") for k, v in flops.items()],
+        title="Fig 3a: node peak processing rate",
+    )
+    part_b = format_table(
+        ["memory", "capacity"],
+        [
+            ("Cell off-chip", f"{memory['Cell off-chip'] / GIB:.0f} GiB"),
+            ("Opteron off-chip", f"{memory['Opteron off-chip'] / GIB:.0f} GiB"),
+            ("Cell on-chip", f"{memory['Cell on-chip'] / MIB:.2f} MiB"),
+            ("Opteron on-chip", f"{memory['Opteron on-chip'] / MIB:.2f} MiB"),
+        ],
+        title="Fig 3b: node memory capacity",
+    )
+    return part_a + "\n\n" + part_b
+
+
+def _figs_4_5() -> str:
+    from repro.hardware.spe_pipeline import (
+        CELL_BE_TABLE,
+        INSTRUCTION_GROUPS,
+        POWERXCELL_8I_TABLE,
+        SPEPipeline,
+    )
+
+    cbe, pxc = SPEPipeline(CELL_BE_TABLE), SPEPipeline(POWERXCELL_8I_TABLE)
+    rows = [
+        (
+            g.value,
+            f"{cbe.measure_latency(g):.0f}",
+            f"{pxc.measure_latency(g):.0f}",
+            f"{cbe.measure_repetition(g):.0f}",
+            f"{pxc.measure_repetition(g):.0f}",
+        )
+        for g in INSTRUCTION_GROUPS
+    ]
+    return format_table(
+        ["group", "latency CBE", "latency PXC8i", "repetition CBE",
+         "repetition PXC8i"],
+        rows,
+        title="Figs 4-5: SPE instruction-group microbenchmarks (cycles)",
+    )
+
+
+def _fig6() -> str:
+    from repro.comm.cml import INTERNODE_CELL_PATH
+
+    rows = [
+        (name, f"{to_us(lat):.2f} us")
+        for name, lat in INTERNODE_CELL_PATH.latency_breakdown()
+    ]
+    rows.append(("TOTAL", f"{to_us(INTERNODE_CELL_PATH.zero_byte_latency):.2f} us"))
+    return format_table(["leg", "latency"], rows,
+                        title="Fig 6: zero-byte Cell-to-Cell latency breakdown")
+
+
+def _fig7() -> str:
+    from repro.comm.cml import INTERNODE_CELL_PATH
+    from repro.comm.dacs import DACS_MEASURED
+
+    sizes = [64, 1024, 16384, 262144, 1_000_000]
+    return format_series(
+        "size (B)", sizes,
+        {
+            "intranode 2x uni": [
+                to_mb_s(2 * DACS_MEASURED.effective_bandwidth(s)) for s in sizes
+            ],
+            "intranode bidir": [
+                to_mb_s(DACS_MEASURED.bidirectional_sum_bandwidth(s)) for s in sizes
+            ],
+            "internode 2x uni": [
+                to_mb_s(2 * INTERNODE_CELL_PATH.effective_bandwidth(s)) for s in sizes
+            ],
+            "internode bidir": [
+                to_mb_s(INTERNODE_CELL_PATH.bidirectional_sum_bandwidth(s))
+                for s in sizes
+            ],
+        },
+        fmt="{:.1f}",
+        title="Fig 7: intra-/internode bandwidth (MB/s)",
+    )
+
+
+def _fig8() -> str:
+    from repro.comm.ib import ib_between_cores
+
+    sizes = [1000, 100_000, 10_000_000]
+    return format_series(
+        "size (B)", sizes,
+        {
+            "cores 1<->3": [
+                to_mb_s(ib_between_cores(1, 3).effective_bandwidth(s)) for s in sizes
+            ],
+            "cores 0<->2": [
+                to_mb_s(ib_between_cores(0, 2).effective_bandwidth(s)) for s in sizes
+            ],
+        },
+        fmt="{:.1f}",
+        title="Fig 8: internode Opteron bandwidth by core pair (MB/s)",
+    )
+
+
+def _fig9() -> str:
+    from repro.comm.dacs import DACS_MEASURED
+    from repro.comm.ib import IB_DEFAULT
+
+    sizes = [256, 2048, 16384, 131072, 1_000_000]
+    dacs = [DACS_MEASURED.effective_bandwidth(s) for s in sizes]
+    ib = [IB_DEFAULT.effective_bandwidth(s) for s in sizes]
+    return format_series(
+        "size (B)", sizes,
+        {
+            "DaCS (MB/s)": [to_mb_s(v) for v in dacs],
+            "InfiniBand (MB/s)": [to_mb_s(v) for v in ib],
+            "IB/DaCS": [i / d for i, d in zip(ib, dacs)],
+        },
+        fmt="{:.2f}",
+        title="Fig 9: InfiniBand vs DaCS PCIe performance",
+    )
+
+
+def _fig10() -> str:
+    from repro.core.machine import RoadrunnerMachine
+
+    series = RoadrunnerMachine().latency_map()
+    samples = [1, 100, 180, 250, 900, 2160, 2500]
+    return format_table(
+        ["destination node", "latency (us)"],
+        [(d, f"{to_us(series[d]):.2f}") for d in samples],
+        title="Fig 10: zero-byte latency from rank 0 (staircase samples)",
+    )
+
+
+def _fig11() -> str:
+    from repro.sweep3d.wavefront import render_2d, total_steps, wavefront_cells
+
+    shape = (4, 4)
+    frames = []
+    for step in (1, 2, 3, 4):
+        frames.append(f"step {step}:\n{render_2d(shape, step)}")
+    summary = format_table(
+        ["grid", "steps to sweep"],
+        [("4 (1-D)", total_steps((4,))),
+         ("4x4 (2-D)", total_steps((4, 4))),
+         ("4x4x4 (3-D)", total_steps((4, 4, 4)))],
+    )
+    body = "\n\n".join(frames)
+    front3 = sorted(wavefront_cells((4, 4, 4), 3))
+    return (
+        "Fig 11: wavefront propagation (# processed, * wavefront edge)\n"
+        "=============================================================\n"
+        f"{body}\n\n{summary}\n\n"
+        f"3-D wavefront at step 3: {front3}"
+    )
+
+
+def _fig12() -> str:
+    from repro.hardware.cell import POWERXCELL_8I
+    from repro.hardware.opteron import (
+        OPTERON_2210_HE,
+        OPTERON_QUAD_2356,
+        TIGERTON_X7350,
+    )
+    from repro.sweep3d.cellport import grind_time
+    from repro.sweep3d.x86 import x86_grind_time
+
+    rows = []
+    for proc in (OPTERON_2210_HE, OPTERON_QUAD_2356, TIGERTON_X7350):
+        g = x86_grind_time(proc)
+        rows.append(
+            (proc.name, f"{to_ms(10000 * 48 * g):.1f}",
+             f"{to_ms(80000 / proc.core_count * 48 * g):.1f}")
+        )
+    g = grind_time(POWERXCELL_8I)
+    rows.append(
+        ("PowerXCell 8i", f"{to_ms(10000 * 48 * g):.1f}",
+         f"{to_ms(80000 / 8 * 48 * g):.1f}")
+    )
+    return format_table(
+        ["processor", "single core (ms)", "single socket (ms)"], rows,
+        title="Fig 12: Sweep3D iteration time, 5x5x400/core and 10x20x400/socket",
+    )
+
+
+def _fig13() -> str:
+    from repro.sweep3d.scaling import ScalingStudy
+    from repro.validation.paper_data import SCALING_NODE_COUNTS
+
+    study = ScalingStudy()
+    counts = list(SCALING_NODE_COUNTS)
+    series = study.fig13_series(counts)
+    return format_series(
+        "nodes", counts,
+        {
+            "Opteron only (s)": [p.iteration_time for p in series["opteron"]],
+            "Cell measured (s)": [p.iteration_time for p in series["cell_measured"]],
+            "Cell best (s)": [p.iteration_time for p in series["cell_best"]],
+        },
+        fmt="{:.3f}",
+        title="Fig 13: Sweep3D weak scaling",
+    )
+
+
+def _fig14() -> str:
+    from repro.sweep3d.scaling import ScalingStudy
+    from repro.validation.paper_data import SCALING_NODE_COUNTS
+
+    study = ScalingStudy()
+    counts = list(SCALING_NODE_COUNTS)
+    imp = study.fig14_improvements(counts)
+    return format_series(
+        "nodes", counts,
+        {"measured": imp["measured"], "best": imp["best"]},
+        fmt="{:.2f}",
+        title="Fig 14: accelerated vs non-accelerated improvement",
+    )
+
+
+def _linpack() -> str:
+    from repro.core.machine import RoadrunnerMachine
+
+    machine = RoadrunnerMachine()
+    run = machine.linpack()
+    opteron = machine.linpack_opteron_only()
+    rows = [
+        ("peak DP", f"{machine.peak_dp_pflops:.2f} Pflop/s"),
+        ("LINPACK Rmax", f"{run.rmax_flops / 1e15:.3f} Pflop/s"),
+        ("efficiency", f"{run.efficiency:.1%}"),
+        ("Green500", f"{machine.green500_mflops_per_watt():.0f} Mflop/s/W"),
+        ("Opteron-only Rmax", f"{opteron.rmax_flops / 1e12:.1f} Tflop/s"),
+        ("Opteron-only Top 500", f"~position {machine.opteron_only_top500_position()}"),
+    ]
+    return format_table(["claim", "reproduced"], rows,
+                        title="Headline claims (LINPACK / Green500)")
+
+
+def _apps() -> str:
+    from repro.apps.speedup import all_speedups
+
+    return format_table(
+        ["application", "PXC8i speedup over Cell BE"],
+        [(k, f"{v:.2f}x") for k, v in all_speedups().items()],
+        title="§IV-A: application speedups, pipeline-derived",
+    )
+
+
+def _energy() -> str:
+    from repro.core.energy import EnergyStudy
+
+    study = EnergyStudy()
+    rows = []
+    for nodes in (1, 64, 1024, 3060):
+        adv = study.energy_advantage(nodes)
+        rows.append(
+            (nodes, f"{adv['time_measured']:.2f}x", f"{adv['energy_measured']:.2f}x",
+             f"{adv['time_best']:.2f}x", f"{adv['energy_best']:.2f}x")
+        )
+    return format_table(
+        ["nodes", "time adv.", "energy adv.", "time (best)", "energy (best)"],
+        rows,
+        title="Extension: Sweep3D energy-to-solution, accelerated vs not",
+    )
+
+
+def _section4() -> str:
+    from repro.microbench.characterize import render_characterization
+
+    return render_characterization()
+
+
+ARTIFACTS: dict[str, tuple[str, Callable[[], str]]] = {
+    "fig1": ("Fig 1: triblade structure", _fig1),
+    "fig2": ("Fig 2: fabric structure", _fig2),
+    "table1": ("Table I: hop-count census", _table1),
+    "table2": ("Table II: system characteristics", _table2),
+    "table3": ("Table III: memory measurements", _table3),
+    "table4": ("Table IV: Sweep3D Cell implementations", _table4),
+    "fig3": ("Fig 3: node capacity breakdown", _fig3),
+    "fig4": ("Figs 4-5: SPE instruction microbenchmarks", _figs_4_5),
+    "fig5": ("Figs 4-5: SPE instruction microbenchmarks", _figs_4_5),
+    "fig6": ("Fig 6: latency breakdown", _fig6),
+    "fig7": ("Fig 7: Cell bandwidth curves", _fig7),
+    "fig8": ("Fig 8: Opteron pair bandwidth", _fig8),
+    "fig9": ("Fig 9: DaCS vs InfiniBand", _fig9),
+    "fig10": ("Fig 10: latency staircase", _fig10),
+    "fig11": ("Fig 11: wavefront propagation", _fig11),
+    "fig12": ("Fig 12: single core/socket Sweep3D", _fig12),
+    "fig13": ("Fig 13: Sweep3D weak scaling", _fig13),
+    "fig14": ("Fig 14: improvement factors", _fig14),
+    "linpack": ("Headline LINPACK/Green500 claims", _linpack),
+    "apps": ("§IV-A application speedups", _apps),
+    "energy": ("Extension: energy-to-solution", _energy),
+    "section4": ("§IV measured in one campaign", _section4),
+}
+
+
+def available() -> list[tuple[str, str]]:
+    """(name, description) pairs of every producible artifact."""
+    return [(name, desc) for name, (desc, _fn) in ARTIFACTS.items()]
+
+
+def produce(name: str) -> str:
+    """Render one artifact by registry name."""
+    try:
+        _desc, fn = ARTIFACTS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown artifact {name!r}; available: {', '.join(sorted(ARTIFACTS))}"
+        ) from None
+    return fn()

@@ -1,0 +1,49 @@
+"""System configurations: full Roadrunner, a single CU, or custom."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.network.cu_switch import COMPUTE_NODES_PER_CU, IO_NODES_PER_CU
+
+__all__ = ["SystemConfig", "FULL_SYSTEM", "SINGLE_CU"]
+
+
+@dataclass(frozen=True)
+class SystemConfig:
+    """Size parameters of a Roadrunner-style installation."""
+
+    name: str
+    cu_count: int
+    include_io: bool = True
+
+    def __post_init__(self):
+        if not 1 <= self.cu_count <= 24:
+            raise ValueError("cu_count must be in 1..24 (the design limit)")
+
+    @property
+    def node_count(self) -> int:
+        return self.cu_count * COMPUTE_NODES_PER_CU
+
+    @property
+    def io_node_count(self) -> int:
+        return self.cu_count * IO_NODES_PER_CU if self.include_io else 0
+
+    @property
+    def opteron_core_count(self) -> int:
+        return self.node_count * 4
+
+    @property
+    def cell_count(self) -> int:
+        return self.node_count * 4
+
+    @property
+    def spe_count(self) -> int:
+        return self.node_count * 32
+
+
+#: The machine the paper describes: 17 CUs, 3,060 compute nodes.
+FULL_SYSTEM = SystemConfig(name="Roadrunner (17 CUs)", cu_count=17)
+
+#: One Connected Unit: a stand-alone 180-node cluster (§II-B).
+SINGLE_CU = SystemConfig(name="single CU", cu_count=1)

@@ -1,0 +1,351 @@
+"""Machine-readable artifact data (the plotting-friendly counterpart
+of :mod:`repro.core.artifacts`).
+
+Each producer returns plain JSON-serializable dicts so downstream users
+can regenerate the paper's plots with their own tooling:
+
+    python -m repro --json fig13 > fig13.json
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+from repro.units import MIB, NS, to_gb_s, to_mb_s, to_us
+
+__all__ = ["DATA_PRODUCERS", "produce_data"]
+
+
+def _fig1() -> dict[str, Any]:
+    from repro.hardware.chipset import build_triblade_fabric
+
+    fabric = build_triblade_fabric()
+    return {
+        bridge.name: {
+            "ht_port": bridge.ht_port,
+            "pcie_ports": list(bridge.pcie_ports),
+            "oversubscribed": bridge.oversubscribed,
+        }
+        for bridge in fabric.bridges
+    }
+
+
+def _fig2() -> dict[str, Any]:
+    from repro.network.loadmap import bisection_summary, cross_side_links
+
+    summary = bisection_summary()
+    return {
+        "cu_lower_crossbars": 24,
+        "cu_upper_crossbars": 12,
+        "intercu_switches": 8,
+        "uplinks_per_cu": 96,
+        "cross_side_links": cross_side_links(),
+        "oversubscription": summary["cu_oversubscription"],
+    }
+
+
+def _table1() -> dict[str, Any]:
+    from repro.core.machine import RoadrunnerMachine
+
+    machine = RoadrunnerMachine()
+    census = machine.hop_census()
+    return {
+        "destinations_by_hops": {str(h): n for h, n in sorted(census.items())},
+        "average_hops": machine.average_hop_count(),
+    }
+
+
+def _table2() -> dict[str, Any]:
+    from repro.core.machine import RoadrunnerMachine
+
+    return RoadrunnerMachine().characteristics()
+
+
+def _table3() -> dict[str, Any]:
+    from repro.hardware.memory import MEMORY_SYSTEMS
+
+    return {
+        name: {
+            "stream_triad_gb_s": to_gb_s(system.stream_triad_bandwidth()),
+            "memtime_latency_ns": system.memtime_latency(256 * MIB) / NS,
+        }
+        for name, system in MEMORY_SYSTEMS.items()
+    }
+
+
+def _table4() -> dict[str, Any]:
+    from repro.hardware.cell import CELL_BE, POWERXCELL_8I
+    from repro.sweep3d.cellport import grind_time
+    from repro.sweep3d.input import SweepInput
+    from repro.sweep3d.masterworker import MasterWorkerModel
+
+    inp = SweepInput.paper_table4()
+    return {
+        "previous_cbe_s": MasterWorkerModel().iteration_time(inp),
+        "ours_cbe_s": inp.angle_work * grind_time(CELL_BE),
+        "ours_pxc8i_s": inp.angle_work * grind_time(POWERXCELL_8I),
+    }
+
+
+def _fig3() -> dict[str, Any]:
+    from repro.hardware.node import TRIBLADE
+
+    return {
+        "flops_dp": TRIBLADE.flop_breakdown_dp(),
+        "memory_bytes": TRIBLADE.memory_breakdown(),
+    }
+
+
+def _figs45() -> dict[str, Any]:
+    from repro.hardware.spe_pipeline import (
+        CELL_BE_TABLE,
+        INSTRUCTION_GROUPS,
+        POWERXCELL_8I_TABLE,
+    )
+
+    out: dict[str, Any] = {}
+    for table in (CELL_BE_TABLE, POWERXCELL_8I_TABLE):
+        out[table.name] = {
+            g.value: {
+                "latency": table.latency(g),
+                "repetition": table.repetition(g),
+            }
+            for g in INSTRUCTION_GROUPS
+        }
+    return out
+
+
+def _fig6() -> dict[str, Any]:
+    from repro.comm.cml import INTERNODE_CELL_PATH
+
+    return {
+        "legs_us": [
+            {"name": name, "latency_us": to_us(lat)}
+            for name, lat in INTERNODE_CELL_PATH.latency_breakdown()
+        ],
+        "total_us": to_us(INTERNODE_CELL_PATH.zero_byte_latency),
+    }
+
+
+_SWEEP_SIZES = [1, 16, 256, 4096, 65536, 262144, 1_000_000]
+
+
+def _fig7() -> dict[str, Any]:
+    from repro.comm.cml import INTERNODE_CELL_PATH
+    from repro.comm.dacs import DACS_MEASURED
+
+    return {
+        "sizes_bytes": _SWEEP_SIZES,
+        "intranode_2x_uni_mb_s": [
+            to_mb_s(2 * DACS_MEASURED.effective_bandwidth(s)) for s in _SWEEP_SIZES
+        ],
+        "intranode_bidir_mb_s": [
+            to_mb_s(DACS_MEASURED.bidirectional_sum_bandwidth(s))
+            for s in _SWEEP_SIZES
+        ],
+        "internode_2x_uni_mb_s": [
+            to_mb_s(2 * INTERNODE_CELL_PATH.effective_bandwidth(s))
+            for s in _SWEEP_SIZES
+        ],
+        "internode_bidir_mb_s": [
+            to_mb_s(INTERNODE_CELL_PATH.bidirectional_sum_bandwidth(s))
+            for s in _SWEEP_SIZES
+        ],
+    }
+
+
+def _fig8() -> dict[str, Any]:
+    from repro.comm.ib import ib_between_cores
+
+    return {
+        "sizes_bytes": _SWEEP_SIZES,
+        "cores_1_3_mb_s": [
+            to_mb_s(ib_between_cores(1, 3).effective_bandwidth(s))
+            for s in _SWEEP_SIZES
+        ],
+        "cores_0_2_mb_s": [
+            to_mb_s(ib_between_cores(0, 2).effective_bandwidth(s))
+            for s in _SWEEP_SIZES
+        ],
+    }
+
+
+def _fig9() -> dict[str, Any]:
+    from repro.comm.dacs import DACS_MEASURED
+    from repro.comm.ib import IB_DEFAULT
+
+    dacs = [DACS_MEASURED.effective_bandwidth(s) for s in _SWEEP_SIZES]
+    ib = [IB_DEFAULT.effective_bandwidth(s) for s in _SWEEP_SIZES]
+    return {
+        "sizes_bytes": _SWEEP_SIZES,
+        "dacs_mb_s": [to_mb_s(v) for v in dacs],
+        "ib_mb_s": [to_mb_s(v) for v in ib],
+        "ratio_ib_over_dacs": [i / d for i, d in zip(ib, dacs)],
+    }
+
+
+def _fig10() -> dict[str, Any]:
+    from repro.core.machine import RoadrunnerMachine
+
+    series = RoadrunnerMachine().latency_map()
+    return {"latency_us_by_node": [to_us(v) for v in series]}
+
+
+def _fig11() -> dict[str, Any]:
+    from repro.sweep3d.wavefront import total_steps, wavefront_cells
+
+    out: dict[str, Any] = {}
+    for shape in ((4,), (4, 4), (4, 4, 4)):
+        key = "x".join(map(str, shape))
+        out[key] = [
+            len(wavefront_cells(shape, s))
+            for s in range(1, total_steps(shape) + 1)
+        ]
+    return out
+
+
+def _fig12() -> dict[str, Any]:
+    from repro.hardware.cell import POWERXCELL_8I
+    from repro.hardware.opteron import (
+        OPTERON_2210_HE,
+        OPTERON_QUAD_2356,
+        TIGERTON_X7350,
+    )
+    from repro.sweep3d.cellport import grind_time
+    from repro.sweep3d.x86 import x86_grind_time
+
+    out = {}
+    for proc in (OPTERON_2210_HE, OPTERON_QUAD_2356, TIGERTON_X7350):
+        g = x86_grind_time(proc)
+        out[proc.name] = {
+            "single_core_s": 10000 * 48 * g,
+            "single_socket_s": 80000 / proc.core_count * 48 * g,
+        }
+    g = grind_time(POWERXCELL_8I)
+    out["PowerXCell 8i"] = {
+        "single_core_s": 10000 * 48 * g,
+        "single_socket_s": 80000 / 8 * 48 * g,
+    }
+    return out
+
+
+def _fig13() -> dict[str, Any]:
+    from repro.sweep3d.scaling import ScalingStudy
+    from repro.validation.paper_data import SCALING_NODE_COUNTS
+
+    counts = list(SCALING_NODE_COUNTS)
+    series = ScalingStudy().fig13_series(counts)
+    return {
+        "nodes": counts,
+        **{
+            config: [p.iteration_time for p in points]
+            for config, points in series.items()
+        },
+    }
+
+
+def _fig14() -> dict[str, Any]:
+    from repro.sweep3d.scaling import ScalingStudy
+    from repro.validation.paper_data import SCALING_NODE_COUNTS
+
+    counts = list(SCALING_NODE_COUNTS)
+    return {"nodes": counts, **ScalingStudy().fig14_improvements(counts)}
+
+
+def _linpack() -> dict[str, Any]:
+    from repro.core.machine import RoadrunnerMachine
+
+    machine = RoadrunnerMachine()
+    run = machine.linpack()
+    opteron = machine.linpack_opteron_only()
+    return {
+        "peak_dp_pflops": machine.peak_dp_pflops,
+        "rmax_pflops": run.rmax_flops / 1e15,
+        "efficiency": run.efficiency,
+        "problem_size": run.n,
+        "green500_mflops_per_watt": machine.green500_mflops_per_watt(),
+        "opteron_only_rmax_tflops": opteron.rmax_flops / 1e12,
+        "opteron_only_top500_position": machine.opteron_only_top500_position(),
+    }
+
+
+def _apps() -> dict[str, Any]:
+    from repro.apps.speedup import all_speedups
+
+    return all_speedups()
+
+
+def _energy() -> dict[str, Any]:
+    from repro.core.energy import EnergyStudy
+
+    study = EnergyStudy()
+    out = {}
+    for nodes in (1, 64, 1024, 3060):
+        out[str(nodes)] = study.energy_advantage(nodes)
+    return out
+
+
+def _section4() -> dict[str, Any]:
+    from repro.microbench.characterize import characterize
+
+    return characterize()
+
+
+def _validate() -> dict[str, Any]:
+    from repro.validation.report import run_checks
+
+    results = run_checks()
+    return {
+        "checks": [
+            {
+                "section": r.section,
+                "claim": r.claim,
+                "paper": r.paper_value,
+                "reproduced": r.reproduced,
+                "rel_error": r.rel_error,
+                "passed": r.passed,
+            }
+            for r in results
+        ],
+        "passed": sum(r.passed for r in results),
+        "total": len(results),
+    }
+
+
+DATA_PRODUCERS: dict[str, Callable[[], dict[str, Any]]] = {
+    "fig1": _fig1,
+    "fig2": _fig2,
+    "table1": _table1,
+    "table2": _table2,
+    "table3": _table3,
+    "table4": _table4,
+    "fig3": _fig3,
+    "fig4": _figs45,
+    "fig5": _figs45,
+    "fig6": _fig6,
+    "fig7": _fig7,
+    "fig8": _fig8,
+    "fig9": _fig9,
+    "fig10": _fig10,
+    "fig11": _fig11,
+    "fig12": _fig12,
+    "fig13": _fig13,
+    "fig14": _fig14,
+    "linpack": _linpack,
+    "apps": _apps,
+    "energy": _energy,
+    "section4": _section4,
+    "validate": _validate,
+}
+
+
+def produce_data(name: str) -> dict[str, Any]:
+    """One artifact as JSON-serializable data."""
+    try:
+        producer = DATA_PRODUCERS[name]
+    except KeyError:
+        raise KeyError(
+            f"no data producer for {name!r}; available: "
+            f"{', '.join(sorted(DATA_PRODUCERS))}"
+        ) from None
+    return producer()

@@ -1,0 +1,78 @@
+"""Energy-to-solution: the Green500 story at application level.
+
+Roadrunner's efficiency pitch (437 Mflop/s/W, §II) is about LINPACK;
+this study asks the same question of Sweep3D: joules per iteration for
+the accelerated versus non-accelerated runs.  Because an idle QS22 still
+draws most of its power (the 2008 blades did not power-gate), running
+Opteron-only wastes the Cells' draw *and* takes longer — the accelerated
+mode wins on energy by more than it wins on time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.linpack.power import PowerModel
+from repro.sweep3d.scaling import ScalingStudy
+
+__all__ = ["EnergyStudy", "EnergyPoint"]
+
+
+@dataclass(frozen=True)
+class EnergyPoint:
+    """Energy accounting of one configuration at one node count."""
+
+    nodes: int
+    config: str
+    iteration_time: float
+    power_watts: float
+    energy_joules: float
+
+
+@dataclass(frozen=True)
+class EnergyStudy:
+    """Joules per Sweep3D iteration across configurations."""
+
+    power: PowerModel = PowerModel()
+    #: fraction of its active draw an idle Cell blade still burns
+    idle_cell_fraction: float = 0.6
+
+    def __post_init__(self):
+        if not 0 <= self.idle_cell_fraction <= 1:
+            raise ValueError("idle_cell_fraction must be in [0, 1]")
+
+    def node_power(self, config: str) -> float:
+        """Per-node draw for a configuration, watts."""
+        from repro.hardware.node import TRIBLADE
+
+        full = self.power.node_power()
+        if config == "opteron":
+            cell_draw = sum(b.power_watts for b in TRIBLADE.cell_blades)
+            idle_saving = (1 - self.idle_cell_fraction) * cell_draw
+            return full - idle_saving
+        return full
+
+    def point(self, nodes: int, config: str, study: ScalingStudy | None = None) -> EnergyPoint:
+        """Energy per iteration of one configuration at ``nodes``."""
+        study = study or ScalingStudy()
+        t = study.point(nodes, config).iteration_time
+        p = self.node_power(config) * nodes * (
+            1 + self.power.system_overhead_fraction
+        )
+        return EnergyPoint(
+            nodes=nodes, config=config, iteration_time=t,
+            power_watts=p, energy_joules=p * t,
+        )
+
+    def energy_advantage(self, nodes: int) -> dict[str, float]:
+        """Accelerated-over-Opteron-only ratios at one node count."""
+        study = ScalingStudy()
+        opteron = self.point(nodes, "opteron", study)
+        measured = self.point(nodes, "cell_measured", study)
+        best = self.point(nodes, "cell_best", study)
+        return {
+            "time_measured": opteron.iteration_time / measured.iteration_time,
+            "time_best": opteron.iteration_time / best.iteration_time,
+            "energy_measured": opteron.energy_joules / measured.energy_joules,
+            "energy_best": opteron.energy_joules / best.energy_joules,
+        }

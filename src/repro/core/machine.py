@@ -1,0 +1,148 @@
+"""The assembled machine: one object exposing every paper result.
+
+>>> from repro.core import RoadrunnerMachine
+>>> machine = RoadrunnerMachine()
+>>> round(machine.peak_dp_pflops, 2)
+1.38
+>>> machine.hop_census()[7]
+860
+"""
+
+from __future__ import annotations
+
+from functools import cached_property
+
+from repro.core.config import FULL_SYSTEM, SystemConfig
+from repro.hardware.cell import CELL_BE, POWERXCELL_8I
+from repro.hardware.node import TRIBLADE, Triblade
+from repro.linpack.hpl import HPLModel, HPLResult
+from repro.linpack.power import PowerModel, top500_position
+from repro.network.latency import IBLatencyModel
+from repro.network.routing import average_hops, hop_census
+from repro.network.topology import RoadrunnerTopology
+from repro.sweep3d.scaling import ScalingStudy
+from repro.units import GIB, to_pflops, to_tflops
+
+__all__ = ["RoadrunnerMachine"]
+
+
+class RoadrunnerMachine:
+    """The full Roadrunner system model (or a smaller configuration).
+
+    Everything is derived from the component models: peak rates sum
+    over blades, the hop census routes over the wired fabric, LINPACK
+    and Sweep3D projections run their respective models against this
+    configuration's sizes.
+    """
+
+    def __init__(self, config: SystemConfig = FULL_SYSTEM):
+        self.config = config
+        self.node: Triblade = TRIBLADE
+        self.hpl = HPLModel()
+        self.power = PowerModel()
+        self.ib_latency = IBLatencyModel()
+
+    @cached_property
+    def topology(self) -> RoadrunnerTopology:
+        """The crossbar-level fabric (built on first use)."""
+        return RoadrunnerTopology(
+            cu_count=self.config.cu_count, include_io=self.config.include_io
+        )
+
+    # -- aggregate capability (Table II) ---------------------------------------
+    @property
+    def node_count(self) -> int:
+        return self.config.node_count
+
+    @property
+    def peak_dp_flops(self) -> float:
+        return self.node.peak_dp_flops * self.node_count
+
+    @property
+    def peak_sp_flops(self) -> float:
+        return self.node.peak_sp_flops * self.node_count
+
+    @property
+    def peak_dp_pflops(self) -> float:
+        return to_pflops(self.peak_dp_flops)
+
+    @property
+    def peak_sp_pflops(self) -> float:
+        return to_pflops(self.peak_sp_flops)
+
+    @property
+    def cu_peak_dp_tflops(self) -> float:
+        from repro.network.cu_switch import COMPUTE_NODES_PER_CU
+
+        return to_tflops(self.node.peak_dp_flops * COMPUTE_NODES_PER_CU)
+
+    @property
+    def memory_bytes(self) -> int:
+        return self.node.memory_bytes * self.node_count
+
+    def cell_fraction_of_peak(self) -> float:
+        """§II: ~95% of peak comes from the PowerXCell 8i processors."""
+        return self.node.cell_peak_dp_flops / self.node.peak_dp_flops
+
+    def characteristics(self) -> dict[str, object]:
+        """Table II, as data."""
+        return {
+            "cu_count": self.config.cu_count,
+            "node_count": self.node_count,
+            "peak_dp_pflops": self.peak_dp_pflops,
+            "peak_sp_pflops": self.peak_sp_pflops,
+            "cu_peak_dp_tflops": self.cu_peak_dp_tflops,
+            "node_cell_peak_dp_gflops": self.node.cell_peak_dp_flops / 1e9,
+            "node_opteron_peak_dp_gflops": self.node.opteron_blade.peak_dp_flops / 1e9,
+            "memory_tib": self.memory_bytes / GIB / 1024,
+            "opteron_cores": self.config.opteron_core_count,
+            "spes": self.config.spe_count,
+        }
+
+    # -- processors --------------------------------------------------------------
+    @property
+    def cell(self):
+        """The accelerator: the PowerXCell 8i variant."""
+        return POWERXCELL_8I
+
+    @property
+    def previous_cell(self):
+        """The comparison baseline: the original Cell BE."""
+        return CELL_BE
+
+    # -- network (Table I, Fig 10) -------------------------------------------------
+    def hop_census(self, src: int = 0) -> dict[int, int]:
+        """Table I: destinations per crossbar-hop distance from ``src``."""
+        return dict(hop_census(self.topology, src=src))
+
+    def average_hop_count(self, src: int = 0) -> float:
+        """Table I's 5.38-average row."""
+        return average_hops(self.topology, src=src)
+
+    def latency_map(self, src: int = 0) -> list[float]:
+        """Fig 10: zero-byte MPI latency from ``src`` to every node."""
+        return self.ib_latency.latency_map(self.topology, src=src)
+
+    # -- LINPACK / power (headline claims) ---------------------------------------------
+    def linpack(self) -> HPLResult:
+        """The modeled full-machine HPL run (1.026 Pflop/s at 17 CUs)."""
+        return self.hpl.roadrunner_run(nodes=self.node_count)
+
+    def linpack_opteron_only(self) -> HPLResult:
+        """HPL ignoring the accelerators."""
+        return self.hpl.opteron_only_run(nodes=self.node_count)
+
+    def opteron_only_top500_position(self) -> int:
+        """§III: 'approximately position 50 on the June 2008 Top 500'."""
+        return top500_position(self.linpack_opteron_only().rmax_flops / 1e12)
+
+    def green500_mflops_per_watt(self) -> float:
+        """§II: 437 Mflop/s per watt on LINPACK."""
+        return self.power.green500_mflops_per_watt(
+            self.linpack().rmax_flops, nodes=self.node_count
+        )
+
+    # -- Sweep3D (Figs 13-14) --------------------------------------------------------
+    def sweep3d_study(self) -> ScalingStudy:
+        """The weak-scaling study driver for this machine."""
+        return ScalingStudy()

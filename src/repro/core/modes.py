@@ -1,0 +1,93 @@
+"""Roadrunner's three usage models (paper §III).
+
+The machine was designed so existing codes could adopt the accelerators
+incrementally: run unmodified on the Opterons, offload hotspots
+(the *accelerator* model), or live entirely on the Cells with the
+Opterons relaying messages (the *SPE-centric* model).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from types import MappingProxyType
+from typing import Mapping
+
+__all__ = ["UsageMode", "ModeProfile", "MODES"]
+
+
+class UsageMode(enum.Enum):
+    """The three processing paradigms of §I/§III."""
+
+    CLUSTER = "cluster"            # Opterons only, accelerators idle
+    ACCELERATOR = "accelerator"    # hotspots pushed to the Cells
+    SPE_CENTRIC = "spe-centric"    # ranks on SPEs; Opterons relay
+
+
+@dataclass(frozen=True)
+class ModeProfile:
+    """How one usage mode maps onto the machine."""
+
+    mode: UsageMode
+    description: str
+    #: where MPI ranks live
+    rank_placement: str
+    #: fraction of the node's DP peak the mode can possibly tap
+    peak_fraction: float
+    #: the paper's example applications for the mode
+    example_applications: tuple[str, ...]
+    #: communication layers on the critical path
+    layers: tuple[str, ...]
+
+    def __post_init__(self):
+        if not 0 < self.peak_fraction <= 1:
+            raise ValueError("peak_fraction must be in (0, 1]")
+
+
+def _node_fraction(parts: float) -> float:
+    """Fraction of the 449.6 Gflop/s node peak (DP)."""
+    return parts / 449.6
+
+
+MODES: Mapping[UsageMode, ModeProfile] = MappingProxyType(
+    {
+        UsageMode.CLUSTER: ModeProfile(
+            mode=UsageMode.CLUSTER,
+            description=(
+                "Unmodified code on the Opterons in a conventional cluster "
+                "environment; without accelerators Roadrunner would sit "
+                "near position 50 of the June 2008 Top 500"
+            ),
+            rank_placement="one MPI rank per Opteron core",
+            peak_fraction=_node_fraction(14.4),
+            example_applications=("unported production codes",),
+            layers=("MPI", "InfiniBand"),
+        ),
+        UsageMode.ACCELERATOR: ModeProfile(
+            mode=UsageMode.ACCELERATOR,
+            description=(
+                "The application keeps its conventional structure; "
+                "performance-critical sections run on the paired Cell, "
+                "with SPE programs working for long stretches out of "
+                "Cell memory"
+            ),
+            rank_placement="one MPI rank per Opteron core, Cell offload",
+            peak_fraction=1.0,
+            example_applications=("SPaSM", "Milagro"),
+            layers=("MFC DMA", "DaCS/PCIe", "MPI", "InfiniBand"),
+        ),
+        UsageMode.SPE_CENTRIC: ModeProfile(
+            mode=UsageMode.SPE_CENTRIC,
+            description=(
+                "The inverse of the accelerator model: every SPE holds an "
+                "MPI rank and pushes non-compute work (including network "
+                "communication) up to an Opteron; intra-Cell traffic rides "
+                "the EIB"
+            ),
+            rank_placement="one CML rank per SPE (97,920 at full scale)",
+            peak_fraction=_node_fraction(409.6 + 14.4),
+            example_applications=("VPIC", "Sweep3D"),
+            layers=("EIB", "MFC DMA", "DaCS/PCIe", "MPI", "InfiniBand"),
+        ),
+    }
+)

@@ -1,0 +1,51 @@
+"""Hardware component models for the Roadrunner machine.
+
+Every peak rate in the library is *derived* from per-core issue widths and
+clock frequencies declared here; the paper's published aggregates (Table
+II, Fig 3) are reproduced by summation, never hard-coded.
+"""
+
+from repro.hardware.processor import CacheSpec, CoreSpec, ProcessorSpec
+from repro.hardware.opteron import (
+    OPTERON_2210_HE,
+    OPTERON_QUAD_2356,
+    TIGERTON_X7350,
+)
+from repro.hardware.cell import CELL_BE, POWERXCELL_8I, CellVariant
+from repro.hardware.spe_pipeline import (
+    INSTRUCTION_GROUPS,
+    InstructionGroup,
+    PipelineTable,
+    SPEPipeline,
+    pipeline_table_for,
+)
+from repro.hardware.memory import MemorySystem, MEMORY_SYSTEMS
+from repro.hardware.dma import DMAEngine, MFC_DMA
+from repro.hardware.blade import LS21_BLADE, QS22_BLADE, Blade
+from repro.hardware.node import TRIBLADE, Triblade
+
+__all__ = [
+    "CacheSpec",
+    "CoreSpec",
+    "ProcessorSpec",
+    "OPTERON_2210_HE",
+    "OPTERON_QUAD_2356",
+    "TIGERTON_X7350",
+    "CELL_BE",
+    "POWERXCELL_8I",
+    "CellVariant",
+    "INSTRUCTION_GROUPS",
+    "InstructionGroup",
+    "PipelineTable",
+    "SPEPipeline",
+    "pipeline_table_for",
+    "MemorySystem",
+    "MEMORY_SYSTEMS",
+    "DMAEngine",
+    "MFC_DMA",
+    "Blade",
+    "LS21_BLADE",
+    "QS22_BLADE",
+    "Triblade",
+    "TRIBLADE",
+]

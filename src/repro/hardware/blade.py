@@ -1,0 +1,79 @@
+"""Blade assemblies: the IBM LS21 (Opteron) and QS22 (PowerXCell 8i).
+
+A blade is two sockets plus their memory; peak rates and capacities are
+sums over the contained :class:`~repro.hardware.processor.ProcessorSpec`
+objects (the 14.4 Gflop/s DP LS21 figure of §II-A is a derived check).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.hardware.cell import CELL_BE, POWERXCELL_8I
+from repro.hardware.opteron import OPTERON_2210_HE
+from repro.hardware.processor import ProcessorSpec
+
+__all__ = ["Blade", "LS21_BLADE", "QS22_BLADE", "QS21_BLADE"]
+
+
+@dataclass(frozen=True)
+class Blade:
+    """A compute blade: some number of identical processor sockets."""
+
+    name: str
+    processor: ProcessorSpec
+    socket_count: int
+    #: nominal power draw of the whole blade in watts (used by Green500)
+    power_watts: float = 0.0
+
+    def __post_init__(self):
+        if self.socket_count < 1:
+            raise ValueError(f"blade {self.name!r} needs >= 1 socket")
+
+    @property
+    def peak_dp_flops(self) -> float:
+        return self.processor.peak_dp_flops * self.socket_count
+
+    @property
+    def peak_sp_flops(self) -> float:
+        return self.processor.peak_sp_flops * self.socket_count
+
+    @property
+    def memory_bytes(self) -> int:
+        return self.processor.memory_bytes * self.socket_count
+
+    @property
+    def core_count(self) -> int:
+        return self.processor.core_count * self.socket_count
+
+    @property
+    def on_chip_bytes(self) -> int:
+        return self.processor.on_chip_bytes * self.socket_count
+
+
+#: The triblade's Opteron blade: two dual-core Opteron 2210 HE sockets,
+#: 4 GiB per core (16 GiB per blade), 14.4 Gflop/s DP.
+LS21_BLADE = Blade(
+    name="IBM LS21",
+    processor=OPTERON_2210_HE,
+    socket_count=2,
+    power_watts=185.0,
+)
+
+#: One of the triblade's two Cell blades: two PowerXCell 8i sockets with
+#: 4 GiB DDR2-800 each, 217.6 Gflop/s DP per blade.
+QS22_BLADE = Blade(
+    name="IBM QS22",
+    processor=POWERXCELL_8I.spec,
+    socket_count=2,
+    power_watts=235.0,
+)
+
+#: The earlier Cell BE blade (cache-coherent sockets; paper §V-C) — the
+#: platform of the prior Sweep3D Cell port compared in Table IV.
+QS21_BLADE = Blade(
+    name="IBM QS21",
+    processor=CELL_BE.spec,
+    socket_count=2,
+    power_watts=230.0,
+)

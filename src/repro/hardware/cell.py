@@ -1,0 +1,135 @@
+"""Cell Broadband Engine variant specifications (Cell BE, PowerXCell 8i).
+
+The SPE issue widths here are **derived** from the pipeline tables in
+:mod:`repro.hardware.spe_pipeline` (FPD/FP6 flop payload divided by the
+repetition distance), so the 7× DP improvement of the PowerXCell 8i over
+the Cell BE is a consequence of un-stalling the FPD unit, never a typed-in
+constant.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.hardware.processor import CacheSpec, CoreSpec, ProcessorSpec
+from repro.hardware.spe_pipeline import (
+    CELL_BE_TABLE,
+    POWERXCELL_8I_TABLE,
+    PipelineTable,
+)
+from repro.units import GB_S, GHZ, GIB, KIB
+
+__all__ = ["CellVariant", "CELL_BE", "POWERXCELL_8I", "SPE_LOCAL_STORE_BYTES"]
+
+#: Each SPE directly addresses only its 256 KB local store (paper §II-A).
+SPE_LOCAL_STORE_BYTES = 256 * KIB
+
+#: EIB moves 96 bytes per cycle at the 3.2 GHz core clock (paper §IV-B).
+EIB_BYTES_PER_CYCLE = 96
+
+
+def _make_spe(table: PipelineTable, clock_hz: float) -> CoreSpec:
+    return CoreSpec(
+        name=f"SPE ({table.name})",
+        clock_hz=clock_hz,
+        dp_flops_per_cycle=table.dp_flops_per_cycle,
+        sp_flops_per_cycle=table.sp_flops_per_cycle,
+        caches=(CacheSpec("local store", SPE_LOCAL_STORE_BYTES, latency_cycles=6),),
+    )
+
+
+def _make_ppe(name: str, clock_hz: float, sp_flops_per_cycle: float) -> CoreSpec:
+    return CoreSpec(
+        name=name,
+        clock_hz=clock_hz,
+        dp_flops_per_cycle=2.0,  # paper §II-A: PPE issues two DP flops/cycle
+        sp_flops_per_cycle=sp_flops_per_cycle,
+        caches=(
+            CacheSpec("L1D", 32 * KIB, latency_cycles=4),
+            CacheSpec("L1I", 32 * KIB),
+            CacheSpec("L2", 512 * KIB, latency_cycles=30),
+        ),
+    )
+
+
+@dataclass(frozen=True)
+class CellVariant:
+    """One implementation of the Cell Broadband Engine Architecture."""
+
+    spec: ProcessorSpec
+    pipeline: PipelineTable
+    #: peak main-memory bandwidth of the on-chip controller
+    memory_bandwidth: float
+    memory_kind: str
+    #: max memory per blade the controller supports (paper §IV-A)
+    max_blade_memory_bytes: int
+
+    @property
+    def name(self) -> str:
+        return self.spec.name
+
+    @property
+    def clock_hz(self) -> float:
+        spe, _ = self.spec.cores_named(f"SPE ({self.pipeline.name})")
+        return spe.clock_hz
+
+    @property
+    def spe_peak_dp_flops(self) -> float:
+        """Aggregate DP peak of the eight SPEs, flop/s."""
+        spe, count = self.spec.cores_named(f"SPE ({self.pipeline.name})")
+        return spe.peak_dp_flops * count
+
+    @property
+    def spe_peak_sp_flops(self) -> float:
+        """Aggregate SP peak of the eight SPEs, flop/s."""
+        spe, count = self.spec.cores_named(f"SPE ({self.pipeline.name})")
+        return spe.peak_sp_flops * count
+
+    @property
+    def eib_bandwidth(self) -> float:
+        """Element Interconnect Bus aggregate bandwidth, B/s."""
+        return EIB_BYTES_PER_CYCLE * self.clock_hz
+
+
+_CLOCK = 3.2 * GHZ
+
+#: The original Cell BE (Sony PlayStation 3): 204.8 Gflop/s SP but only
+#: 14.6 Gflop/s DP from the SPEs, Rambus XDR memory capped at 2 GB/blade.
+#: Its PPE SP accounting follows the paper's 217.6 Gflop/s total
+#: (9 cores), i.e. 4 SP flops/cycle.
+CELL_BE = CellVariant(
+    spec=ProcessorSpec(
+        name="Cell BE",
+        core_counts=(
+            (_make_ppe("PPE (Cell BE)", _CLOCK, sp_flops_per_cycle=4.0), 1),
+            (_make_spe(CELL_BE_TABLE, _CLOCK), 8),
+        ),
+        memory_bytes=1 * GIB,
+        memory_bandwidth=25.6 * GB_S,
+        tdp_watts=90.0,
+    ),
+    pipeline=CELL_BE_TABLE,
+    memory_bandwidth=25.6 * GB_S,
+    memory_kind="Rambus XDR",
+    max_blade_memory_bytes=2 * GIB,
+)
+
+#: The PowerXCell 8i of Roadrunner: fully pipelined DP (102.4 Gflop/s from
+#: the SPEs, 108.8 with the PPE), DDR2-800 controller allowing 32 GB per
+#: blade at the same 25.6 GB/s (paper §II, §IV-A).
+POWERXCELL_8I = CellVariant(
+    spec=ProcessorSpec(
+        name="PowerXCell 8i",
+        core_counts=(
+            (_make_ppe("PPE (PowerXCell 8i)", _CLOCK, sp_flops_per_cycle=8.0), 1),
+            (_make_spe(POWERXCELL_8I_TABLE, _CLOCK), 8),
+        ),
+        memory_bytes=4 * GIB,
+        memory_bandwidth=25.6 * GB_S,
+        tdp_watts=92.0,
+    ),
+    pipeline=POWERXCELL_8I_TABLE,
+    memory_bandwidth=25.6 * GB_S,
+    memory_kind="DDR2-800",
+    max_blade_memory_bytes=32 * GIB,
+)

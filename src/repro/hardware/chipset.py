@@ -1,0 +1,107 @@
+"""The Broadcom HT2100 I/O bridges of the triblade (paper Fig 1).
+
+"The PCIe buses from the Cell blades are converted to HyperTransport
+for connection to the Opteron processors using two Broadcom HT2100 I/O
+controllers.  The HT2100 has a single HyperTransport x16 port and three
+PCIe x8 ports.  The third port on one of the HT2100 connects a Mellanox
+4x DDR InfiniBand host channel adapter."
+
+Like the fabric's crossbars, the bridges are wired port-by-port and
+validated against their budgets, so the triblade's internal structure
+(which Cell reaches which Opteron socket, why the HCA sits next to
+cores 1/3) is checkable rather than narrative.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.units import GB_S
+
+__all__ = ["HT2100", "TribladeFabric", "build_triblade_fabric"]
+
+
+@dataclass
+class HT2100:
+    """One bridge chip: 1 HT x16 up-port, 3 PCIe x8 down-ports."""
+
+    name: str
+    ht_port: str | None = None
+    pcie_ports: list[str] = field(default_factory=list)
+
+    HT_BANDWIDTH = 6.4 * GB_S
+    PCIE_BANDWIDTH = 2.0 * GB_S
+    MAX_PCIE_PORTS = 3
+
+    def attach_ht(self, endpoint: str) -> None:
+        """Wire the single HyperTransport port."""
+        if self.ht_port is not None:
+            raise ValueError(f"{self.name}: HT port already wired to {self.ht_port}")
+        self.ht_port = endpoint
+
+    def attach_pcie(self, endpoint: str) -> None:
+        """Wire one of the three PCIe x8 ports."""
+        if len(self.pcie_ports) >= self.MAX_PCIE_PORTS:
+            raise ValueError(f"{self.name}: all {self.MAX_PCIE_PORTS} PCIe ports used")
+        self.pcie_ports.append(endpoint)
+
+    @property
+    def downstream_capacity(self) -> float:
+        """Aggregate PCIe capacity hanging off this bridge, B/s."""
+        return len(self.pcie_ports) * self.PCIE_BANDWIDTH
+
+    @property
+    def oversubscribed(self) -> bool:
+        """Whether the PCIe side can exceed the HT uplink."""
+        return self.downstream_capacity > self.HT_BANDWIDTH
+
+
+@dataclass
+class TribladeFabric:
+    """The triblade's internal wiring: two bridges, four Cells, an HCA."""
+
+    bridges: tuple[HT2100, HT2100]
+
+    def bridge_of_cell(self, cell: int) -> HT2100:
+        """Which bridge carries a given PowerXCell 8i's PCIe link."""
+        if not 0 <= cell < 4:
+            raise ValueError("cell index must be 0-3")
+        for bridge in self.bridges:
+            if f"cell{cell}" in bridge.pcie_ports:
+                return bridge
+        raise AssertionError("unreachable: every cell is wired")
+
+    @property
+    def hca_bridge(self) -> HT2100:
+        """The bridge carrying the InfiniBand HCA."""
+        for bridge in self.bridges:
+            if "ib-hca" in bridge.pcie_ports:
+                return bridge
+        raise AssertionError("unreachable: the HCA is wired")
+
+    def hca_shares_bridge_with_cells(self) -> list[int]:
+        """Cells whose PCIe traffic contends with the HCA's bridge."""
+        return [
+            cell
+            for cell in range(4)
+            if self.bridge_of_cell(cell) is self.hca_bridge
+        ]
+
+
+def build_triblade_fabric() -> TribladeFabric:
+    """Wire the production triblade (Fig 1).
+
+    Bridge 0 serves cells 0 and 1 and uplinks to Opteron socket 0;
+    bridge 1 serves cells 2 and 3, the HCA, and socket 1 — which is why
+    cores 1 and 3 (socket 1) sit closer to the network (Fig 8).
+    """
+    b0 = HT2100(name="HT2100-0")
+    b0.attach_ht("opteron-socket0")
+    b0.attach_pcie("cell0")
+    b0.attach_pcie("cell1")
+    b1 = HT2100(name="HT2100-1")
+    b1.attach_ht("opteron-socket1")
+    b1.attach_pcie("cell2")
+    b1.attach_pcie("cell3")
+    b1.attach_pcie("ib-hca")
+    return TribladeFabric(bridges=(b0, b1))

@@ -1,0 +1,162 @@
+"""The Roadrunner compute node: the triblade (paper Fig 1).
+
+One LS21 Opteron blade plus two QS22 PowerXCell 8i blades, joined by an
+expansion card: each Cell blade reaches the Opteron blade over two PCIe
+x8 links bridged to HyperTransport by Broadcom HT2100 I/O controllers; a
+Mellanox 4x DDR InfiniBand HCA hangs off the third PCIe port of one
+HT2100.  Each Opteron core is paired 1:1 with one PowerXCell 8i
+processor for accelerated operation.
+
+Fig 8's core-dependent internode bandwidth (cores 1/3 at 1,478 MB/s vs
+cores 0/2 at 1,087 MB/s) is captured by per-core HCA proximity.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.hardware.blade import LS21_BLADE, QS22_BLADE, Blade
+from repro.units import GB_S, GIB
+
+__all__ = ["LinkSpec", "Triblade", "TRIBLADE", "HCA_NEAR_CORES", "HCA_FAR_CORES"]
+
+#: Opteron cores whose socket/memory sit next to the InfiniBand HCA.
+HCA_NEAR_CORES = (1, 3)
+#: Opteron cores one HyperTransport hop farther from the HCA.
+HCA_FAR_CORES = (0, 2)
+
+
+@dataclass(frozen=True)
+class LinkSpec:
+    """A point-to-point link inside (or out of) the triblade."""
+
+    name: str
+    bandwidth_per_direction: float
+    endpoints: tuple[str, str]
+
+    def __post_init__(self):
+        if self.bandwidth_per_direction <= 0:
+            raise ValueError(f"link {self.name!r} needs positive bandwidth")
+
+
+@dataclass(frozen=True)
+class Triblade:
+    """The Roadrunner compute node assembly."""
+
+    opteron_blade: Blade
+    cell_blades: tuple[Blade, ...]
+    links: tuple[LinkSpec, ...]
+
+    # -- structure ----------------------------------------------------------
+    @property
+    def opteron_core_count(self) -> int:
+        return self.opteron_blade.core_count
+
+    @property
+    def cell_count(self) -> int:
+        return sum(b.socket_count for b in self.cell_blades)
+
+    @property
+    def ppe_count(self) -> int:
+        return self.cell_count  # one PPE per Cell
+
+    @property
+    def spe_count(self) -> int:
+        return 8 * self.cell_count
+
+    def paired_cell(self, opteron_core: int) -> int:
+        """The PowerXCell 8i index paired with this Opteron core.
+
+        Pairing is 1:1 and identity-indexed: core *i* drives Cell *i*
+        (paper §II-A: "each Opteron core communicates directly with one
+        PowerXCell 8i processor in accelerated operation mode").
+        """
+        if not 0 <= opteron_core < self.opteron_core_count:
+            raise IndexError(f"no Opteron core {opteron_core} in the triblade")
+        return opteron_core
+
+    def hca_near(self, opteron_core: int) -> bool:
+        """Whether this core's socket is adjacent to the IB HCA (Fig 8)."""
+        if not 0 <= opteron_core < self.opteron_core_count:
+            raise IndexError(f"no Opteron core {opteron_core} in the triblade")
+        return opteron_core in HCA_NEAR_CORES
+
+    # -- aggregates (Table II node column, Fig 3) ----------------------------
+    @property
+    def peak_dp_flops(self) -> float:
+        return self.opteron_blade.peak_dp_flops + sum(
+            b.peak_dp_flops for b in self.cell_blades
+        )
+
+    @property
+    def peak_sp_flops(self) -> float:
+        return self.opteron_blade.peak_sp_flops + sum(
+            b.peak_sp_flops for b in self.cell_blades
+        )
+
+    @property
+    def cell_peak_dp_flops(self) -> float:
+        """DP peak of the Cell blades alone (435.2 Gflop/s)."""
+        return sum(b.peak_dp_flops for b in self.cell_blades)
+
+    @property
+    def memory_bytes(self) -> int:
+        return self.opteron_blade.memory_bytes + sum(
+            b.memory_bytes for b in self.cell_blades
+        )
+
+    @property
+    def power_watts(self) -> float:
+        return self.opteron_blade.power_watts + sum(
+            b.power_watts for b in self.cell_blades
+        )
+
+    def flop_breakdown_dp(self) -> dict[str, float]:
+        """Fig 3(a): where the node's DP flops come from."""
+        spe_total = 0.0
+        ppe_total = 0.0
+        for blade in self.cell_blades:
+            for core, count in blade.processor.core_counts:
+                contribution = core.peak_dp_flops * count * blade.socket_count
+                if core.name.startswith("SPE"):
+                    spe_total += contribution
+                else:
+                    ppe_total += contribution
+        return {
+            "Opterons": self.opteron_blade.peak_dp_flops,
+            "PPEs": ppe_total,
+            "SPEs": spe_total,
+        }
+
+    def memory_breakdown(self) -> dict[str, float]:
+        """Fig 3(b): off-chip and on-chip capacity by side, in bytes."""
+        return {
+            "Cell off-chip": float(sum(b.memory_bytes for b in self.cell_blades)),
+            "Opteron off-chip": float(self.opteron_blade.memory_bytes),
+            "Cell on-chip": float(sum(b.on_chip_bytes for b in self.cell_blades)),
+            "Opteron on-chip": float(self.opteron_blade.on_chip_bytes),
+        }
+
+    def link(self, name: str) -> LinkSpec:
+        """Look up a link by name."""
+        for lk in self.links:
+            if lk.name == name:
+                return lk
+        raise KeyError(f"triblade has no link named {name!r}")
+
+
+#: The production Roadrunner triblade (Fig 1): peak 2 GB/s per direction
+#: per PCIe x8 Cell link, 6.4 GB/s HyperTransport x16, 2 GB/s IB 4x DDR.
+TRIBLADE = Triblade(
+    opteron_blade=LS21_BLADE,
+    cell_blades=(QS22_BLADE, QS22_BLADE),
+    links=(
+        LinkSpec("pcie-cell0", 2.0 * GB_S, ("cell0", "opteron0")),
+        LinkSpec("pcie-cell1", 2.0 * GB_S, ("cell1", "opteron1")),
+        LinkSpec("pcie-cell2", 2.0 * GB_S, ("cell2", "opteron2")),
+        LinkSpec("pcie-cell3", 2.0 * GB_S, ("cell3", "opteron3")),
+        LinkSpec("ht-bridge0", 6.4 * GB_S, ("ht2100-0", "opteron-socket0")),
+        LinkSpec("ht-bridge1", 6.4 * GB_S, ("ht2100-1", "opteron-socket1")),
+        LinkSpec("ib-hca", 2.0 * GB_S, ("ht2100-1", "fabric")),
+    ),
+)

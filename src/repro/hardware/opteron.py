@@ -1,0 +1,87 @@
+"""AMD Opteron and Intel Tigerton processor specifications.
+
+The Roadrunner LS21 blade carries two dual-core Opteron 2210 HE chips at
+1.8 GHz, each core issuing 2 DP (4 SP) flops per cycle — 14.4 Gflop/s DP
+per blade (paper §II-A).  The quad-core Opteron and Tigerton entries are
+the comparator sockets of Fig 12.
+"""
+
+from __future__ import annotations
+
+from repro.hardware.processor import CacheSpec, CoreSpec, ProcessorSpec
+from repro.units import GHZ, GB_S, GIB, KIB, MIB
+
+__all__ = [
+    "OPTERON_2210_HE",
+    "OPTERON_QUAD_2356",
+    "TIGERTON_X7350",
+    "OPTERON_CORE",
+]
+
+#: One Opteron 2210 HE core: 1.8 GHz, 2 DP / 4 SP flops per cycle,
+#: 64 KB L1I + 64 KB L1D private, 2 MB private L2 (paper §II-A).
+OPTERON_CORE = CoreSpec(
+    name="opteron-2210he-core",
+    clock_hz=1.8 * GHZ,
+    dp_flops_per_cycle=2.0,
+    sp_flops_per_cycle=4.0,
+    caches=(
+        CacheSpec("L1D", 64 * KIB, latency_cycles=3),
+        CacheSpec("L1I", 64 * KIB),
+        CacheSpec("L2", 2 * MIB, latency_cycles=12),
+    ),
+)
+
+#: The Roadrunner Opteron socket: dual-core, 4 GiB of 667 MHz DDR2 per
+#: core (the blade has 4 GiB per core; memory is per-socket here), peak
+#: 10.7 GB/s to main memory per socket (Fig 1).
+OPTERON_2210_HE = ProcessorSpec(
+    name="Opteron 2210 HE",
+    core_counts=((OPTERON_CORE, 2),),
+    memory_bytes=8 * GIB,
+    memory_bandwidth=10.7 * GB_S,
+    tdp_watts=68.0,
+)
+
+_QUAD_CORE = CoreSpec(
+    name="opteron-2356-core",
+    clock_hz=2.0 * GHZ,
+    dp_flops_per_cycle=4.0,  # Barcelona: 128-bit FP units
+    sp_flops_per_cycle=8.0,
+    caches=(
+        CacheSpec("L1D", 64 * KIB, latency_cycles=3),
+        CacheSpec("L1I", 64 * KIB),
+        CacheSpec("L2", 512 * KIB, latency_cycles=12),
+    ),
+)
+
+#: Quad-core Opteron comparator of Fig 12 ("Opteron Quad-core 2.0GHz").
+OPTERON_QUAD_2356 = ProcessorSpec(
+    name="Opteron 2356 (quad-core 2.0 GHz)",
+    core_counts=((_QUAD_CORE, 4),),
+    memory_bytes=8 * GIB,
+    memory_bandwidth=12.8 * GB_S,
+    shared_caches=(CacheSpec("L3", 2 * MIB),),
+    tdp_watts=75.0,
+)
+
+_TIGERTON_CORE = CoreSpec(
+    name="tigerton-x7350-core",
+    clock_hz=2.93 * GHZ,
+    dp_flops_per_cycle=4.0,
+    sp_flops_per_cycle=8.0,
+    caches=(
+        CacheSpec("L1D", 32 * KIB, latency_cycles=3),
+        CacheSpec("L1I", 32 * KIB),
+    ),
+)
+
+#: Quad-core Intel Tigerton comparator of Fig 12 ("Tigerton 2.93GHz").
+TIGERTON_X7350 = ProcessorSpec(
+    name="Intel Xeon X7350 (Tigerton, quad-core 2.93 GHz)",
+    core_counts=((_TIGERTON_CORE, 4),),
+    memory_bytes=8 * GIB,
+    memory_bandwidth=8.5 * GB_S,
+    shared_caches=(CacheSpec("L2", 8 * MIB),),
+    tdp_watts=130.0,
+)

@@ -1,0 +1,120 @@
+"""Processor and core specification types.
+
+A :class:`CoreSpec` declares a core's clock and per-cycle floating-point
+issue widths; a :class:`ProcessorSpec` is a bag of (core, count) pairs.
+Peak rates are *computed* from these declarations — the paper's headline
+aggregates (1.38 Pflop/s DP, 2.91 Pflop/s SP, 435.2 Gflop/s per node from
+the Cell blades, ...) must all emerge from sums over spec objects, which
+is enforced by the validation tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["CacheSpec", "CoreSpec", "ProcessorSpec"]
+
+
+@dataclass(frozen=True)
+class CacheSpec:
+    """One level of on-chip storage (cache or local store)."""
+
+    name: str
+    capacity_bytes: int
+    #: load-to-use latency in core cycles, if modeled (0 = unspecified)
+    latency_cycles: int = 0
+
+    def __post_init__(self):
+        if self.capacity_bytes <= 0:
+            raise ValueError(f"cache {self.name!r} needs positive capacity")
+
+
+@dataclass(frozen=True)
+class CoreSpec:
+    """A single core (or SPE) with its issue widths and private storage."""
+
+    name: str
+    clock_hz: float
+    dp_flops_per_cycle: float
+    sp_flops_per_cycle: float
+    caches: tuple[CacheSpec, ...] = ()
+
+    def __post_init__(self):
+        if self.clock_hz <= 0:
+            raise ValueError(f"core {self.name!r} needs a positive clock")
+        if self.dp_flops_per_cycle < 0 or self.sp_flops_per_cycle < 0:
+            raise ValueError(f"core {self.name!r} has negative issue width")
+
+    @property
+    def peak_dp_flops(self) -> float:
+        """Peak double-precision rate in flop/s."""
+        return self.dp_flops_per_cycle * self.clock_hz
+
+    @property
+    def peak_sp_flops(self) -> float:
+        """Peak single-precision rate in flop/s."""
+        return self.sp_flops_per_cycle * self.clock_hz
+
+    @property
+    def on_chip_bytes(self) -> int:
+        """Total private on-chip storage (caches + local store)."""
+        return sum(c.capacity_bytes for c in self.caches)
+
+
+@dataclass(frozen=True)
+class ProcessorSpec:
+    """A processor chip: a multiset of cores plus off-chip memory.
+
+    Attributes
+    ----------
+    core_counts:
+        Tuple of ``(core_spec, count)`` pairs; e.g. the PowerXCell 8i is
+        ``((PPE, 1), (SPE, 8))``.
+    memory_bytes:
+        Off-chip memory attached to this processor's controller.
+    memory_bandwidth:
+        Peak bandwidth of that controller in B/s.
+    """
+
+    name: str
+    core_counts: tuple[tuple[CoreSpec, int], ...]
+    memory_bytes: int = 0
+    memory_bandwidth: float = 0.0
+    tdp_watts: float = 0.0
+    shared_caches: tuple[CacheSpec, ...] = field(default=())
+
+    def __post_init__(self):
+        if not self.core_counts:
+            raise ValueError(f"processor {self.name!r} has no cores")
+        for core, count in self.core_counts:
+            if count < 1:
+                raise ValueError(f"processor {self.name!r}: count for {core.name!r} < 1")
+
+    @property
+    def core_count(self) -> int:
+        """Total number of cores of all kinds."""
+        return sum(count for _, count in self.core_counts)
+
+    def cores_named(self, name: str) -> tuple[CoreSpec, int]:
+        """Return the ``(spec, count)`` pair whose core name is ``name``."""
+        for core, count in self.core_counts:
+            if core.name == name:
+                return core, count
+        raise KeyError(f"processor {self.name!r} has no core named {name!r}")
+
+    @property
+    def peak_dp_flops(self) -> float:
+        """Chip peak DP rate in flop/s (sum over cores)."""
+        return sum(core.peak_dp_flops * count for core, count in self.core_counts)
+
+    @property
+    def peak_sp_flops(self) -> float:
+        """Chip peak SP rate in flop/s (sum over cores)."""
+        return sum(core.peak_sp_flops * count for core, count in self.core_counts)
+
+    @property
+    def on_chip_bytes(self) -> int:
+        """Total on-chip storage: per-core private plus chip-shared."""
+        per_core = sum(core.on_chip_bytes * count for core, count in self.core_counts)
+        shared = sum(c.capacity_bytes for c in self.shared_caches)
+        return per_core + shared

@@ -1,0 +1,114 @@
+"""Roofline analysis of Roadrunner's processors.
+
+Attainable flop/s at arithmetic intensity ``I`` (flops per byte moved)
+is ``min(peak, I x bandwidth)``.  Each Roadrunner compute element gets
+a roofline; the SPE gets two — one against its 51.2 GB/s local store
+and one against its 1/8 share of the 25.6 GB/s memory controller —
+which together explain the paper's observations: Sweep3D's inner loop
+is local-store-traffic bound (hence its low fraction of peak on every
+processor), while the old master/worker port died on the main-memory
+roofline.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.hardware.cell import POWERXCELL_8I
+from repro.hardware.memory import OPTERON_MEMORY, PPE_MEMORY, SPE_LOCAL_STORE
+from repro.hardware.opteron import OPTERON_2210_HE
+
+__all__ = ["Roofline", "ROOFLINES", "sweep3d_operating_point"]
+
+
+@dataclass(frozen=True)
+class Roofline:
+    """One compute element against one memory level."""
+
+    name: str
+    peak_flops: float
+    bandwidth: float
+
+    def __post_init__(self):
+        if self.peak_flops <= 0 or self.bandwidth <= 0:
+            raise ValueError(f"{self.name}: peak and bandwidth must be positive")
+
+    def attainable(self, intensity: float) -> float:
+        """Attainable flop/s at ``intensity`` flops per byte."""
+        if intensity < 0:
+            raise ValueError("intensity must be >= 0")
+        return min(self.peak_flops, intensity * self.bandwidth)
+
+    @property
+    def ridge_point(self) -> float:
+        """Intensity (flops/B) above which the element is compute-bound."""
+        return self.peak_flops / self.bandwidth
+
+    def bound(self, intensity: float) -> str:
+        """'memory' below the ridge, 'compute' at or above it."""
+        return "memory" if intensity < self.ridge_point else "compute"
+
+
+def _spe_core():
+    spe, _ = POWERXCELL_8I.spec.cores_named("SPE (PowerXCell 8i)")
+    return spe
+
+
+def _opteron_core():
+    core, _ = OPTERON_2210_HE.cores_named("opteron-2210he-core")
+    return core
+
+
+def _ppe_core():
+    ppe, _ = POWERXCELL_8I.spec.cores_named("PPE (PowerXCell 8i)")
+    return ppe
+
+
+#: The machine's rooflines (DP).  The SPE-vs-main-memory entry uses the
+#: 1/8 per-SPE share of the chip's 25.6 GB/s controller.
+ROOFLINES: dict[str, Roofline] = {
+    "SPE vs local store": Roofline(
+        "SPE vs local store",
+        peak_flops=_spe_core().peak_dp_flops,
+        bandwidth=SPE_LOCAL_STORE.peak_bandwidth,
+    ),
+    "SPE vs main memory": Roofline(
+        "SPE vs main memory",
+        peak_flops=_spe_core().peak_dp_flops,
+        bandwidth=POWERXCELL_8I.memory_bandwidth / 8,
+    ),
+    "PPE vs main memory": Roofline(
+        "PPE vs main memory",
+        peak_flops=_ppe_core().peak_dp_flops,
+        bandwidth=PPE_MEMORY.stream_triad_bandwidth(),
+    ),
+    "Opteron core vs main memory": Roofline(
+        "Opteron core vs main memory",
+        peak_flops=_opteron_core().peak_dp_flops,
+        bandwidth=OPTERON_MEMORY.stream_triad_bandwidth() / 2,  # per core
+    ),
+}
+
+
+def sweep3d_operating_point() -> dict[str, float]:
+    """Sweep3D's inner loop on the local-store roofline.
+
+    Per cell-angle: 32 flops against ~70 16-byte local-store accesses.
+    The roofline's attainable rate lands close to the pipeline model's
+    achieved grind rate — two independent derivations of why Sweep3D
+    "does not achieve high single-core efficiency".
+    """
+    from repro.hardware.spe_pipeline import InstructionGroup
+    from repro.sweep3d.cellport import SWEEP_MIX_PER_CELL_ANGLE, grind_time
+    from repro.sweep3d.x86 import FLOPS_PER_CELL_ANGLE
+
+    ls_bytes = SWEEP_MIX_PER_CELL_ANGLE[InstructionGroup.LS] * 16
+    intensity = FLOPS_PER_CELL_ANGLE / ls_bytes
+    roof = ROOFLINES["SPE vs local store"]
+    achieved = FLOPS_PER_CELL_ANGLE / grind_time(POWERXCELL_8I)
+    return {
+        "intensity_flops_per_byte": intensity,
+        "attainable_flops": roof.attainable(intensity),
+        "achieved_flops": achieved,
+        "fraction_of_peak": achieved / roof.peak_flops,
+    }

@@ -1,0 +1,8 @@
+"""The I/O subsystem: Panasas parallel filesystem behind 12 I/O nodes
+per CU (paper §II-B), reached from the SPEs via Opteron RPC (§V-C).
+"""
+
+from repro.io.panasas import PanasasModel, IoNodeSpec
+from repro.io.filepath import SweepInputReader
+
+__all__ = ["PanasasModel", "IoNodeSpec", "SweepInputReader"]

@@ -1,0 +1,54 @@
+"""The Sweep3D input-read path (paper §V-C).
+
+"Roadrunner does not expose the parallel filesystem to the PPEs, so
+our Sweep3D invokes an RPC function on the Opteron to read and return
+the input file."  This module wires that exact path on the DES: an SPE
+calls ``read_input`` on the Opteron tier; the Opteron charges the PFS
+read time and ships the bytes back down over DaCS.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.comm.dacs import DACS_MEASURED
+from repro.comm.rpc import RpcEndpoint
+from repro.io.panasas import PanasasModel
+from repro.sim.engine import Simulator
+
+__all__ = ["SweepInputReader"]
+
+
+@dataclass
+class SweepInputReader:
+    """DES program: an SPE reading the input deck through the Opteron."""
+
+    sim: Simulator
+    pfs: PanasasModel = field(default_factory=PanasasModel)
+    #: the deck's on-disk contents
+    contents: bytes = b"it=5 jt=5 kt=400 mk=20 mmi=6\n"
+
+    def __post_init__(self):
+        self.rpc = RpcEndpoint(self.sim)
+        opteron = self.rpc.add_target("opteron", DACS_MEASURED)
+        opteron.register(
+            "read_input",
+            handler=lambda: self.contents,
+            execution_time=lambda: self.pfs.read_time(len(self.contents)),
+        )
+
+    def read_from_spe(self):
+        """Generator: the SPE-side call; returns the file bytes."""
+        data = yield from self.rpc.call("opteron", "read_input")
+        return data
+
+    def run(self) -> tuple[bytes, float]:
+        """Execute the read; returns (contents, elapsed seconds)."""
+        out: dict = {}
+
+        def reader(sim):
+            out["data"] = yield from self.read_from_spe()
+
+        self.sim.process(reader(self.sim), name="spe-reader")
+        self.sim.run()
+        return out["data"], self.sim.now

@@ -1,0 +1,18 @@
+"""LINPACK (HPL) performance and power models.
+
+Reproduces the paper's headline numbers: the 1.026 Pflop/s sustained
+May-2008 run on the 1.38 Pflop/s-peak machine, the Green500 figure of
+437 Mflop/s per watt, and the 'without accelerators, approximately
+position 50 on the June 2008 Top 500' claim.
+"""
+
+from repro.linpack.hpl import HPLModel, HPLResult
+from repro.linpack.power import PowerModel, top500_position, GREEN500_CELL_ONLY_MODEL
+
+__all__ = [
+    "HPLModel",
+    "HPLResult",
+    "PowerModel",
+    "top500_position",
+    "GREEN500_CELL_ONLY_MODEL",
+]

@@ -1,0 +1,110 @@
+"""System power and Green500 model.
+
+Roadrunner placed third on the June 2008 Green500 at 437 Mflop/s per
+watt; the two systems above it were small PowerXCell 8i-only clusters
+at 488 Mflop/s per watt that "do not incorporate the less
+power-efficient Opterons" (paper §II).  The model sums per-blade draws
+and a system overhead for switches, I/O nodes, and the parallel
+filesystem; the Top 500 position estimator interpolates a small table
+of approximate June 2008 Rmax anchors to reproduce the 'approximately
+position 50 without accelerators' claim.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+__all__ = [
+    "PowerModel",
+    "GREEN500_CELL_ONLY_MODEL",
+    "TOP500_JUNE_2008_ANCHORS",
+    "top500_position",
+]
+
+
+@dataclass(frozen=True)
+class PowerModel:
+    """Power draw of a Roadrunner-style system."""
+
+    #: per-node draw beyond the blades: expansion card, fans, PSU loss
+    node_overhead_watts: float = 50.0
+    #: whole-system overhead fraction: switches, I/O nodes, PFS
+    system_overhead_fraction: float = 0.088
+
+    def node_power(self) -> float:
+        """One triblade's draw including its local overheads, watts."""
+        from repro.hardware.node import TRIBLADE
+
+        return TRIBLADE.power_watts + self.node_overhead_watts
+
+    def system_power(self, nodes: int = 3060) -> float:
+        """Whole-system draw, watts."""
+        if nodes < 1:
+            raise ValueError("nodes must be >= 1")
+        return self.node_power() * nodes * (1 + self.system_overhead_fraction)
+
+    def green500_mflops_per_watt(self, rmax_flops: float, nodes: int = 3060) -> float:
+        """LINPACK Mflop/s per watt."""
+        return rmax_flops / 1e6 / self.system_power(nodes)
+
+
+@dataclass(frozen=True)
+class CellOnlyPowerModel:
+    """A small QS22-only cluster (the systems above Roadrunner on the
+    June 2008 Green500 list)."""
+
+    #: blade-relative infrastructure factor (chassis, head node, switch);
+    #: proportionally heavier for a small cluster than for Roadrunner
+    infrastructure_factor: float = 1.556
+    #: HPL efficiency without the hybrid-offload overheads
+    hpl_efficiency: float = 0.82
+
+    def mflops_per_watt(self) -> float:
+        from repro.hardware.blade import QS22_BLADE
+
+        rmax = QS22_BLADE.peak_dp_flops * self.hpl_efficiency
+        power = QS22_BLADE.power_watts * self.infrastructure_factor
+        return rmax / 1e6 / power
+
+
+GREEN500_CELL_ONLY_MODEL = CellOnlyPowerModel()
+
+#: Approximate June 2008 Top 500 Rmax anchors (Tflop/s).  Positions 1-5
+#: are the published list; the tail anchors are approximate and exist
+#: to place the paper's 'position 50 without accelerators' claim.
+TOP500_JUNE_2008_ANCHORS: tuple[tuple[int, float], ...] = (
+    (1, 1026.0),   # Roadrunner
+    (2, 478.2),    # BlueGene/L, LLNL
+    (3, 450.3),    # BlueGene/P, Argonne
+    (4, 326.0),    # Ranger, TACC
+    (5, 205.0),    # Jaguar, ORNL
+    (10, 106.1),
+    (25, 51.0),
+    (50, 30.0),
+    (100, 18.0),
+    (500, 9.0),
+)
+
+
+def top500_position(rmax_tflops: float) -> int:
+    """Estimated June 2008 list position for a given Rmax.
+
+    Interpolates the anchor table with log-linear position-vs-Rmax
+    segments; clamps to [1, 500].
+    """
+    if rmax_tflops <= 0:
+        raise ValueError("rmax must be positive")
+    anchors = TOP500_JUNE_2008_ANCHORS
+    if rmax_tflops >= anchors[0][1]:
+        return 1
+    if rmax_tflops <= anchors[-1][1]:
+        return anchors[-1][0]
+    for (p_hi, r_hi), (p_lo, r_lo) in zip(anchors, anchors[1:]):
+        if r_lo <= rmax_tflops <= r_hi:
+            # log-interpolate position between the two anchors
+            frac = (math.log(r_hi) - math.log(rmax_tflops)) / (
+                math.log(r_hi) - math.log(r_lo)
+            )
+            return round(p_hi + frac * (p_lo - p_hi))
+    raise AssertionError("unreachable: anchors cover the range")

@@ -1,0 +1,33 @@
+"""The paper's microbenchmarks, as executable measurement programs.
+
+Each module reimplements one of §IV's measurement methodologies and
+runs it against the simulated machine rather than silicon:
+
+* :mod:`repro.microbench.instr` — the assembly-coded latency /
+  local-stall / global-stall probes behind Figs 4-5.
+* :mod:`repro.microbench.pingpong` — DES ping-pong between two ranks:
+  half-round-trip latency and bandwidth sweeps (Figs 6-9 methodology).
+* :mod:`repro.microbench.streams` — STREAM TRIAD and the memtime
+  pointer chase (Table III methodology).
+* :mod:`repro.microbench.latency_map` — the rank-0-to-everyone
+  zero-byte probe of Fig 10, executed as simulated messages.
+
+Because the probes *measure* models, they double as cross-layer
+validation: the test suite requires each measured value to agree with
+the analytic model it probes.
+"""
+
+from repro.microbench.instr import instruction_microbenchmark
+from repro.microbench.pingpong import PingPongResult, bandwidth_sweep, pingpong
+from repro.microbench.streams import memtime_probe, stream_triad_probe
+from repro.microbench.latency_map import measure_latency_map
+
+__all__ = [
+    "instruction_microbenchmark",
+    "PingPongResult",
+    "pingpong",
+    "bandwidth_sweep",
+    "stream_triad_probe",
+    "memtime_probe",
+    "measure_latency_map",
+]

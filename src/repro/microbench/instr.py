@@ -1,0 +1,65 @@
+"""Instruction-group microbenchmarks (the Figs 4-5 methodology).
+
+The paper's probes are assembly loops "not subject to compiler
+optimizations" measuring three quantities per instruction group.  This
+module runs the same three probes against an SPE pipeline model:
+
+* **latency** — issue spacing of a dependent chain,
+* **local stall** — issue spacing of independent instructions when the
+  other pipe is kept busy (isolating the per-unit limit),
+* **global stall** — the extra delay an unrelated instruction suffers
+  when issued right after the probed group.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.hardware.spe_pipeline import (
+    GROUP_PIPE,
+    INSTRUCTION_GROUPS,
+    Instruction,
+    InstructionGroup,
+    Pipe,
+    PipelineTable,
+    SPEPipeline,
+)
+
+__all__ = ["GroupMeasurement", "instruction_microbenchmark"]
+
+
+@dataclass(frozen=True)
+class GroupMeasurement:
+    """Measured characteristics of one instruction group."""
+
+    group: InstructionGroup
+    latency: float
+    repetition: float
+    global_stall: float
+
+
+def _measure_global_stall(pipe: SPEPipeline, group: InstructionGroup) -> float:
+    """Extra cycles before an *other-pipe* instruction can issue after
+    one instance of ``group`` (0 for fully pipelined units)."""
+    other = (
+        InstructionGroup.LS
+        if GROUP_PIPE[group] is Pipe.EVEN
+        else InstructionGroup.FX2
+    )
+    probe = pipe.schedule([Instruction(group), Instruction(other)])
+    # With no global stall the pair dual-issues in cycle 0.
+    return float(probe[1] - probe[0])
+
+
+def instruction_microbenchmark(table: PipelineTable) -> dict[InstructionGroup, GroupMeasurement]:
+    """Run all three probes for every group of ``table``."""
+    pipe = SPEPipeline(table)
+    out = {}
+    for group in INSTRUCTION_GROUPS:
+        out[group] = GroupMeasurement(
+            group=group,
+            latency=pipe.measure_latency(group),
+            repetition=pipe.measure_repetition(group),
+            global_stall=_measure_global_stall(pipe, group),
+        )
+    return out

@@ -1,0 +1,52 @@
+"""The Fig 10 probe: rank 0 messages every other node in sequence.
+
+"Rank 0 communicates to each of the other nodes in sequence with no
+network contention" — reproduced as an actual sequence of simulated
+zero-byte ping-pongs over the contention-aware fabric (which, probed
+one destination at a time, is contention-free by construction).
+"""
+
+from __future__ import annotations
+
+from repro.comm.mpi import Location, SimMPI
+from repro.network.simfabric import ContendedFabric
+from repro.network.topology import RoadrunnerTopology
+from repro.sim.engine import Simulator
+
+__all__ = ["measure_latency_map"]
+
+
+def measure_latency_map(
+    topology: RoadrunnerTopology,
+    destinations: list[int] | None = None,
+) -> dict[int, float]:
+    """One-way zero-byte latency from node 0 to each destination,
+    measured with sequential simulated ping-pongs.
+
+    ``destinations`` defaults to every other compute node; pass a
+    subset for quick probes (the full 3,059-destination sweep is the
+    Fig 10 benchmark's job).
+    """
+    if destinations is None:
+        destinations = list(range(1, topology.node_count))
+    results: dict[int, float] = {}
+    for dst in destinations:
+        if not 0 < dst < topology.node_count:
+            raise ValueError(f"destination {dst} out of range")
+        sim = Simulator()
+        fabric = ContendedFabric(sim, topology=topology)
+        comm = SimMPI(sim, fabric, [Location(node=0), Location(node=dst)])
+
+        def ping(rank):
+            yield from rank.send(1, size=0)
+            yield from rank.recv(source=1)
+
+        def pong(rank):
+            yield from rank.recv(source=0)
+            yield from rank.send(0, size=0)
+
+        sim.process(ping(comm.rank(0)))
+        sim.process(pong(comm.rank(1)))
+        sim.run()
+        results[dst] = sim.now / 2
+    return results

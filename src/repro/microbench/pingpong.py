@@ -1,0 +1,73 @@
+"""Ping-pong probes over SimMPI (the Figs 6-9 methodology).
+
+"A set of three communication ping-pong tests were developed to
+determine the achievable latency and bandwidth of each component of a
+Cell-to-Cell data transfer" — here the test is one generic DES program
+parameterized by the fabric and the two endpoints.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.comm.mpi import Location, SimMPI
+from repro.sim.engine import Simulator
+
+__all__ = ["PingPongResult", "pingpong", "bandwidth_sweep"]
+
+
+@dataclass(frozen=True)
+class PingPongResult:
+    """Measured one-way characteristics between two endpoints."""
+
+    size: int
+    one_way_time: float
+
+    @property
+    def bandwidth(self) -> float:
+        """Achieved B/s (0 for zero-byte probes)."""
+        return self.size / self.one_way_time if self.size and self.one_way_time else 0.0
+
+
+def pingpong(
+    fabric,
+    src: Location,
+    dst: Location,
+    size: int = 0,
+    repetitions: int = 10,
+) -> PingPongResult:
+    """Bounce ``size`` bytes back and forth; returns half the average
+    round trip — exactly how the paper's probes report latency."""
+    if repetitions < 1:
+        raise ValueError("repetitions must be >= 1")
+    sim = Simulator()
+    comm = SimMPI(sim, fabric, [src, dst])
+
+    def initiator(rank):
+        for _ in range(repetitions):
+            yield from rank.send(1, size=size)
+            yield from rank.recv(source=1)
+
+    def responder(rank):
+        for _ in range(repetitions):
+            yield from rank.recv(source=0)
+            yield from rank.send(0, size=size)
+
+    sim.process(initiator(comm.rank(0)), name="ping")
+    sim.process(responder(comm.rank(1)), name="pong")
+    sim.run()
+    return PingPongResult(size=size, one_way_time=sim.now / (2 * repetitions))
+
+
+def bandwidth_sweep(
+    fabric,
+    src: Location,
+    dst: Location,
+    sizes: Sequence[int],
+    repetitions: int = 4,
+) -> list[PingPongResult]:
+    """The classic message-size sweep behind the Figs 7-9 curves."""
+    return [
+        pingpong(fabric, src, dst, size=s, repetitions=repetitions) for s in sizes
+    ]

@@ -1,0 +1,83 @@
+"""STREAM TRIAD and memtime probes (the Table III methodology).
+
+``stream_triad_probe`` actually executes the TRIAD kernel
+(``a[i] = b[i] + s * c[i]``) with numpy — verifying the arithmetic —
+and reports the *modeled* time and bandwidth for the probed memory
+system.  ``memtime_probe`` builds a genuine dependent pointer chase
+("each word that is read is used to determine the address of the next
+word") and reports the modeled per-load latency for each working-set
+size.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.hardware.memory import MemorySystem
+
+__all__ = ["TriadProbe", "stream_triad_probe", "memtime_probe"]
+
+
+@dataclass(frozen=True)
+class TriadProbe:
+    """One TRIAD run: numerics checked, time modeled."""
+
+    system: str
+    elements: int
+    modeled_time: float
+    modeled_bandwidth: float
+    checksum: float
+
+
+def stream_triad_probe(
+    system: MemorySystem, elements: int = 100_000, scalar: float = 3.0
+) -> TriadProbe:
+    """Run TRIAD over ``elements`` doubles against ``system``."""
+    if elements < 1:
+        raise ValueError("elements must be >= 1")
+    b = np.arange(elements, dtype=np.float64)
+    c = np.ones(elements, dtype=np.float64)
+    a = b + scalar * c  # the TRIAD kernel itself
+    expected = elements * (elements - 1) / 2 + scalar * elements
+    if not np.isclose(a.sum(), expected):
+        raise AssertionError("TRIAD arithmetic self-check failed")
+    t = system.stream_triad_time(elements)
+    return TriadProbe(
+        system=system.name,
+        elements=elements,
+        modeled_time=t,
+        modeled_bandwidth=3 * elements * 8 / t,
+        checksum=float(a.sum()),
+    )
+
+
+def memtime_probe(
+    system: MemorySystem,
+    working_set_sizes: Sequence[int],
+    stride_bytes: int = 64,
+    seed: int = 2008,
+) -> list[tuple[int, float]]:
+    """The memtime curve: (working set, modeled per-load latency).
+
+    A random-permutation pointer chase is materialized and walked for
+    each size (verifying it visits every slot exactly once — the
+    defining property of the probe) and the model supplies the latency.
+    """
+    rng = np.random.default_rng(seed)
+    out = []
+    for size in working_set_sizes:
+        slots = max(2, size // stride_bytes)
+        perm = rng.permutation(slots)
+        chain = np.empty(slots, dtype=np.int64)
+        chain[perm] = np.roll(perm, -1)  # single cycle through all slots
+        # Walk it: must return to the start after exactly `slots` hops.
+        pos = int(perm[0])
+        for _ in range(slots):
+            pos = int(chain[pos])
+        if pos != int(perm[0]):
+            raise AssertionError("pointer chase is not a single cycle")
+        out.append((size, system.memtime_latency(size)))
+    return out

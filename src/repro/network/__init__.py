@@ -1,0 +1,28 @@
+"""The Roadrunner InfiniBand fabric at crossbar granularity.
+
+The topology is wired port-by-port from the paper's description (§II-B,
+§II-C, Fig 2): per-CU Voltaire ISR 9288 switches built from 24 lower +
+12 upper 24-port crossbars, and eight inter-CU switches of three levels
+of 12 crossbars forming a 2:1 reduced fat tree over 17 CUs.  Table I's
+hop census and Fig 10's latency staircase are *outputs* of routing over
+this graph.
+"""
+
+from repro.network.crossbar import CROSSBAR_PORTS, XbarId
+from repro.network.topology import NodeId, RoadrunnerTopology
+from repro.network.routing import hop_count, hop_census, average_hops, route
+from repro.network.latency import IBLatencyModel
+from repro.network.simfabric import ContendedFabric
+
+__all__ = [
+    "CROSSBAR_PORTS",
+    "XbarId",
+    "NodeId",
+    "RoadrunnerTopology",
+    "hop_count",
+    "hop_census",
+    "average_hops",
+    "route",
+    "IBLatencyModel",
+    "ContendedFabric",
+]

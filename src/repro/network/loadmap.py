@@ -1,0 +1,103 @@
+"""Link-load and oversubscription analysis of the reduced fat tree.
+
+The paper calls the inter-CU interconnect "a 2:1 reduced fat tree":
+each CU's 180 nodes share 96 uplinks (1.875:1 oversubscription), and
+the far side of the inter-CU switches (CUs 13-17) reaches the first
+twelve CUs only through the 96 first-to-middle-level crossbar links.
+This module routes explicit traffic patterns over the fabric and counts
+per-link traversals, making those tapers measurable.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Iterable
+
+from repro.network.cu_switch import (
+    COMPUTE_NODES_PER_CU,
+    LOWER_XBARS,
+    UPLINKS_PER_LOWER_XBAR,
+)
+from repro.network.intercu import FIRST_SIDE_CUS, INTERCU_SWITCHES, XBARS_PER_LEVEL
+from repro.network.routing import route
+from repro.network.topology import NodeId, RoadrunnerTopology
+
+__all__ = [
+    "link_loads",
+    "max_link_load",
+    "cu_oversubscription",
+    "cross_side_links",
+    "bisection_summary",
+]
+
+Edge = tuple
+
+
+def link_loads(
+    topo: RoadrunnerTopology,
+    pairs: Iterable[tuple[NodeId, NodeId]],
+    spread: bool = False,
+) -> Counter:
+    """Traversal count per fabric link for a set of (src, dst) flows.
+
+    Links are undirected edges keyed by the sorted endpoint pair; the
+    node-to-crossbar access links are included.  ``spread`` selects the
+    destination-hashed routing (see :func:`repro.network.routing.route`).
+    """
+    loads: Counter = Counter()
+    for src, dst in pairs:
+        if src == dst:
+            continue
+        path = [
+            topo.graph_node(src),
+            *route(topo, src, dst, spread=spread),
+            topo.graph_node(dst),
+        ]
+        for u, v in zip(path, path[1:]):
+            loads[tuple(sorted((repr(u), repr(v))))] += 1
+    return loads
+
+
+def max_link_load(
+    topo: RoadrunnerTopology,
+    pairs: Iterable[tuple[NodeId, NodeId]],
+    spread: bool = False,
+) -> int:
+    """The hottest link's traversal count (0 for no flows)."""
+    loads = link_loads(topo, pairs, spread=spread)
+    return max(loads.values()) if loads else 0
+
+
+def cu_oversubscription() -> float:
+    """Node-facing over uplink capacity of one CU: 180 / 96 = 1.875,
+    the paper's '2:1 reduced' ratio."""
+    uplinks = LOWER_XBARS * UPLINKS_PER_LOWER_XBAR
+    return COMPUTE_NODES_PER_CU / uplinks
+
+
+def cross_side_links() -> int:
+    """Links crossing between the fat tree's two sides (the F-M
+    crossbar links of all eight inter-CU switches)."""
+    return INTERCU_SWITCHES * XBARS_PER_LEVEL
+
+
+def bisection_summary(link_bandwidth: float = 2e9) -> dict[str, float]:
+    """Capacity figures of the reduced fat tree.
+
+    ``link_bandwidth`` is the per-direction rate of one 4x DDR link
+    (2 GB/s).  The far-side per-node share quantifies why CUs 13-17
+    see the fabric through a narrow waist.
+    """
+    if link_bandwidth <= 0:
+        raise ValueError("link bandwidth must be positive")
+    uplinks_per_cu = LOWER_XBARS * UPLINKS_PER_LOWER_XBAR
+    far_side_nodes = (17 - FIRST_SIDE_CUS) * COMPUTE_NODES_PER_CU
+    waist_capacity = cross_side_links() * link_bandwidth
+    return {
+        "cu_uplink_capacity": uplinks_per_cu * link_bandwidth,
+        "cu_node_capacity": COMPUTE_NODES_PER_CU * link_bandwidth,
+        "cu_oversubscription": cu_oversubscription(),
+        "cross_side_capacity": waist_capacity,
+        "far_side_nodes": float(far_side_nodes),
+        "far_side_per_node_share": waist_capacity / far_side_nodes,
+    }

@@ -1,0 +1,113 @@
+"""Deterministic routing and the Table I hop census.
+
+Hops count *crossbars traversed*, matching the paper's convention
+("A node is one hop away from the other seven on the same crossbar,
+...").  The closed-form rule below follows from the wiring in
+:mod:`repro.network.intercu` and is cross-validated against
+breadth-first search over the explicit graph by the test suite:
+
+========================================  ====
+destination relative to the source        hops
+========================================  ====
+self                                      0
+same lower crossbar                       1
+same CU, different crossbar               3
+other CU, same fat-tree side, same-index
+lower crossbar                            3
+other CU, same side, different crossbar   5
+other side, same-index lower crossbar     5
+other side, different crossbar            7
+========================================  ====
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+
+import networkx as nx
+
+from repro.network.crossbar import XbarId
+from repro.network.topology import NodeId, RoadrunnerTopology
+
+__all__ = ["hop_count", "route", "hop_census", "average_hops", "bfs_hop_count"]
+
+
+def hop_count(topo: RoadrunnerTopology, src: NodeId, dst: NodeId) -> int:
+    """Crossbar hops between two compute nodes (closed form)."""
+    if src == dst:
+        return 0
+    cu_s, local_s = topo.split(src)
+    cu_d, local_d = topo.split(dst)
+    xbar_s = topo.lower_xbar(src).index
+    xbar_d = topo.lower_xbar(dst).index
+    if cu_s == cu_d:
+        return 1 if xbar_s == xbar_d else 3
+    if topo.same_side(cu_s, cu_d):
+        return 3 if xbar_s == xbar_d else 5
+    return 5 if xbar_s == xbar_d else 7
+
+
+def route(
+    topo: RoadrunnerTopology, src: NodeId, dst: NodeId, spread: bool = False
+) -> list[XbarId]:
+    """The deterministic crossbar path from ``src`` to ``dst``.
+
+    With ``spread=False`` the route always takes uplink 0 and upper
+    crossbar 0 — simple, but it concentrates load.  ``spread=True``
+    selects the uplink and upper crossbar by destination (the
+    destination-based deterministic routing InfiniBand subnet managers
+    program), spreading flows across the CU's 4 uplinks and 12 upper
+    crossbars without changing any path length.  Either way the length
+    equals :func:`hop_count` and every consecutive pair is a wired edge.
+    """
+    from repro.network.intercu import uplink_target
+
+    if src == dst:
+        return []
+    cu_s, _ = topo.split(src)
+    cu_d, local_d = topo.split(dst)
+    lx_s = topo.lower_xbar(src)
+    lx_d = topo.lower_xbar(dst)
+    uplink = local_d % 4 if spread else 0
+    upper = local_d % 12 if spread else 0
+    if cu_s == cu_d:
+        if lx_s == lx_d:
+            return [lx_s]
+        return [lx_s, XbarId("U", cu_s, upper), lx_d]
+    # Leave the source CU through the destination-selected uplink.
+    exit_xbar = uplink_target(cu_s, lx_s.index, uplink)
+    path: list[XbarId] = [lx_s, exit_xbar]
+    if not topo.same_side(cu_s, cu_d):
+        # Cross the F-M-T (or T-M-F) chain of the same switch/port.
+        s, j = exit_xbar.owner, exit_xbar.index
+        middle = XbarId("M", s, j)
+        far_level = "T" if exit_xbar.level == "F" else "F"
+        path += [middle, XbarId(far_level, s, j)]
+    # Descend into the destination CU on the same-index lower crossbar.
+    landing = XbarId("L", cu_d, lx_s.index)
+    path.append(landing)
+    if landing != lx_d:
+        path += [XbarId("U", cu_d, upper), lx_d]
+    return path
+
+
+def bfs_hop_count(topo: RoadrunnerTopology, src: NodeId, dst: NodeId) -> int:
+    """Crossbar hops via shortest path over the explicit graph (oracle)."""
+    path = nx.shortest_path(topo.graph, topo.graph_node(src), topo.graph_node(dst))
+    return sum(1 for v in path if isinstance(v, XbarId))
+
+
+def hop_census(topo: RoadrunnerTopology, src: NodeId = 0) -> Counter:
+    """Table I: how many destinations lie at each hop distance."""
+    census: Counter = Counter()
+    for dst in range(topo.node_count):
+        census[hop_count(topo, src, dst)] += 1
+    return census
+
+
+def average_hops(topo: RoadrunnerTopology, src: NodeId = 0) -> float:
+    """Average hop count over *all* destinations including self, the
+    convention behind Table I's '5.38 (average)' row."""
+    census = hop_census(topo, src)
+    total = sum(h * n for h, n in census.items())
+    return total / topo.node_count

@@ -1,0 +1,145 @@
+"""A contention-aware DES fabric for SimMPI.
+
+The analytic fabrics in :mod:`repro.comm` charge each message a cost
+curve independent of other traffic.  :class:`ContendedFabric` instead
+materializes per-node InfiniBand injection/ejection ports as fair-shared
+:class:`~repro.sim.resources.BandwidthLink` pipes on the simulation, so
+concurrent messages through the same HCA split its 2 GB/s — the
+mechanism behind the paper's observation that Fig 7's curves show "the
+worst-performing pair when all Cell-Opteron pairs are in use".
+
+Usage: construct with the :class:`~repro.sim.engine.Simulator` that
+will run the communicator, then pass it to
+:class:`~repro.comm.mpi.SimMPI` as the fabric.  The zero-byte latency
+part stays analytic (hop count x 220 ns + software overhead); only the
+bandwidth phase contends.
+"""
+
+from __future__ import annotations
+
+from repro.comm.mpi import Location
+from repro.network.latency import IBLatencyModel
+from repro.network.routing import hop_count
+from repro.network.topology import RoadrunnerTopology
+from repro.sim.engine import Event, Simulator
+from repro.sim.resources import BandwidthLink
+
+__all__ = ["ContendedFabric"]
+
+
+class ContendedFabric:
+    """Per-node NIC contention over the Roadrunner fabric.
+
+    Implements both the analytic fabric protocol (``one_way_time`` /
+    ``zero_byte_latency`` for latency bookkeeping) and an extended
+    ``transfer`` hook that SimMPI-compatible callers can use to route a
+    message's bandwidth phase through the shared tx/rx links.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        topology: RoadrunnerTopology | None = None,
+        latency_model: IBLatencyModel | None = None,
+        model_uplinks: bool = False,
+        spread_routing: bool = False,
+    ):
+        self.sim = sim
+        self.topology = topology or RoadrunnerTopology(cu_count=1)
+        self.latency = latency_model or IBLatencyModel()
+        #: also contend for the CU uplink a route leaves through (the
+        #: 2:1-taper resource of §II-C); off by default for speed
+        self.model_uplinks = model_uplinks
+        #: use destination-hashed routing when picking uplinks
+        self.spread_routing = spread_routing
+        self._tx: dict[int, BandwidthLink] = {}
+        self._rx: dict[int, BandwidthLink] = {}
+        self._uplinks: dict[tuple, BandwidthLink] = {}
+
+    def _nic(self, table: dict[int, BandwidthLink], node: int) -> BandwidthLink:
+        if node not in table:
+            kind = "tx" if table is self._tx else "rx"
+            table[node] = BandwidthLink(
+                self.sim, self.latency.bandwidth, name=f"hca-{kind}-{node}"
+            )
+        return table[node]
+
+    # -- analytic protocol (used by SimMPI for latency bookkeeping) --------
+    def zero_byte_latency(self, src: Location, dst: Location) -> float:
+        if src.node == dst.node:
+            return 0.0
+        return self.latency.zero_byte_latency(self.topology, src.node, dst.node)
+
+    def one_way_time(self, src: Location, dst: Location, size: int) -> float:
+        """Uncontended one-way time (the floor the DES enforces)."""
+        if src.node == dst.node:
+            return 0.0
+        return self.latency.message_latency(self.topology, src.node, dst.node, size)
+
+    # -- the contended path --------------------------------------------------
+    def transfer(self, src: Location, dst: Location, size: int) -> Event:
+        """Move a message's payload bytes through the shared NICs.
+
+        Returns an event firing when the bytes have cleared both the
+        source's injection port and the destination's ejection port.
+        The two crossings proceed concurrently (cut-through: bytes
+        stream out of one port into the other), so an uncontended
+        message pays one bandwidth phase and the slower of two congested
+        ports sets the pace.  Zero-size messages and intranode messages
+        complete immediately.
+        """
+        done = Event(self.sim)
+        if size == 0 or src.node == dst.node:
+            done.succeed(self.sim.now)
+            return done
+        links = [
+            self._nic(self._tx, src.node),
+            self._nic(self._rx, dst.node),
+        ]
+        if self.model_uplinks:
+            links.extend(self._route_uplinks(src.node, dst.node))
+
+        def mover(sim):
+            yield sim.all_of([link.transfer(size) for link in links])
+            return sim.now
+
+        proc = self.sim.process(mover(self.sim), name="fabric-transfer")
+        proc.callbacks.append(
+            lambda evt: done.succeed(evt.value) if evt.ok else done.fail(evt.value)
+        )
+        return done
+
+    def _route_uplinks(self, src_node: int, dst_node: int) -> list[BandwidthLink]:
+        """Shared CU-uplink links along the route (if it leaves a CU).
+
+        An uplink is identified by the (lower crossbar, inter-CU
+        crossbar) edge the deterministic route takes; 180 nodes share
+        their CU's 96 uplinks, so these links are where the paper's
+        2:1 taper bites under load.
+        """
+        from repro.network.crossbar import XbarId
+        from repro.network.routing import route
+
+        path = route(self.topology, src_node, dst_node, spread=self.spread_routing)
+        out = []
+        for u, v in zip(path, path[1:]):
+            levels = {u.level, v.level}
+            if "L" in levels and levels & {"F", "T"}:
+                key = tuple(sorted((u, v)))
+                if key not in self._uplinks:
+                    self._uplinks[key] = BandwidthLink(
+                        self.sim, self.latency.bandwidth, name=f"uplink-{key}"
+                    )
+                out.append(self._uplinks[key])
+        return out
+
+    def hops(self, src: Location, dst: Location) -> int:
+        """Crossbar hops between the endpoints' nodes."""
+        return hop_count(self.topology, src.node, dst.node)
+
+    # -- instrumentation -------------------------------------------------------
+    def nic_bytes(self, node: int) -> tuple[float, float]:
+        """(injected, ejected) bytes through a node's HCA so far."""
+        injected = self._tx[node].bytes_transferred if node in self._tx else 0.0
+        ejected = self._rx[node].bytes_transferred if node in self._rx else 0.0
+        return injected, ejected

@@ -1,0 +1,415 @@
+"""Core discrete-event simulation kernel.
+
+The kernel is deliberately small and deterministic:
+
+* The event queue is a binary heap ordered by ``(time, priority, seq)``.
+  ``seq`` is a monotonically increasing tie-breaker, so two events
+  scheduled for the same instant always fire in scheduling order.  This
+  makes every simulation run bit-for-bit reproducible.
+* Processes are plain Python generators.  A process yields an
+  :class:`Event` (or a :class:`Process`, which is itself an event that
+  fires on termination) and is resumed with the event's value when the
+  event succeeds, or has the failure exception thrown into it when the
+  event fails.
+
+Example
+-------
+>>> sim = Simulator()
+>>> log = []
+>>> def worker(sim, name, delay):
+...     yield sim.timeout(delay)
+...     log.append((sim.now, name))
+>>> _ = sim.process(worker(sim, "a", 2.0))
+>>> _ = sim.process(worker(sim, "b", 1.0))
+>>> sim.run()
+>>> log
+[(1.0, 'b'), (2.0, 'a')]
+"""
+
+from __future__ import annotations
+
+import heapq
+from collections.abc import Generator, Iterable
+from typing import Any
+
+__all__ = [
+    "AllOf",
+    "AnyOf",
+    "Event",
+    "Interrupt",
+    "Process",
+    "SimulationError",
+    "Simulator",
+    "Timeout",
+]
+
+
+class SimulationError(RuntimeError):
+    """Raised for misuse of the simulation kernel (e.g. time travel)."""
+
+
+class Interrupt(Exception):
+    """Thrown into a process when another process interrupts it.
+
+    The ``cause`` attribute carries the value passed to
+    :meth:`Process.interrupt`.
+    """
+
+    def __init__(self, cause: Any = None):
+        super().__init__(cause)
+        self.cause = cause
+
+
+# Event priorities: URGENT events (internal resumptions) run before NORMAL
+# events scheduled for the same instant, so resource handoffs complete
+# before new work starts at a timestep.
+URGENT = 0
+NORMAL = 1
+
+
+class Event:
+    """A one-shot occurrence processes can wait on.
+
+    An event is *triggered* (scheduled to fire) via :meth:`succeed` or
+    :meth:`fail` and *processed* when the simulator pops it from the
+    queue, at which point all registered callbacks run.
+    """
+
+    def __init__(self, sim: "Simulator"):
+        self.sim = sim
+        self.callbacks: list = []
+        self._value: Any = None
+        self._ok: bool | None = None
+        self._triggered = False
+        self._processed = False
+        #: set True once some waiter consumed a failure; unhandled failures
+        #: are re-raised by the simulator at the end of the step.
+        self.defused = False
+
+    # -- state ------------------------------------------------------------
+    @property
+    def triggered(self) -> bool:
+        """True once the event has been scheduled to fire."""
+        return self._triggered
+
+    @property
+    def processed(self) -> bool:
+        """True once callbacks have run."""
+        return self._processed
+
+    @property
+    def ok(self) -> bool:
+        """True if the event succeeded. Valid only after triggering."""
+        if self._ok is None:
+            raise SimulationError("event has not been triggered yet")
+        return self._ok
+
+    @property
+    def value(self) -> Any:
+        """The event's result value (or failure exception)."""
+        if not self._triggered:
+            raise SimulationError("event has not been triggered yet")
+        return self._value
+
+    # -- triggering -------------------------------------------------------
+    def succeed(self, value: Any = None, delay: float = 0.0) -> "Event":
+        """Schedule this event to fire successfully after ``delay``."""
+        if self._triggered:
+            raise SimulationError("event already triggered")
+        self._triggered = True
+        self._ok = True
+        self._value = value
+        self.sim._schedule(self, delay=delay)
+        return self
+
+    def fail(self, exception: BaseException, delay: float = 0.0) -> "Event":
+        """Schedule this event to fire as a failure after ``delay``."""
+        if self._triggered:
+            raise SimulationError("event already triggered")
+        if not isinstance(exception, BaseException):
+            raise TypeError("fail() requires an exception instance")
+        self._triggered = True
+        self._ok = False
+        self._value = exception
+        self.sim._schedule(self, delay=delay)
+        return self
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = (
+            "processed"
+            if self._processed
+            else "triggered"
+            if self._triggered
+            else "pending"
+        )
+        return f"<{type(self).__name__} {state} at {hex(id(self))}>"
+
+
+class Timeout(Event):
+    """An event that fires after a fixed simulated delay."""
+
+    def __init__(self, sim: "Simulator", delay: float, value: Any = None):
+        if delay < 0:
+            raise SimulationError(f"negative timeout delay: {delay!r}")
+        super().__init__(sim)
+        self._triggered = True
+        self._ok = True
+        self._value = value
+        self.delay = delay
+        sim._schedule(self, delay=delay)
+
+
+class Process(Event):
+    """A running simulation process wrapping a generator.
+
+    A :class:`Process` is itself an :class:`Event` that fires when the
+    generator terminates: its value is the generator's return value, or
+    the uncaught exception on failure.  This lets one process ``yield``
+    another to join it.
+    """
+
+    def __init__(self, sim: "Simulator", generator: Generator, name: str | None = None):
+        if not isinstance(generator, Generator):
+            raise TypeError(f"Process requires a generator, got {type(generator)!r}")
+        super().__init__(sim)
+        self.generator = generator
+        self.name = name or getattr(generator, "__name__", "process")
+        self._target: Event | None = None
+        # Bootstrap: resume the generator at the current instant.
+        init = Event(sim)
+        init._triggered = True
+        init._ok = True
+        sim._schedule(init, delay=0.0, priority=URGENT)
+        init.callbacks.append(self._resume)
+
+    @property
+    def is_alive(self) -> bool:
+        """True while the underlying generator has not terminated."""
+        return not self._triggered
+
+    @property
+    def target(self) -> Event | None:
+        """The event this process is currently waiting on."""
+        return self._target
+
+    def interrupt(self, cause: Any = None) -> None:
+        """Throw :class:`Interrupt` into the process at the current time."""
+        if self._triggered:
+            raise SimulationError(f"cannot interrupt dead process {self.name!r}")
+        evt = Event(self.sim)
+        evt._triggered = True
+        evt._ok = False
+        evt._value = Interrupt(cause)
+        evt.defused = True
+        # Detach from the current target so its eventual firing is ignored.
+        if self._target is not None and self._resume in self._target.callbacks:
+            self._target.callbacks.remove(self._resume)
+        self._target = None
+        self.sim._schedule(evt, delay=0.0, priority=URGENT)
+        evt.callbacks.append(self._resume)
+
+    # -- internal ---------------------------------------------------------
+    def _resume(self, event: Event) -> None:
+        self.sim._active_process = self
+        try:
+            while True:
+                if event._ok:
+                    try:
+                        target = self.generator.send(event._value)
+                    except StopIteration as stop:
+                        self._terminate(value=stop.value)
+                        return
+                    except BaseException as exc:
+                        self._terminate(error=exc)
+                        return
+                else:
+                    event.defused = True
+                    try:
+                        target = self.generator.throw(event._value)
+                    except StopIteration as stop:
+                        self._terminate(value=stop.value)
+                        return
+                    except BaseException as exc:
+                        if exc is event._value:
+                            # The process did not handle the failure; it
+                            # propagates as this process's own failure.
+                            self._terminate(error=exc)
+                            return
+                        raise
+                if not isinstance(target, Event):
+                    exc = SimulationError(
+                        f"process {self.name!r} yielded non-event {target!r}"
+                    )
+                    try:
+                        self.generator.throw(exc)
+                    except StopIteration as stop:
+                        self._terminate(value=stop.value)
+                        return
+                    except SimulationError as err:
+                        self._terminate(error=err)
+                        return
+                if target.sim is not self.sim:
+                    raise SimulationError("cannot wait on an event from another simulator")
+                if target._processed:
+                    # Already fired: loop and resume immediately with its value.
+                    event = target
+                    continue
+                self._target = target
+                target.callbacks.append(self._resume)
+                return
+        finally:
+            self.sim._active_process = None
+
+    def _terminate(self, value: Any = None, error: BaseException | None = None) -> None:
+        self._target = None
+        if error is not None:
+            self.fail(error)
+        else:
+            self.succeed(value)
+
+
+class _Condition(Event):
+    """Base for :class:`AllOf` / :class:`AnyOf` composite events."""
+
+    def __init__(self, sim: "Simulator", events: Iterable[Event]):
+        super().__init__(sim)
+        self.events = tuple(events)
+        for evt in self.events:
+            if evt.sim is not sim:
+                raise SimulationError("condition mixes events from different simulators")
+        self._count = 0
+        if not self.events:
+            self.succeed({})
+            return
+        for evt in self.events:
+            if evt._processed:
+                self._check(evt)
+            else:
+                evt.callbacks.append(self._check)
+
+    def _collect(self) -> dict[Event, Any]:
+        return {e: e._value for e in self.events if e._processed and e._ok}
+
+    def _check(self, event: Event) -> None:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+
+class AllOf(_Condition):
+    """Fires once *all* constituent events have fired successfully."""
+
+    def _check(self, event: Event) -> None:
+        if self._triggered:
+            return
+        if not event._ok:
+            event.defused = True
+            self.fail(event._value)
+            return
+        self._count += 1
+        if self._count == len(self.events):
+            self.succeed(self._collect())
+
+
+class AnyOf(_Condition):
+    """Fires as soon as *any* constituent event fires successfully."""
+
+    def _check(self, event: Event) -> None:
+        if self._triggered:
+            return
+        if not event._ok:
+            event.defused = True
+            self.fail(event._value)
+            return
+        self.succeed(self._collect())
+
+
+class Simulator:
+    """The event loop: owns the clock and the pending-event heap."""
+
+    def __init__(self):
+        self._now = 0.0
+        self._queue: list[tuple[float, int, int, Event]] = []
+        self._seq = 0
+        self._active_process: Process | None = None
+
+    @property
+    def now(self) -> float:
+        """Current simulated time in seconds."""
+        return self._now
+
+    @property
+    def active_process(self) -> Process | None:
+        """The process currently being resumed, if any."""
+        return self._active_process
+
+    # -- event construction -------------------------------------------------
+    def event(self) -> Event:
+        """Create an untriggered event."""
+        return Event(self)
+
+    def timeout(self, delay: float, value: Any = None) -> Timeout:
+        """Create an event that fires ``delay`` seconds from now."""
+        return Timeout(self, delay, value)
+
+    def process(self, generator: Generator, name: str | None = None) -> Process:
+        """Start a new process from ``generator``."""
+        return Process(self, generator, name=name)
+
+    def all_of(self, events: Iterable[Event]) -> AllOf:
+        """Composite event firing when all ``events`` have fired."""
+        return AllOf(self, events)
+
+    def any_of(self, events: Iterable[Event]) -> AnyOf:
+        """Composite event firing when any of ``events`` has fired."""
+        return AnyOf(self, events)
+
+    # -- scheduling ----------------------------------------------------------
+    def _schedule(self, event: Event, delay: float = 0.0, priority: int = NORMAL) -> None:
+        if delay < 0:
+            raise SimulationError(f"cannot schedule into the past (delay={delay!r})")
+        self._seq += 1
+        heapq.heappush(self._queue, (self._now + delay, priority, self._seq, event))
+
+    def peek(self) -> float:
+        """Time of the next scheduled event, or ``inf`` if none."""
+        return self._queue[0][0] if self._queue else float("inf")
+
+    def step(self) -> None:
+        """Process exactly one event."""
+        if not self._queue:
+            raise SimulationError("step() on an empty event queue")
+        time, _prio, _seq, event = heapq.heappop(self._queue)
+        if time < self._now:
+            raise SimulationError("event queue corrupted: time moved backwards")
+        self._now = time
+        event._processed = True
+        callbacks, event.callbacks = event.callbacks, []
+        for callback in callbacks:
+            callback(event)
+        if not event._ok and not event.defused:
+            raise event._value
+
+    def run(self, until: float | Event | None = None) -> Any:
+        """Run until the queue drains, time ``until``, or event ``until``.
+
+        Returns the event's value when ``until`` is an event that fired.
+        """
+        if isinstance(until, Event):
+            stop = until
+            while not stop._processed:
+                if not self._queue:
+                    raise SimulationError(
+                        "simulation ran out of events before the awaited event fired"
+                    )
+                self.step()
+            if stop._ok:
+                return stop._value
+            stop.defused = True
+            raise stop._value
+        horizon = float("inf") if until is None else float(until)
+        if horizon < self._now:
+            raise SimulationError(f"run(until={horizon!r}) is in the past (now={self._now!r})")
+        while self._queue and self._queue[0][0] <= horizon:
+            self.step()
+        if horizon != float("inf"):
+            self._now = horizon
+        return None

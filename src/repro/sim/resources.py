@@ -1,0 +1,235 @@
+"""Shared-resource primitives for the DES kernel.
+
+Three primitives cover every hardware sharing pattern in the Roadrunner
+models:
+
+:class:`Resource`
+    A counted FIFO server (e.g. a DMA engine with N channels, a NIC send
+    queue of depth 1).
+:class:`Store`
+    An unbounded FIFO of items with blocking ``get`` (e.g. a message
+    mailbox).
+:class:`BandwidthLink`
+    A processor-sharing pipe: concurrent transfers split the link's
+    bandwidth equally, the exact model of a full-duplex-ish shared bus.
+    This is what produces the paper's "bidirectional < 2x unidirectional"
+    behaviour when a direction-shared efficiency factor is applied.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any
+
+from repro.sim.engine import Event, SimulationError, Simulator
+
+__all__ = ["Resource", "Store", "BandwidthLink"]
+
+
+class Resource:
+    """A counted FIFO resource with ``capacity`` concurrent slots.
+
+    Usage from a process::
+
+        req = resource.request()
+        yield req
+        try:
+            ... hold the resource ...
+        finally:
+            resource.release(req)
+    """
+
+    def __init__(self, sim: Simulator, capacity: int = 1):
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.sim = sim
+        self.capacity = capacity
+        self._users: set[Event] = set()
+        self._waiting: deque[Event] = deque()
+
+    @property
+    def count(self) -> int:
+        """Number of slots currently held."""
+        return len(self._users)
+
+    @property
+    def queue_length(self) -> int:
+        """Number of requests waiting for a slot."""
+        return len(self._waiting)
+
+    def request(self) -> Event:
+        """Return an event that fires when a slot is granted (FIFO order)."""
+        req = Event(self.sim)
+        if len(self._users) < self.capacity and not self._waiting:
+            self._users.add(req)
+            req.succeed(self)
+        else:
+            self._waiting.append(req)
+        return req
+
+    def release(self, request: Event) -> None:
+        """Release the slot held by ``request``."""
+        try:
+            self._users.remove(request)
+        except KeyError:
+            raise SimulationError("release() of a request that does not hold the resource")
+        if self._waiting:
+            nxt = self._waiting.popleft()
+            self._users.add(nxt)
+            nxt.succeed(self)
+
+    def cancel(self, request: Event) -> None:
+        """Withdraw a request that is no longer wanted.
+
+        Required in a process's ``except Interrupt`` handler when it was
+        interrupted while queued: otherwise the orphaned request is
+        eventually granted a slot nobody will release.  Safe to call
+        whether the request is still waiting or was already granted;
+        a request unknown to the resource is ignored (it may have been
+        cancelled already).
+        """
+        try:
+            self._waiting.remove(request)
+            return
+        except ValueError:
+            pass
+        if request in self._users:
+            self.release(request)
+
+
+class Store:
+    """Unbounded FIFO item store with blocking ``get``.
+
+    ``put`` never blocks.  ``get`` returns an event whose value is the
+    item, fired immediately if an item is available, otherwise when the
+    next ``put`` arrives.  Waiters are served in FIFO order.
+    """
+
+    def __init__(self, sim: Simulator):
+        self.sim = sim
+        self._items: deque[Any] = deque()
+        self._getters: deque[Event] = deque()
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def put(self, item: Any) -> None:
+        """Deposit ``item``; wakes the oldest waiting getter if any."""
+        if self._getters:
+            self._getters.popleft().succeed(item)
+        else:
+            self._items.append(item)
+
+    def get(self) -> Event:
+        """Return an event that fires with the next available item."""
+        evt = Event(self.sim)
+        if self._items:
+            evt.succeed(self._items.popleft())
+        else:
+            self._getters.append(evt)
+        return evt
+
+
+class _Transfer:
+    __slots__ = ("size", "remaining", "done")
+
+    def __init__(self, size: float, done: Event):
+        self.size = float(size)
+        self.remaining = float(size)
+        self.done = done
+
+
+class BandwidthLink:
+    """A fair-shared (processor-sharing) bandwidth pipe.
+
+    ``n`` concurrent transfers each progress at ``bandwidth / n`` bytes
+    per second.  :meth:`transfer` returns an event that fires when the
+    requested number of bytes has fully crossed the link.
+
+    The implementation is event-driven: whenever the set of active
+    transfers changes, remaining byte counts are advanced to the current
+    time and a fresh completion event is scheduled for the next finisher.
+    A generation counter invalidates completion events that were
+    scheduled under an outdated sharing level.
+    """
+
+    def __init__(self, sim: Simulator, bandwidth: float, name: str = "link"):
+        if bandwidth <= 0:
+            raise ValueError(f"bandwidth must be positive, got {bandwidth}")
+        self.sim = sim
+        self.bandwidth = float(bandwidth)
+        self.name = name
+        self._active: list[_Transfer] = []
+        self._last_update = 0.0
+        self._generation = 0
+        #: cumulative bytes that have fully crossed the link
+        self.bytes_transferred = 0.0
+
+    @property
+    def active_transfers(self) -> int:
+        """Number of transfers currently sharing the link."""
+        return len(self._active)
+
+    def transfer(self, size: float) -> Event:
+        """Start moving ``size`` bytes; returns the completion event."""
+        if size < 0:
+            raise ValueError(f"transfer size must be >= 0, got {size}")
+        done = Event(self.sim)
+        if size == 0:
+            done.succeed(0.0)
+            return done
+        self._advance()
+        self._active.append(_Transfer(size, done))
+        self._reschedule()
+        return done
+
+    # -- internal ---------------------------------------------------------
+    def _rate(self) -> float:
+        return self.bandwidth / len(self._active) if self._active else 0.0
+
+    def _advance(self) -> None:
+        """Progress all active transfers up to the current instant."""
+        now = self.sim.now
+        if self._active:
+            moved = (now - self._last_update) * self._rate()
+            if moved > 0:
+                for t in self._active:
+                    t.remaining -= moved
+        self._last_update = now
+
+    def _reschedule(self) -> None:
+        self._generation += 1
+        gen = self._generation
+        if not self._active:
+            return
+        rate = self._rate()
+        next_done = min(t.remaining for t in self._active)
+        delay = max(0.0, next_done / rate)
+        timer = self.sim.timeout(delay)
+        timer.callbacks.append(lambda _evt, gen=gen: self._on_timer(gen))
+
+    def _on_timer(self, generation: int) -> None:
+        if generation != self._generation:
+            return  # superseded by a membership change
+        self._advance()
+
+        def is_done(t: _Transfer) -> bool:
+            # Absolute floor plus a relative tolerance: repeated
+            # rate-change bookkeeping leaves O(eps * size) residuals.
+            return t.remaining <= max(1e-9, 1e-9 * t.size)
+
+        finished = [t for t in self._active if is_done(t)]
+        if not finished and self._active:
+            # Guaranteed progress: if the earliest finisher's residual
+            # is too small for the clock to advance (now + dt == now in
+            # floating point), force-complete it rather than livelock.
+            rate = self._rate()
+            nearest = min(self._active, key=lambda t: t.remaining)
+            if self.sim.now + nearest.remaining / rate == self.sim.now:
+                finished = [nearest]
+        finished_set = set(id(t) for t in finished)
+        self._active = [t for t in self._active if id(t) not in finished_set]
+        for t in finished:
+            self.bytes_transferred += t.size
+            t.done.succeed(self.sim.now)
+        self._reschedule()

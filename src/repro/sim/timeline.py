@@ -1,0 +1,95 @@
+"""Busy-interval timelines and text Gantt rendering.
+
+A :class:`Timeline` collects (actor, start, end, label) intervals —
+e.g. per-rank compute blocks of the distributed sweep — and renders
+them as a monospace Gantt chart, giving terminal-level visibility into
+pipeline fill, drain, and stragglers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["Interval", "Timeline"]
+
+
+@dataclass(frozen=True)
+class Interval:
+    """One busy span of one actor."""
+
+    actor: str
+    start: float
+    end: float
+    label: str = ""
+
+    def __post_init__(self):
+        if self.end < self.start:
+            raise ValueError("interval ends before it starts")
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+
+@dataclass
+class Timeline:
+    """Accumulates intervals and summarizes utilization."""
+
+    intervals: list[Interval] = field(default_factory=list)
+
+    def record(self, actor: str, start: float, end: float, label: str = "") -> None:
+        """Append one busy interval."""
+        self.intervals.append(Interval(actor, start, end, label))
+
+    def actors(self) -> list[str]:
+        """Actor names in first-appearance order."""
+        seen: dict[str, None] = {}
+        for iv in self.intervals:
+            seen.setdefault(iv.actor, None)
+        return list(seen)
+
+    @property
+    def span(self) -> tuple[float, float]:
+        """(earliest start, latest end) over all intervals."""
+        if not self.intervals:
+            return (0.0, 0.0)
+        return (
+            min(iv.start for iv in self.intervals),
+            max(iv.end for iv in self.intervals),
+        )
+
+    def busy_time(self, actor: str) -> float:
+        """Total busy seconds of one actor (intervals assumed disjoint)."""
+        return sum(iv.duration for iv in self.intervals if iv.actor == actor)
+
+    def utilization(self, actor: str) -> float:
+        """Busy fraction of the whole timeline span."""
+        lo, hi = self.span
+        total = hi - lo
+        return self.busy_time(actor) / total if total > 0 else 0.0
+
+    def render(self, width: int = 60, busy_char: str = "#", idle_char: str = ".") -> str:
+        """A text Gantt: one row per actor, ``width`` columns of time."""
+        if width < 1:
+            raise ValueError("width must be >= 1")
+        lo, hi = self.span
+        total = hi - lo
+        names = self.actors()
+        if not names or total <= 0:
+            return "(empty timeline)"
+        name_w = max(len(n) for n in names)
+        lines = []
+        for name in names:
+            row = [idle_char] * width
+            for iv in self.intervals:
+                if iv.actor != name:
+                    continue
+                a = int((iv.start - lo) / total * width)
+                b = max(a + 1, int((iv.end - lo) / total * width))
+                for col in range(a, min(b, width)):
+                    row[col] = busy_char
+            lines.append(
+                f"{name.ljust(name_w)} |{''.join(row)}| "
+                f"{self.utilization(name):5.1%}"
+            )
+        return "\n".join(lines)

@@ -1,0 +1,88 @@
+"""Time-stamped tracing and summary statistics for simulation runs.
+
+A :class:`Tracer` collects :class:`TraceRecord` tuples emitted by model
+components (message sends, DMA completions, sweep block starts).  It is
+deliberately passive — recording never perturbs simulated time — and
+offers simple filtering/aggregation used by tests and examples.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterator
+
+__all__ = ["TraceRecord", "Tracer"]
+
+
+@dataclass(frozen=True)
+class TraceRecord:
+    """One traced occurrence.
+
+    Attributes
+    ----------
+    time:
+        Simulated time in seconds.
+    category:
+        Free-form event class, e.g. ``"mpi.send"`` or ``"dma"``.
+    source:
+        Identifier of the emitting component (rank, link name, ...).
+    detail:
+        Arbitrary payload describing the occurrence.
+    """
+
+    time: float
+    category: str
+    source: Any
+    detail: Any = None
+
+
+@dataclass
+class Tracer:
+    """Accumulates trace records; optionally restricted to some categories."""
+
+    categories: frozenset[str] | None = None
+    records: list[TraceRecord] = field(default_factory=list)
+
+    def enabled_for(self, category: str) -> bool:
+        """Whether records of ``category`` are being kept."""
+        return self.categories is None or category in self.categories
+
+    def record(self, time: float, category: str, source: Any, detail: Any = None) -> None:
+        """Append a record if its category is enabled."""
+        if self.enabled_for(category):
+            self.records.append(TraceRecord(time, category, source, detail))
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def filter(
+        self,
+        category: str | None = None,
+        predicate: Callable[[TraceRecord], bool] | None = None,
+    ) -> Iterator[TraceRecord]:
+        """Iterate records matching ``category`` and/or ``predicate``."""
+        for rec in self.records:
+            if category is not None and rec.category != category:
+                continue
+            if predicate is not None and not predicate(rec):
+                continue
+            yield rec
+
+    def count(self, category: str) -> int:
+        """Number of records in ``category``."""
+        return sum(1 for _ in self.filter(category))
+
+    def span(self) -> float:
+        """Time between the first and last record (0.0 if < 2 records)."""
+        if len(self.records) < 2:
+            return 0.0
+        times = [r.time for r in self.records]
+        return max(times) - min(times)
+
+    def clear(self) -> None:
+        """Drop all accumulated records."""
+        self.records.clear()
+
+
+#: A tracer that keeps nothing; components use it as a no-op default.
+NULL_TRACER = Tracer(categories=frozenset())

@@ -1,0 +1,158 @@
+"""The SPE-centric Cell port of Sweep3D: cost model (paper §V-B, §VI).
+
+The port gives every SPE an MPI rank and a static I x J x K subgrid.
+Three costs matter:
+
+* the **grind time** — seconds per cell-angle of the optimized inner
+  loop.  It is *derived* from the SPE pipeline tables via an
+  instruction-mix stream (below), so the Cell BE / PowerXCell 8i 1.9x
+  ratio of Table IV is an output of the FPD-unit redesign, not an input;
+* the **local-store constraint** — the work block ``it x jt x (kt/mk)``
+  must fit the 256 KB local store, which bounds the blocking factor MK;
+* the **DMA traffic** — each block is fetched from and flushed to Cell
+  main memory through the MFC, double-buffered so DMA overlaps compute.
+
+The instruction mix per cell-angle models the unrolled, SIMD-ified,
+dual-issue-scheduled loop the paper describes: 16 FPD ops (two-wide DP
+FMAs — ~32 flops per cell-angle, the classic Sweep3D count), heavy
+local-store traffic, shuffles for the SIMD angle packing, and
+fixed-point address arithmetic.  The odd (load/store) pipe is the
+bottleneck on the PowerXCell 8i; on the Cell BE the same stream stalls
+6 extra cycles per FPD issue.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.hardware.cell import CellVariant, POWERXCELL_8I, CELL_BE, SPE_LOCAL_STORE_BYTES
+from repro.hardware.dma import DMAEngine, MFC_DMA
+from repro.hardware.spe_pipeline import (
+    Instruction,
+    InstructionGroup,
+    SPEPipeline,
+    build_interleaved_stream,
+)
+from repro.sweep3d.input import SweepInput
+
+__all__ = [
+    "SWEEP_MIX_PER_CELL_ANGLE",
+    "build_sweep_stream",
+    "grind_cycles",
+    "grind_time",
+    "grind_times",
+    "SPE_GRIND",
+    "CellPortModel",
+]
+
+_G = InstructionGroup
+
+#: Instruction counts per cell-angle of the optimized SPE inner loop.
+SWEEP_MIX_PER_CELL_ANGLE: dict[InstructionGroup, int] = {
+    _G.FPD: 16,   # 2-wide DP FMAs: ~32 flops/cell-angle
+    _G.FX2: 60,   # address arithmetic, loop counters
+    _G.FP7: 8,    # int<->float conversions
+    _G.LS: 70,    # local-store loads/stores (odd pipe; the bottleneck)
+    _G.SHUF: 20,  # SIMD angle packing/unpacking
+    _G.BR: 11,    # unrolled-loop branches and fixup tests
+}
+
+
+def build_sweep_stream(cell_angles: int) -> list[Instruction]:
+    """An instruction stream covering ``cell_angles`` cell-angle units
+    of the optimized inner loop, even/odd interleaved for dual issue."""
+    return build_interleaved_stream(SWEEP_MIX_PER_CELL_ANGLE, repeats=cell_angles)
+
+
+def grind_cycles(variant: CellVariant, sample_cells: int = 64) -> float:
+    """Cycles per cell-angle on one SPE of ``variant`` (pipeline-derived)."""
+    pipe = SPEPipeline(variant.pipeline)
+    stream = build_sweep_stream(sample_cells)
+    return pipe.run_cycles(stream) / sample_cells
+
+
+def grind_time(variant: CellVariant) -> float:
+    """Seconds per cell-angle on one SPE of ``variant``."""
+    return grind_cycles(variant) / variant.clock_hz
+
+
+def grind_times() -> dict[str, float]:
+    """Grind times of both Cell variants, keyed by variant name."""
+    return {v.name: grind_time(v) for v in (CELL_BE, POWERXCELL_8I)}
+
+
+#: The PowerXCell 8i grind time — the machine parameter used throughout
+#: the Fig 12-14 studies (about 101 cycles, ~31.7 ns per cell-angle).
+SPE_GRIND = grind_time(POWERXCELL_8I)
+
+
+@dataclass(frozen=True)
+class CellPortModel:
+    """Per-block costs of the SPE-centric port on one Cell variant."""
+
+    variant: CellVariant = POWERXCELL_8I
+    dma: DMAEngine = MFC_DMA
+    #: doubles of block state DMA'd per cell (flux in + out, source)
+    doubles_per_cell: int = 3
+    #: bytes of working storage per cell per angle resident in LS
+    ls_bytes_per_cell_angle: int = 8
+    #: fixed LS footprint: code, stack, buffers
+    ls_reserved_bytes: int = 64 * 1024
+
+    # -- local store blocking (paper §V-B) -----------------------------------
+    def block_ls_bytes(self, inp: SweepInput) -> int:
+        """Local-store footprint of one work block."""
+        per_cell = self.ls_bytes_per_cell_angle * inp.mmi + 8 * self.doubles_per_cell
+        return inp.cells_per_block * per_cell
+
+    def block_fits_local_store(self, inp: SweepInput) -> bool:
+        """Whether the ``it x jt x mk`` block fits the 256 KB LS."""
+        return (
+            self.block_ls_bytes(inp) + self.ls_reserved_bytes
+            <= SPE_LOCAL_STORE_BYTES
+        )
+
+    def max_mk(self, inp: SweepInput) -> int:
+        """Largest blocking factor whose block still fits the LS."""
+        per_plane = (
+            inp.it * inp.jt
+            * (self.ls_bytes_per_cell_angle * inp.mmi + 8 * self.doubles_per_cell)
+        )
+        budget = SPE_LOCAL_STORE_BYTES - self.ls_reserved_bytes
+        planes = budget // per_plane
+        if planes < 1:
+            raise ValueError(
+                f"even a single K-plane of {inp.it}x{inp.jt} misses the local store"
+            )
+        return int(min(planes, inp.kt))
+
+    # -- per-block time ---------------------------------------------------------
+    def block_compute_time(self, inp: SweepInput) -> float:
+        """Pure compute time of one block (all mmi angles of one octant)."""
+        return inp.block_angle_work() * grind_time(self.variant)
+
+    def block_dma_bytes(self, inp: SweepInput) -> int:
+        """Main-memory traffic per block (fetch + flush)."""
+        return inp.cells_per_block * 8 * self.doubles_per_cell * 2
+
+    def block_dma_time(self, inp: SweepInput) -> float:
+        """MFC time to move one block's traffic (pipelined list DMA),
+        with the memory controller shared by the chip's eight SPEs."""
+        per_spe_bw = self.variant.memory_bandwidth / 8
+        shared = DMAEngine(
+            name=f"{self.dma.name} (1/8 share)",
+            setup_latency=self.dma.setup_latency,
+            bandwidth=per_spe_bw,
+            max_transfer=self.dma.max_transfer,
+        )
+        return shared.transfer_time(self.block_dma_bytes(inp))
+
+    def block_time(self, inp: SweepInput) -> float:
+        """Wall time per block with double-buffered DMA: compute and
+        DMA overlap, the slower of the two wins."""
+        return max(self.block_compute_time(inp), self.block_dma_time(inp))
+
+    def iteration_compute_time(self, inp: SweepInput) -> float:
+        """One full source iteration on one SPE, no communication:
+        8 octants x kt/mk blocks."""
+        return 8 * inp.k_blocks * self.block_time(inp)

@@ -1,0 +1,113 @@
+"""Negative-flux fixup for the diamond-difference sweep.
+
+Plain diamond differencing can extrapolate negative outgoing angular
+fluxes in optically thick cells (the original Sweep3D's ``ifixup``
+option addresses exactly this).  The fixup used here is the classic
+set-to-zero rebalance: any negative outgoing face flux is clamped to
+zero and the cell flux is recomputed from the cell balance
+
+    psi_c * (sigma + sum_{d not fixed} c_d)
+        = S + sum_{d not fixed} c_d * psi_in_d
+            + sum_{d fixed} (c_d / 2) * psi_in_d
+
+with ``c_d = 2 mu_d / delta_d``; the set of fixed directions grows
+monotonically, so at most three passes converge.  With non-negative
+inputs the result is non-negative in both cell and face fluxes, while
+preserving the particle balance the solver checks.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.sweep3d.quadrature import AngleSet
+
+__all__ = ["sweep_octant_fixup"]
+
+
+def sweep_octant_fixup(
+    sigma_t: np.ndarray | float,
+    source: np.ndarray,
+    dx: float,
+    dy: float,
+    dz: float,
+    angles: AngleSet,
+    inflow_x: np.ndarray,
+    inflow_y: np.ndarray,
+    inflow_z: np.ndarray,
+):
+    """Sweep one (+,+,+) octant with set-to-zero negative-flux fixup.
+
+    Same contract as :func:`repro.sweep3d.kernel.sweep_octant`; where
+    plain diamond difference stays non-negative the two kernels agree
+    exactly.
+    """
+    source = np.asarray(source, dtype=np.float64)
+    I, J, K = source.shape
+    M = angles.n_angles
+    sig = np.broadcast_to(np.asarray(sigma_t, dtype=np.float64), (I, J, K))
+    cx = 2.0 * angles.mu / dx
+    cy = 2.0 * angles.eta / dy
+    cz = 2.0 * angles.xi / dz
+    w = angles.weights
+
+    out_x = np.empty((J, K, M))
+    out_y = np.empty((I, K, M))
+    psi_z = np.array(inflow_z, dtype=np.float64, copy=True)
+    phi = np.zeros((I, J, K))
+
+    diagonals = []
+    for d in range(I + J - 1):
+        i_lo = max(0, d - (J - 1))
+        i_hi = min(I - 1, d)
+        ii = np.arange(i_lo, i_hi + 1)
+        diagonals.append((ii, d - ii))
+
+    for k in range(K):
+        psi_x = np.array(inflow_x[:, k, :], dtype=np.float64, copy=True)
+        psi_y = np.array(inflow_y[:, k, :], dtype=np.float64, copy=True)
+        src_k = source[:, :, k]
+        sig_k = sig[:, :, k]
+        for ii, jj in diagonals:
+            in_x = psi_x[jj]
+            in_y = psi_y[ii]
+            in_z = psi_z[ii, jj]
+            s = src_k[ii, jj][:, None]
+            sg = sig_k[ii, jj][:, None]
+            fixed_x = np.zeros_like(in_x, dtype=bool)
+            fixed_y = np.zeros_like(in_y, dtype=bool)
+            fixed_z = np.zeros_like(in_z, dtype=bool)
+            # The fixed set grows monotonically; <= 3 passes suffice.
+            for _pass in range(3):
+                numer = (
+                    s
+                    + np.where(fixed_x, 0.5 * cx * in_x, cx * in_x)
+                    + np.where(fixed_y, 0.5 * cy * in_y, cy * in_y)
+                    + np.where(fixed_z, 0.5 * cz * in_z, cz * in_z)
+                )
+                denom = (
+                    sg
+                    + np.where(fixed_x, 0.0, cx)
+                    + np.where(fixed_y, 0.0, cy)
+                    + np.where(fixed_z, 0.0, cz)
+                )
+                center = numer / denom
+                o_x = np.where(fixed_x, 0.0, 2.0 * center - in_x)
+                o_y = np.where(fixed_y, 0.0, 2.0 * center - in_y)
+                o_z = np.where(fixed_z, 0.0, 2.0 * center - in_z)
+                neg_x = o_x < 0.0
+                neg_y = o_y < 0.0
+                neg_z = o_z < 0.0
+                if not (neg_x.any() or neg_y.any() or neg_z.any()):
+                    break
+                fixed_x |= neg_x
+                fixed_y |= neg_y
+                fixed_z |= neg_z
+            phi[ii, jj, k] += center @ w
+            psi_x[jj] = o_x
+            psi_y[ii] = o_y
+            psi_z[ii, jj] = o_z
+        out_x[:, k, :] = psi_x
+        out_y[:, k, :] = psi_y
+
+    return phi, out_x, out_y, psi_z

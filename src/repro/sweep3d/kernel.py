@@ -1,0 +1,87 @@
+"""Vectorized diamond-difference sweep kernel.
+
+The dependency structure of a (+,+,+) sweep is ``(i, j, k)`` needing
+``(i-1, j, k)``, ``(i, j-1, k)``, ``(i, j, k-1)``; within a K-plane all
+cells on an anti-diagonal ``i + j = d`` are mutually independent, so the
+kernel walks K-planes in order and, within each, vectorizes over
+diagonal cells and angles simultaneously — the numpy analogue of the
+paper's SPE port, which vectorizes the innermost angle loop with SIMD.
+
+Results match :func:`repro.sweep3d.reference.reference_sweep_octant`
+to floating-point round-off (tests compare against it directly).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.sweep3d.quadrature import AngleSet
+
+__all__ = ["sweep_octant"]
+
+
+def sweep_octant(
+    sigma_t: np.ndarray | float,
+    source: np.ndarray,
+    dx: float,
+    dy: float,
+    dz: float,
+    angles: AngleSet,
+    inflow_x: np.ndarray,
+    inflow_y: np.ndarray,
+    inflow_z: np.ndarray,
+):
+    """Sweep one (+,+,+) octant, vectorized over diagonals and angles.
+
+    Same contract as
+    :func:`repro.sweep3d.reference.reference_sweep_octant`.
+    """
+    source = np.asarray(source, dtype=np.float64)
+    I, J, K = source.shape
+    M = angles.n_angles
+    if inflow_x.shape != (J, K, M):
+        raise ValueError(f"inflow_x must be (J, K, M)={J, K, M}, got {inflow_x.shape}")
+    if inflow_y.shape != (I, K, M):
+        raise ValueError(f"inflow_y must be (I, K, M)={I, K, M}, got {inflow_y.shape}")
+    if inflow_z.shape != (I, J, M):
+        raise ValueError(f"inflow_z must be (I, J, M)={I, J, M}, got {inflow_z.shape}")
+
+    sig = np.broadcast_to(np.asarray(sigma_t, dtype=np.float64), (I, J, K))
+    cx = 2.0 * angles.mu / dx    # (M,)
+    cy = 2.0 * angles.eta / dy
+    cz = 2.0 * angles.xi / dz
+    c_sum = cx + cy + cz
+    w = angles.weights
+
+    out_x = np.empty((J, K, M), dtype=np.float64)
+    out_y = np.empty((I, K, M), dtype=np.float64)
+    psi_z = np.array(inflow_z, dtype=np.float64, copy=True)  # running (I, J, M)
+    phi = np.zeros((I, J, K), dtype=np.float64)
+
+    # Precompute the diagonal index lists once; they are k-invariant.
+    diagonals = []
+    for d in range(I + J - 1):
+        i_lo = max(0, d - (J - 1))
+        i_hi = min(I - 1, d)
+        ii = np.arange(i_lo, i_hi + 1)
+        diagonals.append((ii, d - ii))
+
+    for k in range(K):
+        psi_x = np.array(inflow_x[:, k, :], dtype=np.float64, copy=True)  # (J, M)
+        psi_y = np.array(inflow_y[:, k, :], dtype=np.float64, copy=True)  # (I, M)
+        src_k = source[:, :, k]
+        sig_k = sig[:, :, k]
+        for ii, jj in diagonals:
+            in_x = psi_x[jj]          # (n, M)
+            in_y = psi_y[ii]
+            in_z = psi_z[ii, jj]
+            numer = src_k[ii, jj][:, None] + cx * in_x + cy * in_y + cz * in_z
+            center = numer / (sig_k[ii, jj][:, None] + c_sum)
+            phi[ii, jj, k] += center @ w
+            psi_x[jj] = 2.0 * center - in_x
+            psi_y[ii] = 2.0 * center - in_y
+            psi_z[ii, jj] = 2.0 * center - in_z
+        out_x[:, k, :] = psi_x
+        out_y[:, k, :] = psi_y
+
+    return phi, out_x, out_y, psi_z

@@ -1,0 +1,188 @@
+"""The analytic wavefront performance model (Hoisie et al. [19]).
+
+The paper uses "a performance model of Sweep3D, which has been
+validated on most large-scale systems over the last decade" to project
+mature-software performance (Figs 13-14).  The model here is the same
+family, in the two-term form the discrete-event simulation validates:
+
+    T_iter =  work_steps * (T_block + T_msg_exposed)
+            + fills * depth * (T_block + T_msg_full)
+
+* ``work_steps = 8 * kt/mk`` blocks are computed by every process; at
+  steady state the *wire latency* of boundary exchanges pipelines away,
+  so a work step pays only the sender's serialization plus per-message
+  software overhead (LogGP's ``o`` — on Roadrunner the DaCS driver
+  cost, which is why the early stack hurts even in steady state).
+* ``depth = npe_i + npe_j - 2`` pipeline stages must fill/drain
+  ``fills`` times per iteration; a fill stage has nothing to overlap
+  with, so it pays the full one-way message time.
+
+The effective fill count is **2.5** for square process arrays: octants
+are ordered in same-corner pairs (no refill between them) and the
+counter-propagating corner sweeps partially overlap.  Both the fill
+constant and the two-term structure are *measured* from the
+discrete-event simulation of the full sweep (see
+``tests/test_sweep3d_parallel.py``), where the model is exact for
+square arrays with uniform transports and a slight underestimate
+(< 15%) for elongated arrays.
+
+``T_comm`` charges the I- and J-surface exchanges of one step on the
+machine's dominant (slowest-present) link — on the accelerated machine
+that is the PCIe/DaCS hop, exactly the bottleneck the paper identifies.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.sweep3d.decomposition import Decomposition2D
+from repro.sweep3d.input import SweepInput
+
+__all__ = ["SweepMachineParams", "WavefrontModel"]
+
+
+@dataclass(frozen=True)
+class SweepMachineParams:
+    """What the wavefront model needs to know about a machine."""
+
+    name: str
+    #: seconds per cell-angle on one process's compute element
+    grind_time: float
+    #: object with ``one_way_time(size_bytes)`` for a boundary exchange
+    #: on the dominant link of the decomposition
+    comm: object
+    #: fraction of the block's compute time under which steady-state
+    #: boundary communication can hide (the port "allows balancing and
+    #: overlapping of the computation of a block ... with the
+    #: communication of the surfaces", §V-B).  1.0 means fully
+    #: overlapped: only comm in excess of compute is exposed.
+    comm_overlap: float = 0.0
+    #: per-boundary-message software overhead (LogGP ``o``): CPU/driver
+    #: time the endpoints burn per message regardless of pipelining —
+    #: the dominant cost of the early DaCS stack.
+    per_message_overhead: float = 0.0
+    #: whether the endpoint's transport serializes concurrent boundary
+    #: messages during pipeline fill (True for the single-threaded DaCS
+    #: relay chain; False for links that progress them in parallel).
+    serial_fill_messages: bool = False
+
+    def __post_init__(self):
+        if self.grind_time <= 0:
+            raise ValueError("grind_time must be positive")
+        if not 0 <= self.comm_overlap <= 1:
+            raise ValueError("comm_overlap must be in [0, 1]")
+        if self.per_message_overhead < 0:
+            raise ValueError("per_message_overhead must be >= 0")
+
+
+@dataclass(frozen=True)
+class WavefrontModel:
+    """Analytic per-iteration time of the 2-D pipelined sweep."""
+
+    inp: SweepInput
+    decomp: Decomposition2D
+    params: SweepMachineParams
+    #: effective pipeline fill/drain episodes per iteration; 2.5 is the
+    #: DES-measured value for square process arrays (see module doc)
+    fills: float = 2.5
+
+    # -- building blocks ---------------------------------------------------
+    @property
+    def work_steps(self) -> int:
+        """Blocks each process computes per iteration: 8 octants x kb."""
+        return 8 * self.inp.k_blocks
+
+    @property
+    def fill_steps(self) -> float:
+        """Pipeline fill/drain steps across the process array."""
+        return self.fills * self.decomp.pipeline_depth
+
+    @property
+    def total_steps(self) -> float:
+        return self.work_steps + self.fill_steps
+
+    @property
+    def block_time(self) -> float:
+        """Compute time of one block (mmi angles, it x jt x mk cells)."""
+        return self.inp.block_angle_work() * self.params.grind_time
+
+    @property
+    def i_surface_bytes(self) -> int:
+        """I-boundary message per step: jt x mk x mmi doubles."""
+        return self.inp.jt * self.inp.mk * self.inp.mmi * 8
+
+    @property
+    def j_surface_bytes(self) -> int:
+        """J-boundary message per step: it x mk x mmi doubles."""
+        return self.inp.it * self.inp.mk * self.inp.mmi * 8
+
+    def _active_surfaces(self) -> list[int]:
+        """Byte sizes of the boundary messages a step actually sends."""
+        sizes = []
+        if self.decomp.npe_i > 1:
+            sizes.append(self.i_surface_bytes)
+        if self.decomp.npe_j > 1:
+            sizes.append(self.j_surface_bytes)
+        return sizes
+
+    @property
+    def raw_work_comm_time(self) -> float:
+        """Steady-state per-step communication cost, before overlap:
+        serialization plus software overhead of each message (wire
+        latency pipelines away at steady state)."""
+        comm = self.params.comm
+        return sum(
+            comm.serialization_time(s) + self.params.per_message_overhead
+            for s in self._active_surfaces()
+        )
+
+    @property
+    def work_comm_time(self) -> float:
+        """Exposed (non-overlapped) communication per work step."""
+        raw = self.raw_work_comm_time
+        hidden = min(raw, self.params.comm_overlap * self.block_time)
+        return raw - hidden
+
+    @property
+    def fill_comm_time(self) -> float:
+        """Full one-way message cost per pipeline-fill stage."""
+        comm = self.params.comm
+        costs = [
+            comm.one_way_time(s) + self.params.per_message_overhead
+            for s in self._active_surfaces()
+        ]
+        if not costs:
+            return 0.0
+        return sum(costs) if self.params.serial_fill_messages else max(costs)
+
+    # -- the model ----------------------------------------------------------
+    @property
+    def work_step_time(self) -> float:
+        return self.block_time + self.work_comm_time
+
+    @property
+    def fill_stage_time(self) -> float:
+        return self.block_time + self.fill_comm_time
+
+    def iteration_time(self) -> float:
+        """Modeled wall time of one source iteration."""
+        return (
+            self.work_steps * self.work_step_time
+            + self.fill_steps * self.fill_stage_time
+        )
+
+    def breakdown(self) -> dict[str, float]:
+        """Where the iteration time goes (for reports and ablations)."""
+        total = self.iteration_time()
+        compute = self.total_steps * self.block_time
+        return {
+            "compute": compute,
+            "communication": total - compute,
+            "work_fraction": self.work_steps * self.work_step_time / total,
+            "fill_fraction": self.fill_steps * self.fill_stage_time / total,
+        }
+
+    def parallel_efficiency(self) -> float:
+        """Single-process compute time over modeled parallel time."""
+        serial = self.work_steps * self.block_time
+        return serial / self.iteration_time()

@@ -1,0 +1,86 @@
+"""Mapping SPE-centric ranks onto the machine (paper §V-C).
+
+CML makes "the cluster appear to be a sea of interconnected SPEs", but
+performance "still requires that attention be paid to intranode versus
+internode communication".  This module provides the standard placement:
+the logical 2-D process array is tiled by node tiles of 8 x 4 ranks
+(8 SPEs per Cell along i, the node's 4 Cells along j), so most
+i-boundaries stay on-chip, j-boundaries stay in-node, and only tile
+edges cross InfiniBand — plus the location-aware fabric that charges
+each boundary its class.
+"""
+
+from __future__ import annotations
+
+from repro.comm.cml import CellMessagePath
+from repro.comm.mpi import Location, TransportMapFabric
+from repro.sweep3d.decomposition import Decomposition2D
+
+__all__ = [
+    "SPE_TILE",
+    "spe_locations",
+    "cell_fabric",
+    "boundary_classes",
+]
+
+#: Ranks per node tile: 8 SPEs (i) x 4 Cells (j).
+SPE_TILE = (8, 4)
+
+
+def spe_locations(decomp: Decomposition2D) -> list[Location]:
+    """Physical (node, cell, spe) of every rank under 8x4 tiling.
+
+    Requires the process array to be tileable (npe_i a multiple of 8 or
+    smaller than 8 with a single node column, likewise npe_j vs 4);
+    partial tiles are allowed at the array edges.
+    """
+    ti, tj = SPE_TILE
+    tiles_j = -(-decomp.npe_j // tj)
+    locations = []
+    for rank in range(decomp.size):
+        pi, pj = decomp.coords(rank)
+        node = (pi // ti) * tiles_j + (pj // tj)
+        locations.append(Location(node=node, cell=pj % tj, spe=pi % ti))
+    return locations
+
+
+def cell_fabric(path: CellMessagePath | None = None) -> TransportMapFabric:
+    """The location-aware fabric charging EIB / PCIe / IB by placement."""
+    path = path or CellMessagePath()
+
+    def classify(src: Location, dst: Location):
+        if src == dst:
+            return None
+        return path.classify(
+            (src.node, src.cell, src.spe), (dst.node, dst.cell, dst.spe)
+        )
+
+    return TransportMapFabric(
+        {
+            "intra-socket": path.intra_socket,
+            "intranode": path.intranode,
+            "internode": path.internode,
+        },
+        classify,
+    )
+
+
+def boundary_classes(decomp: Decomposition2D) -> dict[str, int]:
+    """Census of the decomposition's nearest-neighbour boundaries by
+    communication class — how much traffic the tiling keeps local."""
+    locations = spe_locations(decomp)
+    path = CellMessagePath()
+    census = {"intra-socket": 0, "intranode": 0, "internode": 0}
+    for rank in range(decomp.size):
+        pi, pj = decomp.coords(rank)
+        neighbours = []
+        if pi + 1 < decomp.npe_i:
+            neighbours.append(decomp.rank_of(pi + 1, pj))
+        if pj + 1 < decomp.npe_j:
+            neighbours.append(decomp.rank_of(pi, pj + 1))
+        for other in neighbours:
+            a, b = locations[rank], locations[other]
+            census[path.classify(
+                (a.node, a.cell, a.spe), (b.node, b.cell, b.spe)
+            )] += 1
+    return census

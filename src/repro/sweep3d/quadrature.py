@@ -1,0 +1,120 @@
+"""Angular quadrature: octants and discrete-ordinate angle sets.
+
+Sweep3D fixes the number of angles per octant at six (the paper's MMI),
+matching an S6-style level-symmetric set: per octant the direction
+cosines ``(mu, eta, xi)`` are the distinct permutations of the S6 base
+values, all positive within an octant; octant membership flips their
+signs.  Weights are equal within the set and normalized so that the sum
+over all 8 octants x 6 angles is 1 (so a flat infinite-medium problem
+has scalar flux q / (sigma_t - sigma_s)).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["Octant", "OCTANTS", "AngleSet", "make_angle_set"]
+
+
+@dataclass(frozen=True)
+class Octant:
+    """One of the eight sweep directions: the signs of (mu, eta, xi)."""
+
+    id: int
+    sx: int
+    sy: int
+    sz: int
+
+    def __post_init__(self):
+        if self.sx not in (-1, 1) or self.sy not in (-1, 1) or self.sz not in (-1, 1):
+            raise ValueError("octant signs must be +/-1")
+
+    @property
+    def signs(self) -> tuple[int, int, int]:
+        return (self.sx, self.sy, self.sz)
+
+
+#: The eight octants in Sweep3D's sweep order: the four (x, y) corners
+#: of the 2-D process array in sequence, two z-directions each.
+#: Consecutive same-corner pairs pipeline into each other without a
+#: refill (the z sign does not move the 2-D wavefront).
+OCTANTS: tuple[Octant, ...] = (
+    Octant(0, +1, +1, +1),
+    Octant(1, +1, +1, -1),
+    Octant(2, -1, +1, +1),
+    Octant(3, -1, +1, -1),
+    Octant(4, -1, -1, +1),
+    Octant(5, -1, -1, -1),
+    Octant(6, +1, -1, +1),
+    Octant(7, +1, -1, -1),
+)
+
+#: S6 level-symmetric cosine values (a, b, c with a^2 + a^2 + c^2 = 1
+#: and a^2 + b^2 + b^2 = 1).
+_S6_A = 0.2666355
+_S6_B = 0.6815076
+_S6_C = 0.9261808
+
+#: The six S6 ordinates of one octant: the distinct permutations of
+#: (a, a, c) and (a, b, b), each on the unit sphere.
+_S6_ORDINATES = (
+    (_S6_A, _S6_A, _S6_C),
+    (_S6_A, _S6_C, _S6_A),
+    (_S6_C, _S6_A, _S6_A),
+    (_S6_A, _S6_B, _S6_B),
+    (_S6_B, _S6_A, _S6_B),
+    (_S6_B, _S6_B, _S6_A),
+)
+
+
+@dataclass(frozen=True)
+class AngleSet:
+    """The per-octant ordinate set: positive cosines and weights.
+
+    Arrays all have length ``n_angles``; weights sum to 1/8 so the full
+    8-octant set integrates to one.
+    """
+
+    mu: np.ndarray
+    eta: np.ndarray
+    xi: np.ndarray
+    weights: np.ndarray
+
+    def __post_init__(self):
+        n = len(self.mu)
+        if not (len(self.eta) == len(self.xi) == len(self.weights) == n):
+            raise ValueError("angle arrays must share a length")
+        if n < 1:
+            raise ValueError("need at least one angle")
+        for arr, name in ((self.mu, "mu"), (self.eta, "eta"), (self.xi, "xi")):
+            if np.any(arr <= 0) or np.any(arr >= 1):
+                raise ValueError(f"{name} cosines must lie in (0, 1)")
+        if np.any(self.weights <= 0):
+            raise ValueError("weights must be positive")
+
+    @property
+    def n_angles(self) -> int:
+        return len(self.mu)
+
+    @property
+    def weight_sum(self) -> float:
+        return float(self.weights.sum())
+
+
+def make_angle_set(mmi: int = 6) -> AngleSet:
+    """Build the per-octant ordinate set with ``mmi`` angles.
+
+    ``mmi = 6`` gives the S6 permutation set the paper uses.  Other
+    counts cycle through the permutation list (for testing smaller or
+    larger angle blocks); weights stay equal and normalized to 1/8.
+    """
+    if mmi < 1:
+        raise ValueError("mmi must be >= 1")
+    triples = [_S6_ORDINATES[i % len(_S6_ORDINATES)] for i in range(mmi)]
+    mu = np.array([t[0] for t in triples], dtype=np.float64)
+    eta = np.array([t[1] for t in triples], dtype=np.float64)
+    xi = np.array([t[2] for t in triples], dtype=np.float64)
+    weights = np.full(mmi, 1.0 / (8 * mmi), dtype=np.float64)
+    return AngleSet(mu=mu, eta=eta, xi=xi, weights=weights)

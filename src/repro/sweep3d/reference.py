@@ -1,0 +1,78 @@
+"""Naive loop-based diamond-difference sweep: the numerical oracle.
+
+This is the textbook cell-by-cell formulation, deliberately unclever so
+it can be read against the transport equations directly.  The
+production kernel in :mod:`repro.sweep3d.kernel` must reproduce it
+bit-for-bit (up to floating-point associativity) — enforced by tests.
+
+The octant is the all-positive one; callers flip arrays to realize the
+other seven (see :func:`repro.sweep3d.solver.solve`).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.sweep3d.quadrature import AngleSet
+
+__all__ = ["reference_sweep_octant"]
+
+
+def reference_sweep_octant(
+    sigma_t: np.ndarray | float,
+    source: np.ndarray,
+    dx: float,
+    dy: float,
+    dz: float,
+    angles: AngleSet,
+    inflow_x: np.ndarray,
+    inflow_y: np.ndarray,
+    inflow_z: np.ndarray,
+):
+    """Sweep one (+,+,+) octant with explicit loops.
+
+    Parameters
+    ----------
+    sigma_t:
+        Total cross-section, scalar or ``(I, J, K)``.
+    source:
+        Isotropic source density per cell, ``(I, J, K)``.
+    inflow_x / inflow_y / inflow_z:
+        Incoming angular flux on the upstream x/y/z faces, shaped
+        ``(J, K, M)`` / ``(I, K, M)`` / ``(I, J, M)``.
+
+    Returns
+    -------
+    (phi, outflow_x, outflow_y, outflow_z):
+        Scalar-flux contribution ``(I, J, K)`` and downstream face
+        fluxes with the inflow shapes.
+    """
+    source = np.asarray(source, dtype=np.float64)
+    I, J, K = source.shape
+    M = angles.n_angles
+    sig = np.broadcast_to(np.asarray(sigma_t, dtype=np.float64), (I, J, K))
+
+    psi_x = np.array(inflow_x, dtype=np.float64, copy=True)  # (J, K, M)
+    psi_y = np.array(inflow_y, dtype=np.float64, copy=True)  # (I, K, M)
+    psi_z = np.array(inflow_z, dtype=np.float64, copy=True)  # (I, J, M)
+    phi = np.zeros((I, J, K), dtype=np.float64)
+
+    for k in range(K):
+        for j in range(J):
+            for i in range(I):
+                for m in range(M):
+                    cx = 2.0 * angles.mu[m] / dx
+                    cy = 2.0 * angles.eta[m] / dy
+                    cz = 2.0 * angles.xi[m] / dz
+                    in_x = psi_x[j, k, m]
+                    in_y = psi_y[i, k, m]
+                    in_z = psi_z[i, j, m]
+                    center = (
+                        source[i, j, k] + cx * in_x + cy * in_y + cz * in_z
+                    ) / (sig[i, j, k] + cx + cy + cz)
+                    phi[i, j, k] += angles.weights[m] * center
+                    psi_x[j, k, m] = 2.0 * center - in_x
+                    psi_y[i, k, m] = 2.0 * center - in_y
+                    psi_z[i, j, m] = 2.0 * center - in_z
+
+    return phi, psi_x, psi_y, psi_z

@@ -1,0 +1,158 @@
+"""Weak-scaling study: the Figs 13-14 series.
+
+Three machine configurations, exactly the paper's §VI-A:
+
+* **Opteron only** — the unmodified MPI code on the 4 Opteron cores per
+  node (each core carries 8 SPE-subgrids' worth of cells, 10 x 20 x 400),
+  boundary exchanges over InfiniBand;
+* **Cell (measured)** — the SPE-centric port, one rank per SPE
+  (5 x 5 x 400 each), surfaces crossing the measured DaCS/PCIe path;
+* **Cell (best)** — the same port with the raw-PCIe 'peak' parameters,
+  the paper's projection of a matured software stack.
+
+Times come from the analytic wavefront model
+(:mod:`repro.sweep3d.perfmodel`); the discrete-event simulation
+validates the model at small node counts in the test suite.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.comm.cml import (
+    INTERNODE_CELL_PATH,
+    INTERNODE_CELL_PATH_BEST,
+    INTRANODE_CELL_PATH,
+    INTRANODE_CELL_PATH_BEST,
+)
+from repro.comm.ib import IB_DEFAULT
+from repro.comm.transport import Transport
+from repro.sweep3d.cellport import grind_time
+from repro.hardware.cell import POWERXCELL_8I
+from repro.hardware.opteron import OPTERON_2210_HE
+from repro.sweep3d.decomposition import Decomposition2D
+from repro.sweep3d.input import SweepInput
+from repro.sweep3d.perfmodel import SweepMachineParams, WavefrontModel
+from repro.sweep3d.x86 import x86_grind_time
+from repro.units import GB_S, US
+
+__all__ = ["ScalingPoint", "ScalingStudy", "SHM_TRANSPORT"]
+
+#: Intranode shared-memory MPI between Opteron cores.
+SHM_TRANSPORT = Transport(
+    name="MPI shared memory (intranode)",
+    latency=0.5 * US,
+    bandwidth=2.7 * GB_S,
+)
+
+#: SPE ranks per node (32) and Opteron ranks per node (4).
+SPE_RANKS_PER_NODE = 32
+OPTERON_RANKS_PER_NODE = 4
+
+
+@dataclass(frozen=True)
+class ScalingPoint:
+    """One (node count, configuration) evaluation."""
+
+    nodes: int
+    config: str
+    ranks: int
+    decomp: Decomposition2D
+    iteration_time: float
+
+
+class ScalingStudy:
+    """Produce the Fig 13 iteration-time series and Fig 14 ratios."""
+
+    def __init__(self, inp: SweepInput | None = None):
+        self.inp = inp or SweepInput.paper_scaling()
+        self.spe_grind = grind_time(POWERXCELL_8I)
+        self.opteron_grind = x86_grind_time(OPTERON_2210_HE)
+
+    # -- per-configuration model builders ---------------------------------------
+    def _cell_input(self) -> SweepInput:
+        return self.inp
+
+    def _opteron_input(self) -> SweepInput:
+        """Each Opteron core carries 8 SPE subgrids (2x in i, 4x in j)."""
+        return self.inp.with_subgrid(
+            self.inp.it * 2, self.inp.jt * 4, self.inp.kt
+        )
+
+    def _cell_comm(self, nodes: int, best: bool):
+        """Dominant boundary link of the SPE decomposition."""
+        if nodes > 1:
+            return INTERNODE_CELL_PATH_BEST if best else INTERNODE_CELL_PATH
+        # A single node still crosses Cell-to-Cell PCIe boundaries.
+        return INTRANODE_CELL_PATH_BEST if best else INTRANODE_CELL_PATH
+
+    def _opteron_comm(self, nodes: int):
+        return IB_DEFAULT if nodes > 1 else SHM_TRANSPORT
+
+    def model_for(self, nodes: int, config: str) -> WavefrontModel:
+        """The wavefront model of one configuration at one node count."""
+        if nodes < 1:
+            raise ValueError("nodes must be >= 1")
+        if config == "opteron":
+            decomp = Decomposition2D.near_square(nodes * OPTERON_RANKS_PER_NODE)
+            params = SweepMachineParams(
+                name="Opteron only",
+                grind_time=self.opteron_grind,
+                comm=self._opteron_comm(nodes),
+                per_message_overhead=1.0 * US,  # mature Open MPI stack
+            )
+            return WavefrontModel(self._opteron_input(), decomp, params)
+        if config in ("cell_measured", "cell_best"):
+            best = config == "cell_best"
+            decomp = Decomposition2D.near_square(nodes * SPE_RANKS_PER_NODE)
+            comm = self._cell_comm(nodes, best)
+            if best:
+                # The projection: relays run as DMA engines (no software
+                # overhead), messages progress concurrently, and the
+                # port's block/surface overlap works at hardware rate.
+                params = SweepMachineParams(
+                    name="Cell (best)",
+                    grind_time=self.spe_grind,
+                    comm=comm,
+                    comm_overlap=1.0,
+                )
+            else:
+                # The early DaCS stack: every message costs its full
+                # zero-byte software path at the endpoints, the driver
+                # progresses messages one at a time, nothing overlaps.
+                params = SweepMachineParams(
+                    name="Cell (measured)",
+                    grind_time=self.spe_grind,
+                    comm=comm,
+                    per_message_overhead=comm.zero_byte_latency,
+                    serial_fill_messages=True,
+                )
+            return WavefrontModel(self._cell_input(), decomp, params)
+        raise ValueError(f"unknown configuration {config!r}")
+
+    def point(self, nodes: int, config: str) -> ScalingPoint:
+        model = self.model_for(nodes, config)
+        return ScalingPoint(
+            nodes=nodes,
+            config=config,
+            ranks=model.decomp.size,
+            decomp=model.decomp,
+            iteration_time=model.iteration_time(),
+        )
+
+    # -- the figures -----------------------------------------------------------
+    def fig13_series(self, node_counts) -> dict[str, list[ScalingPoint]]:
+        """Iteration time vs node count for the three configurations."""
+        return {
+            config: [self.point(n, config) for n in node_counts]
+            for config in ("opteron", "cell_measured", "cell_best")
+        }
+
+    def fig14_improvements(self, node_counts) -> dict[str, list[float]]:
+        """Accelerated/non-accelerated speedups: measured and best."""
+        out: dict[str, list[float]] = {"measured": [], "best": []}
+        for n in node_counts:
+            opteron = self.point(n, "opteron").iteration_time
+            out["measured"].append(opteron / self.point(n, "cell_measured").iteration_time)
+            out["best"].append(opteron / self.point(n, "cell_best").iteration_time)
+        return out

@@ -1,0 +1,230 @@
+"""Sequential Sweep3D driver: source iteration over all eight octants.
+
+Boundaries are vacuum by default; any subset of the six faces can be
+made **reflective** (the original Sweep3D supports this), in which case
+the angular flux leaving through that face re-enters with the mirrored
+direction — implemented by handing one octant's outgoing face flux to
+its mirror octant as inflow.  Because the per-octant angle sets share
+the same positive cosines and the two octants of a mirror pair flip the
+*other* two axes identically, the arrays exchange with no reshuffling.
+Reflection uses each mirror octant's most recent outflow (within the
+current sweep when the mirror already ran, else the previous
+iteration's), the standard lagged treatment that converges with source
+iteration.
+
+Each source iteration sweeps the eight octants of
+:data:`repro.sweep3d.quadrature.OCTANTS`; negative-direction octants are
+realized by flipping the problem arrays so the vectorized (+,+,+)
+kernel serves all of them.  The driver tracks the exact per-sweep
+particle balance
+
+    leakage + sigma_t * sum(phi) V  =  sum(source) V + reflected influx
+
+which must close to round-off every iteration — the strongest available
+correctness invariant for a transport sweep.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.sweep3d.input import SweepInput
+from repro.sweep3d.kernel import sweep_octant
+from repro.sweep3d.quadrature import OCTANTS, AngleSet, make_angle_set
+
+__all__ = ["SweepResult", "sweep_all_octants", "solve", "ALL_REFLECTIVE", "FACES"]
+
+#: The six domain faces, named by axis and side.
+FACES = frozenset({
+    ("x", "low"), ("x", "high"),
+    ("y", "low"), ("y", "high"),
+    ("z", "low"), ("z", "high"),
+})
+
+#: Convenience: a fully reflective box (the infinite-medium surrogate).
+ALL_REFLECTIVE = FACES
+
+_AXIS_INDEX = {"x": 0, "y": 1, "z": 2}
+
+
+def _mirror_octant_id(octant, axis: str) -> int:
+    """The octant differing from ``octant`` only in ``axis``'s sign."""
+    signs = list(octant.signs)
+    signs[_AXIS_INDEX[axis]] *= -1
+    for other in OCTANTS:
+        if list(other.signs) == signs:
+            return other.id
+    raise AssertionError("unreachable: octants cover all sign combinations")
+
+
+def _exit_face(octant, axis: str) -> tuple[str, str]:
+    """The global face this octant's sweep exits through along ``axis``."""
+    sign = octant.signs[_AXIS_INDEX[axis]]
+    return (axis, "high" if sign > 0 else "low")
+
+
+@dataclass(frozen=True)
+class SweepResult:
+    """Outcome of a source-iteration solve."""
+
+    phi: np.ndarray
+    iterations: int
+    converged: bool
+    rel_change: float
+    leakage: float
+    balance_residual: float
+
+
+def _flip(arr: np.ndarray, signs: tuple[int, int, int]) -> np.ndarray:
+    """Flip a cell array along each negative-direction axis."""
+    axes = [ax for ax, s in enumerate(signs) if s < 0]
+    return np.flip(arr, axis=axes) if axes else arr
+
+
+def sweep_all_octants(
+    inp: SweepInput,
+    source: np.ndarray,
+    angles: AngleSet,
+    kernel=sweep_octant,
+    reflective: frozenset = frozenset(),
+    face_memory: dict | None = None,
+) -> tuple[np.ndarray, float, float]:
+    """One full transport sweep of ``source`` over all eight octants.
+
+    Returns ``(phi, leakage, reflected_net)``: the new scalar flux, the
+    flux leaving through non-reflective faces, and the *net* reflected
+    term — flux re-entering from the mirrors minus flux banked into
+    them this sweep (zero with all-vacuum boundaries, and tending to
+    zero at convergence).  The exact per-sweep balance is then
+
+        leakage + sigma_t * sum(phi) V = sum(source) V + reflected_net
+
+    ``kernel`` selects the block sweep: the plain diamond-difference
+    kernel (default) or :func:`repro.sweep3d.fixup.sweep_octant_fixup`.
+    ``reflective`` names mirrored faces (subset of :data:`FACES`);
+    ``face_memory`` carries their stored outflows across sweeps (pass
+    the same dict to every call of an iteration loop).
+    """
+    bad = set(reflective) - FACES
+    if bad:
+        raise ValueError(f"unknown reflective faces: {sorted(bad)}")
+    I, J, K = inp.it, inp.jt, inp.kt
+    M = angles.n_angles
+    memory = face_memory if face_memory is not None else {}
+    phi = np.zeros((I, J, K), dtype=np.float64)
+    leakage = 0.0
+    influx = 0.0
+    area = {"x": inp.dy * inp.dz, "y": inp.dx * inp.dz, "z": inp.dx * inp.dy}
+    cosine = {"x": angles.mu, "y": angles.eta, "z": angles.xi}
+    zero_in = {
+        "x": np.zeros((J, K, M)),
+        "y": np.zeros((I, K, M)),
+        "z": np.zeros((I, J, M)),
+    }
+
+    for octant in OCTANTS:
+        flipped_source = _flip(source, octant.signs)
+        inflows = {}
+        for axis in ("x", "y", "z"):
+            stored = memory.get((octant.id, axis))
+            inflows[axis] = stored if stored is not None else zero_in[axis]
+            influx += float(
+                area[axis]
+                * np.einsum("abm,m->", inflows[axis], angles.weights * cosine[axis])
+            )
+        phi_oct, out_x, out_y, out_z = kernel(
+            inp.sigma_t,
+            flipped_source,
+            inp.dx,
+            inp.dy,
+            inp.dz,
+            angles,
+            inflow_x=inflows["x"],
+            inflow_y=inflows["y"],
+            inflow_z=inflows["z"],
+        )
+        phi += _flip(phi_oct, octant.signs)
+        for axis, out in (("x", out_x), ("y", out_y), ("z", out_z)):
+            outflux = float(
+                area[axis]
+                * np.einsum("abm,m->", out, angles.weights * cosine[axis])
+            )
+            if _exit_face(octant, axis) in reflective:
+                # Hand the face flux to the mirror octant; the other
+                # two axes' flips match, so no reshuffling is needed.
+                memory[(_mirror_octant_id(octant, axis), axis)] = out
+                influx -= outflux  # banked for the mirror, not leaked
+            else:
+                leakage += outflux
+    return phi, leakage, influx
+
+
+def solve(
+    inp: SweepInput,
+    max_iterations: int = 100,
+    angles: AngleSet | None = None,
+    fixup: bool = False,
+    external_source: np.ndarray | None = None,
+    reflective: frozenset = frozenset(),
+) -> SweepResult:
+    """Source-iterate to convergence (or ``max_iterations``).
+
+    The fixed point satisfies ``phi = q / (sigma_t - sigma_s)`` in an
+    infinite medium; with vacuum boundaries the flux sags toward the
+    faces and the solver instead validates itself through the particle
+    balance recorded in the result.
+    """
+    if max_iterations < 1:
+        raise ValueError("max_iterations must be >= 1")
+    if fixup:
+        from repro.sweep3d.fixup import sweep_octant_fixup as kernel
+    else:
+        kernel = sweep_octant
+    angles = angles or make_angle_set(inp.mmi)
+    I, J, K = inp.it, inp.jt, inp.kt
+    cell_volume = inp.dx * inp.dy * inp.dz
+    phi = np.zeros((I, J, K), dtype=np.float64)
+    if external_source is not None:
+        if external_source.shape != (I, J, K):
+            raise ValueError("external_source must match the grid shape")
+        external = np.asarray(external_source, dtype=np.float64)
+    else:
+        external = np.full((I, J, K), inp.q, dtype=np.float64)
+
+    rel_change = np.inf
+    leakage = 0.0
+    converged = False
+    iterations = 0
+    balance_residual = np.inf
+    face_memory: dict = {}
+    for iterations in range(1, max_iterations + 1):
+        source = external + inp.sigma_s * phi
+        phi_new, leakage, reflected_net = sweep_all_octants(
+            inp, source, angles, kernel=kernel,
+            reflective=reflective, face_memory=face_memory,
+        )
+        # Per-sweep particle balance — an *exact* identity of diamond
+        # differencing, valid every iteration, converged or not:
+        #   leakage + sigma_t*sum(phi_new) V = sum(source) V + reflected_net
+        swept_source = float(source.sum() * cell_volume) + reflected_net
+        removal = float(inp.sigma_t * phi_new.sum() * cell_volume)
+        imbalance = abs(leakage + removal - swept_source)
+        balance_residual = imbalance / swept_source if swept_source else imbalance
+        denom = np.abs(phi_new).max()
+        rel_change = float(
+            np.abs(phi_new - phi).max() / denom if denom > 0 else 0.0
+        )
+        phi = phi_new
+        if rel_change < inp.epsi:
+            converged = True
+            break
+    return SweepResult(
+        phi=phi,
+        iterations=iterations,
+        converged=converged,
+        rel_change=rel_change,
+        leakage=leakage,
+        balance_residual=balance_residual,
+    )

@@ -1,0 +1,93 @@
+"""Strong scaling — the extension the paper's weak-scaling study invites.
+
+Sweep3D "is commonly run in weak-scaling mode" (§V-A) and Figs 13-14
+hold the per-SPE subgrid fixed.  The complementary question — fix the
+*global* problem and add nodes — exposes the wavefront's limits faster:
+per-rank blocks shrink while the pipeline deepens, so efficiency falls
+on both fronts and a strong-scaling sweet spot appears.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.sweep3d.decomposition import Decomposition2D
+from repro.sweep3d.input import SweepInput
+from repro.sweep3d.perfmodel import SweepMachineParams, WavefrontModel
+
+__all__ = ["StrongScalingPoint", "strong_scaling_series", "sweet_spot"]
+
+
+@dataclass(frozen=True)
+class StrongScalingPoint:
+    """One rank count of the fixed-problem study."""
+
+    ranks: int
+    decomp: Decomposition2D
+    subgrid: tuple[int, int, int]
+    iteration_time: float
+    speedup: float
+    efficiency: float
+
+
+def strong_scaling_series(
+    global_shape: tuple[int, int, int],
+    rank_counts: list[int],
+    params: SweepMachineParams,
+    mk: int | None = None,
+    mmi: int = 6,
+) -> list[StrongScalingPoint]:
+    """Iteration time vs rank count for a fixed global grid.
+
+    Rank counts must tile the global I and J extents exactly (the
+    near-square factorization of each count is used).
+    """
+    gi, gj, gk = global_shape
+    if min(global_shape) < 1:
+        raise ValueError("global shape must be positive")
+    points = []
+    serial_time = None
+    for ranks in rank_counts:
+        if ranks < 1:
+            raise ValueError("rank counts must be >= 1")
+        decomp = Decomposition2D.near_square(ranks)
+        if gi % decomp.npe_i or gj % decomp.npe_j:
+            raise ValueError(
+                f"{ranks} ranks ({decomp.npe_i}x{decomp.npe_j}) do not tile "
+                f"the {gi}x{gj} global grid"
+            )
+        it, jt = gi // decomp.npe_i, gj // decomp.npe_j
+        block = mk if mk is not None and gk % mk == 0 and mk <= gk else gk
+        # Default blocking: ~10 blocks, clamped to divide gk.
+        if mk is None:
+            block = max(1, gk // 10)
+            while gk % block:
+                block -= 1
+        inp = SweepInput(it=it, jt=jt, kt=gk, mk=block, mmi=mmi)
+        model = WavefrontModel(inp, decomp, params)
+        t = model.iteration_time()
+        if serial_time is None:
+            base = WavefrontModel(
+                SweepInput(it=gi, jt=gj, kt=gk, mk=block, mmi=mmi),
+                Decomposition2D(1, 1),
+                params,
+            )
+            serial_time = base.iteration_time()
+        points.append(
+            StrongScalingPoint(
+                ranks=ranks,
+                decomp=decomp,
+                subgrid=(it, jt, gk),
+                iteration_time=t,
+                speedup=serial_time / t,
+                efficiency=serial_time / t / ranks,
+            )
+        )
+    return points
+
+
+def sweet_spot(points: list[StrongScalingPoint]) -> StrongScalingPoint:
+    """The rank count with the shortest iteration time."""
+    if not points:
+        raise ValueError("no points")
+    return min(points, key=lambda p: p.iteration_time)

@@ -1,0 +1,65 @@
+"""Wavefront propagation sets and diagrams (paper Fig 11).
+
+Fig 11 illustrates how a sweep from one corner progresses: at step
+``t`` the active cells of a d-dimensional grid are exactly those on the
+hyper-diagonal ``i1 + i2 + ... + id = t - 1``, with everything on
+earlier diagonals already processed.  The sets here are *derived from
+the kernel's data dependencies* (a cell needs its three upstream
+neighbours), and the test suite checks them against the discrete-event
+sweep's actual execution order — so the diagram is reproduced, not
+drawn.
+"""
+
+from __future__ import annotations
+
+from itertools import product
+
+__all__ = ["wavefront_cells", "processed_cells", "total_steps", "render_2d"]
+
+
+def total_steps(shape: tuple[int, ...]) -> int:
+    """Steps to sweep a grid of ``shape`` from one corner."""
+    if not shape or any(n < 1 for n in shape):
+        raise ValueError("shape needs positive extents")
+    return sum(shape) - len(shape) + 1
+
+
+def wavefront_cells(shape: tuple[int, ...], step: int) -> set[tuple[int, ...]]:
+    """Cells on the wavefront at ``step`` (1-based, as Fig 11 counts)."""
+    if not 1 <= step <= total_steps(shape):
+        raise ValueError(
+            f"step must be in 1..{total_steps(shape)}, got {step}"
+        )
+    return {
+        cell
+        for cell in product(*(range(n) for n in shape))
+        if sum(cell) == step - 1
+    }
+
+
+def processed_cells(shape: tuple[int, ...], step: int) -> set[tuple[int, ...]]:
+    """Cells already processed *before* ``step`` begins."""
+    if not 1 <= step <= total_steps(shape) + 1:
+        raise ValueError("step out of range")
+    return {
+        cell
+        for cell in product(*(range(n) for n in shape))
+        if sum(cell) < step - 1
+    }
+
+
+def render_2d(shape: tuple[int, int], step: int) -> str:
+    """An ASCII frame of the 2-D wavefront: ``#`` processed, ``*`` the
+    wavefront edge, ``.`` untouched (Fig 11's middle row)."""
+    if len(shape) != 2:
+        raise ValueError("render_2d wants a 2-D shape")
+    front = wavefront_cells(shape, step)
+    done = processed_cells(shape, step)
+    rows = []
+    for i in range(shape[0]):
+        row = []
+        for j in range(shape[1]):
+            cell = (i, j)
+            row.append("*" if cell in front else "#" if cell in done else ".")
+        rows.append("".join(row))
+    return "\n".join(rows)

@@ -1,0 +1,41 @@
+"""Sweep3D grind times for the conventional processors of Fig 12.
+
+The x86 inner loop is the original Fortran; its cost model is the
+classic flops-per-cell-angle over sustained rate.  The 32 flops per
+cell-angle matches the SPE port's 16 two-wide FMAs.  Sustained
+fractions are calibrated to Fig 12's qualitative relations (one SPE ~
+one x86 core; one PowerXCell 8i ~ 2x a quad-core socket, ~5x a
+dual-core Opteron socket) and fall with SIMD width, as the
+unvectorized original code would: the paper notes Sweep3D "typically
+does not achieve high single-core efficiency".
+"""
+
+from __future__ import annotations
+
+from repro.hardware.opteron import OPTERON_2210_HE, OPTERON_QUAD_2356, TIGERTON_X7350
+from repro.hardware.processor import ProcessorSpec
+
+__all__ = ["FLOPS_PER_CELL_ANGLE", "X86_SWEEP_EFFICIENCY", "x86_grind_time"]
+
+#: Useful DP flops per cell-angle of the diamond-difference update.
+FLOPS_PER_CELL_ANGLE = 32
+
+#: Sustained fraction of per-core peak for the Sweep3D inner loop.
+X86_SWEEP_EFFICIENCY: dict[str, float] = {
+    OPTERON_2210_HE.name: 0.247,
+    OPTERON_QUAD_2356.name: 0.133,
+    TIGERTON_X7350.name: 0.094,
+}
+
+
+def x86_grind_time(processor: ProcessorSpec) -> float:
+    """Seconds per cell-angle on one core of ``processor``."""
+    try:
+        efficiency = X86_SWEEP_EFFICIENCY[processor.name]
+    except KeyError:
+        raise KeyError(
+            f"no Sweep3D efficiency calibration for {processor.name!r}; "
+            f"known: {sorted(X86_SWEEP_EFFICIENCY)}"
+        ) from None
+    core, _count = processor.core_counts[0]
+    return FLOPS_PER_CELL_ANGLE / (efficiency * core.peak_dp_flops)

@@ -1,0 +1,91 @@
+"""Unit constants and conversion helpers.
+
+All quantities inside :mod:`repro` use SI base units:
+
+* time in **seconds**
+* data sizes in **bytes**
+* rates in **bytes/second** or **flop/second**
+* frequencies in **hertz**
+
+The constants here exist so that model parameters can be written the way
+the paper states them (``3.2 * GHZ``, ``25.6 * GB_S``, ``220 * NS``)
+without sprinkling powers of ten through the code.  Bandwidths and flop
+rates follow the paper's decimal convention (1 GB/s = 1e9 B/s); memory
+*capacities* follow the binary convention (4 GB of DRAM = 4 * GIB bytes),
+matching how vendors quoted each figure in 2008.
+"""
+
+from __future__ import annotations
+
+# --- time ----------------------------------------------------------------
+NS = 1e-9
+US = 1e-6
+MS = 1e-3
+S = 1.0
+
+# --- frequency -----------------------------------------------------------
+HZ = 1.0
+MHZ = 1e6
+GHZ = 1e9
+
+# --- decimal data sizes / rates (bandwidth, flops) -----------------------
+KB = 1e3
+MB = 1e6
+GB = 1e9
+TB = 1e12
+
+KB_S = 1e3
+MB_S = 1e6
+GB_S = 1e9
+
+KFLOPS = 1e3
+MFLOPS = 1e6
+GFLOPS = 1e9
+TFLOPS = 1e12
+PFLOPS = 1e15
+
+# --- binary data sizes (memory capacity, caches, local store) ------------
+KIB = 1024
+MIB = 1024**2
+GIB = 1024**3
+TIB = 1024**4
+
+# --- power ---------------------------------------------------------------
+WATT = 1.0
+KILOWATT = 1e3
+MEGAWATT = 1e6
+
+
+def to_us(seconds: float) -> float:
+    """Convert seconds to microseconds."""
+    return seconds / US
+
+
+def to_ms(seconds: float) -> float:
+    """Convert seconds to milliseconds."""
+    return seconds / MS
+
+
+def to_mb_s(bytes_per_second: float) -> float:
+    """Convert B/s to MB/s (decimal)."""
+    return bytes_per_second / MB_S
+
+
+def to_gb_s(bytes_per_second: float) -> float:
+    """Convert B/s to GB/s (decimal)."""
+    return bytes_per_second / GB_S
+
+
+def to_gflops(flops_per_second: float) -> float:
+    """Convert flop/s to Gflop/s."""
+    return flops_per_second / GFLOPS
+
+
+def to_tflops(flops_per_second: float) -> float:
+    """Convert flop/s to Tflop/s."""
+    return flops_per_second / TFLOPS
+
+
+def to_pflops(flops_per_second: float) -> float:
+    """Convert flop/s to Pflop/s."""
+    return flops_per_second / PFLOPS

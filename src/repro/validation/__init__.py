@@ -1,0 +1,11 @@
+"""Published reference data and comparison helpers.
+
+`paper_data` is the single place where numbers *from the paper* live;
+model code never imports from here (the dependency points the other way:
+tests and benchmarks compare model outputs against these values).
+"""
+
+from repro.validation import paper_data
+from repro.validation.compare import relative_error, within, shape_matches
+
+__all__ = ["paper_data", "relative_error", "within", "shape_matches"]

@@ -1,0 +1,46 @@
+"""Tolerance and shape-comparison helpers for validation tests/benches."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+__all__ = ["relative_error", "within", "shape_matches", "monotonic"]
+
+
+def relative_error(measured: float, reference: float) -> float:
+    """|measured - reference| / |reference| (inf-safe for reference 0)."""
+    if reference == 0:
+        return 0.0 if measured == 0 else float("inf")
+    return abs(measured - reference) / abs(reference)
+
+
+def within(measured: float, reference: float, rel_tol: float) -> bool:
+    """Whether ``measured`` is within ``rel_tol`` relative error of
+    ``reference``."""
+    return relative_error(measured, reference) <= rel_tol
+
+
+def monotonic(values: Sequence[float], increasing: bool = True, strict: bool = False) -> bool:
+    """Whether a series is monotone in the stated direction."""
+    pairs = zip(values, values[1:])
+    if increasing:
+        return all(b > a if strict else b >= a for a, b in pairs)
+    return all(b < a if strict else b <= a for a, b in pairs)
+
+
+def shape_matches(
+    measured: Sequence[float],
+    reference: Sequence[float],
+    rel_tol: float,
+) -> bool:
+    """Pointwise relative comparison of two equal-length series.
+
+    Used for 'shape fidelity' checks where the paper publishes a curve:
+    every point of the model series must lie within ``rel_tol`` of the
+    reference point.
+    """
+    if len(measured) != len(reference):
+        raise ValueError(
+            f"series lengths differ: {len(measured)} vs {len(reference)}"
+        )
+    return all(within(m, r, rel_tol) for m, r in zip(measured, reference))

@@ -1,0 +1,166 @@
+"""Every published number from the paper used for validation.
+
+Values are stated in the paper's own units (noted per constant) and are
+referenced by tests and benchmarks only — model code must never import
+this module.  Section/table/figure citations follow the SC 2008 text.
+"""
+
+from __future__ import annotations
+
+# ---------------------------------------------------------------------------
+# Headline system numbers (§I, §II, Table II)
+# ---------------------------------------------------------------------------
+PEAK_DP_PFLOPS = 1.38          # system peak, double precision
+PEAK_SP_PFLOPS = 2.91          # system peak, single precision
+LINPACK_SUSTAINED_PFLOPS = 1.026   # May 2008 LINPACK run
+LINPACK_EFFICIENCY_MIN = 0.70  # implied HPL efficiency band
+GREEN500_MFLOPS_PER_WATT = 437.0   # June 2008 Green500 position 3
+GREEN500_CELL_ONLY_MFLOPS_PER_WATT = 488.0  # the two small PXC8i systems above
+CELL_FRACTION_OF_PEAK = 0.95   # "~95% of peak comes from the PowerXCell 8i"
+OPTERON_ONLY_TOP500_POSITION = 50  # "approximately position 50" without Cells
+
+CU_COUNT = 17
+NODES_PER_CU = 180
+NODE_COUNT = 3060
+IO_NODES_PER_CU = 12
+TOTAL_SPES = 97920             # §VII: all 97,920 SPEs
+
+CU_PEAK_DP_TFLOPS = 80.9
+CU_PEAK_SP_TFLOPS = 171.1
+NODE_CELL_PEAK_DP_GFLOPS = 435.2
+NODE_CELL_PEAK_SP_GFLOPS = 921.6
+NODE_OPTERON_PEAK_DP_GFLOPS = 14.4
+NODE_OPTERON_PEAK_SP_GFLOPS = 28.8
+
+# ---------------------------------------------------------------------------
+# Processor specs (§II, §IV-A)
+# ---------------------------------------------------------------------------
+OPTERON_CLOCK_GHZ = 1.8
+CELL_CLOCK_GHZ = 3.2
+PXC8I_PEAK_DP_GFLOPS = 108.8   # whole chip
+PXC8I_SPE_PEAK_DP_GFLOPS = 102.4
+PXC8I_SPE_PEAK_SP_GFLOPS = 204.8
+CELLBE_PEAK_SP_GFLOPS = 217.6  # whole chip, paper's 9-core accounting
+CELLBE_PEAK_DP_GFLOPS = 21.0   # whole chip
+CELLBE_SPE_PEAK_DP_GFLOPS = 14.6
+DP_IMPROVEMENT_FACTOR = 7.0    # PXC8i vs Cell BE, SPE DP peak ("7x", §VII)
+PPE_PEAK_DP_GFLOPS = 6.4       # per PPE (Fig 1)
+SPE_LOCAL_STORE_KB = 256
+CELL_MEMORY_BW_GB_S = 25.6
+OPTERON_MEMORY_BW_GB_S = 10.7
+SPE_LS_PEAK_BW_GB_S = 51.2     # one 128-bit load/cycle, 6-cycle latency
+EIB_BYTES_PER_CYCLE = 96
+CELLBE_MAX_BLADE_MEMORY_GB = 2
+PXC8I_MAX_BLADE_MEMORY_GB = 32
+
+# Fig 3: node capacity breakdown
+NODE_SPE_DP_GFLOPS = 409.6
+NODE_PPE_DP_GFLOPS = 25.6
+NODE_CELL_OFFCHIP_GB = 16
+NODE_OPTERON_OFFCHIP_GB = 16
+NODE_CELL_ONCHIP_MB = 10.25
+NODE_OPTERON_ONCHIP_MB = 8.5
+
+# ---------------------------------------------------------------------------
+# Figs 4-5: SPE instruction-group microbenchmarks (cycles)
+# ---------------------------------------------------------------------------
+FPD_LATENCY_CELLBE = 13
+FPD_LATENCY_PXC8I = 9
+FPD_REPETITION_PXC8I = 1       # fully pipelined
+# All non-FPD groups are identical between variants and fully pipelined.
+
+# ---------------------------------------------------------------------------
+# Table III: memory measurements
+# ---------------------------------------------------------------------------
+STREAM_TRIAD_GB_S = {
+    "Opteron": 5.41,
+    "PowerXCell 8i (PPE)": 0.89,
+    "PowerXCell 8i (SPE)": 29.28,
+}
+MEMTIME_LATENCY_NS = {
+    "Opteron": 30.5,
+    "PowerXCell 8i (PPE)": 23.4,
+    "PowerXCell 8i (SPE)": 9.4,
+}
+
+# ---------------------------------------------------------------------------
+# Table I: hop-count census from node 0 (CU 1)
+# ---------------------------------------------------------------------------
+HOP_CENSUS = {
+    # description: (destination count, hop count)
+    "self": (1, 0),
+    "same crossbar": (7, 1),
+    "same CU": (172, 3),
+    "CUs 2-12 same crossbar": (88, 3),
+    "CUs 2-12 different crossbar": (1892, 5),
+    "CUs 13-17 same crossbar": (40, 5),
+    "CUs 13-17 different crossbar": (860, 7),
+}
+HOP_AVERAGE = 5.38
+SWITCH_HOP_LATENCY_NS = 220.0
+
+# ---------------------------------------------------------------------------
+# §IV-C / Figs 6-10: communication measurements
+# ---------------------------------------------------------------------------
+DACS_LATENCY_US = 3.19             # Cell <-> Opteron one leg (Fig 6)
+MPI_IB_LATENCY_US = 2.16           # Opteron <-> Opteron (Fig 6)
+LOCAL_LEG_LATENCY_US = 0.12        # local SPE/PPE legs at each end (Fig 6)
+CELL_TO_CELL_INTERNODE_LATENCY_US = 8.78
+
+INTRANODE_BIDIR_MB_S = 1295.0      # PPE-Opteron bidirectional sum (Fig 7)
+INTRANODE_2X_UNIDIR_MB_S = 2017.0
+INTERNODE_BIDIR_MB_S = 375.0       # PPE-Opt-Opt-PPE bidirectional (Fig 7)
+INTERNODE_2X_UNIDIR_MB_S = 536.0
+INTRANODE_BIDIR_FRACTION = 0.64
+INTERNODE_BIDIR_FRACTION = 0.70
+
+OPTERON_NEAR_HCA_MB_S = 1478.0     # cores 1<->3 internode (Fig 8)
+OPTERON_FAR_HCA_MB_S = 1087.0      # cores 0<->2 internode (Fig 8)
+
+DACS_SMALL_MSG_RATIO_MAX = 0.5     # DaCS < half of IB below ~20 KB (Fig 9)
+
+MPI_MIN_LATENCY_US = 2.5           # same-crossbar zero-byte (Fig 10)
+MPI_SAME_CU_LATENCY_US = 3.0
+MPI_5HOP_LATENCY_US = 3.5
+MPI_7HOP_LATENCY_US = 4.0          # "just under 4 us"
+IB_1MB_DEFAULT_MB_S = 980.0        # rank-0 average, default Open MPI
+IB_1MB_PINNED_MB_S = 1600.0        # with pinned buffers
+PCIE_PEAK_BW_GB_S = 1.6            # measured raw PCIe peak (§VI-A)
+PCIE_PEAK_LATENCY_US = 2.0
+
+CML_INTRA_SOCKET_LATENCY_US = 0.272   # §V-C
+CML_INTRA_SOCKET_BW_GB_S = 22.4       # 128 KB message over the EIB
+
+# ---------------------------------------------------------------------------
+# §VI / Table IV / Figs 12-14: Sweep3D
+# ---------------------------------------------------------------------------
+SWEEP3D_SUBGRID = (5, 5, 400)      # per SPE, weak scaling
+SWEEP3D_MK = 20
+SWEEP3D_ANGLES = 6
+TABLE4_SUBGRID = (50, 50, 50)
+TABLE4_MK = 10
+TABLE4_PREVIOUS_CBE_S = 1.3        # master/worker implementation
+TABLE4_OURS_CBE_S = 0.37
+TABLE4_OURS_PXC8I_S = 0.19
+TABLE4_CBE_TO_PXC8I_FACTOR = 1.9   # "a factor of 1.9x"
+TABLE4_IMPL_SPEEDUP_FACTOR = 3.0   # previous -> ours on CBE ("3x", §VII)
+
+# Fig 12 qualitative relations (§VI):
+FIG12_SPE_VS_X86_CORE = "comparable"      # 1 SPE ~ 1 Opteron/Tigerton core
+FIG12_SOCKET_VS_QUADCORE_FACTOR = 2.0     # 8 SPEs ~ 2x quad-core socket
+FIG12_SOCKET_VS_DUALCORE_FACTOR = 5.0     # ~ "almost 5x" dual-core Opteron
+
+# Fig 13/14 and §VII projections:
+FIG14_MEASURED_IMPROVEMENT_LARGE = 2.0    # ~2x at full scale, early software
+FIG14_BEST_IMPROVEMENT_LARGE = 4.0        # up to ~4x with peak PCIe
+CONCLUSION_SMALL_SCALE_ADVANTAGE = 10.0   # §VII (accelerated vs base, mature)
+CONCLUSION_LARGE_SCALE_ADVANTAGE = 5.0
+
+# §IV-A application factors on PXC8i vs Cell BE
+APP_SPEEDUP_SPASM = 1.5
+APP_SPEEDUP_MILAGRO = 1.5
+APP_SPEEDUP_VPIC = 1.0             # "no significant improvement" (SP code)
+APP_SPEEDUP_SWEEP3D = 1.9
+
+# Node counts plotted in Figs 13-14
+SCALING_NODE_COUNTS = (1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024, 2048, 3060)

@@ -1,0 +1,180 @@
+"""A one-shot validation report: every paper claim vs the models.
+
+``python -m repro validate`` runs each check and prints a PASS/FAIL
+table; :func:`run_checks` returns the raw records for programmatic use.
+Checks mirror the benchmark harness but are cheap enough to run
+together (the heavyweight series reuse the analytic models).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.validation import paper_data
+from repro.validation.compare import relative_error
+
+__all__ = ["CheckResult", "run_checks", "render_report"]
+
+
+@dataclass(frozen=True)
+class CheckResult:
+    """One validated claim."""
+
+    section: str
+    claim: str
+    paper_value: str
+    reproduced: str
+    rel_error: float
+    tolerance: float
+
+    @property
+    def passed(self) -> bool:
+        return self.rel_error <= self.tolerance
+
+
+def _check(
+    results: list[CheckResult],
+    section: str,
+    claim: str,
+    paper_value: float,
+    reproduced: float,
+    tolerance: float,
+    unit: str = "",
+) -> None:
+    results.append(
+        CheckResult(
+            section=section,
+            claim=claim,
+            paper_value=f"{paper_value:g}{unit}",
+            reproduced=f"{reproduced:.4g}{unit}",
+            rel_error=relative_error(reproduced, paper_value),
+            tolerance=tolerance,
+        )
+    )
+
+
+def run_checks() -> list[CheckResult]:
+    """Evaluate every claim; returns one record per check."""
+    from repro.apps.speedup import all_speedups
+    from repro.core.machine import RoadrunnerMachine
+    from repro.hardware.cell import CELL_BE, POWERXCELL_8I
+    from repro.hardware.memory import MEMORY_SYSTEMS
+    from repro.sweep3d.cellport import grind_time
+    from repro.sweep3d.input import SweepInput
+    from repro.sweep3d.masterworker import MasterWorkerModel
+    from repro.sweep3d.scaling import ScalingStudy
+    from repro.units import GFLOPS, MIB, NS, to_gb_s, to_us
+    from repro.comm.cml import INTERNODE_CELL_PATH
+    from repro.linpack.power import GREEN500_CELL_ONLY_MODEL
+
+    results: list[CheckResult] = []
+    machine = RoadrunnerMachine()
+
+    # -- §I / §II / Table II ------------------------------------------------
+    _check(results, "Table II", "peak DP (Pflop/s)",
+           paper_data.PEAK_DP_PFLOPS, machine.peak_dp_pflops, 0.01)
+    _check(results, "Table II", "peak SP (Pflop/s)",
+           paper_data.PEAK_SP_PFLOPS, machine.peak_sp_pflops, 0.01)
+    _check(results, "Table II", "CU peak DP (Tflop/s)",
+           paper_data.CU_PEAK_DP_TFLOPS, machine.cu_peak_dp_tflops, 0.005)
+    _check(results, "§II", "PXC8i chip DP (Gflop/s)",
+           paper_data.PXC8I_PEAK_DP_GFLOPS,
+           POWERXCELL_8I.spec.peak_dp_flops / GFLOPS, 0.005)
+    _check(results, "§II", "CBE->PXC8i DP factor",
+           paper_data.DP_IMPROVEMENT_FACTOR,
+           POWERXCELL_8I.spe_peak_dp_flops / CELL_BE.spe_peak_dp_flops, 0.01)
+
+    # -- headline LINPACK ----------------------------------------------------
+    run = machine.linpack()
+    _check(results, "headline", "LINPACK Rmax (Pflop/s)",
+           paper_data.LINPACK_SUSTAINED_PFLOPS, run.rmax_flops / 1e15, 0.01)
+    _check(results, "headline", "Green500 (Mflop/s/W)",
+           paper_data.GREEN500_MFLOPS_PER_WATT,
+           machine.green500_mflops_per_watt(), 0.01)
+    _check(results, "headline", "Cell-only Green500 (Mflop/s/W)",
+           paper_data.GREEN500_CELL_ONLY_MFLOPS_PER_WATT,
+           GREEN500_CELL_ONLY_MODEL.mflops_per_watt(), 0.01)
+    _check(results, "headline", "Opteron-only Top500 position",
+           paper_data.OPTERON_ONLY_TOP500_POSITION,
+           machine.opteron_only_top500_position(), 0.25)
+
+    # -- Table I ----------------------------------------------------------------
+    census = machine.hop_census()
+    for hops, expected in ((1, 7), (3, 260), (5, 1932), (7, 860)):
+        _check(results, "Table I", f"destinations at {hops} hops",
+               expected, census[hops], 0.0)
+    _check(results, "Table I", "average hops",
+           paper_data.HOP_AVERAGE, machine.average_hop_count(), 0.001)
+
+    # -- Table III ------------------------------------------------------------------
+    for name, system in MEMORY_SYSTEMS.items():
+        _check(results, "Table III", f"{name} TRIAD (GB/s)",
+               paper_data.STREAM_TRIAD_GB_S[name],
+               to_gb_s(system.stream_triad_bandwidth()), 0.001)
+        _check(results, "Table III", f"{name} latency (ns)",
+               paper_data.MEMTIME_LATENCY_NS[name],
+               system.memtime_latency(256 * MIB) / NS, 0.001)
+
+    # -- Fig 6 -----------------------------------------------------------------------
+    _check(results, "Fig 6", "Cell-to-Cell zero-byte latency (us)",
+           paper_data.CELL_TO_CELL_INTERNODE_LATENCY_US,
+           to_us(INTERNODE_CELL_PATH.zero_byte_latency), 0.005)
+
+    # -- Table IV ---------------------------------------------------------------------
+    inp = SweepInput.paper_table4()
+    _check(results, "Table IV", "previous CBE (s)",
+           paper_data.TABLE4_PREVIOUS_CBE_S,
+           MasterWorkerModel().iteration_time(inp), 0.05)
+    _check(results, "Table IV", "ours CBE (s)",
+           paper_data.TABLE4_OURS_CBE_S,
+           inp.angle_work * grind_time(CELL_BE), 0.02)
+    _check(results, "Table IV", "ours PXC8i (s)",
+           paper_data.TABLE4_OURS_PXC8I_S,
+           inp.angle_work * grind_time(POWERXCELL_8I), 0.02)
+
+    # -- §IV-A ------------------------------------------------------------------------
+    speedups = all_speedups()
+    for app, expected in (
+        ("VPIC", paper_data.APP_SPEEDUP_VPIC),
+        ("SPaSM", paper_data.APP_SPEEDUP_SPASM),
+        ("Milagro", paper_data.APP_SPEEDUP_MILAGRO),
+        ("Sweep3D", paper_data.APP_SPEEDUP_SWEEP3D),
+    ):
+        _check(results, "§IV-A", f"{app} speedup", expected, speedups[app], 0.05)
+
+    # -- Figs 13-14 ----------------------------------------------------------------------
+    study = ScalingStudy()
+    imp = study.fig14_improvements([3060])
+    _check(results, "Fig 14", "measured improvement at 3,060 nodes",
+           paper_data.FIG14_MEASURED_IMPROVEMENT_LARGE,
+           imp["measured"][0], 0.2)
+    _check(results, "Fig 14", "best improvement at 3,060 nodes",
+           paper_data.FIG14_BEST_IMPROVEMENT_LARGE, imp["best"][0], 0.25)
+
+    return results
+
+
+def render_report(results: list[CheckResult] | None = None) -> str:
+    """The PASS/FAIL table as text."""
+    from repro.core.report import format_table
+
+    results = results if results is not None else run_checks()
+    rows = [
+        (
+            r.section,
+            r.claim,
+            r.paper_value,
+            r.reproduced,
+            f"{r.rel_error:.1%}",
+            "PASS" if r.passed else "FAIL",
+        )
+        for r in results
+    ]
+    passed = sum(r.passed for r in results)
+    table = format_table(
+        ["section", "claim", "paper", "reproduced", "error", "status"],
+        rows,
+        title="Validation: paper vs reproduced",
+    )
+    return f"{table}\n\n{passed}/{len(results)} checks pass"

@@ -1,0 +1,81 @@
+"""Tests for the §IV-A application surrogates and derived speedups."""
+
+import pytest
+
+from repro.apps.speedup import all_speedups, pxc8i_speedup, workload_cycles
+from repro.apps.workloads import APP_WORKLOADS, AppWorkload
+from repro.hardware.cell import CELL_BE, POWERXCELL_8I
+from repro.hardware.spe_pipeline import InstructionGroup
+from repro.validation import paper_data
+
+
+def test_all_four_applications_present():
+    assert set(APP_WORKLOADS) == {"VPIC", "SPaSM", "Milagro", "Sweep3D"}
+
+
+def test_vpic_is_single_precision():
+    """§IV-A: VPIC 'doesn't show significant improvements on this new
+    processor as its calculations use single precision'."""
+    vpic = APP_WORKLOADS["VPIC"]
+    assert not vpic.uses_double_precision
+    assert vpic.mix.get(InstructionGroup.FP6, 0) > 0
+
+
+def test_vpic_speedup_is_1x():
+    assert pxc8i_speedup(APP_WORKLOADS["VPIC"]) == pytest.approx(
+        paper_data.APP_SPEEDUP_VPIC, rel=0.02
+    )
+
+
+def test_spasm_speedup_is_1_5x():
+    assert pxc8i_speedup(APP_WORKLOADS["SPaSM"]) == pytest.approx(
+        paper_data.APP_SPEEDUP_SPASM, rel=0.05
+    )
+
+
+def test_milagro_speedup_is_1_5x():
+    assert pxc8i_speedup(APP_WORKLOADS["Milagro"]) == pytest.approx(
+        paper_data.APP_SPEEDUP_MILAGRO, rel=0.05
+    )
+
+
+def test_sweep3d_speedup_is_1_9x():
+    assert pxc8i_speedup(APP_WORKLOADS["Sweep3D"]) == pytest.approx(
+        paper_data.APP_SPEEDUP_SWEEP3D, rel=0.05
+    )
+
+
+def test_all_speedups_returns_every_app():
+    speedups = all_speedups()
+    assert set(speedups) == set(APP_WORKLOADS)
+    assert all(s >= 1.0 for s in speedups.values())
+
+
+def test_speedup_monotone_in_fpd_share():
+    """More FPD per work unit -> bigger PXC8i advantage (the mechanism
+    behind the §IV-A ordering VPIC < SPaSM/Milagro < Sweep3D)."""
+    apps = sorted(APP_WORKLOADS.values(), key=lambda a: pxc8i_speedup(a))
+    fpd_ratio = [
+        a.fpd_count / sum(a.mix.values()) for a in apps
+    ]
+    assert fpd_ratio == sorted(fpd_ratio)
+
+
+def test_workload_cycles_positive_and_pxc_faster():
+    for app in APP_WORKLOADS.values():
+        cbe = workload_cycles(app, CELL_BE)
+        pxc = workload_cycles(app, POWERXCELL_8I)
+        assert 0 < pxc <= cbe
+
+
+def test_workload_validation():
+    with pytest.raises(ValueError):
+        AppWorkload("empty", "nothing", {}, "none")
+    with pytest.raises(ValueError):
+        AppWorkload("zeros", "nothing", {InstructionGroup.LS: 0}, "none")
+
+
+def test_sweep3d_workload_shares_cellport_mix():
+    from repro.sweep3d.cellport import SWEEP_MIX_PER_CELL_ANGLE
+
+    assert dict(APP_WORKLOADS["Sweep3D"].mix) == dict(SWEEP_MIX_PER_CELL_ANGLE)

@@ -1,0 +1,113 @@
+"""Tests for the characterization campaign and strong scaling."""
+
+import doctest
+
+import pytest
+
+from repro.comm.cml import INTERNODE_CELL_PATH
+from repro.comm.ib import IB_DEFAULT
+from repro.microbench.characterize import characterize, render_characterization
+from repro.sweep3d.perfmodel import SweepMachineParams
+from repro.sweep3d.strongscaling import (
+    StrongScalingPoint,
+    strong_scaling_series,
+    sweet_spot,
+)
+
+PARAMS = SweepMachineParams("test", grind_time=32e-9, comm=IB_DEFAULT)
+
+
+# --- characterization -------------------------------------------------------------
+
+@pytest.fixture(scope="module")
+def report():
+    return characterize(include_latency_map=True)
+
+
+def test_characterization_covers_all_sections(report):
+    assert set(report) == {"pipelines", "memory", "communication", "latency_map_us"}
+
+
+def test_characterization_memory_matches_table3(report):
+    assert report["memory"]["Opteron"]["triad_gb_s"] == pytest.approx(5.41)
+    assert report["memory"]["PowerXCell 8i (SPE)"]["triad_gb_s"] == pytest.approx(29.28)
+
+
+def test_characterization_comm_matches_fig6(report):
+    comm = report["communication"]
+    assert comm["DaCS/PCIe (measured)"]["latency_us"] == pytest.approx(3.19)
+    assert comm["Cell-to-Cell internode"]["latency_us"] == pytest.approx(8.78, abs=0.01)
+    assert comm["Cell-to-Cell internode"]["bandwidth_1mb_mb_s"] == pytest.approx(
+        268, rel=0.03
+    )
+
+
+def test_characterization_pipelines(report):
+    assert report["pipelines"]["Cell BE"]["FPD"]["repetition"] == 7
+    assert report["pipelines"]["PowerXCell 8i"]["FPD"]["repetition"] == 1
+
+
+def test_characterization_latency_map(report):
+    lm = report["latency_map_us"]
+    assert lm["1"] == pytest.approx(2.5, rel=0.02)
+    assert lm["180"] < lm["200"]  # the same-crossbar dip into CU 2
+
+
+def test_render_characterization(report):
+    text = render_characterization(report)
+    assert "Communication hierarchy" in text
+    assert "8.78" in text
+    assert "FPD" in text
+
+
+def test_characterize_doctest():
+    import repro.microbench.characterize as mod
+
+    result = doctest.testmod(mod)
+    assert result.attempted > 0 and result.failed == 0
+
+
+# --- strong scaling ------------------------------------------------------------------
+
+def test_strong_scaling_series_shapes():
+    points = strong_scaling_series((64, 64, 128), [1, 4, 16, 64], PARAMS)
+    assert [p.ranks for p in points] == [1, 4, 16, 64]
+    assert points[0].efficiency == pytest.approx(1.0)
+    assert points[0].subgrid == (64, 64, 128)
+    assert points[2].subgrid == (16, 16, 128)
+
+
+def test_strong_scaling_efficiency_decays():
+    points = strong_scaling_series((64, 64, 128), [1, 4, 16, 64, 256], PARAMS)
+    effs = [p.efficiency for p in points]
+    assert all(b < a for a, b in zip(effs, effs[1:]))
+
+
+def test_strong_scaling_speedup_grows_then_saturates():
+    slow_comm = SweepMachineParams(
+        "slow", grind_time=32e-9, comm=INTERNODE_CELL_PATH,
+        per_message_overhead=INTERNODE_CELL_PATH.zero_byte_latency,
+    )
+    points = strong_scaling_series(
+        (128, 128, 128), [1, 16, 256, 4096, 16384], slow_comm
+    )
+    speedups = [p.speedup for p in points]
+    assert speedups[1] > speedups[0]
+    # Far past the sweet spot the extra ranks stop paying.
+    assert speedups[-1] < 2 * speedups[-2]
+    spot = sweet_spot(points)
+    assert spot.iteration_time == min(p.iteration_time for p in points)
+
+
+def test_strong_scaling_validation():
+    with pytest.raises(ValueError):
+        strong_scaling_series((0, 4, 4), [1], PARAMS)
+    with pytest.raises(ValueError):
+        strong_scaling_series((64, 64, 64), [0], PARAMS)
+    with pytest.raises(ValueError):
+        sweet_spot([])
+
+
+def test_strong_scaling_untileable_rejected():
+    with pytest.raises(ValueError):
+        strong_scaling_series((9, 9, 9), [4], PARAMS)  # 2x2 vs 9x9

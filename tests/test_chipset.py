@@ -1,0 +1,61 @@
+"""Tests for the HT2100 bridge wiring of the triblade."""
+
+import pytest
+
+from repro.hardware.chipset import HT2100, build_triblade_fabric
+from repro.units import GB_S
+
+
+def test_bridge_port_budgets():
+    bridge = HT2100(name="b")
+    bridge.attach_ht("cpu")
+    with pytest.raises(ValueError):
+        bridge.attach_ht("another-cpu")
+    for i in range(3):
+        bridge.attach_pcie(f"dev{i}")
+    with pytest.raises(ValueError):
+        bridge.attach_pcie("dev3")
+
+
+def test_bridge_capacities():
+    bridge = HT2100(name="b")
+    bridge.attach_pcie("a")
+    bridge.attach_pcie("b")
+    assert bridge.downstream_capacity == pytest.approx(4.0 * GB_S)
+    assert not bridge.oversubscribed
+    bridge.attach_pcie("c")
+    assert bridge.downstream_capacity == pytest.approx(6.0 * GB_S)
+    assert not bridge.oversubscribed  # 6.0 < 6.4 HT
+
+
+def test_production_fabric_wiring():
+    fabric = build_triblade_fabric()
+    b0, b1 = fabric.bridges
+    assert b0.ht_port == "opteron-socket0"
+    assert b1.ht_port == "opteron-socket1"
+    assert b0.pcie_ports == ["cell0", "cell1"]
+    assert b1.pcie_ports == ["cell2", "cell3", "ib-hca"]
+
+
+def test_every_cell_reaches_a_bridge():
+    fabric = build_triblade_fabric()
+    for cell in range(4):
+        assert fabric.bridge_of_cell(cell) in fabric.bridges
+    with pytest.raises(ValueError):
+        fabric.bridge_of_cell(4)
+
+
+def test_hca_bridge_carries_socket1():
+    """The mechanism behind Fig 8: the HCA hangs off the bridge that
+    uplinks to socket 1, so its cores (1 and 3) avoid the extra
+    HyperTransport crossing."""
+    fabric = build_triblade_fabric()
+    assert fabric.hca_bridge.ht_port == "opteron-socket1"
+    assert fabric.hca_shares_bridge_with_cells() == [2, 3]
+
+
+def test_neither_bridge_oversubscribed():
+    """Fig 1's design point: 3 x 2 GB/s PCIe under a 6.4 GB/s HT port."""
+    fabric = build_triblade_fabric()
+    for bridge in fabric.bridges:
+        assert not bridge.oversubscribed

@@ -1,0 +1,197 @@
+"""Tests for the extended collectives: gather, scatter, allgather,
+alltoall — including property-based no-deadlock/correctness checks."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.comm.mpi import Location, SimMPI, UniformFabric
+from repro.comm.transport import Transport
+from repro.sim import Simulator
+from repro.units import US
+
+
+def make_comm(n, latency=1 * US):
+    sim = Simulator()
+    fabric = UniformFabric(Transport("t", latency=latency, bandwidth=1e9))
+    comm = SimMPI(sim, fabric, [Location(node=i) for i in range(n)])
+    return sim, comm
+
+
+def run_ranks(sim, comm, body):
+    for r in range(comm.size):
+        sim.process(body(comm.rank(r)), name=f"rank{r}")
+    sim.run()
+
+
+@pytest.mark.parametrize("n", [1, 2, 3, 5, 8])
+@pytest.mark.parametrize("root", [0, 1])
+def test_gather_collects_in_rank_order(n, root):
+    if root >= n:
+        pytest.skip("root outside communicator")
+    sim, comm = make_comm(n)
+    results = {}
+
+    def body(rank):
+        got = yield from rank.gather(f"v{rank.index}", root=root)
+        results[rank.index] = got
+
+    run_ranks(sim, comm, body)
+    assert results[root] == [f"v{r}" for r in range(n)]
+    for r in range(n):
+        if r != root:
+            assert results[r] is None
+
+
+@pytest.mark.parametrize("n", [1, 2, 4, 7])
+def test_scatter_distributes_by_rank(n):
+    sim, comm = make_comm(n)
+    results = {}
+
+    def body(rank):
+        values = [f"s{i}" for i in range(n)] if rank.index == 0 else None
+        got = yield from rank.scatter(values, root=0)
+        results[rank.index] = got
+
+    run_ranks(sim, comm, body)
+    assert results == {r: f"s{r}" for r in range(n)}
+
+
+def test_scatter_requires_values_at_root():
+    sim, comm = make_comm(2)
+
+    def body(rank):
+        if rank.index == 0:
+            yield from rank.scatter([1], root=0)  # wrong length
+        else:
+            yield from rank.scatter(None, root=0)
+
+    with pytest.raises(ValueError):
+        run_ranks(sim, comm, body)
+
+
+@pytest.mark.parametrize("n", [1, 2, 3, 6, 8])
+def test_allgather_everyone_sees_everything(n):
+    sim, comm = make_comm(n)
+    results = {}
+
+    def body(rank):
+        got = yield from rank.allgather(rank.index * 10)
+        results[rank.index] = got
+
+    run_ranks(sim, comm, body)
+    expected = [r * 10 for r in range(n)]
+    assert all(v == expected for v in results.values())
+
+
+def test_allgather_takes_logarithmic_rounds():
+    latency = 1 * US
+    sim, comm = make_comm(8, latency=latency)
+    finish = {}
+
+    def body(rank):
+        yield from rank.allgather("x", size=0)
+        finish[rank.index] = rank.sim.now
+
+    run_ranks(sim, comm, body)
+    assert max(finish.values()) == pytest.approx(3 * latency)
+
+
+@pytest.mark.parametrize("n", [1, 2, 3, 5])
+def test_alltoall_personalized_exchange(n):
+    sim, comm = make_comm(n)
+    results = {}
+
+    def body(rank):
+        outgoing = [(rank.index, j) for j in range(n)]
+        got = yield from rank.alltoall(outgoing)
+        results[rank.index] = got
+
+    run_ranks(sim, comm, body)
+    for j in range(n):
+        assert results[j] == [(i, j) for i in range(n)]
+
+
+def test_alltoall_validates_length():
+    sim, comm = make_comm(3)
+
+    def body(rank):
+        yield from rank.alltoall([1, 2])  # wrong length
+
+    with pytest.raises(ValueError):
+        run_ranks(sim, comm, body)
+
+
+def test_consecutive_mixed_collectives_do_not_cross():
+    """A stress sequence of different collectives back to back."""
+    sim, comm = make_comm(5)
+    results = {}
+
+    def body(rank):
+        a = yield from rank.allreduce(1, op=lambda x, y: x + y)
+        b = yield from rank.allgather(rank.index)
+        yield from rank.barrier()
+        c = yield from rank.bcast("z" if rank.index == 2 else None, root=2)
+        d = yield from rank.gather(rank.index**2, root=0)
+        results[rank.index] = (a, b, c, d)
+
+    run_ranks(sim, comm, body)
+    for r, (a, b, c, d) in results.items():
+        assert a == 5
+        assert b == [0, 1, 2, 3, 4]
+        assert c == "z"
+        if r == 0:
+            assert d == [0, 1, 4, 9, 16]
+        else:
+            assert d is None
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    n=st.integers(min_value=1, max_value=9),
+    seed=st.integers(min_value=0, max_value=1000),
+)
+def test_random_collective_sequences_complete(n, seed):
+    """Any same-order sequence of collectives completes with correct
+    results (no deadlock, no cross-matching)."""
+    import random
+
+    rng = random.Random(seed)
+    ops = [rng.choice(["barrier", "bcast", "reduce", "allgather", "alltoall"])
+           for _ in range(4)]
+    sim, comm = make_comm(n)
+    results = {r: [] for r in range(n)}
+
+    def body(rank):
+        for op in ops:
+            if op == "barrier":
+                yield from rank.barrier()
+                results[rank.index].append("b")
+            elif op == "bcast":
+                got = yield from rank.bcast(
+                    "root" if rank.index == 0 else None, root=0
+                )
+                results[rank.index].append(got)
+            elif op == "reduce":
+                got = yield from rank.reduce(1, op=lambda a, b: a + b, root=0)
+                results[rank.index].append(got)
+            elif op == "allgather":
+                got = yield from rank.allgather(rank.index)
+                results[rank.index].append(tuple(got))
+            else:
+                got = yield from rank.alltoall(list(range(n)))
+                results[rank.index].append(tuple(got))
+
+    run_ranks(sim, comm, body)
+    for r in range(n):
+        assert len(results[r]) == len(ops)
+    for step, op in enumerate(ops):
+        if op == "bcast":
+            assert all(results[r][step] == "root" for r in range(n))
+        elif op == "reduce":
+            assert results[0][step] == n
+        elif op == "allgather":
+            assert all(results[r][step] == tuple(range(n)) for r in range(n))
+        elif op == "alltoall":
+            for r in range(n):
+                assert results[r][step] == tuple([r] * n)

@@ -1,0 +1,181 @@
+"""Tests for the core facade: config, modes, machine, report."""
+
+import pytest
+
+from repro.core.config import FULL_SYSTEM, SINGLE_CU, SystemConfig
+from repro.core.machine import RoadrunnerMachine
+from repro.core.modes import MODES, UsageMode
+from repro.core.report import format_series, format_table
+from repro.validation import paper_data
+
+
+# --- config ------------------------------------------------------------------
+
+def test_full_system_counts():
+    assert FULL_SYSTEM.cu_count == paper_data.CU_COUNT
+    assert FULL_SYSTEM.node_count == paper_data.NODE_COUNT
+    assert FULL_SYSTEM.spe_count == paper_data.TOTAL_SPES
+    assert FULL_SYSTEM.opteron_core_count == 12240
+    assert FULL_SYSTEM.cell_count == 12240
+    assert FULL_SYSTEM.io_node_count == 17 * paper_data.IO_NODES_PER_CU
+
+
+def test_single_cu_counts():
+    assert SINGLE_CU.node_count == paper_data.NODES_PER_CU
+
+
+def test_config_validation():
+    with pytest.raises(ValueError):
+        SystemConfig("bad", cu_count=0)
+    with pytest.raises(ValueError):
+        SystemConfig("bad", cu_count=25)
+
+
+# --- modes ---------------------------------------------------------------------
+
+def test_three_usage_modes():
+    assert set(MODES) == {
+        UsageMode.CLUSTER,
+        UsageMode.ACCELERATOR,
+        UsageMode.SPE_CENTRIC,
+    }
+
+
+def test_cluster_mode_taps_tiny_fraction_of_peak():
+    cluster = MODES[UsageMode.CLUSTER]
+    assert cluster.peak_fraction == pytest.approx(14.4 / 449.6, rel=1e-3)
+
+
+def test_mode_example_applications_match_paper():
+    assert "SPaSM" in MODES[UsageMode.ACCELERATOR].example_applications
+    assert "VPIC" in MODES[UsageMode.SPE_CENTRIC].example_applications
+    assert "Sweep3D" in MODES[UsageMode.SPE_CENTRIC].example_applications
+
+
+def test_spe_centric_layers_include_full_hierarchy():
+    layers = MODES[UsageMode.SPE_CENTRIC].layers
+    for layer in ("EIB", "DaCS/PCIe", "MPI", "InfiniBand"):
+        assert layer in layers
+
+
+# --- machine -----------------------------------------------------------------------
+
+@pytest.fixture(scope="module")
+def machine():
+    return RoadrunnerMachine()
+
+
+def test_peak_dp_is_1_38_pflops(machine):
+    assert machine.peak_dp_pflops == pytest.approx(
+        paper_data.PEAK_DP_PFLOPS, rel=0.005
+    )
+
+
+def test_peak_sp_is_2_91_pflops(machine):
+    assert machine.peak_sp_pflops == pytest.approx(
+        paper_data.PEAK_SP_PFLOPS, rel=0.005
+    )
+
+
+def test_cu_peak_is_80_9_tflops(machine):
+    assert machine.cu_peak_dp_tflops == pytest.approx(
+        paper_data.CU_PEAK_DP_TFLOPS, rel=0.002
+    )
+
+
+def test_cell_fraction_of_peak_about_95_percent(machine):
+    assert 0.90 <= machine.cell_fraction_of_peak() <= 0.97
+
+
+def test_characteristics_table(machine):
+    chars = machine.characteristics()
+    assert chars["node_count"] == 3060
+    assert chars["spes"] == 97920
+    assert chars["node_cell_peak_dp_gflops"] == pytest.approx(435.2)
+    assert chars["node_opteron_peak_dp_gflops"] == pytest.approx(14.4)
+
+
+def test_machine_hop_census_is_table1(machine):
+    census = machine.hop_census()
+    assert census == {0: 1, 1: 7, 3: 260, 5: 1932, 7: 860}
+    assert machine.average_hop_count() == pytest.approx(
+        paper_data.HOP_AVERAGE, abs=0.005
+    )
+
+
+def test_machine_latency_map_length(machine):
+    series = machine.latency_map()
+    assert len(series) == 3060
+
+
+def test_machine_linpack_headlines(machine):
+    assert machine.linpack().rmax_flops / 1e15 == pytest.approx(1.026, rel=0.01)
+    assert machine.green500_mflops_per_watt() == pytest.approx(437, rel=0.01)
+    assert 35 <= machine.opteron_only_top500_position() <= 60
+
+
+def test_small_machine_scales_down():
+    small = RoadrunnerMachine(SINGLE_CU)
+    assert small.node_count == 180
+    assert small.peak_dp_pflops == pytest.approx(80.9e-3, rel=0.002)
+    census = small.hop_census()
+    assert set(census) == {0, 1, 3}
+
+
+def test_cell_variants_exposed(machine):
+    assert machine.cell.name == "PowerXCell 8i"
+    assert machine.previous_cell.name == "Cell BE"
+
+
+def test_sweep3d_study_accessible(machine):
+    study = machine.sweep3d_study()
+    point = study.point(1, "cell_measured")
+    assert point.iteration_time > 0
+
+
+# --- report helpers ---------------------------------------------------------------------
+
+def test_format_table_aligns_and_titles():
+    text = format_table(
+        ["name", "value"], [["alpha", 1.0], ["b", 123456.0]], title="T"
+    )
+    lines = text.splitlines()
+    assert lines[0] == "T"
+    assert "name" in lines[2] and "value" in lines[2]
+    assert any("alpha" in ln for ln in lines)
+
+
+def test_format_table_rejects_ragged_rows():
+    with pytest.raises(ValueError):
+        format_table(["a", "b"], [["only-one"]])
+
+
+def test_format_series_rejects_length_mismatch():
+    with pytest.raises(ValueError):
+        format_series("x", [1, 2], {"y": [1.0]})
+
+
+def test_format_series_renders_all_series():
+    text = format_series("n", [1, 2], {"y1": [0.5, 1.5], "y2": [2.0, 4.0]})
+    assert "y1" in text and "y2" in text and "1.5" in text
+
+
+def test_sparkline_profiles_series():
+    from repro.core.report import sparkline
+
+    line = sparkline([0, 1, 2, 3])
+    assert len(line) == 4
+    assert line[0] == "▁" and line[-1] == "█"
+    assert sparkline([]) == ""
+    assert sparkline([5.0, 5.0, 5.0]) == "▁▁▁"
+
+
+def test_sparkline_of_fig10_staircase():
+    from repro.core.report import sparkline
+    from repro.core.machine import RoadrunnerMachine
+
+    series = RoadrunnerMachine().latency_map()[1:200]
+    line = sparkline(series)
+    # The first 7 (same-crossbar) destinations sit at the lowest level.
+    assert set(line[:7]) == {"▁"}
+    assert len(set(line)) > 1

@@ -1,0 +1,57 @@
+"""Tests for the Sweep3D energy-to-solution study."""
+
+import pytest
+
+from repro.core.energy import EnergyStudy
+
+
+@pytest.fixture(scope="module")
+def study():
+    return EnergyStudy()
+
+
+def test_opteron_only_node_draws_less_power(study):
+    full = study.node_power("cell_measured")
+    reduced = study.node_power("opteron")
+    assert reduced < full
+    # But idle Cells still burn most of their draw.
+    assert reduced > 0.6 * full
+
+
+def test_energy_point_composition(study):
+    point = study.point(16, "cell_measured")
+    assert point.energy_joules == pytest.approx(
+        point.power_watts * point.iteration_time
+    )
+    assert point.nodes == 16
+
+
+def test_accelerated_mode_wins_on_energy(study):
+    adv = study.energy_advantage(64)
+    assert adv["energy_measured"] > 1.0
+    assert adv["energy_best"] > adv["energy_measured"]
+
+
+def test_energy_advantage_below_time_advantage(study):
+    """The accelerated run draws more power (Cells active), so its
+    energy win is smaller than its time win — but still a win because
+    idle Cells dissipate most of their draw anyway."""
+    adv = study.energy_advantage(64)
+    assert adv["energy_measured"] < adv["time_measured"]
+    assert adv["energy_measured"] > 0.6 * adv["time_measured"]
+
+
+def test_full_power_gating_would_equalize():
+    """With perfectly gated idle Cells (hypothetical), the Opteron-only
+    run draws far less and the energy advantage shrinks further."""
+    gated = EnergyStudy(idle_cell_fraction=0.0)
+    ungated = EnergyStudy(idle_cell_fraction=1.0)
+    assert (
+        gated.energy_advantage(16)["energy_measured"]
+        < ungated.energy_advantage(16)["energy_measured"]
+    )
+
+
+def test_idle_fraction_validation():
+    with pytest.raises(ValueError):
+        EnergyStudy(idle_cell_fraction=1.5)

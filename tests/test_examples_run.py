@@ -1,0 +1,43 @@
+"""Smoke tests: every example script runs cleanly and prints its
+load-bearing numbers.  Kept out of the default fast path for the heavy
+ones via coarse grouping; the whole module still finishes in well under
+a minute."""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES = pathlib.Path(__file__).resolve().parent.parent / "examples"
+
+#: script -> substrings its output must contain
+EXPECTATIONS = {
+    "quickstart.py": ["1.38 Pflop/s", "1.026", "437", "5.38"],
+    "sweep3d_transport.py": ["particle balance residual", "max |parallel - serial|"],
+    "communication_hierarchy.py": ["8.78 us", "1087", "EIB"],
+    "hybrid_modes.py": ["spe-centric", "1.9", "256 KiB"],
+    "petaflop_projection.py": ["Cell (best)", "improvement"],
+    "three_applications.py": ["two-stream", "1.00x", "1.95x"],
+    "contention_study.py": ["incast", "Amdahl"],
+    "verification_study.py": ["order of accuracy", "rank0"],
+    "machine_characterization.py": ["Communication hierarchy", "29.28"],
+}
+
+
+def test_every_example_has_expectations():
+    scripts = {p.name for p in EXAMPLES.glob("*.py")}
+    assert scripts == set(EXPECTATIONS)
+
+
+@pytest.mark.parametrize("script", sorted(EXPECTATIONS))
+def test_example_runs(script):
+    proc = subprocess.run(
+        [sys.executable, str(EXAMPLES / script)],
+        capture_output=True,
+        text=True,
+        timeout=180,
+    )
+    assert proc.returncode == 0, proc.stderr[-2000:]
+    for marker in EXPECTATIONS[script]:
+        assert marker in proc.stdout, (script, marker)

@@ -1,0 +1,189 @@
+"""Tests for Cell variants, blades, and the triblade node (Table II, Fig 3)."""
+
+import pytest
+
+from repro.hardware.blade import LS21_BLADE, QS21_BLADE, QS22_BLADE, Blade
+from repro.hardware.cell import CELL_BE, POWERXCELL_8I
+from repro.hardware.node import TRIBLADE
+from repro.hardware.opteron import OPTERON_2210_HE
+from repro.units import GB_S, GFLOPS, GIB, MIB, to_gflops
+from repro.validation import paper_data
+
+
+# --- Cell variants -----------------------------------------------------------
+
+def test_pxc8i_chip_peak_dp_is_108_8():
+    assert to_gflops(POWERXCELL_8I.spec.peak_dp_flops) == pytest.approx(
+        paper_data.PXC8I_PEAK_DP_GFLOPS
+    )
+
+
+def test_pxc8i_spe_peak_dp_is_102_4():
+    assert to_gflops(POWERXCELL_8I.spe_peak_dp_flops) == pytest.approx(
+        paper_data.PXC8I_SPE_PEAK_DP_GFLOPS
+    )
+
+
+def test_pxc8i_spe_peak_sp_is_204_8():
+    assert to_gflops(POWERXCELL_8I.spe_peak_sp_flops) == pytest.approx(
+        paper_data.PXC8I_SPE_PEAK_SP_GFLOPS
+    )
+
+
+def test_cellbe_chip_peak_sp_is_217_6():
+    assert to_gflops(CELL_BE.spec.peak_sp_flops) == pytest.approx(
+        paper_data.CELLBE_PEAK_SP_GFLOPS
+    )
+
+
+def test_cellbe_chip_peak_dp_is_21():
+    assert to_gflops(CELL_BE.spec.peak_dp_flops) == pytest.approx(
+        paper_data.CELLBE_PEAK_DP_GFLOPS, rel=0.01
+    )
+
+
+def test_cellbe_spe_dp_is_14_6():
+    assert to_gflops(CELL_BE.spe_peak_dp_flops) == pytest.approx(
+        paper_data.CELLBE_SPE_PEAK_DP_GFLOPS, rel=0.01
+    )
+
+
+def test_dp_improvement_is_7x():
+    """§VII: 'a significant performance improvement ... by a factor of 7x
+    on double-precision floating point operations.'"""
+    ratio = POWERXCELL_8I.spe_peak_dp_flops / CELL_BE.spe_peak_dp_flops
+    assert ratio == pytest.approx(paper_data.DP_IMPROVEMENT_FACTOR)
+
+
+def test_ppe_peak_dp_is_6_4():
+    ppe, count = POWERXCELL_8I.spec.cores_named("PPE (PowerXCell 8i)")
+    assert count == 1
+    assert to_gflops(ppe.peak_dp_flops) == pytest.approx(paper_data.PPE_PEAK_DP_GFLOPS)
+
+
+def test_memory_kind_and_capacity_limits():
+    assert CELL_BE.memory_kind == "Rambus XDR"
+    assert CELL_BE.max_blade_memory_bytes == paper_data.CELLBE_MAX_BLADE_MEMORY_GB * GIB
+    assert POWERXCELL_8I.memory_kind == "DDR2-800"
+    assert (
+        POWERXCELL_8I.max_blade_memory_bytes
+        == paper_data.PXC8I_MAX_BLADE_MEMORY_GB * GIB
+    )
+
+
+def test_both_variants_have_25_6_gb_s_memory():
+    assert CELL_BE.memory_bandwidth == pytest.approx(25.6 * GB_S)
+    assert POWERXCELL_8I.memory_bandwidth == pytest.approx(25.6 * GB_S)
+
+
+def test_eib_bandwidth_96_bytes_per_cycle():
+    assert POWERXCELL_8I.eib_bandwidth == pytest.approx(
+        paper_data.EIB_BYTES_PER_CYCLE * 3.2e9
+    )
+
+
+def test_local_store_is_256_kb():
+    spe, count = POWERXCELL_8I.spec.cores_named("SPE (PowerXCell 8i)")
+    assert count == 8
+    assert spe.caches[0].capacity_bytes == paper_data.SPE_LOCAL_STORE_KB * 1024
+
+
+# --- blades ------------------------------------------------------------------
+
+def test_ls21_peak_dp_is_14_4_gflops():
+    assert to_gflops(LS21_BLADE.peak_dp_flops) == pytest.approx(
+        paper_data.NODE_OPTERON_PEAK_DP_GFLOPS
+    )
+
+
+def test_ls21_peak_sp_is_28_8_gflops():
+    assert to_gflops(LS21_BLADE.peak_sp_flops) == pytest.approx(
+        paper_data.NODE_OPTERON_PEAK_SP_GFLOPS
+    )
+
+
+def test_qs22_carries_two_pxc8i():
+    assert QS22_BLADE.socket_count == 2
+    assert QS22_BLADE.processor is POWERXCELL_8I.spec
+
+
+def test_qs21_carries_cell_be():
+    assert QS21_BLADE.processor is CELL_BE.spec
+
+
+def test_blade_socket_count_validation():
+    with pytest.raises(ValueError):
+        Blade("bad", OPTERON_2210_HE, socket_count=0)
+
+
+# --- the triblade (Table II node column, Fig 3) --------------------------------
+
+def test_triblade_counts():
+    assert TRIBLADE.opteron_core_count == 4
+    assert TRIBLADE.cell_count == 4
+    assert TRIBLADE.ppe_count == 4
+    assert TRIBLADE.spe_count == 32
+
+
+def test_triblade_cell_peak_dp_435_2():
+    assert to_gflops(TRIBLADE.cell_peak_dp_flops) == pytest.approx(
+        paper_data.NODE_CELL_PEAK_DP_GFLOPS
+    )
+
+
+def test_triblade_cell_peak_sp_921_6():
+    sp = sum(b.peak_sp_flops for b in TRIBLADE.cell_blades)
+    assert to_gflops(sp) == pytest.approx(paper_data.NODE_CELL_PEAK_SP_GFLOPS)
+
+
+def test_triblade_total_memory_32_gib():
+    assert TRIBLADE.memory_bytes == 32 * GIB
+
+
+def test_fig3a_flop_breakdown():
+    bd = TRIBLADE.flop_breakdown_dp()
+    assert to_gflops(bd["SPEs"]) == pytest.approx(paper_data.NODE_SPE_DP_GFLOPS)
+    assert to_gflops(bd["PPEs"]) == pytest.approx(paper_data.NODE_PPE_DP_GFLOPS)
+    assert to_gflops(bd["Opterons"]) == pytest.approx(
+        paper_data.NODE_OPTERON_PEAK_DP_GFLOPS
+    )
+
+
+def test_fig3b_memory_breakdown():
+    bd = TRIBLADE.memory_breakdown()
+    assert bd["Cell off-chip"] == pytest.approx(paper_data.NODE_CELL_OFFCHIP_GB * GIB)
+    assert bd["Opteron off-chip"] == pytest.approx(
+        paper_data.NODE_OPTERON_OFFCHIP_GB * GIB
+    )
+    # 4 x (8 x 256 KB LS + 64 KB L1 + 512 KB L2) = 10.25 MiB
+    assert bd["Cell on-chip"] / MIB == pytest.approx(paper_data.NODE_CELL_ONCHIP_MB)
+    # 4 x 128 KB L1 + 4 x 2 MB L2 = 8.5 MiB
+    assert bd["Opteron on-chip"] / MIB == pytest.approx(paper_data.NODE_OPTERON_ONCHIP_MB)
+
+
+def test_opteron_cell_pairing_is_identity():
+    for core in range(4):
+        assert TRIBLADE.paired_cell(core) == core
+    with pytest.raises(IndexError):
+        TRIBLADE.paired_cell(4)
+
+
+def test_hca_proximity_cores_1_and_3():
+    """Fig 8: cores 1 and 3 (and their memory) are closer to the HCA."""
+    assert TRIBLADE.hca_near(1) and TRIBLADE.hca_near(3)
+    assert not TRIBLADE.hca_near(0) and not TRIBLADE.hca_near(2)
+    with pytest.raises(IndexError):
+        TRIBLADE.hca_near(-1)
+
+
+def test_pcie_links_are_2_gb_s_per_direction():
+    for i in range(4):
+        assert TRIBLADE.link(f"pcie-cell{i}").bandwidth_per_direction == pytest.approx(
+            2.0 * GB_S
+        )
+    with pytest.raises(KeyError):
+        TRIBLADE.link("nonexistent")
+
+
+def test_ib_hca_link_2_gb_s():
+    assert TRIBLADE.link("ib-hca").bandwidth_per_direction == pytest.approx(2.0 * GB_S)

@@ -1,0 +1,109 @@
+"""Unit tests for processor/core spec types and the Opteron/Tigerton specs."""
+
+import pytest
+
+from repro.hardware.processor import CacheSpec, CoreSpec, ProcessorSpec
+from repro.hardware.opteron import (
+    OPTERON_2210_HE,
+    OPTERON_QUAD_2356,
+    TIGERTON_X7350,
+)
+from repro.units import GFLOPS, MIB
+from repro.validation import paper_data
+
+
+def test_core_peak_rates_derive_from_issue_width():
+    core = CoreSpec("c", clock_hz=2e9, dp_flops_per_cycle=2, sp_flops_per_cycle=4)
+    assert core.peak_dp_flops == pytest.approx(4e9)
+    assert core.peak_sp_flops == pytest.approx(8e9)
+
+
+def test_core_rejects_nonpositive_clock():
+    with pytest.raises(ValueError):
+        CoreSpec("bad", clock_hz=0.0, dp_flops_per_cycle=2, sp_flops_per_cycle=4)
+
+
+def test_core_rejects_negative_issue_width():
+    with pytest.raises(ValueError):
+        CoreSpec("bad", clock_hz=1e9, dp_flops_per_cycle=-1, sp_flops_per_cycle=4)
+
+
+def test_cache_rejects_nonpositive_capacity():
+    with pytest.raises(ValueError):
+        CacheSpec("L1", 0)
+
+
+def test_processor_requires_cores():
+    with pytest.raises(ValueError):
+        ProcessorSpec("empty", core_counts=())
+
+
+def test_processor_rejects_zero_count():
+    core = CoreSpec("c", clock_hz=1e9, dp_flops_per_cycle=2, sp_flops_per_cycle=4)
+    with pytest.raises(ValueError):
+        ProcessorSpec("bad", core_counts=((core, 0),))
+
+
+def test_processor_aggregates_over_core_kinds():
+    a = CoreSpec("a", clock_hz=1e9, dp_flops_per_cycle=2, sp_flops_per_cycle=4)
+    b = CoreSpec("b", clock_hz=2e9, dp_flops_per_cycle=1, sp_flops_per_cycle=2)
+    chip = ProcessorSpec("mix", core_counts=((a, 2), (b, 3)))
+    assert chip.core_count == 5
+    assert chip.peak_dp_flops == pytest.approx(2 * 2e9 + 3 * 2e9)
+
+
+def test_cores_named_lookup_and_missing():
+    core = CoreSpec("c", clock_hz=1e9, dp_flops_per_cycle=2, sp_flops_per_cycle=4)
+    chip = ProcessorSpec("p", core_counts=((core, 2),))
+    spec, count = chip.cores_named("c")
+    assert spec is core and count == 2
+    with pytest.raises(KeyError):
+        chip.cores_named("nope")
+
+
+def test_on_chip_bytes_includes_shared_caches():
+    core = CoreSpec(
+        "c", clock_hz=1e9, dp_flops_per_cycle=2, sp_flops_per_cycle=4,
+        caches=(CacheSpec("L1", 1024),),
+    )
+    chip = ProcessorSpec(
+        "p", core_counts=((core, 2),), shared_caches=(CacheSpec("L3", 4096),)
+    )
+    assert chip.on_chip_bytes == 2 * 1024 + 4096
+
+
+# --- the Roadrunner Opteron (paper §II-A) ---------------------------------
+
+def test_opteron_2210_clock():
+    core, count = OPTERON_2210_HE.cores_named("opteron-2210he-core")
+    assert core.clock_hz == pytest.approx(paper_data.OPTERON_CLOCK_GHZ * 1e9)
+    assert count == 2
+
+
+def test_opteron_core_issues_two_dp_flops_per_cycle():
+    core, _ = OPTERON_2210_HE.cores_named("opteron-2210he-core")
+    assert core.dp_flops_per_cycle == 2.0
+    assert core.peak_dp_flops == pytest.approx(3.6 * GFLOPS)
+
+
+def test_opteron_socket_peak_dp_is_7_2_gflops():
+    assert OPTERON_2210_HE.peak_dp_flops == pytest.approx(7.2 * GFLOPS)
+
+
+def test_opteron_caches_match_paper():
+    """§II-A: 64 KB L1D, 64 KB L1I, 2 MB L2 per core."""
+    core, _ = OPTERON_2210_HE.cores_named("opteron-2210he-core")
+    caps = {c.name: c.capacity_bytes for c in core.caches}
+    assert caps["L1D"] == 64 * 1024
+    assert caps["L1I"] == 64 * 1024
+    assert caps["L2"] == 2 * MIB
+
+
+def test_comparator_sockets_have_four_cores():
+    assert OPTERON_QUAD_2356.core_count == 4
+    assert TIGERTON_X7350.core_count == 4
+
+
+def test_tigerton_clock_is_2_93():
+    core, _ = TIGERTON_X7350.cores_named("tigerton-x7350-core")
+    assert core.clock_hz == pytest.approx(2.93e9)

@@ -1,0 +1,161 @@
+"""Tests for the LINPACK performance + power models (headline claims)."""
+
+import pytest
+
+from repro.linpack.hpl import HPLModel
+from repro.linpack.power import (
+    GREEN500_CELL_ONLY_MODEL,
+    PowerModel,
+    top500_position,
+)
+from repro.units import MEGAWATT
+from repro.validation import paper_data
+
+
+@pytest.fixture(scope="module")
+def model():
+    return HPLModel()
+
+
+def test_roadrunner_rmax_is_1_026_pflops(model):
+    run = model.roadrunner_run()
+    assert run.rmax_flops / 1e15 == pytest.approx(
+        paper_data.LINPACK_SUSTAINED_PFLOPS, rel=0.01
+    )
+
+
+def test_roadrunner_efficiency_about_75_percent(model):
+    run = model.roadrunner_run()
+    assert 0.72 < run.efficiency < 0.78
+    assert run.efficiency > paper_data.LINPACK_EFFICIENCY_MIN
+
+
+def test_problem_fills_memory(model):
+    run = model.roadrunner_run()
+    from repro.hardware.node import TRIBLADE
+
+    total_memory = TRIBLADE.memory_bytes * 3060
+    assert run.n**2 * 8 <= total_memory
+    assert run.n**2 * 8 >= 0.75 * total_memory
+
+
+def test_run_takes_hours_not_minutes(model):
+    """Real petascale HPL runs lasted several hours."""
+    run = model.roadrunner_run()
+    assert 2 * 3600 < run.time_seconds < 12 * 3600
+
+
+def test_opteron_only_lands_near_top500_position_50(model):
+    """§III: 'Without accelerators, Roadrunner would appear at
+    approximately position 50 on the June 2008 Top 500 list.'"""
+    run = model.opteron_only_run()
+    position = top500_position(run.rmax_flops / 1e12)
+    assert 35 <= position <= 60
+
+
+def test_opteron_only_rmax_reasonable(model):
+    run = model.opteron_only_run()
+    # 44.06 Tflop/s peak at ~75% efficiency.
+    assert 28 < run.rmax_flops / 1e12 < 38
+
+
+def test_accelerators_buy_a_factor_of_about_30(model):
+    full = model.roadrunner_run().rmax_flops
+    opteron = model.opteron_only_run().rmax_flops
+    assert 25 < full / opteron < 35
+
+
+def test_hpl_scales_down_to_one_cu(model):
+    cu = model.roadrunner_run(nodes=180)
+    full = model.roadrunner_run(nodes=3060)
+    assert cu.rmax_flops < full.rmax_flops
+    # One CU: 80.9 Tflop/s peak, similar efficiency band.
+    assert 0.70 < cu.efficiency < 0.80
+
+
+def test_hpl_model_validation():
+    with pytest.raises(ValueError):
+        HPLModel(dgemm_efficiency=0.0)
+    with pytest.raises(ValueError):
+        HPLModel(memory_fill=1.5)
+    with pytest.raises(ValueError):
+        HPLModel(node_bandwidth=0.0)
+    m = HPLModel()
+    with pytest.raises(ValueError):
+        m.problem_size(0)
+    with pytest.raises(ValueError):
+        m.run(peak_flops=0.0, total_memory_bytes=1e12, nodes=10)
+
+
+# --- power / Green500 ----------------------------------------------------------
+
+def test_system_power_about_2_35_megawatts():
+    pm = PowerModel()
+    assert pm.system_power() == pytest.approx(2.35 * MEGAWATT, rel=0.01)
+
+
+def test_green500_437_mflops_per_watt(model):
+    pm = PowerModel()
+    rmax = model.roadrunner_run().rmax_flops
+    assert pm.green500_mflops_per_watt(rmax) == pytest.approx(
+        paper_data.GREEN500_MFLOPS_PER_WATT, rel=0.01
+    )
+
+
+def test_cell_only_systems_beat_roadrunner_efficiency():
+    """§II: the two systems above Roadrunner achieved 488 Mflop/s/W by
+    omitting 'the less power-efficient Opterons'."""
+    cell_only = GREEN500_CELL_ONLY_MODEL.mflops_per_watt()
+    assert cell_only == pytest.approx(
+        paper_data.GREEN500_CELL_ONLY_MFLOPS_PER_WATT, rel=0.01
+    )
+    assert cell_only > paper_data.GREEN500_MFLOPS_PER_WATT
+
+
+def test_power_model_validation():
+    pm = PowerModel()
+    with pytest.raises(ValueError):
+        pm.system_power(nodes=0)
+
+
+# --- Top 500 position estimator ----------------------------------------------------
+
+def test_position_1_for_roadrunner_class_rmax():
+    assert top500_position(1026.0) == 1
+    assert top500_position(2000.0) == 1
+
+
+def test_position_interpolates_between_anchors():
+    assert top500_position(478.2) == 2
+    assert 2 <= top500_position(460.0) <= 3
+    assert top500_position(30.0) == 50
+
+
+def test_position_clamps_at_500():
+    assert top500_position(0.001) == 500
+
+
+def test_position_rejects_nonpositive():
+    with pytest.raises(ValueError):
+        top500_position(0.0)
+
+
+def test_scaling_curve_grows_superlinearly_in_rmax(model):
+    """Bigger machines fill more memory (larger N), so efficiency holds
+    roughly constant and Rmax grows ~linearly with node count."""
+    curve = model.scaling_curve([180, 360, 1440, 3060])
+    rmaxes = [r.rmax_flops for r in curve]
+    assert all(b > a for a, b in zip(rmaxes, rmaxes[1:]))
+    # Per-node Rmax stays within a tight band.
+    per_node = [r.rmax_flops / n for r, n in zip(curve, [180, 360, 1440, 3060])]
+    assert max(per_node) / min(per_node) < 1.05
+    # The 17-CU endpoint is the published number.
+    assert curve[-1].rmax_flops / 1e15 == pytest.approx(1.026, rel=0.01)
+
+
+def test_one_cu_would_have_made_the_2008_top25(model):
+    """A single CU sustains ~60 Tflop/s — a top-25 class June 2008
+    entry by itself, context for the 17-CU machine's 1.026 Pflop/s."""
+    cu = model.roadrunner_run(nodes=180)
+    assert 40 < cu.rmax_flops / 1e12 < 80
+    assert top500_position(cu.rmax_flops / 1e12) <= 25

@@ -1,0 +1,119 @@
+"""Tests for the MiniMD application (real numerics + offload timing)."""
+
+import numpy as np
+import pytest
+
+from repro.apps.minimd import MDTimestepModel, MiniMD
+from repro.comm.dacs import PCIE_RAW
+
+
+@pytest.fixture(scope="module")
+def system():
+    return MiniMD(cells_per_side=3)
+
+
+def test_fcc_lattice_atom_count():
+    assert MiniMD(cells_per_side=3).n_atoms == 108
+    assert MiniMD(cells_per_side=4).n_atoms == 256
+
+
+def test_box_matches_density():
+    md = MiniMD(cells_per_side=3, density=0.8)
+    assert md.n_atoms / md.box**3 == pytest.approx(0.8)
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        MiniMD(cells_per_side=0)
+    with pytest.raises(ValueError):
+        MiniMD(density=0.0)
+    with pytest.raises(ValueError):
+        MiniMD(dt=0.0)
+    with pytest.raises(ValueError):
+        MiniMD(cells_per_side=2)  # cutoff > box/2: minimum image violated
+    md = MiniMD(cells_per_side=3)
+    with pytest.raises(ValueError):
+        md.step(0)
+
+
+def test_initial_net_momentum_zero(system):
+    assert np.abs(system.momentum()).max() < 1e-12
+
+
+def test_forces_obey_newtons_third_law(system):
+    forces, _ = system.forces()
+    assert np.abs(forces.sum(axis=0)).max() < 1e-10
+
+
+def test_lattice_is_near_equilibrium():
+    """On a perfect FCC lattice the net force on every atom vanishes
+    by symmetry."""
+    md = MiniMD(cells_per_side=3)
+    forces, _ = md.forces()
+    assert np.abs(forces).max() < 1e-9
+
+
+def test_energy_conservation():
+    md = MiniMD(cells_per_side=3, dt=0.002)
+    e0 = md.total_energy()
+    md.step(100)
+    e1 = md.total_energy()
+    assert abs(e1 - e0) / abs(e0) < 1e-3
+
+
+def test_momentum_conserved_through_dynamics():
+    md = MiniMD(cells_per_side=3)
+    md.step(50)
+    assert np.abs(md.momentum()).max() < 1e-10
+
+
+def test_smaller_dt_conserves_better():
+    drift = {}
+    for dt in (0.008, 0.002):
+        md = MiniMD(cells_per_side=3, dt=dt, seed=7)
+        e0 = md.total_energy()
+        md.step(50)
+        drift[dt] = abs(md.total_energy() - e0)
+    assert drift[0.002] < drift[0.008]
+
+
+def test_positions_stay_in_box():
+    md = MiniMD(cells_per_side=3)
+    md.step(30)
+    assert md.positions.min() >= 0.0
+    assert md.positions.max() < md.box
+
+
+def test_interacting_pairs_positive(system):
+    pairs = system.interacting_pairs()
+    assert 0 < pairs < system.n_atoms * (system.n_atoms - 1) // 2
+    assert system.force_flops() == pairs * 50
+
+
+# --- offload timing -------------------------------------------------------------
+
+def test_accelerated_timestep_faster(system):
+    model = MDTimestepModel()
+    host = model.timestep_time(system, accelerated=False)
+    accel = model.timestep_time(system, accelerated=True)
+    assert accel < host
+    assert model.speedup(system) == pytest.approx(host / accel)
+
+
+def test_speedup_in_spasm_band(system):
+    """Hotspot offload of a DP force kernel lands in the few-x band
+    SPaSM reported on Roadrunner."""
+    speedup = MDTimestepModel().speedup(system)
+    assert 2.0 < speedup < 8.0
+
+
+def test_raw_pcie_improves_the_offload(system):
+    dacs = MDTimestepModel().speedup(system)
+    pcie = MDTimestepModel(link=PCIE_RAW).speedup(system)
+    assert pcie > dacs
+
+
+def test_kernel_speedup_derives_from_spasm_mix(system):
+    model = MDTimestepModel().offload_model(system)
+    # 8 SPEs running the SPaSM mix vs a ~0.9 Gflop/s host core.
+    assert 5.0 < model.kernel_speedup < 30.0

@@ -1,0 +1,115 @@
+"""Tests for the MiniPIC application (real SP numerics + VPIC timing)."""
+
+import numpy as np
+import pytest
+
+from repro.apps.minipic import MiniPIC, PICTimestepModel
+from repro.hardware.cell import CELL_BE, POWERXCELL_8I
+
+
+@pytest.fixture()
+def pic():
+    return MiniPIC(n_cells=32, particles_per_cell=10, dt=0.05)
+
+
+def test_everything_is_float32(pic):
+    """Like VPIC, the whole particle pipeline is single precision."""
+    assert pic.uses_single_precision()
+    rho = pic.deposit_charge()
+    e = pic.solve_field(rho)
+    assert rho.dtype == np.float32
+    assert e.dtype == np.float32
+    assert pic.gather_field(e).dtype == np.float32
+
+
+def test_particle_count():
+    pic = MiniPIC(n_cells=16, particles_per_cell=5)
+    assert pic.n_particles == 80
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        MiniPIC(n_cells=1)
+    with pytest.raises(ValueError):
+        MiniPIC(particles_per_cell=0)
+    with pytest.raises(ValueError):
+        MiniPIC(dt=0.0)
+    with pytest.raises(ValueError):
+        MiniPIC().step(0)
+
+
+def test_charge_conservation(pic):
+    """CIC deposition conserves total charge exactly (up to fp32)."""
+    assert abs(pic.charge_total()) < 1e-4
+    pic.step(20)
+    assert abs(pic.charge_total()) < 1e-4
+
+
+def test_field_has_zero_mean(pic):
+    e = pic.solve_field(pic.deposit_charge())
+    assert abs(float(e.mean())) < 1e-6
+
+
+def test_momentum_conservation():
+    """Linear deposit + spectral solve + linear gather: the scheme is
+    momentum-conserving."""
+    pic = MiniPIC(dt=0.1)
+    p0 = pic.total_momentum()
+    pic.step(100)
+    assert pic.total_momentum() == pytest.approx(p0, abs=5e-3)
+
+
+def test_cold_plasma_total_energy_conserved():
+    pic = MiniPIC(beam_speed=0.0, dt=0.05)
+    e0 = pic.field_energy() + pic.kinetic_energy()
+    pic.step(100)
+    e1 = pic.field_energy() + pic.kinetic_energy()
+    # Energies are tiny for the quiet start; compare on thermal scale.
+    assert abs(e1 - e0) < 1e-3
+
+
+def test_two_stream_instability_grows():
+    """The classic benchmark: counter-streaming beams pump the field
+    energy by orders of magnitude before saturation."""
+    pic = MiniPIC(beam_speed=0.2, dt=0.1)
+    fe0 = pic.field_energy()
+    pic.step(250)
+    assert pic.field_energy() > 50 * fe0
+
+
+def test_two_stream_conserves_total_energy():
+    pic = MiniPIC(beam_speed=0.2, dt=0.1)
+    tot0 = pic.field_energy() + pic.kinetic_energy()
+    pic.step(250)
+    tot1 = pic.field_energy() + pic.kinetic_energy()
+    assert abs(tot1 - tot0) / tot0 < 0.01
+
+
+def test_positions_stay_periodic(pic):
+    pic.step(50)
+    assert pic.positions.min() >= 0.0
+    assert pic.positions.max() < pic.length
+
+
+# --- Roadrunner timing (§IV-A's VPIC row) -------------------------------------
+
+def test_pxc8i_buys_nothing_for_pic(pic):
+    """'VPIC doesn't show significant improvements on this new
+    processor as its calculations use single precision.'"""
+    model = PICTimestepModel()
+    assert model.pxc8i_speedup(pic) == pytest.approx(1.0)
+
+
+def test_timestep_time_scales_with_particles():
+    model = PICTimestepModel()
+    small = MiniPIC(n_cells=16, particles_per_cell=5)
+    large = MiniPIC(n_cells=16, particles_per_cell=10)
+    ratio = model.timestep_time(large, POWERXCELL_8I) / model.timestep_time(
+        small, POWERXCELL_8I
+    )
+    assert ratio == pytest.approx(2.0)
+
+
+def test_cellbe_and_pxc_identical_cycles(pic):
+    model = PICTimestepModel()
+    assert model.particle_cycles(CELL_BE) == model.particle_cycles(POWERXCELL_8I)

@@ -1,0 +1,125 @@
+"""Tests for the accelerator-mode offload model (§III)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.apps.offload import OffloadModel
+from repro.comm.dacs import PCIE_RAW
+from repro.comm.transport import Transport
+
+FREE_LINK = Transport("free", latency=1e-12, bandwidth=1e15)
+
+
+def test_no_offload_means_no_change():
+    model = OffloadModel(cpu_time=1.0, hotspot_fraction=0.0,
+                         kernel_speedup=100.0, link=FREE_LINK)
+    assert model.speedup() == pytest.approx(1.0)
+
+
+def test_full_offload_free_links_gives_kernel_speedup():
+    model = OffloadModel(cpu_time=1.0, hotspot_fraction=1.0,
+                         kernel_speedup=30.0, link=FREE_LINK)
+    assert model.speedup() == pytest.approx(30.0)
+
+
+def test_amdahl_limit_caps_speedup():
+    """90% hotspot with a 1000x accelerator still cannot beat 10x."""
+    model = OffloadModel(cpu_time=1.0, hotspot_fraction=0.9,
+                         kernel_speedup=1000.0, link=FREE_LINK)
+    assert model.amdahl_limit() == pytest.approx(10.0)
+    assert model.speedup() < model.amdahl_limit()
+    assert model.speedup() > 9.0
+
+
+def test_amdahl_limit_infinite_for_full_offload():
+    model = OffloadModel(cpu_time=1.0, hotspot_fraction=1.0, kernel_speedup=2.0)
+    assert model.amdahl_limit() == float("inf")
+
+
+def test_transfers_erode_speedup():
+    base = OffloadModel(cpu_time=10e-3, hotspot_fraction=0.95,
+                        kernel_speedup=30.0)
+    chatty = OffloadModel(cpu_time=10e-3, hotspot_fraction=0.95,
+                          kernel_speedup=30.0,
+                          bytes_down=4_000_000, bytes_up=4_000_000)
+    assert chatty.speedup() < base.speedup()
+    assert chatty.speedup() <= chatty.transfer_bound_speedup()
+
+
+def test_many_small_calls_pay_latency():
+    """The same bytes in 1000 calls cost far more than in one call —
+    the paper's temporal-locality lesson."""
+    bulk = OffloadModel(cpu_time=10e-3, hotspot_fraction=0.9,
+                        kernel_speedup=20.0,
+                        bytes_down=1_000_000, calls=1)
+    chatty = OffloadModel(cpu_time=10e-3, hotspot_fraction=0.9,
+                          kernel_speedup=20.0,
+                          bytes_down=1_000_000, calls=1000)
+    assert chatty.transfer_time > bulk.transfer_time + 900 * 3.19e-6
+    assert chatty.speedup() < bulk.speedup()
+
+
+def test_raw_pcie_beats_measured_dacs():
+    kwargs = dict(cpu_time=5e-3, hotspot_fraction=0.9, kernel_speedup=25.0,
+                  bytes_down=2_000_000, bytes_up=2_000_000)
+    dacs = OffloadModel(**kwargs)
+    pcie = OffloadModel(**kwargs, link=PCIE_RAW)
+    assert pcie.speedup() > dacs.speedup()
+
+
+def test_breakeven_kernel_speedup():
+    model = OffloadModel(cpu_time=1e-3, hotspot_fraction=0.5,
+                         kernel_speedup=10.0, bytes_down=100_000)
+    be = model.breakeven_kernel_speedup()
+    assert be > 1.0
+    at_breakeven = OffloadModel(cpu_time=1e-3, hotspot_fraction=0.5,
+                                kernel_speedup=be, bytes_down=100_000)
+    assert at_breakeven.speedup() == pytest.approx(1.0, rel=1e-9)
+
+
+def test_breakeven_infinite_when_transfers_dominate():
+    model = OffloadModel(cpu_time=1e-6, hotspot_fraction=0.5,
+                         kernel_speedup=10.0, bytes_down=10_000_000)
+    assert model.breakeven_kernel_speedup() == float("inf")
+    assert model.speedup() < 1.0
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        OffloadModel(cpu_time=0.0, hotspot_fraction=0.5, kernel_speedup=2.0)
+    with pytest.raises(ValueError):
+        OffloadModel(cpu_time=1.0, hotspot_fraction=1.5, kernel_speedup=2.0)
+    with pytest.raises(ValueError):
+        OffloadModel(cpu_time=1.0, hotspot_fraction=0.5, kernel_speedup=0.0)
+    with pytest.raises(ValueError):
+        OffloadModel(cpu_time=1.0, hotspot_fraction=0.5, kernel_speedup=2.0,
+                     calls=0)
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    f=st.floats(min_value=0.0, max_value=1.0),
+    s=st.floats(min_value=1.0, max_value=100.0),
+    volume=st.integers(min_value=0, max_value=10_000_000),
+)
+def test_speedup_bounded_by_both_ceilings(f, s, volume):
+    model = OffloadModel(cpu_time=1e-2, hotspot_fraction=f,
+                         kernel_speedup=s, bytes_down=volume)
+    speedup = model.speedup()
+    assert speedup <= model.amdahl_limit() * (1 + 1e-12)
+    assert speedup <= model.transfer_bound_speedup() * (1 + 1e-12)
+    assert speedup > 0
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    f=st.floats(min_value=0.1, max_value=1.0),
+    s1=st.floats(min_value=1.0, max_value=50.0),
+    s2=st.floats(min_value=1.0, max_value=50.0),
+)
+def test_speedup_monotone_in_kernel_speedup(f, s1, s2):
+    lo, hi = sorted((s1, s2))
+    slow = OffloadModel(cpu_time=1e-2, hotspot_fraction=f, kernel_speedup=lo)
+    fast = OffloadModel(cpu_time=1e-2, hotspot_fraction=f, kernel_speedup=hi)
+    assert fast.speedup() >= slow.speedup() * (1 - 1e-12)

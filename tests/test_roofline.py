@@ -1,0 +1,67 @@
+"""Tests for the roofline analysis."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.hardware.roofline import ROOFLINES, Roofline, sweep3d_operating_point
+
+
+def test_attainable_clamps_at_peak():
+    roof = Roofline("t", peak_flops=1e10, bandwidth=1e9)
+    assert roof.attainable(100.0) == 1e10
+    assert roof.attainable(1.0) == 1e9
+    assert roof.attainable(0.0) == 0.0
+
+
+def test_ridge_point_and_bound():
+    roof = Roofline("t", peak_flops=1e10, bandwidth=1e9)
+    assert roof.ridge_point == pytest.approx(10.0)
+    assert roof.bound(5.0) == "memory"
+    assert roof.bound(10.0) == "compute"
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        Roofline("bad", peak_flops=0.0, bandwidth=1e9)
+    with pytest.raises(ValueError):
+        Roofline("t", peak_flops=1e9, bandwidth=1e9).attainable(-1.0)
+
+
+def test_spe_local_store_roofline():
+    roof = ROOFLINES["SPE vs local store"]
+    assert roof.peak_flops == pytest.approx(12.8e9)
+    assert roof.bandwidth == pytest.approx(51.2e9)
+    assert roof.ridge_point == pytest.approx(0.25)
+
+
+def test_spe_main_memory_roofline_is_an_eighth_share():
+    roof = ROOFLINES["SPE vs main memory"]
+    assert roof.bandwidth == pytest.approx(25.6e9 / 8)
+    # Reaching peak through main memory needs 4 flops/byte.
+    assert roof.ridge_point == pytest.approx(4.0)
+
+
+def test_ppe_roofline_reflects_its_measured_bandwidth():
+    roof = ROOFLINES["PPE vs main memory"]
+    assert roof.bandwidth == pytest.approx(0.89e9, rel=1e-6)
+
+
+def test_sweep3d_point_is_memory_bound_on_local_store():
+    point = sweep3d_operating_point()
+    roof = ROOFLINES["SPE vs local store"]
+    assert roof.bound(point["intensity_flops_per_byte"]) == "memory"
+    # Achieved rate sits below the roofline's attainable rate...
+    assert point["achieved_flops"] <= point["attainable_flops"] * 1.05
+    # ...and within a small factor of it: two independent derivations
+    # of the same bottleneck (pipeline schedule vs roofline).
+    assert point["achieved_flops"] > 0.5 * point["attainable_flops"]
+    # The paper's 'low single-core efficiency': < 15% of SPE peak.
+    assert point["fraction_of_peak"] < 0.15
+
+
+@settings(max_examples=50, deadline=None)
+@given(intensity=st.floats(min_value=0.0, max_value=1000.0))
+def test_attainable_monotone_in_intensity(intensity):
+    for roof in ROOFLINES.values():
+        assert roof.attainable(intensity) <= roof.attainable(intensity + 0.5)

@@ -1,0 +1,200 @@
+"""Tests for the CML RPC mechanism and the Panasas I/O path."""
+
+import pytest
+
+from repro.comm.dacs import DACS_MEASURED
+from repro.comm.rpc import RpcEndpoint, RpcError
+from repro.comm.transport import Transport
+from repro.io.filepath import SweepInputReader
+from repro.io.panasas import IoNodeSpec, PanasasModel
+from repro.sim import Simulator
+from repro.units import GB_S, MB_S, US
+
+FAST_LINK = Transport("fast", latency=1 * US, bandwidth=1 * GB_S)
+
+
+def run_call(sim, rpc, *args, **kwargs):
+    out = {}
+
+    def caller(sim):
+        out["result"] = yield from rpc.call(*args, **kwargs)
+
+    sim.process(caller(sim))
+    sim.run()
+    return out["result"]
+
+
+# --- RPC --------------------------------------------------------------------------
+
+def test_rpc_roundtrip_returns_result():
+    sim = Simulator()
+    rpc = RpcEndpoint(sim)
+    ppe = rpc.add_target("ppe", FAST_LINK)
+    ppe.register("malloc", handler=lambda size: f"buffer[{size}]")
+    result = run_call(sim, rpc, "ppe", "malloc", 4096)
+    assert result == "buffer[4096]"
+    assert rpc.call_counts[("ppe", "malloc")] == 1
+
+
+def test_rpc_charges_two_crossings_and_execution():
+    sim = Simulator()
+    rpc = RpcEndpoint(sim)
+    ppe = rpc.add_target("ppe", FAST_LINK)
+    ppe.register("work", handler=lambda: 7, execution_time=50e-6)
+    run_call(sim, rpc, "ppe", "work")
+    # request crossing + 50us execution + response crossing
+    assert sim.now == pytest.approx(
+        FAST_LINK.one_way_time(64) + 50e-6 + FAST_LINK.one_way_time(8)
+    )
+
+
+def test_rpc_unknown_function_raises_at_caller():
+    sim = Simulator()
+    rpc = RpcEndpoint(sim)
+    rpc.add_target("ppe", FAST_LINK)
+    caught = []
+
+    def caller(sim):
+        try:
+            yield from rpc.call("ppe", "nonexistent")
+        except RpcError as exc:
+            caught.append(str(exc))
+
+    sim.process(caller(sim))
+    sim.run()
+    assert caught and "nonexistent" in caught[0]
+
+
+def test_rpc_handler_exception_becomes_rpc_error():
+    sim = Simulator()
+    rpc = RpcEndpoint(sim)
+    ppe = rpc.add_target("ppe", FAST_LINK)
+
+    def bad_handler():
+        raise KeyError("inner bug")
+
+    ppe.register("bad", handler=bad_handler)
+    caught = []
+
+    def caller(sim):
+        try:
+            yield from rpc.call("ppe", "bad")
+        except RpcError as exc:
+            caught.append(str(exc))
+
+    sim.process(caller(sim))
+    sim.run()
+    assert caught
+
+
+def test_rpc_unknown_target_raises_immediately():
+    sim = Simulator()
+    rpc = RpcEndpoint(sim)
+    with pytest.raises(KeyError):
+        list(rpc.call("nowhere", "f"))
+
+
+def test_rpc_duplicate_target_rejected():
+    sim = Simulator()
+    rpc = RpcEndpoint(sim)
+    rpc.add_target("ppe", FAST_LINK)
+    with pytest.raises(ValueError):
+        rpc.add_target("ppe", FAST_LINK)
+
+
+def test_rpc_calls_serialize_at_the_server():
+    """Two concurrent callers share the single server thread — the
+    second call's execution waits for the first."""
+    sim = Simulator()
+    rpc = RpcEndpoint(sim)
+    ppe = rpc.add_target("ppe", FAST_LINK)
+    ppe.register("slow", handler=lambda: None, execution_time=100e-6)
+    finish = []
+
+    def caller(sim, name):
+        yield from rpc.call("ppe", "slow")
+        finish.append((name, sim.now))
+
+    sim.process(caller(sim, "a"))
+    sim.process(caller(sim, "b"))
+    sim.run()
+    times = sorted(t for _, t in finish)
+    assert times[1] - times[0] == pytest.approx(100e-6, rel=0.01)
+
+
+def test_rpc_negative_execution_time_rejected():
+    sim = Simulator()
+    rpc = RpcEndpoint(sim)
+    ppe = rpc.add_target("ppe", FAST_LINK)
+    with pytest.raises(ValueError):
+        ppe.register("f", handler=lambda: None, execution_time=-1.0)
+
+
+# --- Panasas -------------------------------------------------------------------------
+
+def test_pfs_aggregate_bandwidth():
+    pfs = PanasasModel(cu_count=17)
+    assert pfs.io_node_count == 204
+    assert pfs.aggregate_bandwidth == pytest.approx(204 * 400 * MB_S)
+
+
+def test_pfs_read_time_single_client():
+    pfs = PanasasModel(cu_count=1)
+    t = pfs.read_time(1_000_000_000)
+    assert t == pytest.approx(
+        pfs.node.request_latency + 1e9 / (12 * 400 * MB_S)
+    )
+
+
+def test_pfs_many_clients_share_aggregate():
+    pfs = PanasasModel(cu_count=1)
+    solo = pfs.read_time(100_000_000, clients=1)
+    crowded = pfs.read_time(100_000_000, clients=100)
+    assert crowded > solo
+
+
+def test_pfs_zero_read_free():
+    assert PanasasModel().read_time(0) == 0.0
+
+
+def test_pfs_checkpoint_time_scale():
+    """Half of Roadrunner's ~98 TiB takes tens of minutes at ~82 GB/s."""
+    pfs = PanasasModel(cu_count=17)
+    t = pfs.checkpoint_time(memory_fraction=0.5)
+    assert 300 < t < 3600
+
+
+def test_pfs_validation():
+    with pytest.raises(ValueError):
+        PanasasModel(cu_count=0)
+    with pytest.raises(ValueError):
+        IoNodeSpec(bandwidth=0.0)
+    pfs = PanasasModel()
+    with pytest.raises(ValueError):
+        pfs.read_time(-1)
+    with pytest.raises(ValueError):
+        pfs.read_time(10, clients=0)
+    with pytest.raises(ValueError):
+        pfs.checkpoint_time(0.0)
+
+
+# --- the §V-C input-read path ------------------------------------------------------------
+
+def test_sweep_input_reader_returns_contents():
+    sim = Simulator()
+    reader = SweepInputReader(sim)
+    data, elapsed = reader.run()
+    assert data == reader.contents
+    assert elapsed > 0
+
+
+def test_sweep_input_reader_charges_dacs_and_pfs():
+    sim = Simulator()
+    reader = SweepInputReader(sim)
+    _data, elapsed = reader.run()
+    floor = (
+        DACS_MEASURED.one_way_time(64)
+        + reader.pfs.read_time(len(reader.contents))
+        + DACS_MEASURED.one_way_time(len(reader.contents))
+    )
+    assert elapsed == pytest.approx(floor, rel=1e-9)

@@ -1,0 +1,139 @@
+"""Property-based tests for the DES kernel and doctest execution."""
+
+import doctest
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim import AllOf, AnyOf, BandwidthLink, Simulator
+
+
+# --- BandwidthLink work conservation ------------------------------------------------
+
+@settings(max_examples=40, deadline=None)
+@given(
+    sizes=st.lists(
+        st.floats(min_value=1.0, max_value=1e6), min_size=1, max_size=8
+    ),
+    offsets=st.lists(
+        st.floats(min_value=0.0, max_value=5.0), min_size=1, max_size=8
+    ),
+)
+def test_bandwidth_link_conserves_work(sizes, offsets):
+    """Regardless of arrival pattern, total completion time of all
+    transfers is at least total_bytes / bandwidth after the last
+    arrival, and every byte is eventually delivered."""
+    n = min(len(sizes), len(offsets))
+    sizes, offsets = sizes[:n], offsets[:n]
+    bw = 1000.0
+    sim = Simulator()
+    link = BandwidthLink(sim, bandwidth=bw)
+    events = []
+
+    def starter(sim):
+        t = 0.0
+        for size, gap in sorted(zip(sizes, offsets), key=lambda p: p[1]):
+            target = gap
+            if target > t:
+                yield sim.timeout(target - t)
+                t = target
+            events.append(link.transfer(size))
+
+    sim.process(starter(sim))
+    sim.run()
+    assert link.bytes_transferred == pytest.approx(sum(sizes), rel=1e-9)
+    last_arrival = max(offsets)
+    # Work conservation: the link cannot finish faster than serial rate.
+    assert sim.now >= sum(sizes) / bw - 1e-9
+    # Nor slower than serial service starting at the last arrival.
+    assert sim.now <= last_arrival + sum(sizes) / bw + 1e-9
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    n=st.integers(min_value=1, max_value=10),
+    size=st.floats(min_value=10.0, max_value=1000.0),
+)
+def test_simultaneous_equal_transfers_finish_together(n, size):
+    sim = Simulator()
+    link = BandwidthLink(sim, bandwidth=100.0)
+    events = [link.transfer(size) for _ in range(n)]
+    for evt in events:
+        sim.run(until=evt)
+    assert sim.now == pytest.approx(n * size / 100.0)
+
+
+# --- condition events -----------------------------------------------------------------
+
+def test_allof_fails_when_member_fails():
+    sim = Simulator()
+    good = sim.timeout(1.0)
+    bad = sim.event()
+    caught = []
+
+    def waiter(sim):
+        try:
+            yield AllOf(sim, [good, bad])
+        except RuntimeError as exc:
+            caught.append(str(exc))
+
+    sim.process(waiter(sim))
+    bad.fail(RuntimeError("member failed"))
+    sim.run()
+    assert caught == ["member failed"]
+
+
+def test_anyof_failure_propagates():
+    sim = Simulator()
+    slow = sim.timeout(10.0)
+    bad = sim.event()
+    caught = []
+
+    def waiter(sim):
+        try:
+            yield AnyOf(sim, [slow, bad])
+        except ValueError as exc:
+            caught.append(str(exc))
+
+    sim.process(waiter(sim))
+    bad.fail(ValueError("boom"))
+    sim.run()
+    assert caught == ["boom"]
+
+
+def test_condition_rejects_foreign_events():
+    sim_a, sim_b = Simulator(), Simulator()
+    with pytest.raises(Exception):
+        AllOf(sim_a, [sim_a.timeout(1.0), sim_b.timeout(1.0)])
+
+
+def test_allof_with_already_processed_events():
+    sim = Simulator()
+    t1 = sim.timeout(1.0, value="a")
+    sim.run()  # t1 already processed
+    done = []
+
+    def waiter(sim):
+        t2 = sim.timeout(1.0, value="b")
+        results = yield AllOf(sim, [t1, t2])
+        done.append(sorted(results.values()))
+
+    sim.process(waiter(sim))
+    sim.run()
+    assert done == [["a", "b"]]
+
+
+# --- doctests ------------------------------------------------------------------------
+
+@pytest.mark.parametrize(
+    "module_name",
+    ["repro.sim.engine", "repro.core.machine"],
+)
+def test_module_doctests(module_name):
+    import importlib
+
+    module = importlib.import_module(module_name)
+    result = doctest.testmod(module)
+    assert result.attempted > 0, f"{module_name} has no doctests"
+    assert result.failed == 0

@@ -1,0 +1,261 @@
+"""Unit + property tests for the SPE pipeline model (source of Figs 4-5)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.hardware.spe_pipeline import (
+    CELL_BE_TABLE,
+    GROUP_FLOPS,
+    INSTRUCTION_GROUPS,
+    POWERXCELL_8I_TABLE,
+    GroupTiming,
+    Instruction,
+    InstructionGroup,
+    PipelineTable,
+    SPEPipeline,
+    pipeline_table_for,
+)
+from repro.validation import paper_data
+
+G = InstructionGroup
+
+
+# --- table sanity -----------------------------------------------------------
+
+def test_tables_cover_all_nine_groups():
+    assert set(CELL_BE_TABLE.timings) == set(INSTRUCTION_GROUPS)
+    assert set(POWERXCELL_8I_TABLE.timings) == set(INSTRUCTION_GROUPS)
+    assert len(INSTRUCTION_GROUPS) == 9
+
+
+def test_only_fpd_differs_between_variants():
+    """Paper: 'The only difference in performance between the Cell BE and
+    the PowerXCell 8i is observed on the FPD instruction group.'"""
+    for group in INSTRUCTION_GROUPS:
+        cbe = CELL_BE_TABLE.timings[group]
+        pxc = POWERXCELL_8I_TABLE.timings[group]
+        if group is G.FPD:
+            assert cbe != pxc
+        else:
+            assert cbe == pxc
+
+
+def test_fpd_latency_13_to_9():
+    assert CELL_BE_TABLE.latency(G.FPD) == paper_data.FPD_LATENCY_CELLBE
+    assert POWERXCELL_8I_TABLE.latency(G.FPD) == paper_data.FPD_LATENCY_PXC8I
+
+
+def test_fpd_fully_pipelined_only_on_pxc8i():
+    assert CELL_BE_TABLE.repetition(G.FPD) > 1
+    assert POWERXCELL_8I_TABLE.repetition(G.FPD) == paper_data.FPD_REPETITION_PXC8I
+
+
+def test_all_non_fpd_units_fully_pipelined():
+    """Paper: 'The only execution unit not fully pipelined in the Cell BE
+    was the FPD unit.'"""
+    for table in (CELL_BE_TABLE, POWERXCELL_8I_TABLE):
+        for group in INSTRUCTION_GROUPS:
+            if group is G.FPD and table is CELL_BE_TABLE:
+                continue
+            assert table.repetition(group) == 1, (table.name, group)
+
+
+def test_group_timing_validation():
+    with pytest.raises(ValueError):
+        GroupTiming(latency=0, local_stall=1, global_stall=0)
+    with pytest.raises(ValueError):
+        GroupTiming(latency=1, local_stall=0, global_stall=0)
+    with pytest.raises(ValueError):
+        GroupTiming(latency=1, local_stall=1, global_stall=-1)
+
+
+def test_incomplete_table_rejected():
+    with pytest.raises(ValueError):
+        PipelineTable("partial", {G.FPD: GroupTiming(9, 1, 0)})
+
+
+def test_pipeline_table_lookup():
+    assert pipeline_table_for("Cell BE") is CELL_BE_TABLE
+    assert pipeline_table_for("PowerXCell 8i") is POWERXCELL_8I_TABLE
+    with pytest.raises(KeyError):
+        pipeline_table_for("Cell eDP")
+
+
+# --- derived peak rates (the 7x DP claim emerges from the tables) -----------
+
+def test_pxc8i_spe_dp_is_4_flops_per_cycle():
+    assert POWERXCELL_8I_TABLE.dp_flops_per_cycle == pytest.approx(4.0)
+
+
+def test_cellbe_spe_dp_is_4_sevenths_flops_per_cycle():
+    assert CELL_BE_TABLE.dp_flops_per_cycle == pytest.approx(4.0 / 7.0)
+
+
+def test_dp_improvement_factor_is_7x():
+    factor = POWERXCELL_8I_TABLE.dp_flops_per_cycle / CELL_BE_TABLE.dp_flops_per_cycle
+    assert factor == pytest.approx(paper_data.DP_IMPROVEMENT_FACTOR)
+
+
+def test_sp_rate_unchanged_between_variants():
+    assert CELL_BE_TABLE.sp_flops_per_cycle == POWERXCELL_8I_TABLE.sp_flops_per_cycle == 8.0
+
+
+# --- microbenchmarks reproduce the tables (Figs 4-5 methodology) ------------
+
+@pytest.mark.parametrize("table", [CELL_BE_TABLE, POWERXCELL_8I_TABLE],
+                         ids=lambda t: t.name)
+@pytest.mark.parametrize("group", INSTRUCTION_GROUPS, ids=lambda g: g.value)
+def test_measured_latency_equals_table(table, group):
+    pipe = SPEPipeline(table)
+    assert pipe.measure_latency(group) == pytest.approx(table.latency(group))
+
+
+@pytest.mark.parametrize("table", [CELL_BE_TABLE, POWERXCELL_8I_TABLE],
+                         ids=lambda t: t.name)
+@pytest.mark.parametrize("group", INSTRUCTION_GROUPS, ids=lambda g: g.value)
+def test_measured_repetition_equals_table(table, group):
+    pipe = SPEPipeline(table)
+    assert pipe.measure_repetition(group) == pytest.approx(table.repetition(group))
+
+
+# --- scheduler behaviour ------------------------------------------------------
+
+def test_empty_stream_takes_zero_cycles():
+    assert SPEPipeline(POWERXCELL_8I_TABLE).run_cycles([]) == 0
+
+
+def test_dual_issue_pairs_even_and_odd():
+    """An even-pipe and an odd-pipe instruction can issue the same cycle."""
+    pipe = SPEPipeline(POWERXCELL_8I_TABLE)
+    issue = pipe.schedule([Instruction(G.FX2), Instruction(G.LS)])
+    assert issue == [0, 0]
+
+
+def test_same_pipe_instructions_cannot_dual_issue():
+    pipe = SPEPipeline(POWERXCELL_8I_TABLE)
+    issue = pipe.schedule([Instruction(G.FX2), Instruction(G.FX3)])
+    assert issue == [0, 1]
+
+
+def test_dependency_waits_for_producer_latency():
+    pipe = SPEPipeline(POWERXCELL_8I_TABLE)
+    issue = pipe.schedule([Instruction(G.FPD), Instruction(G.FPD, depends_on=0)])
+    assert issue == [0, 9]
+
+
+def test_global_stall_blocks_other_pipes():
+    """On the Cell BE an FPD issue stalls the whole processor 6 cycles:
+    even an odd-pipe load cannot issue until cycle 7."""
+    pipe = SPEPipeline(CELL_BE_TABLE)
+    issue = pipe.schedule([Instruction(G.FPD), Instruction(G.LS)])
+    assert issue == [0, 7]
+
+
+def test_no_global_stall_on_pxc8i():
+    pipe = SPEPipeline(POWERXCELL_8I_TABLE)
+    issue = pipe.schedule([Instruction(G.FPD), Instruction(G.LS)])
+    assert issue == [0, 0]
+
+
+def test_invalid_dependency_index_rejected():
+    pipe = SPEPipeline(POWERXCELL_8I_TABLE)
+    with pytest.raises(ValueError):
+        pipe.schedule([Instruction(G.FPD, depends_on=5)])
+
+
+def test_sustained_dp_flops_back_to_back():
+    """Back-to-back FPD streams achieve the table's flops/cycle."""
+    for table in (CELL_BE_TABLE, POWERXCELL_8I_TABLE):
+        pipe = SPEPipeline(table)
+        achieved = pipe.sustained_flops_per_cycle([(G.FPD, 1.0)], cycles_hint=2048)
+        assert achieved == pytest.approx(table.dp_flops_per_cycle, rel=0.02)
+
+
+def test_mixed_stream_flops_between_bounds():
+    """A 50/50 FPD/LS mix achieves at most the pure-FPD rate."""
+    pipe = SPEPipeline(POWERXCELL_8I_TABLE)
+    mixed = pipe.sustained_flops_per_cycle([(G.FPD, 0.5), (G.LS, 0.5)], cycles_hint=2048)
+    pure = pipe.sustained_flops_per_cycle([(G.FPD, 1.0)], cycles_hint=2048)
+    assert 0 < mixed <= pure * 1.001
+    # With perfect dual-issue the mix loses nothing: LS rides the odd pipe
+    # while FPD issues on the even pipe every cycle.
+    assert mixed == pytest.approx(pure, rel=0.05)
+    # An all-even mix (FPD + FX2) does halve the FPD issue rate.
+    contended = pipe.sustained_flops_per_cycle(
+        [(G.FPD, 0.5), (G.FX2, 0.5)], cycles_hint=2048
+    )
+    assert contended == pytest.approx(pure * 0.5, rel=0.05)
+
+
+def test_empty_mix_rejected():
+    pipe = SPEPipeline(POWERXCELL_8I_TABLE)
+    with pytest.raises(ValueError):
+        pipe.sustained_flops_per_cycle([(G.FPD, 0.0)])
+
+
+# --- property-based invariants ------------------------------------------------
+
+group_strategy = st.sampled_from(list(INSTRUCTION_GROUPS))
+
+
+@st.composite
+def instruction_streams(draw):
+    n = draw(st.integers(min_value=1, max_value=40))
+    stream = []
+    for i in range(n):
+        group = draw(group_strategy)
+        dep = None
+        if i > 0 and draw(st.booleans()):
+            dep = draw(st.integers(min_value=0, max_value=i - 1))
+        stream.append(Instruction(group, depends_on=dep))
+    return stream
+
+
+@settings(max_examples=100, deadline=None)
+@given(stream=instruction_streams(),
+       table=st.sampled_from([CELL_BE_TABLE, POWERXCELL_8I_TABLE]))
+def test_issue_cycles_are_in_order_and_nonnegative(stream, table):
+    issue = SPEPipeline(table).schedule(stream)
+    assert all(c >= 0 for c in issue)
+    assert all(b >= a for a, b in zip(issue, issue[1:]))
+
+
+@settings(max_examples=100, deadline=None)
+@given(stream=instruction_streams())
+def test_pxc8i_never_slower_than_cellbe(stream):
+    """Removing the FPD stall can only help: PXC8i cycle counts are a
+    lower bound on Cell BE cycle counts for any stream."""
+    cbe = SPEPipeline(CELL_BE_TABLE).run_cycles(stream)
+    pxc = SPEPipeline(POWERXCELL_8I_TABLE).run_cycles(stream)
+    assert pxc <= cbe
+
+
+@settings(max_examples=100, deadline=None)
+@given(stream=instruction_streams())
+def test_dependencies_respected(stream):
+    for table in (CELL_BE_TABLE, POWERXCELL_8I_TABLE):
+        issue = SPEPipeline(table).schedule(stream)
+        for i, instr in enumerate(stream):
+            if instr.depends_on is not None:
+                producer = stream[instr.depends_on]
+                ready = issue[instr.depends_on] + table.latency(producer.group)
+                assert issue[i] >= ready
+
+
+@settings(max_examples=50, deadline=None)
+@given(stream=instruction_streams())
+def test_streams_without_flops_report_zero(stream):
+    no_flop_stream = [
+        Instruction(i.group, i.depends_on)
+        for i in stream
+        if i.group not in GROUP_FLOPS
+    ]
+    # Re-index dependencies conservatively: drop them.
+    no_flop_stream = [Instruction(i.group) for i in no_flop_stream]
+    if not no_flop_stream:
+        return
+    pipe = SPEPipeline(POWERXCELL_8I_TABLE)
+    cycles = pipe.run_cycles(no_flop_stream)
+    flops = sum(GROUP_FLOPS.get(i.group, 0) for i in no_flop_stream)
+    assert flops == 0 and cycles > 0

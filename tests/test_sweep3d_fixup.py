@@ -1,0 +1,138 @@
+"""Tests for the negative-flux fixup kernel."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sweep3d.fixup import sweep_octant_fixup
+from repro.sweep3d.input import SweepInput
+from repro.sweep3d.kernel import sweep_octant
+from repro.sweep3d.quadrature import make_angle_set
+from repro.sweep3d.solver import solve
+
+
+def zero_inflows(I, J, K, M):
+    return (
+        np.zeros((J, K, M)),
+        np.zeros((I, K, M)),
+        np.zeros((I, J, M)),
+    )
+
+
+def test_fixup_matches_plain_kernel_when_no_negatives():
+    """With zero inflow and a flat source plain DD stays non-negative,
+    so the two kernels must agree exactly."""
+    ang = make_angle_set(6)
+    src = np.ones((4, 4, 4))
+    ins = zero_inflows(4, 4, 4, 6)
+    plain = sweep_octant(1.0, src, 1, 1, 1, ang, *ins)
+    fixed = sweep_octant_fixup(1.0, src, 1, 1, 1, ang, *ins)
+    for p, f in zip(plain, fixed):
+        np.testing.assert_allclose(f, p, rtol=1e-13)
+
+
+def test_plain_kernel_goes_negative_in_thick_cells():
+    """The failure mode the fixup exists for: a strong incoming flux
+    into an optically thick absorber extrapolates negative outflow."""
+    ang = make_angle_set(6)
+    src = np.zeros((3, 3, 3))
+    in_x = np.full((3, 3, 6), 10.0)
+    in_y = np.zeros((3, 3, 6))
+    in_z = np.zeros((3, 3, 6))
+    _, out_x, out_y, out_z = sweep_octant(
+        8.0, src, 1, 1, 1, ang, in_x, in_y, in_z
+    )
+    assert min(out_x.min(), out_y.min(), out_z.min()) < 0
+
+
+def test_fixup_keeps_everything_nonnegative():
+    ang = make_angle_set(6)
+    src = np.zeros((3, 3, 3))
+    in_x = np.full((3, 3, 6), 10.0)
+    in_y = np.zeros((3, 3, 6))
+    in_z = np.zeros((3, 3, 6))
+    phi, out_x, out_y, out_z = sweep_octant_fixup(
+        8.0, src, 1, 1, 1, ang, in_x, in_y, in_z
+    )
+    assert phi.min() >= 0
+    assert out_x.min() >= 0 and out_y.min() >= 0 and out_z.min() >= 0
+
+
+def test_fixup_preserves_cell_balance():
+    """The rebalance keeps the exact per-sweep particle balance the
+    solver checks."""
+    inp = SweepInput(it=5, jt=5, kt=5, mk=1, mmi=6, sigma_t=6.0, sigma_s=3.0)
+    res = solve(inp, max_iterations=5, fixup=True)
+    assert res.balance_residual < 1e-12
+
+
+def test_fixup_solver_converges_and_is_nonnegative():
+    inp = SweepInput(it=6, jt=6, kt=6, mk=2, mmi=6, sigma_t=10.0, sigma_s=2.0)
+    res = solve(inp, max_iterations=100, fixup=True)
+    assert res.converged
+    assert res.phi.min() >= 0
+
+
+def test_fixup_and_plain_agree_on_benign_problem():
+    inp = SweepInput(it=5, jt=5, kt=5, mk=1, mmi=6, sigma_t=1.0, sigma_s=0.5)
+    plain = solve(inp, max_iterations=50, fixup=False)
+    fixed = solve(inp, max_iterations=50, fixup=True)
+    np.testing.assert_allclose(fixed.phi, plain.phi, rtol=1e-10)
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    sigma=st.floats(min_value=0.2, max_value=20.0),
+    inflow=st.floats(min_value=0.0, max_value=50.0),
+    seed=st.integers(0, 2**31),
+)
+def test_fixup_nonnegativity_property(sigma, inflow, seed):
+    """For ANY non-negative source/inflow, the fixup kernel never emits
+    a negative flux anywhere."""
+    rng = np.random.default_rng(seed)
+    ang = make_angle_set(3)
+    src = rng.random((3, 2, 2))
+    in_x = inflow * rng.random((2, 2, 3))
+    in_y = inflow * rng.random((3, 2, 3))
+    in_z = inflow * rng.random((3, 2, 3))
+    phi, ox, oy, oz = sweep_octant_fixup(
+        sigma, src, 1.0, 1.0, 1.0, ang, in_x, in_y, in_z
+    )
+    assert phi.min() >= -1e-14
+    assert min(ox.min(), oy.min(), oz.min()) >= -1e-14
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    sigma=st.floats(min_value=0.3, max_value=15.0),
+    inflow=st.floats(min_value=0.0, max_value=30.0),
+    seed=st.integers(0, 2**31),
+)
+def test_both_kernels_preserve_octant_balance(sigma, inflow, seed):
+    """The telescoped single-octant particle balance
+
+        sum_d (c_d/2)(outflow_d - inflow_d) + sigma * sum(psi_c) = sum(S)
+
+    holds exactly for the plain kernel AND for the fixup kernel on
+    arbitrary non-negative inputs (the rebalance is conservative)."""
+    rng = np.random.default_rng(seed)
+    ang = make_angle_set(1)  # single angle: psi_c = phi / w
+    src = rng.random((3, 4, 2))
+    in_x = inflow * rng.random((4, 2, 1))
+    in_y = inflow * rng.random((3, 2, 1))
+    in_z = inflow * rng.random((3, 4, 1))
+    for kernel in (sweep_octant, sweep_octant_fixup):
+        phi, ox, oy, oz = kernel(
+            sigma, src, 1.0, 1.0, 1.0, ang, in_x, in_y, in_z
+        )
+        psi_sum = phi.sum() / ang.weights[0]
+        balance = (
+            float(ang.mu[0]) * (ox.sum() - in_x.sum())
+            + float(ang.eta[0]) * (oy.sum() - in_y.sum())
+            + float(ang.xi[0]) * (oz.sum() - in_z.sum())
+            + sigma * psi_sum
+            - src.sum()
+        )
+        scale = max(abs(src.sum()), sigma * abs(psi_sum), 1.0)
+        assert abs(balance) / scale < 1e-12, kernel.__name__

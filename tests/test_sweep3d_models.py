@@ -1,0 +1,239 @@
+"""Tests for the Sweep3D cost models: cellport (grind, local store,
+DMA), master/worker baseline, x86 grinds, and the Fig 12 relations."""
+
+import pytest
+
+from repro.hardware.cell import CELL_BE, POWERXCELL_8I
+from repro.hardware.opteron import OPTERON_2210_HE, OPTERON_QUAD_2356, TIGERTON_X7350
+from repro.sweep3d.cellport import (
+    SWEEP_MIX_PER_CELL_ANGLE,
+    CellPortModel,
+    build_sweep_stream,
+    grind_cycles,
+    grind_time,
+    grind_times,
+)
+from repro.sweep3d.input import SweepInput
+from repro.sweep3d.masterworker import MasterWorkerModel
+from repro.sweep3d.x86 import FLOPS_PER_CELL_ANGLE, x86_grind_time
+from repro.validation import paper_data
+
+
+# --- grind times from the pipeline tables ---------------------------------------
+
+def test_pxc8i_grind_is_about_101_cycles():
+    assert grind_cycles(POWERXCELL_8I) == pytest.approx(101, rel=0.02)
+
+
+def test_cbe_grind_adds_6_cycles_per_fpd():
+    """The Cell BE pays exactly its 6-cycle FPD global stall per FPD
+    instruction on top of the PowerXCell 8i schedule."""
+    extra = grind_cycles(CELL_BE) - grind_cycles(POWERXCELL_8I)
+    assert extra == pytest.approx(6 * SWEEP_MIX_PER_CELL_ANGLE[_fpd()], rel=0.01)
+
+
+def _fpd():
+    from repro.hardware.spe_pipeline import InstructionGroup
+
+    return InstructionGroup.FPD
+
+
+def test_grind_ratio_is_table4s_1_9x():
+    ratio = grind_time(CELL_BE) / grind_time(POWERXCELL_8I)
+    assert ratio == pytest.approx(paper_data.TABLE4_CBE_TO_PXC8I_FACTOR, rel=0.05)
+
+
+def test_table4_absolute_times():
+    """Our implementation on the Table IV problem: 0.37 s (CBE), 0.19 s
+    (PowerXCell 8i)."""
+    inp = SweepInput.paper_table4()
+    t_pxc = inp.angle_work * grind_time(POWERXCELL_8I)
+    t_cbe = inp.angle_work * grind_time(CELL_BE)
+    assert t_pxc == pytest.approx(paper_data.TABLE4_OURS_PXC8I_S, rel=0.02)
+    assert t_cbe == pytest.approx(paper_data.TABLE4_OURS_CBE_S, rel=0.02)
+
+
+def test_grind_times_mapping():
+    times = grind_times()
+    assert set(times) == {"Cell BE", "PowerXCell 8i"}
+    assert times["Cell BE"] > times["PowerXCell 8i"]
+
+
+def test_build_sweep_stream_scales_and_validates():
+    one = build_sweep_stream(1)
+    four = build_sweep_stream(4)
+    assert len(four) == 4 * len(one)
+    assert len(one) == sum(SWEEP_MIX_PER_CELL_ANGLE.values())
+    with pytest.raises(ValueError):
+        build_sweep_stream(0)
+
+
+def test_sweep_mix_flop_count_is_32_per_cell_angle():
+    """16 two-wide DP FMAs = 32 useful flops — the classic Sweep3D
+    per-cell-angle count, shared with the x86 model."""
+    assert SWEEP_MIX_PER_CELL_ANGLE[_fpd()] * 2 == FLOPS_PER_CELL_ANGLE
+
+
+# --- local store and DMA (paper §V-B) ----------------------------------------------
+
+def test_paper_scaling_block_fits_local_store():
+    model = CellPortModel()
+    assert model.block_fits_local_store(SweepInput.paper_scaling())
+
+
+def test_whole_subgrid_does_not_fit_local_store():
+    """The reason blocking exists: the full 5x5x400 subgrid with its
+    angular data misses the 256 KB local store."""
+    model = CellPortModel()
+    unblocked = SweepInput(it=5, jt=5, kt=400, mk=400, mmi=6)
+    assert not model.block_fits_local_store(unblocked)
+
+
+def test_max_mk_is_the_tight_bound():
+    """A block of max_mk K-planes fits the local store; one more plane
+    does not (unless capped by kt)."""
+    model = CellPortModel()
+    inp = SweepInput.paper_scaling()
+    mk_max = model.max_mk(inp)
+    assert 1 <= mk_max <= inp.kt
+    at_max = SweepInput(it=inp.it, jt=inp.jt, kt=mk_max, mk=mk_max, mmi=inp.mmi)
+    assert model.block_fits_local_store(at_max)
+    if mk_max < inp.kt:
+        over = SweepInput(
+            it=inp.it, jt=inp.jt, kt=mk_max + 1, mk=mk_max + 1, mmi=inp.mmi
+        )
+        assert not model.block_fits_local_store(over)
+
+
+def test_max_mk_rejects_oversized_planes():
+    model = CellPortModel()
+    with pytest.raises(ValueError):
+        model.max_mk(SweepInput(it=200, jt=200, kt=10, mk=1, mmi=6))
+
+
+def test_spe_centric_port_is_compute_bound():
+    """§V-B's point: communicating surfaces (not volumes) makes the
+    port compute-bound — DMA per block is far below compute."""
+    model = CellPortModel()
+    inp = SweepInput.paper_scaling()
+    assert model.block_dma_time(inp) < 0.2 * model.block_compute_time(inp)
+
+
+def test_block_time_is_max_of_compute_and_dma():
+    model = CellPortModel()
+    inp = SweepInput.paper_scaling()
+    assert model.block_time(inp) == pytest.approx(
+        max(model.block_compute_time(inp), model.block_dma_time(inp))
+    )
+
+
+def test_iteration_compute_time_structure():
+    model = CellPortModel()
+    inp = SweepInput.paper_scaling()
+    assert model.iteration_compute_time(inp) == pytest.approx(
+        8 * inp.k_blocks * model.block_time(inp)
+    )
+
+
+# --- master/worker baseline (Table IV) -------------------------------------------------
+
+def test_masterworker_reproduces_1_3_s_on_cbe():
+    model = MasterWorkerModel()
+    t = model.iteration_time(SweepInput.paper_table4())
+    assert t == pytest.approx(paper_data.TABLE4_PREVIOUS_CBE_S, rel=0.05)
+
+
+def test_masterworker_is_bandwidth_bound():
+    model = MasterWorkerModel()
+    inp = SweepInput.paper_table4()
+    assert model.bandwidth_time(inp) > 2 * model.compute_time(inp)
+
+
+def test_implementation_speedup_factor_on_cbe():
+    """§VII: the SPE-centric port beats the previous implementation by
+    ~3x on the Cell BE (1.3 s -> 0.37 s)."""
+    inp = SweepInput.paper_table4()
+    previous = MasterWorkerModel().iteration_time(inp)
+    ours = inp.angle_work * grind_time(CELL_BE)
+    assert previous / ours == pytest.approx(
+        paper_data.TABLE4_IMPL_SPEEDUP_FACTOR, rel=0.2
+    )
+
+
+def test_masterworker_would_not_benefit_from_pxc8i():
+    """Falsifiable model prediction: the bandwidth-bound master/worker
+    port gains almost nothing from the PowerXCell 8i's faster DP unit
+    (same 25.6 GB/s memory interface)."""
+    inp = SweepInput.paper_table4()
+    on_cbe = MasterWorkerModel(variant=CELL_BE).iteration_time(inp)
+    on_pxc = MasterWorkerModel(variant=POWERXCELL_8I).iteration_time(inp)
+    assert on_cbe / on_pxc < 1.05
+
+
+# --- x86 grinds and the Fig 12 relations -------------------------------------------------
+
+def test_x86_grind_known_processors_only():
+    with pytest.raises(KeyError):
+        from repro.hardware.cell import POWERXCELL_8I as px
+
+        x86_grind_time(px.spec)
+
+
+def test_single_spe_comparable_to_single_x86_core():
+    """Fig 12: 'the implementation of Sweep3D on a single SPE ...
+    achieves a runtime comparable to a single core of the Intel and AMD
+    processors' — within 35% here."""
+    spe = grind_time(POWERXCELL_8I)
+    for proc in (OPTERON_2210_HE, OPTERON_QUAD_2356, TIGERTON_X7350):
+        ratio = x86_grind_time(proc) / spe
+        assert 0.65 < ratio < 1.35, proc.name
+
+
+def fig12_socket_time(processor, cells=80_000, mmi=6):
+    """Iteration time of one socket on the weak-scaled socket problem
+    (10x20x400 total cells), split across its cores."""
+    cores = processor.core_count
+    per_core_cells = cells / cores
+    return per_core_cells * mmi * 8 * x86_grind_time(processor)
+
+
+def fig12_pxc_socket_time(cells=80_000, mmi=6):
+    per_spe = cells / 8
+    return per_spe * mmi * 8 * grind_time(POWERXCELL_8I)
+
+
+def test_pxc_socket_twice_the_quad_cores():
+    """Fig 12: the full PowerXCell 8i socket is ~2x faster than the
+    quad-core sockets."""
+    pxc = fig12_pxc_socket_time()
+    for proc in (OPTERON_QUAD_2356, TIGERTON_X7350):
+        factor = fig12_socket_time(proc) / pxc
+        assert 1.6 < factor < 2.4, proc.name
+
+
+def test_pxc_socket_almost_5x_dual_core_opteron():
+    """Fig 12: '... and almost 5 times that of a dual-core Opteron.'"""
+    factor = fig12_socket_time(OPTERON_2210_HE) / fig12_pxc_socket_time()
+    assert 4.0 < factor < 5.2
+
+
+def test_masterworker_des_matches_model():
+    """The pencil scheme run on the discrete-event simulator comes out
+    bandwidth-bound at (approximately) the analytic model's time."""
+    inp = SweepInput.paper_table4()
+    model = MasterWorkerModel()
+    des = model.simulate_iteration(inp, pencils=256)
+    assert des == pytest.approx(model.iteration_time(inp), rel=0.10)
+
+
+def test_masterworker_des_validates_pencils():
+    with pytest.raises(ValueError):
+        MasterWorkerModel().simulate_iteration(SweepInput.paper_table4(), pencils=4)
+
+
+def test_masterworker_des_bandwidth_bound():
+    """More pencils (finer dispatch) cannot beat the bandwidth floor."""
+    inp = SweepInput.paper_table4()
+    model = MasterWorkerModel()
+    des = model.simulate_iteration(inp, pencils=512)
+    assert des >= model.bandwidth_time(inp)

@@ -1,0 +1,185 @@
+"""Tests for the Figs 13-14 weak-scaling study."""
+
+import pytest
+
+from repro.sweep3d.input import SweepInput
+from repro.sweep3d.scaling import (
+    OPTERON_RANKS_PER_NODE,
+    SPE_RANKS_PER_NODE,
+    ScalingStudy,
+)
+from repro.validation import paper_data
+from repro.validation.compare import monotonic
+
+COUNTS = list(paper_data.SCALING_NODE_COUNTS)
+
+
+@pytest.fixture(scope="module")
+def study():
+    return ScalingStudy()
+
+
+@pytest.fixture(scope="module")
+def series(study):
+    return study.fig13_series(COUNTS)
+
+
+@pytest.fixture(scope="module")
+def improvements(study):
+    return study.fig14_improvements(COUNTS)
+
+
+def test_rank_counts(study):
+    p = study.point(4, "cell_measured")
+    assert p.ranks == 4 * SPE_RANKS_PER_NODE
+    p = study.point(4, "opteron")
+    assert p.ranks == 4 * OPTERON_RANKS_PER_NODE
+
+
+def test_full_system_uses_all_97920_spes(study):
+    p = study.point(3060, "cell_measured")
+    assert p.ranks == paper_data.TOTAL_SPES
+
+
+def test_unknown_config_rejected(study):
+    with pytest.raises(ValueError):
+        study.point(4, "gpu")
+    with pytest.raises(ValueError):
+        study.point(0, "opteron")
+
+
+def test_fig13_all_series_rise_with_node_count(series):
+    """Weak scaling: iteration time grows with node count (pipeline
+    fill and slower links), for every configuration."""
+    for config, points in series.items():
+        times = [p.iteration_time for p in points]
+        assert monotonic(times, increasing=True), config
+
+
+def test_fig13_cell_always_beats_opteron(series):
+    """Fig 13: 'the measured times on the PowerXCell 8i processors are
+    substantially lower than that on the Opterons' — at every scale."""
+    for i in range(len(COUNTS)):
+        assert (
+            series["cell_measured"][i].iteration_time
+            < series["opteron"][i].iteration_time
+        )
+
+
+def test_fig13_best_beats_measured(series):
+    """Fig 13: the modeled best-achievable curve lies below measured."""
+    for i in range(len(COUNTS)):
+        assert (
+            series["cell_best"][i].iteration_time
+            <= series["cell_measured"][i].iteration_time
+        )
+
+
+def test_fig13_measured_close_to_best_at_small_scale(series):
+    """§VI-A: 'the performance of the current implementation is close
+    to the best achievable at small scale, and could be improved by
+    almost a factor of two at large scale.'"""
+    small_gap = (
+        series["cell_measured"][0].iteration_time
+        / series["cell_best"][0].iteration_time
+    )
+    large_gap = (
+        series["cell_measured"][-1].iteration_time
+        / series["cell_best"][-1].iteration_time
+    )
+    assert small_gap < 2.0
+    assert 1.5 < large_gap < 2.2
+    assert large_gap > small_gap
+
+
+def test_fig13_opteron_endpoint_near_paper_range(series):
+    """The Opteron-only curve tops out in Fig 13's 0.6-0.8 s band."""
+    assert 0.5 < series["opteron"][-1].iteration_time < 0.8
+
+
+def test_fig14_measured_improvement_decreases_with_scale(improvements):
+    """Downward trend with scale; small non-monotonic wiggles come from
+    the decomposition's aspect-ratio jitter across node counts (the
+    paper's curves wiggle the same way)."""
+    vals = improvements["measured"]
+    assert vals[-1] < 0.5 * vals[0]
+    assert all(b <= a * 1.05 for a, b in zip(vals, vals[1:]))
+
+
+def test_fig14_measured_improvement_about_2x_at_full_scale(improvements):
+    """Fig 14 / §VII: 'currently almost a factor of two higher
+    performance is achieved when using the accelerators.'"""
+    assert improvements["measured"][-1] == pytest.approx(
+        paper_data.FIG14_MEASURED_IMPROVEMENT_LARGE, rel=0.2
+    )
+
+
+def test_fig14_best_improvement_3_to_5x_at_full_scale(improvements):
+    """Fig 14: 'may be as high as 4x at large-scale if the peak PCIe
+    performance were to be realized.'"""
+    assert 2.8 < improvements["best"][-1] < 5.0
+
+
+def test_small_scale_best_advantage_near_10x(improvements):
+    """§VII: 'For small scale jobs the expected performance advantage
+    is 10x' — the model lands in the 6-11x band."""
+    assert 6.0 < improvements["best"][0] < 11.0
+
+
+def test_best_always_at_least_measured(improvements):
+    for m, b in zip(improvements["measured"], improvements["best"]):
+        assert b >= m
+
+
+def test_fill_dominates_at_full_scale(study):
+    """At 3,060 nodes the 97,920-rank pipeline is much deeper than the
+    per-octant work, so fill dominates the iteration — the mechanism
+    behind the shrinking accelerator advantage."""
+    model = study.model_for(3060, "cell_measured")
+    assert model.fill_steps > 5 * model.work_steps
+
+
+def test_opteron_input_covers_same_global_problem(study):
+    """4 Opteron ranks must carry the cells of 32 SPE ranks per node."""
+    cell_cells = study._cell_input().cells * SPE_RANKS_PER_NODE
+    opteron_cells = study._opteron_input().cells * OPTERON_RANKS_PER_NODE
+    assert cell_cells == opteron_cells
+
+
+def test_custom_input_supported():
+    custom = ScalingStudy(SweepInput(it=4, jt=4, kt=100, mk=10, mmi=6))
+    p = custom.point(2, "cell_measured")
+    assert p.iteration_time > 0
+
+
+def test_2d_decomposition_beats_1d_at_scale():
+    """Why Sweep3D decomposes in 2-D (paper §V-A): a 1-D process array
+    has pipeline depth P-1 vs ~2*sqrt(P) for the square array, so its
+    fill swamps the iteration at scale."""
+    from repro.sweep3d.decomposition import Decomposition2D
+    from repro.sweep3d.perfmodel import SweepMachineParams, WavefrontModel
+    from repro.comm.ib import IB_DEFAULT
+    from repro.sweep3d.input import SweepInput
+
+    inp = SweepInput.paper_scaling()
+    params = SweepMachineParams("test", grind_time=32e-9, comm=IB_DEFAULT)
+    ranks = 1024
+    square = WavefrontModel(inp, Decomposition2D.near_square(ranks), params)
+    linear = WavefrontModel(inp, Decomposition2D(ranks, 1), params)
+    assert square.iteration_time() < 0.25 * linear.iteration_time()
+    assert square.parallel_efficiency() > 2 * linear.parallel_efficiency()
+
+
+def test_elongation_monotonically_hurts():
+    from repro.sweep3d.decomposition import Decomposition2D
+    from repro.sweep3d.perfmodel import SweepMachineParams, WavefrontModel
+    from repro.comm.ib import IB_DEFAULT
+    from repro.sweep3d.input import SweepInput
+
+    inp = SweepInput.paper_scaling()
+    params = SweepMachineParams("test", grind_time=32e-9, comm=IB_DEFAULT)
+    times = [
+        WavefrontModel(inp, Decomposition2D(pi, 1024 // pi), params).iteration_time()
+        for pi in (32, 64, 128, 256, 1024)
+    ]
+    assert times == sorted(times)

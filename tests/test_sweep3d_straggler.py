@@ -1,0 +1,86 @@
+"""Straggler sensitivity of the wavefront sweep.
+
+A pipelined wavefront gives a slow rank global reach: every block of
+every octant flows through it.  These tests inject per-rank grind
+variation and check both the physics (unchanged) and the timing
+(dominated by the straggler), quantifying why Roadrunner's tightly
+synchronized SPE-centric model needed uniform SPE performance.
+"""
+
+import numpy as np
+import pytest
+
+from repro.comm.mpi import UniformFabric
+from repro.comm.transport import Transport
+from repro.sweep3d.decomposition import Decomposition2D
+from repro.sweep3d.input import SweepInput
+from repro.sweep3d.parallel import ParallelSweep
+
+FREE = UniformFabric(Transport("free", latency=1e-12, bandwidth=1e18))
+INP = SweepInput(it=2, jt=2, kt=8, mk=2, mmi=1)
+
+
+def run(grinds, dec=None):
+    dec = dec or Decomposition2D(4, 4)
+    return ParallelSweep(INP, dec, grinds, FREE).run()
+
+
+def test_per_rank_grind_validation():
+    dec = Decomposition2D(2, 2)
+    with pytest.raises(ValueError):
+        ParallelSweep(INP, dec, [1e-6, 1e-6], FREE)  # wrong length
+    with pytest.raises(ValueError):
+        ParallelSweep(INP, dec, [1e-6, 1e-6, 0.0, 1e-6], FREE)
+
+
+def test_straggler_does_not_change_physics():
+    dec = Decomposition2D(4, 4)
+    uniform = run(1e-6, dec)
+    grinds = [1e-6] * 16
+    grinds[5] = 4e-6
+    skewed = run(grinds, dec)
+    np.testing.assert_array_equal(uniform.phi, skewed.phi)
+
+
+def test_single_straggler_dominates_iteration_time():
+    """One 2x-slow rank adds roughly its full excess compute time: the
+    wavefront cannot route around it."""
+    base = 1e-6
+    dec = Decomposition2D(4, 4)
+    uniform = run(base, dec)
+    grinds = [base] * 16
+    grinds[5] = 2 * base  # an interior rank on every sweep's path
+    skewed = run(grinds, dec)
+    blocks = 8 * INP.k_blocks
+    excess = blocks * INP.block_angle_work() * base  # 1x extra per block
+    slowdown = skewed.iteration_time - uniform.iteration_time
+    assert slowdown == pytest.approx(excess, rel=0.35)
+
+
+def test_corner_straggler_also_fully_exposed():
+    base = 1e-6
+    dec = Decomposition2D(4, 4)
+    uniform = run(base, dec)
+    grinds = [base] * 16
+    grinds[0] = 3 * base
+    skewed = run(grinds, dec)
+    assert skewed.iteration_time > uniform.iteration_time * 1.5
+
+
+def test_uniform_speedup_scales_time_exactly():
+    dec = Decomposition2D(2, 2)
+    slow = run([2e-6] * 4, dec)
+    fast = run([1e-6] * 4, dec)
+    assert slow.iteration_time == pytest.approx(2 * fast.iteration_time)
+
+
+def test_many_small_variations_cost_less_than_one_big():
+    """Spreading the same total excess over all ranks hurts less than
+    concentrating it in one rank (pipeline overlap absorbs it)."""
+    base = 1e-6
+    dec = Decomposition2D(4, 4)
+    spread = run([base * 1.0625] * 16, dec)  # +6.25% everywhere
+    concentrated = [base] * 16
+    concentrated[5] = 2 * base  # same total excess, one rank
+    lumped = run(concentrated, dec)
+    assert spread.iteration_time < lumped.iteration_time

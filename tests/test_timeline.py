@@ -1,0 +1,74 @@
+"""Tests for the timeline/Gantt utility and its sweep integration."""
+
+import pytest
+
+from repro.comm.mpi import UniformFabric
+from repro.comm.transport import Transport
+from repro.sim.timeline import Interval, Timeline
+from repro.sweep3d.decomposition import Decomposition2D
+from repro.sweep3d.input import SweepInput
+from repro.sweep3d.parallel import ParallelSweep
+
+
+def test_interval_validation():
+    with pytest.raises(ValueError):
+        Interval("a", 2.0, 1.0)
+    assert Interval("a", 1.0, 3.0).duration == pytest.approx(2.0)
+
+
+def test_timeline_busy_time_and_utilization():
+    tl = Timeline()
+    tl.record("a", 0.0, 1.0)
+    tl.record("a", 2.0, 3.0)
+    tl.record("b", 0.0, 4.0)
+    assert tl.busy_time("a") == pytest.approx(2.0)
+    assert tl.span == (0.0, 4.0)
+    assert tl.utilization("a") == pytest.approx(0.5)
+    assert tl.utilization("b") == pytest.approx(1.0)
+
+
+def test_timeline_actor_order():
+    tl = Timeline()
+    tl.record("z", 0, 1)
+    tl.record("a", 1, 2)
+    tl.record("z", 2, 3)
+    assert tl.actors() == ["z", "a"]
+
+
+def test_render_gantt_shape():
+    tl = Timeline()
+    tl.record("r0", 0.0, 0.5)
+    tl.record("r1", 0.5, 1.0)
+    text = tl.render(width=10)
+    lines = text.splitlines()
+    assert len(lines) == 2
+    assert lines[0].startswith("r0 |")
+    # r0 busy in the first half, idle in the second.
+    row0 = lines[0].split("|")[1]
+    assert row0[:5] == "#####"
+    assert row0[5:] == "....."
+
+
+def test_render_empty_and_validation():
+    assert Timeline().render() == "(empty timeline)"
+    tl = Timeline()
+    tl.record("a", 0, 1)
+    with pytest.raises(ValueError):
+        tl.render(width=0)
+
+
+def test_sweep_timeline_integration():
+    inp = SweepInput(it=2, jt=2, kt=4, mk=2, mmi=1)
+    dec = Decomposition2D(2, 2)
+    tl = Timeline()
+    fabric = UniformFabric(Transport("free", 1e-12, 1e18))
+    result = ParallelSweep(inp, dec, 1e-6, fabric, timeline=tl).run()
+    # One interval per (rank, octant, block): 4 ranks x 8 x 2.
+    assert len(tl.intervals) == 4 * 8 * 2
+    assert set(tl.actors()) == {f"rank{r}" for r in range(4)}
+    # Busy time per rank equals the DES's own accounting.
+    assert tl.busy_time("rank0") == pytest.approx(result.compute_time_per_rank)
+    # The corner ranks fill/drain: utilization below 1.
+    assert 0 < tl.utilization("rank0") < 1
+    text = tl.render(width=40)
+    assert "rank3" in text

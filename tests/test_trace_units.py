@@ -1,0 +1,151 @@
+"""Tests for the tracer, unit helpers, and parallel-efficiency stats."""
+
+import pytest
+
+from repro.sim.trace import NULL_TRACER, Tracer
+from repro.units import (
+    GB_S,
+    GFLOPS,
+    GHZ,
+    GIB,
+    MB_S,
+    MS,
+    NS,
+    PFLOPS,
+    TFLOPS,
+    US,
+    to_gb_s,
+    to_gflops,
+    to_mb_s,
+    to_ms,
+    to_pflops,
+    to_tflops,
+    to_us,
+)
+
+
+# --- units ------------------------------------------------------------------
+
+def test_time_conversions():
+    assert to_us(1.5 * US) == pytest.approx(1.5)
+    assert to_ms(2 * MS) == pytest.approx(2.0)
+    assert 1000 * NS == pytest.approx(1 * US)
+
+
+def test_rate_conversions():
+    assert to_mb_s(5 * MB_S) == pytest.approx(5.0)
+    assert to_gb_s(2.5 * GB_S) == pytest.approx(2.5)
+    assert to_gflops(3 * GFLOPS) == pytest.approx(3.0)
+    assert to_tflops(1.5 * TFLOPS) == pytest.approx(1.5)
+    assert to_pflops(1.38 * PFLOPS) == pytest.approx(1.38)
+
+
+def test_binary_vs_decimal_sizes():
+    assert GIB == 2**30
+    assert 1 * GHZ == 1e9
+
+
+# --- tracer -------------------------------------------------------------------
+
+def test_tracer_records_and_counts():
+    tracer = Tracer()
+    tracer.record(1.0, "mpi.send", 0, {"dest": 1})
+    tracer.record(2.0, "mpi.recv", 1)
+    tracer.record(3.0, "mpi.send", 0)
+    assert len(tracer) == 3
+    assert tracer.count("mpi.send") == 2
+    assert tracer.count("mpi.recv") == 1
+
+
+def test_tracer_category_filtering():
+    tracer = Tracer(categories=frozenset({"dma"}))
+    assert tracer.enabled_for("dma")
+    assert not tracer.enabled_for("mpi.send")
+    tracer.record(0.0, "mpi.send", 0)
+    tracer.record(0.0, "dma", 0)
+    assert len(tracer) == 1
+
+
+def test_tracer_filter_by_predicate():
+    tracer = Tracer()
+    for t in range(5):
+        tracer.record(float(t), "tick", source=t % 2)
+    evens = list(tracer.filter(predicate=lambda r: r.source == 0))
+    assert len(evens) == 3
+
+
+def test_tracer_span_and_clear():
+    tracer = Tracer()
+    assert tracer.span() == 0.0
+    tracer.record(1.0, "a", 0)
+    tracer.record(4.5, "b", 0)
+    assert tracer.span() == pytest.approx(3.5)
+    tracer.clear()
+    assert len(tracer) == 0
+
+
+def test_null_tracer_keeps_nothing():
+    NULL_TRACER.record(0.0, "anything", 0)
+    assert len(NULL_TRACER) == 0
+
+
+def test_mpi_tracer_integration():
+    from repro.comm.mpi import Location, SimMPI, UniformFabric
+    from repro.comm.transport import Transport
+    from repro.sim import Simulator
+
+    sim = Simulator()
+    tracer = Tracer()
+    comm = SimMPI(
+        sim,
+        UniformFabric(Transport("t", latency=1e-6, bandwidth=1e9)),
+        [Location(node=i) for i in range(2)],
+        tracer=tracer,
+    )
+
+    def body(rank):
+        if rank.index == 0:
+            yield from rank.send(1, size=100)
+        else:
+            yield from rank.recv()
+
+    for r in range(2):
+        sim.process(body(comm.rank(r)))
+    sim.run()
+    assert tracer.count("mpi.send") == 1
+    assert tracer.count("mpi.recv") == 1
+
+
+# --- parallel efficiency statistics -----------------------------------------------
+
+def test_parallel_efficiency_single_rank_is_one():
+    from repro.comm.mpi import UniformFabric
+    from repro.comm.transport import Transport
+    from repro.sweep3d.decomposition import Decomposition2D
+    from repro.sweep3d.input import SweepInput
+    from repro.sweep3d.parallel import ParallelSweep
+
+    inp = SweepInput(it=2, jt=2, kt=4, mk=2, mmi=2)
+    fabric = UniformFabric(Transport("free", 1e-12, 1e18))
+    result = ParallelSweep(inp, Decomposition2D(1, 1), 1e-6, fabric).run()
+    assert result.parallel_efficiency == pytest.approx(1.0, rel=1e-6)
+
+
+def test_parallel_efficiency_matches_model_square_array():
+    from repro.comm.mpi import UniformFabric
+    from repro.comm.transport import Transport
+    from repro.sweep3d.decomposition import Decomposition2D
+    from repro.sweep3d.input import SweepInput
+    from repro.sweep3d.parallel import ParallelSweep
+    from repro.sweep3d.perfmodel import SweepMachineParams, WavefrontModel
+
+    inp = SweepInput(it=2, jt=2, kt=8, mk=2, mmi=1)
+    dec = Decomposition2D(4, 4)
+    grind = 1e-6
+    transport = Transport("free", 1e-12, 1e18)
+    des = ParallelSweep(inp, dec, grind, UniformFabric(transport)).run()
+    model = WavefrontModel(inp, dec, SweepMachineParams("m", grind, transport))
+    assert des.parallel_efficiency == pytest.approx(
+        model.parallel_efficiency(), rel=1e-6
+    )
+    assert des.parallel_efficiency < 1.0

@@ -1,0 +1,79 @@
+"""Property-based tests on the transport/path algebra."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.comm.transport import PipelinePath, Transport
+
+transports = st.builds(
+    Transport,
+    name=st.just("t"),
+    latency=st.floats(min_value=0.0, max_value=1e-4),
+    bandwidth=st.floats(min_value=1e6, max_value=1e11),
+    eager_threshold=st.integers(min_value=0, max_value=65536),
+    eager_bandwidth=st.one_of(
+        st.none(), st.floats(min_value=1e5, max_value=1e10)
+    ),
+    rendezvous_latency=st.floats(min_value=0.0, max_value=1e-4),
+)
+
+sizes = st.integers(min_value=0, max_value=10_000_000)
+
+
+@settings(max_examples=80, deadline=None)
+@given(t=transports, size=sizes)
+def test_one_way_time_at_least_latency(t, size):
+    assert t.one_way_time(size) >= t.latency - 1e-18
+
+
+@settings(max_examples=80, deadline=None)
+@given(t=transports, size=sizes)
+def test_one_way_time_monotone(t, size):
+    assert t.one_way_time(size) <= t.one_way_time(size + 1) + 1e-18
+
+
+@settings(max_examples=80, deadline=None)
+@given(t=transports, size=sizes)
+def test_serialization_nonnegative(t, size):
+    assert t.serialization_time(size) >= -1e-18
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    t1=transports, t2=transports, size=sizes,
+    copy_bw=st.floats(min_value=1e6, max_value=1e11),
+)
+def test_path_time_at_least_slowest_leg(t1, t2, size, copy_bw):
+    path = PipelinePath("p", legs=(t1, t2), relay_copy_bandwidth=copy_bw)
+    total = path.one_way_time(size)
+    assert total >= t1.one_way_time(size) - 1e-18
+    assert total >= t2.one_way_time(size) - 1e-18
+    assert path.zero_byte_latency == pytest.approx(t1.latency + t2.latency)
+
+
+@settings(max_examples=60, deadline=None)
+@given(t=transports, size=st.integers(min_value=1, max_value=10_000_000))
+def test_single_leg_path_equals_transport(t, size):
+    path = PipelinePath("p", legs=(t,))
+    assert path.one_way_time(size) == pytest.approx(t.one_way_time(size))
+    assert path.effective_bandwidth(size) == pytest.approx(
+        t.effective_bandwidth(size)
+    )
+
+
+@settings(max_examples=60, deadline=None)
+@given(t=transports, size=st.integers(min_value=1, max_value=10_000_000))
+def test_bidirectional_never_exceeds_double_unidirectional(t, size):
+    assert (
+        t.bidirectional_sum_bandwidth(size)
+        <= 2 * t.effective_bandwidth(size) + 1e-9
+    )
+
+
+@settings(max_examples=60, deadline=None)
+@given(t=transports, size=sizes, extra=st.integers(min_value=1, max_value=4))
+def test_adding_legs_never_speeds_a_path_up(t, size, extra):
+    short = PipelinePath("s", legs=(t,))
+    long = PipelinePath("l", legs=tuple([t] * (1 + extra)))
+    assert long.one_way_time(size) >= short.one_way_time(size) - 1e-18
