@@ -13,6 +13,27 @@ from repro.core.machine import RoadrunnerMachine
 from repro.network.topology import RoadrunnerTopology
 
 
+def pytest_addoption(parser):
+    parser.addoption(
+        "--perf-full",
+        action="store_true",
+        default=False,
+        help=(
+            "run the measured tier of benchmarks/perf (timed comparisons "
+            "against the pre-optimization baselines, writes BENCH_perf.json); "
+            "without it only the fast smoke tier runs"
+        ),
+    )
+
+
+@pytest.fixture
+def perf_full(request):
+    """Gate for the measured perf tier: skip unless --perf-full."""
+    if not request.config.getoption("--perf-full"):
+        pytest.skip("measured perf tier: pass --perf-full to run")
+    return True
+
+
 @pytest.fixture(scope="session")
 def machine():
     """The full 17-CU machine model, shared across benchmarks."""

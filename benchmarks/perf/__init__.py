@@ -1,0 +1,15 @@
+"""Perf-regression harness for the DES kernel and network hot loops.
+
+Every module here has two tiers:
+
+* **smoke** (default, runs in tier-1 time budgets): tiny workloads that
+  assert the *correctness* side of the performance work — bit-identical
+  event timelines, flux fields, and simulated times (the determinism
+  contract in :mod:`repro.sim.engine`).
+* **measured** (``pytest benchmarks/perf --perf-full``): timed runs that
+  compare the current hot paths against the pre-optimization reference
+  implementations, assert the PR's speedup floors, and write the
+  numbers to ``BENCH_perf.json`` at the repository root.
+
+See ``docs/PERFORMANCE.md`` for how to read the output.
+"""

@@ -1,0 +1,201 @@
+"""Event-loop throughput of the DES kernel, pre- vs post-optimization.
+
+Four microbenchmark workloads cover the kernel's hot paths:
+
+* ``chain`` — one process yielding timeouts back-to-back (the ISSUE's
+  motivating probe: ~450k events/s pre-PR);
+* ``interleave`` — 16 processes with staggered timeouts (a SimMPI-like
+  schedule with a deeper heap);
+* ``spawn_join`` — process creation/termination and joining;
+* ``pingpong`` — two processes signalling through bare events.
+
+The smoke tier asserts the determinism contract: the same workload run
+twice — and run against the seed engine pulled from git — pops events
+at bit-identical simulated times.  The measured tier
+(``--perf-full``) times both engines round-robin on the same machine
+and asserts the tentpole's >= 3x floor on the chain workload.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.perf.harness import (
+    FALLBACK_SEED_RATES,
+    load_seed_engine,
+    paired_rates,
+    timeline_fingerprint,
+    update_bench_json,
+)
+from repro.sim import engine as current_engine
+
+SMOKE_N = 4_000
+FULL_N = 300_000
+
+#: required speedup on the headline event-loop microbenchmark
+MIN_CHAIN_SPEEDUP = 3.0
+
+
+def _workloads(mod):
+    """name -> fn(n, record) for one engine module.
+
+    ``record`` (a list or None) collects the simulated time at every
+    process resume — the event-timeline fingerprint used by the
+    determinism oracle.  Timing runs pass ``record=None``.
+    """
+    Simulator, Event = mod.Simulator, mod.Event
+
+    def chain(n, record=None):
+        sim = Simulator()
+
+        def p(sim, n):
+            for _ in range(n):
+                yield sim.timeout(1.0)
+                if record is not None:
+                    record.append(sim.now)
+
+        sim.process(p(sim, n))
+        sim.run()
+        return n
+
+    def interleave(n, record=None):
+        sim = Simulator()
+        per = n // 16
+
+        def p(sim, k, delay, tag):
+            for _ in range(k):
+                yield sim.timeout(delay)
+                if record is not None:
+                    record.append((tag, sim.now))
+
+        for i in range(16):
+            sim.process(p(sim, per, 1.0 + 0.01 * i, i))
+        sim.run()
+        return per * 16
+
+    def spawn_join(n, record=None):
+        sim = Simulator()
+
+        def child(sim):
+            yield sim.timeout(1.0)
+            return 42
+
+        def parent(sim, k):
+            for _ in range(k):
+                value = yield sim.process(child(sim))
+                assert value == 42
+                if record is not None:
+                    record.append(sim.now)
+
+        sim.process(parent(sim, n // 3))
+        sim.run()
+        return n
+
+    def pingpong(n, record=None):
+        sim = Simulator()
+        box = {}
+
+        def producer(sim, k):
+            for i in range(k):
+                box["evt"].succeed(i)
+                yield sim.timeout(1.0)
+
+        def consumer(sim, k):
+            for _ in range(k):
+                box["evt"] = Event(sim)
+                value = yield box["evt"]
+                if record is not None:
+                    record.append((value, sim.now))
+
+        per = n // 2
+        sim.process(consumer(sim, per))
+        sim.process(producer(sim, per))
+        sim.run()
+        return n
+
+    return {
+        "chain": chain,
+        "interleave": interleave,
+        "spawn_join": spawn_join,
+        "pingpong": pingpong,
+    }
+
+
+def _fingerprint(mod, name: str, n: int) -> str:
+    record: list = []
+    _workloads(mod)[name](n, record)
+    flat: list[float] = []
+    for item in record:
+        if isinstance(item, tuple):
+            flat.extend(float(x) for x in item)
+        else:
+            flat.append(float(item))
+    return timeline_fingerprint(flat)
+
+
+WORKLOAD_NAMES = ["chain", "interleave", "spawn_join", "pingpong"]
+
+
+@pytest.mark.parametrize("name", WORKLOAD_NAMES)
+def test_smoke_run_twice_is_bit_identical(name):
+    """Determinism contract: identical event timelines run-to-run."""
+    assert _fingerprint(current_engine, name, SMOKE_N) == _fingerprint(
+        current_engine, name, SMOKE_N
+    )
+
+
+@pytest.mark.parametrize("name", WORKLOAD_NAMES)
+def test_smoke_matches_seed_engine_timeline(name):
+    """The optimized kernel visits bit-identical simulated times to the
+    pre-PR kernel from the seed commit (acceptance oracle)."""
+    seed = load_seed_engine()
+    if seed is None:
+        pytest.skip("seed engine unavailable (no git history)")
+    assert _fingerprint(seed, name, SMOKE_N) == _fingerprint(
+        current_engine, name, SMOKE_N
+    )
+
+
+def test_measured_event_throughput(perf_full):
+    """Measured tier: record events/s for both engines, assert the
+    >= 3x floor on the chain microbenchmark, write BENCH_perf.json."""
+    seed = load_seed_engine()
+    current = _workloads(current_engine)
+    baseline_source = "git-seed-commit" if seed is not None else "recorded-constants"
+
+    variants: dict = {}
+    for name in WORKLOAD_NAMES:
+        variants[f"current:{name}"] = (
+            lambda fn=current[name]: fn(FULL_N)
+        )
+        if seed is not None:
+            seed_fn = _workloads(seed)[name]
+            variants[f"seed:{name}"] = lambda fn=seed_fn: fn(FULL_N)
+
+    rates = paired_rates(variants, repeats=7)
+
+    results = {}
+    for name in WORKLOAD_NAMES:
+        now = rates[f"current:{name}"]
+        base = (
+            rates[f"seed:{name}"]
+            if seed is not None
+            else FALLBACK_SEED_RATES[name]
+        )
+        results[name] = {
+            "baseline_events_per_s": round(base),
+            "current_events_per_s": round(now),
+            "speedup": round(now / base, 2),
+        }
+
+    update_bench_json(
+        "des_engine",
+        {
+            "baseline_source": baseline_source,
+            "events_per_workload": FULL_N,
+            "workloads": results,
+            "headline": "chain",
+            "min_required_speedup": MIN_CHAIN_SPEEDUP,
+        },
+    )
+    assert results["chain"]["speedup"] >= MIN_CHAIN_SPEEDUP, results

@@ -1,0 +1,157 @@
+"""Topology/latency sweep throughput, vectorized vs per-node reference.
+
+The pre-PR implementations of ``latency_map``, ``hop_census`` and
+``link_loads`` looped in Python over every destination (or flow) and
+recomputed ``topo.split``/``lower_xbar``/``repr`` each time.  The
+reference implementations below reproduce that algorithm verbatim, so
+the smoke tier proves the vectorized paths return *identical* values
+and the measured tier records an honest same-machine speedup
+(>= 5x required on ``latency_map`` and warm ``link_loads``).
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+
+import pytest
+
+from benchmarks.perf.harness import best_seconds, update_bench_json
+from repro.network import loadmap, routing
+from repro.network.latency import IBLatencyModel
+from repro.network.topology import RoadrunnerTopology
+
+MIN_NETWORK_SPEEDUP = 5.0
+
+
+@pytest.fixture(scope="module")
+def topo():
+    return RoadrunnerTopology(cu_count=17)
+
+
+# -- pre-PR reference algorithms (per-destination Python loops) -----------
+
+def _reference_hop_count(topo, src, dst):
+    if src == dst:
+        return 0
+    cu_s, _ = topo.split(src)
+    cu_d, _ = topo.split(dst)
+    xbar_s = topo.lower_xbar(src).index
+    xbar_d = topo.lower_xbar(dst).index
+    if cu_s == cu_d:
+        return 1 if xbar_s == xbar_d else 3
+    if topo.same_side(cu_s, cu_d):
+        return 3 if xbar_s == xbar_d else 5
+    return 5 if xbar_s == xbar_d else 7
+
+
+def _reference_latency_map(model, topo, src=0):
+    out = []
+    for dst in range(topo.node_count):
+        if src == dst:
+            out.append(0.0)
+        else:
+            out.append(
+                model.software_overhead
+                + _reference_hop_count(topo, src, dst) * model.hop_latency
+            )
+    return out
+
+
+def _reference_hop_census(topo, src=0):
+    census: Counter = Counter()
+    for dst in range(topo.node_count):
+        census[_reference_hop_count(topo, src, dst)] += 1
+    return census
+
+
+def _reference_link_loads(topo, pairs, spread=False):
+    loads: Counter = Counter()
+    for src, dst in pairs:
+        if src == dst:
+            continue
+        path = [
+            topo.graph_node(src),
+            *routing.route(topo, src, dst, spread=spread),
+            topo.graph_node(dst),
+        ]
+        for u, v in zip(path, path[1:]):
+            loads[tuple(sorted((repr(u), repr(v))))] += 1
+    return loads
+
+
+def _pair_set(n_pairs: int = 765):
+    """A deterministic mixed-locality flow set (intra-CU, same-side,
+    cross-side)."""
+    pairs = []
+    for i in range(n_pairs):
+        src = (i * 193) % 3060
+        dst = (src + 97 + i * 389) % 3060
+        pairs.append((src, dst))
+    return pairs
+
+
+# -- smoke tier: vectorized results identical to the reference ------------
+
+def test_smoke_latency_map_matches_reference(topo):
+    model = IBLatencyModel()
+    assert model.latency_map(topo) == _reference_latency_map(model, topo)
+
+
+def test_smoke_hop_census_matches_reference(topo):
+    assert routing.hop_census(topo) == _reference_hop_census(topo)
+
+
+def test_smoke_hop_vector_matches_hop_count(topo):
+    hops = routing.hop_vector(topo, src=123)
+    for dst in range(0, topo.node_count, 61):
+        assert hops[dst] == _reference_hop_count(topo, 123, dst)
+
+
+def test_smoke_link_loads_matches_reference(topo):
+    pairs = _pair_set(128)
+    for spread in (False, True):
+        assert loadmap.link_loads(topo, pairs, spread=spread) == _reference_link_loads(
+            topo, pairs, spread=spread
+        )
+
+
+# -- measured tier --------------------------------------------------------
+
+def test_measured_network_sweeps(topo, perf_full):
+    model = IBLatencyModel()
+    pairs = _pair_set()
+
+    t_map = best_seconds(lambda: model.latency_map(topo), repeats=5)
+    t_map_ref = best_seconds(lambda: _reference_latency_map(model, topo), repeats=5)
+    t_census = best_seconds(lambda: routing.hop_census(topo), repeats=5)
+    t_census_ref = best_seconds(lambda: _reference_hop_census(topo), repeats=5)
+
+    loadmap.link_loads(topo, pairs)  # warm the flow cache
+    t_loads = best_seconds(lambda: loadmap.link_loads(topo, pairs), repeats=5)
+    t_loads_ref = best_seconds(lambda: _reference_link_loads(topo, pairs), repeats=5)
+
+    payload = {
+        "latency_map": {
+            "nodes": topo.node_count,
+            "reference_ms": round(t_map_ref * 1e3, 4),
+            "current_ms": round(t_map * 1e3, 4),
+            "speedup": round(t_map_ref / t_map, 1),
+        },
+        "hop_census": {
+            "nodes": topo.node_count,
+            "reference_ms": round(t_census_ref * 1e3, 4),
+            "current_ms": round(t_census * 1e3, 4),
+            "speedup": round(t_census_ref / t_census, 1),
+        },
+        "link_loads_warm": {
+            "pairs": len(pairs),
+            "reference_ms": round(t_loads_ref * 1e3, 4),
+            "current_ms": round(t_loads * 1e3, 4),
+            "speedup": round(t_loads_ref / t_loads, 1),
+        },
+        "min_required_speedup": MIN_NETWORK_SPEEDUP,
+    }
+    update_bench_json("network", payload)
+
+    assert t_map_ref / t_map >= MIN_NETWORK_SPEEDUP, payload
+    assert t_loads_ref / t_loads >= MIN_NETWORK_SPEEDUP, payload

@@ -1,0 +1,102 @@
+"""End-to-end perf of the distributed sweep, plus its determinism oracle.
+
+``ParallelSweep`` is the heaviest consumer of the DES kernel, SimMPI
+and the transport curves at once, so it measures the composite effect
+of every fast path in this package.  The smoke tier runs a small 8x4
+sweep twice and asserts the full determinism contract — bit-identical
+flux field, simulated iteration time and traced MPI event timeline.
+The measured tier times the same configuration against the seed
+commit's ``parallel.py`` (executed over the current package tree, so
+the comparison isolates the sweep-layer changes on top of the shared
+kernel gains) and records both wall-clock times in ``BENCH_perf.json``.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+import numpy as np
+import pytest
+
+from benchmarks.perf.harness import (
+    best_seconds,
+    load_seed_module,
+    paired_seconds,
+    update_bench_json,
+)
+from repro.hardware.cell import POWERXCELL_8I
+from repro.sim.trace import Tracer
+from repro.sweep3d import parallel as current_parallel
+from repro.sweep3d.cellport import grind_time
+from repro.sweep3d.decomposition import Decomposition2D
+from repro.sweep3d.input import SweepInput
+from repro.sweep3d.placement import cell_fabric, spe_locations
+
+#: one simulated triblade: 8x4 SPE tile, reduced K extent
+INP = SweepInput(it=5, jt=5, kt=40, mk=20, mmi=6)
+DECOMP = Decomposition2D(8, 4)
+
+
+def _run(mod, tracer=None):
+    sweep = mod.ParallelSweep(
+        INP,
+        DECOMP,
+        grind_time=grind_time(POWERXCELL_8I),
+        fabric=cell_fabric(),
+        locations=spe_locations(DECOMP),
+        **({"tracer": tracer} if tracer is not None else {}),
+    )
+    return sweep.run()
+
+
+def _trace_fingerprint(tracer: Tracer) -> str:
+    h = hashlib.sha256()
+    for rec in tracer.records:
+        h.update(repr((rec.time, rec.category, rec.source, rec.detail)).encode())
+        h.update(b";")
+    return h.hexdigest()
+
+
+def test_smoke_sweep_run_twice_is_bit_identical():
+    t1, t2 = Tracer(), Tracer()
+    r1 = _run(current_parallel, tracer=t1)
+    r2 = _run(current_parallel, tracer=t2)
+    assert r1.iteration_time == r2.iteration_time
+    assert r1.messages == r2.messages
+    assert np.array_equal(r1.phi, r2.phi)
+    assert len(t1.records) > 0
+    assert _trace_fingerprint(t1) == _trace_fingerprint(t2)
+
+
+def test_smoke_matches_seed_sweep_layer():
+    """The preallocated-inflow sweep produces bit-identical results to
+    the seed commit's sweep layer run over the same kernel."""
+    seed = load_seed_module("src/repro/sweep3d/parallel.py", "_seed_sweep3d_parallel")
+    if seed is None:
+        pytest.skip("seed sweep layer unavailable (no git history)")
+    r_seed = _run(seed)
+    r_now = _run(current_parallel)
+    assert r_now.iteration_time == r_seed.iteration_time
+    assert r_now.messages == r_seed.messages
+    assert np.array_equal(r_now.phi, r_seed.phi)
+
+
+def test_measured_parallel_sweep(perf_full):
+    seed = load_seed_module("src/repro/sweep3d/parallel.py", "_seed_sweep3d_parallel")
+    payload = {"config": "8x4 SPE tile, it=jt=5 kt=40 mk=20 mmi=6"}
+    if seed is not None:
+        times = paired_seconds(
+            {
+                "current": lambda: _run(current_parallel),
+                "seed": lambda: _run(seed),
+            },
+            repeats=4,
+        )
+        t_now = times["current"]
+        payload["seed_sweep_layer_s"] = round(times["seed"], 4)
+        payload["speedup"] = round(times["seed"] / t_now, 2)
+    else:
+        t_now = best_seconds(lambda: _run(current_parallel), repeats=3)
+    payload["current_s"] = round(t_now, 4)
+    update_bench_json("sweep3d_parallel", payload)
+    assert t_now > 0

@@ -74,12 +74,21 @@ class UniformFabric:
         return self.one_way_time(src, dst, 0)
 
 
+_MISSING = object()
+
+
 class TransportMapFabric:
     """Location-aware fabric: a classifier picks the transport.
 
     ``classify(src, dst)`` returns a key into ``transports`` (or
-    ``None`` for free self-messages).
+    ``None`` for free self-messages).  Classification is memoized per
+    location pair — the classifier is pure in the endpoints, and a
+    Sweep3D run resolves the same few pairs millions of times.
     """
+
+    #: cap on memoized location pairs (3060-node all-to-all patterns
+    #: stay bounded; typical communicators use far fewer)
+    _PAIR_CACHE_MAX = 1 << 17
 
     def __init__(
         self,
@@ -88,12 +97,24 @@ class TransportMapFabric:
     ):
         self.transports = transports
         self.classify = classify
+        self._pair_cache: dict[tuple[Location, Location], Transport | PipelinePath | None] = {}
+
+    def _transport_for(self, src: Location, dst: Location):
+        cache = self._pair_cache
+        key = (src, dst)
+        transport = cache.get(key, _MISSING)
+        if transport is _MISSING:
+            kind = self.classify(src, dst)
+            transport = None if kind is None else self.transports[kind]
+            if len(cache) < self._PAIR_CACHE_MAX:
+                cache[key] = transport
+        return transport
 
     def one_way_time(self, src: Location, dst: Location, size: int) -> float:
-        key = self.classify(src, dst)
-        if key is None:
+        transport = self._transport_for(src, dst)
+        if transport is None:
             return 0.0
-        return self.transports[key].one_way_time(size)
+        return transport.one_way_time(size)
 
     def zero_byte_latency(self, src: Location, dst: Location) -> float:
         return self.one_way_time(src, dst, 0)
@@ -149,6 +170,10 @@ class SimMPI:
         self.locations = list(locations)
         self.tracer = tracer
         self._mailboxes = [_Mailbox() for _ in locations]
+        #: zero-byte latency memoized per (src_rank, dest_rank) — rank
+        #: locations are fixed for the communicator's lifetime
+        self._lat_cache: dict[tuple[int, int], float] = {}
+        self._contended = hasattr(fabric, "transfer")
         #: statistics: (messages, bytes) sent per rank
         self.sent_counts = [0] * len(locations)
         self.sent_bytes = [0] * len(locations)
@@ -196,16 +221,20 @@ class Rank:
         if size < 0:
             raise ValueError("message size must be >= 0")
         comm, sim = self.comm, self.sim
-        src_loc = self.location
+        src_loc = comm.locations[self.index]
         dst_loc = comm.locations[dest]
+        pair = (self.index, dest)
+        latency = comm._lat_cache.get(pair)
+        if latency is None:
+            latency = comm.fabric.zero_byte_latency(src_loc, dst_loc)
+            comm._lat_cache[pair] = latency
         total = comm.fabric.one_way_time(src_loc, dst_loc, size)
-        latency = comm.fabric.zero_byte_latency(src_loc, dst_loc)
         sent_at = sim.now
         comm.sent_counts[self.index] += 1
         comm.sent_bytes[self.index] += size
         comm.tracer.record(sim.now, "mpi.send", self.index,
                            {"dest": dest, "size": size, "tag": tag})
-        if hasattr(comm.fabric, "transfer"):
+        if comm._contended:
             # Contended fabric: the bandwidth phase runs through shared
             # link resources; the sender is occupied until its payload
             # clears them (conservative store-and-forward semantics).

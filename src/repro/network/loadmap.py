@@ -11,6 +11,7 @@ per-link traversals, making those tapers measurable.
 from __future__ import annotations
 
 from collections import Counter
+from functools import lru_cache
 from typing import Iterable
 
 from repro.network.cu_switch import (
@@ -33,6 +34,30 @@ __all__ = [
 Edge = tuple
 
 
+@lru_cache(maxsize=None)
+def _vertex_repr(vertex: tuple) -> str:
+    """``repr`` of a graph vertex; building these strings dominates the
+    per-flow cost, and the vertex set is tiny compared to the pair set."""
+    return repr(vertex)
+
+
+@lru_cache(maxsize=1 << 17)
+def _flow_edges(
+    topo: RoadrunnerTopology, src: NodeId, dst: NodeId, spread: bool
+) -> tuple[Edge, ...]:
+    """The undirected edge keys one (src, dst) flow traverses, memoized
+    per ``(topology, src, dst, spread)``."""
+    path = [
+        topo.graph_node(src),
+        *route(topo, src, dst, spread=spread),
+        topo.graph_node(dst),
+    ]
+    reprs = [_vertex_repr(v) for v in path]
+    return tuple(
+        (u, v) if u <= v else (v, u) for u, v in zip(reprs, reprs[1:])
+    )
+
+
 def link_loads(
     topo: RoadrunnerTopology,
     pairs: Iterable[tuple[NodeId, NodeId]],
@@ -43,18 +68,16 @@ def link_loads(
     Links are undirected edges keyed by the sorted endpoint pair; the
     node-to-crossbar access links are included.  ``spread`` selects the
     destination-hashed routing (see :func:`repro.network.routing.route`).
+    Edge lists are memoized per flow, so repeated patterns (all-to-all
+    sweeps, bisection studies) cost one Counter update per pair.
     """
     loads: Counter = Counter()
+    spread = bool(spread)
+    update = loads.update
     for src, dst in pairs:
         if src == dst:
             continue
-        path = [
-            topo.graph_node(src),
-            *route(topo, src, dst, spread=spread),
-            topo.graph_node(dst),
-        ]
-        for u, v in zip(path, path[1:]):
-            loads[tuple(sorted((repr(u), repr(v))))] += 1
+        update(_flow_edges(topo, src, dst, spread))
     return loads
 
 

@@ -23,19 +23,47 @@ other side, different crossbar            7
 from __future__ import annotations
 
 from collections import Counter
+from functools import lru_cache
 
 import networkx as nx
+import numpy as np
 
 from repro.network.crossbar import XbarId
+from repro.network.cu_switch import (
+    MIXED_XBAR,
+    NODES_PER_LOWER_XBAR,
+)
+from repro.network.intercu import FIRST_SIDE_CUS
 from repro.network.topology import NodeId, RoadrunnerTopology
 
-__all__ = ["hop_count", "route", "hop_census", "average_hops", "bfs_hop_count"]
+__all__ = [
+    "hop_count",
+    "hop_vector",
+    "route",
+    "hop_census",
+    "average_hops",
+    "bfs_hop_count",
+]
 
 
-def hop_count(topo: RoadrunnerTopology, src: NodeId, dst: NodeId) -> int:
-    """Crossbar hops between two compute nodes (closed form)."""
-    if src == dst:
-        return 0
+@lru_cache(maxsize=8)
+def _node_tables(topo: RoadrunnerTopology) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Per-node ``(cu, lower-xbar index, fat-tree side)`` lookup arrays.
+
+    Cached per topology object (topologies are immutable once built), so
+    every vectorized sweep — :func:`hop_vector`, :func:`hop_census`,
+    ``IBLatencyModel.latency_map`` — shares one table instead of calling
+    ``topo.split``/``topo.lower_xbar`` per destination.
+    """
+    ids = np.arange(topo.node_count)
+    cu, local = np.divmod(ids, topo.nodes_per_cu)
+    xbar = np.where(local < 176, local // NODES_PER_LOWER_XBAR, MIXED_XBAR)
+    side = cu < FIRST_SIDE_CUS
+    return cu, xbar, side
+
+
+@lru_cache(maxsize=1 << 16)
+def _hop_count_cached(topo: RoadrunnerTopology, src: NodeId, dst: NodeId) -> int:
     cu_s, local_s = topo.split(src)
     cu_d, local_d = topo.split(dst)
     xbar_s = topo.lower_xbar(src).index
@@ -47,23 +75,41 @@ def hop_count(topo: RoadrunnerTopology, src: NodeId, dst: NodeId) -> int:
     return 5 if xbar_s == xbar_d else 7
 
 
-def route(
-    topo: RoadrunnerTopology, src: NodeId, dst: NodeId, spread: bool = False
-) -> list[XbarId]:
-    """The deterministic crossbar path from ``src`` to ``dst``.
+def hop_count(topo: RoadrunnerTopology, src: NodeId, dst: NodeId) -> int:
+    """Crossbar hops between two compute nodes (closed form, LRU-cached
+    per ``(topology, src, dst)``)."""
+    if src == dst:
+        return 0
+    return _hop_count_cached(topo, src, dst)
 
-    With ``spread=False`` the route always takes uplink 0 and upper
-    crossbar 0 — simple, but it concentrates load.  ``spread=True``
-    selects the uplink and upper crossbar by destination (the
-    destination-based deterministic routing InfiniBand subnet managers
-    program), spreading flows across the CU's 4 uplinks and 12 upper
-    crossbars without changing any path length.  Either way the length
-    equals :func:`hop_count` and every consecutive pair is a wired edge.
+
+def hop_vector(topo: RoadrunnerTopology, src: NodeId = 0) -> np.ndarray:
+    """Hops from ``src`` to every node, as an int array indexed by id.
+
+    The vectorized closed form behind :func:`hop_census` and Fig 10's
+    latency map: one numpy pass over the cached per-node tables instead
+    of ``node_count`` Python-level :func:`hop_count` calls.
     """
+    topo.split(src)  # range-check src with the scalar path's error message
+    cu, xbar, side = _node_tables(topo)
+    same_cu = cu == cu[src]
+    same_xbar = xbar == xbar[src]
+    same_side = side == side[src]
+    hops = np.where(
+        same_cu,
+        np.where(same_xbar, 1, 3),
+        np.where(same_side, np.where(same_xbar, 3, 5), np.where(same_xbar, 5, 7)),
+    )
+    hops[src] = 0
+    return hops
+
+
+@lru_cache(maxsize=1 << 16)
+def _route_cached(
+    topo: RoadrunnerTopology, src: NodeId, dst: NodeId, spread: bool
+) -> tuple[XbarId, ...]:
     from repro.network.intercu import uplink_target
 
-    if src == dst:
-        return []
     cu_s, _ = topo.split(src)
     cu_d, local_d = topo.split(dst)
     lx_s = topo.lower_xbar(src)
@@ -72,8 +118,8 @@ def route(
     upper = local_d % 12 if spread else 0
     if cu_s == cu_d:
         if lx_s == lx_d:
-            return [lx_s]
-        return [lx_s, XbarId("U", cu_s, upper), lx_d]
+            return (lx_s,)
+        return (lx_s, XbarId("U", cu_s, upper), lx_d)
     # Leave the source CU through the destination-selected uplink.
     exit_xbar = uplink_target(cu_s, lx_s.index, uplink)
     path: list[XbarId] = [lx_s, exit_xbar]
@@ -88,7 +134,28 @@ def route(
     path.append(landing)
     if landing != lx_d:
         path += [XbarId("U", cu_d, upper), lx_d]
-    return path
+    return tuple(path)
+
+
+def route(
+    topo: RoadrunnerTopology, src: NodeId, dst: NodeId, spread: bool = False
+) -> list[XbarId]:
+    """The deterministic crossbar path from ``src`` to ``dst``.
+
+    With ``spread=False`` the route always takes uplink 0 and upper
+    crossbar 0 — simple, but it concentrates load.  ``spread=True``
+    selects the uplink and upper crossbar by destination (the
+    destination-based deterministic routing InfiniBand subnet managers
+    program), spreading flows across the CU's 4 uplinks and 12 upper
+    crossbars without changing any path length.  Either way the length
+    equals :func:`hop_count` and every consecutive pair is a wired edge.
+
+    Paths are memoized per ``(topology, src, dst, spread)``; the
+    returned list is a fresh copy the caller may mutate.
+    """
+    if src == dst:
+        return []
+    return list(_route_cached(topo, src, dst, bool(spread)))
 
 
 def bfs_hop_count(topo: RoadrunnerTopology, src: NodeId, dst: NodeId) -> int:
@@ -98,16 +165,16 @@ def bfs_hop_count(topo: RoadrunnerTopology, src: NodeId, dst: NodeId) -> int:
 
 
 def hop_census(topo: RoadrunnerTopology, src: NodeId = 0) -> Counter:
-    """Table I: how many destinations lie at each hop distance."""
-    census: Counter = Counter()
-    for dst in range(topo.node_count):
-        census[hop_count(topo, src, dst)] += 1
-    return census
+    """Table I: how many destinations lie at each hop distance.
+
+    One :func:`hop_vector` pass plus a bincount over the cached
+    per-node tables (no per-destination Python loop).
+    """
+    counts = np.bincount(hop_vector(topo, src))
+    return Counter({h: int(n) for h, n in enumerate(counts) if n})
 
 
 def average_hops(topo: RoadrunnerTopology, src: NodeId = 0) -> float:
     """Average hop count over *all* destinations including self, the
     convention behind Table I's '5.38 (average)' row."""
-    census = hop_census(topo, src)
-    total = sum(h * n for h, n in census.items())
-    return total / topo.node_count
+    return float(hop_vector(topo, src).sum()) / topo.node_count

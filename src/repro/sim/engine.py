@@ -12,6 +12,51 @@ The kernel is deliberately small and deterministic:
   event succeeds, or has the failure exception thrown into it when the
   event fails.
 
+Determinism contract
+--------------------
+Given the same sequence of ``process()``/``timeout()``/``succeed()``
+calls, the simulator pops events in an identical order and advances the
+clock through identical floating-point times, run after run.  Every
+scheduling path — including the inlined fast paths below — consumes
+exactly one ``seq`` number per scheduled occurrence, in call order, and
+waiters are woken in registration order; nothing in the kernel iterates
+a ``set``/``dict`` whose order could vary.  The perf-regression harness
+(``benchmarks/perf``) uses this contract as its acceptance oracle:
+optimizations must leave event order, event times and process results
+bit-identical.
+
+Performance notes
+-----------------
+The event loop is the hottest code in the repository (every figure
+reproduction that exercises the DES bottoms out here), so the kernel
+trades some repetition for speed:
+
+* all event types carry ``__slots__`` (no per-instance dict);
+* the first process to wait on an event with no other callbacks is
+  parked in the event's ``_waiter`` slot instead of the ``callbacks``
+  list, and :meth:`Simulator.run` resumes such a waiter *inline* —
+  no callback-list allocation, iteration, or ``_resume`` call frame
+  on the dominant ``yield sim.timeout(...)`` / ``yield event`` path
+  (callbacks registered after the waiter still fire, after it, in
+  registration order — identical to the pre-fast-path wake order);
+* process bootstrap pushes a two-word :class:`_Bootstrap` marker on
+  the heap instead of a full pre-succeeded :class:`Event`;
+* ``Timeout``/``succeed``/``fail`` inline the heap push instead of
+  calling :meth:`Simulator._schedule`;
+* a processed :class:`Timeout` is recycled through a one-deep
+  per-simulator free slot when the run loop holds the only remaining
+  reference (checked with ``sys.getrefcount``), so steady-state
+  timeout loops allocate no event objects at all.  A timeout anyone
+  still references — held in a variable, parked in a condition — is
+  never recycled, so ``.value``/``.ok`` stay valid;
+* bounded ``run(until=t)`` pushes a heap sentinel at the horizon
+  instead of comparing ``queue[0][0] <= t`` every iteration;
+* a one-slot min buffer (``Simulator._next``, see :func:`_push`) sits
+  in front of the heap: an entry that sorts before everything queued
+  waits in a single attribute, so the push-one/pop-one cadence of a
+  timeout chain bypasses ``heapq`` entirely while reproducing the
+  heap's total order exactly.
+
 Example
 -------
 >>> sim = Simulator()
@@ -30,6 +75,8 @@ from __future__ import annotations
 
 import heapq
 from collections.abc import Generator, Iterable
+from heapq import heappop, heappush
+from sys import getrefcount
 from typing import Any
 
 __all__ = [
@@ -67,21 +114,66 @@ URGENT = 0
 NORMAL = 1
 
 
+def _push(sim: "Simulator", entry: tuple) -> None:
+    """Insert ``entry`` preserving the single-slot min-buffer invariant.
+
+    ``sim._next``, when not None, holds the entry that sorts before
+    everything in ``sim._queue``; pops take it without touching the
+    heap.  A workload alternating one push with one pop (the timeout
+    chain every process body reduces to) then never pays for heap
+    maintenance at all.  Entries are unique in their ``seq`` field, so
+    the tuple comparisons below reproduce the heap's total order
+    exactly — the slot is invisible to the determinism contract.
+
+    The hot construction sites (``Timeout.__init__``,
+    ``Simulator.timeout``, ``Event.succeed``, process bootstrap) inline
+    this body to avoid the call frame; keep them in sync.
+    """
+    nxt = sim._next
+    if nxt is None:
+        if sim._queue:
+            heappush(sim._queue, entry)
+        else:
+            sim._next = entry
+    elif entry < nxt:
+        sim._next = entry
+        heappush(sim._queue, nxt)
+    else:
+        heappush(sim._queue, entry)
+
+
 class Event:
     """A one-shot occurrence processes can wait on.
 
     An event is *triggered* (scheduled to fire) via :meth:`succeed` or
     :meth:`fail` and *processed* when the simulator pops it from the
-    queue, at which point all registered callbacks run.
+    queue, at which point the parked waiter (if any) is resumed and all
+    registered callbacks run.  ``callbacks`` is a list until the event
+    is processed and ``None`` afterwards; callbacks must only be
+    registered on unprocessed events.
     """
+
+    __slots__ = (
+        "sim",
+        "callbacks",
+        "_value",
+        "_ok",
+        "_triggered",
+        "_processed",
+        "_waiter",
+        "defused",
+    )
 
     def __init__(self, sim: "Simulator"):
         self.sim = sim
-        self.callbacks: list = []
+        self.callbacks: list | None = []
         self._value: Any = None
         self._ok: bool | None = None
         self._triggered = False
         self._processed = False
+        #: the first process waiting on this event, resumed inline by
+        #: the run loop before any ``callbacks`` entries fire
+        self._waiter: Process | None = None
         #: set True once some waiter consumed a failure; unhandled failures
         #: are re-raised by the simulator at the end of the step.
         self.defused = False
@@ -116,10 +208,26 @@ class Event:
         """Schedule this event to fire successfully after ``delay``."""
         if self._triggered:
             raise SimulationError("event already triggered")
+        if delay < 0:
+            raise SimulationError(f"cannot schedule into the past (delay={delay!r})")
         self._triggered = True
         self._ok = True
         self._value = value
-        self.sim._schedule(self, delay=delay)
+        sim = self.sim
+        sim._seq = seq = sim._seq + 1
+        entry = (sim._now + delay, NORMAL, seq, self)
+        # Inline _push (hot: every process termination lands here).
+        nxt = sim._next
+        if nxt is None:
+            if sim._queue:
+                heappush(sim._queue, entry)
+            else:
+                sim._next = entry
+        elif entry < nxt:
+            sim._next = entry
+            heappush(sim._queue, nxt)
+        else:
+            heappush(sim._queue, entry)
         return self
 
     def fail(self, exception: BaseException, delay: float = 0.0) -> "Event":
@@ -128,10 +236,14 @@ class Event:
             raise SimulationError("event already triggered")
         if not isinstance(exception, BaseException):
             raise TypeError("fail() requires an exception instance")
+        if delay < 0:
+            raise SimulationError(f"cannot schedule into the past (delay={delay!r})")
         self._triggered = True
         self._ok = False
         self._value = exception
-        self.sim._schedule(self, delay=delay)
+        sim = self.sim
+        sim._seq = seq = sim._seq + 1
+        _push(sim, (sim._now + delay, NORMAL, seq, self))
         return self
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
@@ -148,15 +260,57 @@ class Event:
 class Timeout(Event):
     """An event that fires after a fixed simulated delay."""
 
+    __slots__ = ("delay",)
+
     def __init__(self, sim: "Simulator", delay: float, value: Any = None):
         if delay < 0:
             raise SimulationError(f"negative timeout delay: {delay!r}")
-        super().__init__(sim)
-        self._triggered = True
-        self._ok = True
+        # Inline Event.__init__ + Simulator._schedule: a timeout is born
+        # triggered, and this constructor is the hottest allocation site
+        # in the repository.
+        self.sim = sim
+        self.callbacks = []
         self._value = value
+        self._ok = True
+        self._triggered = True
+        self._processed = False
+        self._waiter = None
+        self.defused = False
         self.delay = delay
-        sim._schedule(self, delay=delay)
+        sim._seq = seq = sim._seq + 1
+        entry = (sim._now + delay, NORMAL, seq, self)
+        # Inline _push (hottest allocation site in the repository).
+        nxt = sim._next
+        if nxt is None:
+            if sim._queue:
+                heappush(sim._queue, entry)
+            else:
+                sim._next = entry
+        elif entry < nxt:
+            sim._next = entry
+            heappush(sim._queue, nxt)
+        else:
+            heappush(sim._queue, entry)
+
+
+class _Bootstrap:
+    """A heap marker that resumes a newly created process.
+
+    Stands in for the pre-succeeded bootstrap :class:`Event` the kernel
+    used to allocate per process: two words instead of a full event plus
+    callbacks list.  The class-level ``_ok``/``_value``/``defused``
+    attributes let the generic :meth:`Process._resume` treat it as a
+    succeeded event on the slow :meth:`Simulator.step` path.
+    """
+
+    __slots__ = ("process",)
+
+    _ok = True
+    _value = None
+    defused = True
+
+    def __init__(self, process: "Process"):
+        self.process = process
 
 
 class Process(Event):
@@ -168,6 +322,8 @@ class Process(Event):
     another to join it.
     """
 
+    __slots__ = ("generator", "name", "_target", "_send", "_throw")
+
     def __init__(self, sim: "Simulator", generator: Generator, name: str | None = None):
         if not isinstance(generator, Generator):
             raise TypeError(f"Process requires a generator, got {type(generator)!r}")
@@ -175,12 +331,12 @@ class Process(Event):
         self.generator = generator
         self.name = name or getattr(generator, "__name__", "process")
         self._target: Event | None = None
-        # Bootstrap: resume the generator at the current instant.
-        init = Event(sim)
-        init._triggered = True
-        init._ok = True
-        sim._schedule(init, delay=0.0, priority=URGENT)
-        init.callbacks.append(self._resume)
+        self._send = generator.send
+        self._throw = generator.throw
+        # Bootstrap: resume the generator at the current instant.  The
+        # marker consumes one seq number like any scheduled event.
+        sim._seq = seq = sim._seq + 1
+        _push(sim, (sim._now, URGENT, seq, _Bootstrap(self)))
 
     @property
     def is_alive(self) -> bool:
@@ -196,26 +352,43 @@ class Process(Event):
         """Throw :class:`Interrupt` into the process at the current time."""
         if self._triggered:
             raise SimulationError(f"cannot interrupt dead process {self.name!r}")
-        evt = Event(self.sim)
-        evt._triggered = True
-        evt._ok = False
+        sim = self.sim
+        evt = Event.__new__(Event)
+        evt.sim = sim
+        evt.callbacks = [self._resume]
         evt._value = Interrupt(cause)
+        evt._ok = False
+        evt._triggered = True
+        evt._processed = False
+        evt._waiter = None
         evt.defused = True
-        # Detach from the current target so its eventual firing is ignored.
-        if self._target is not None and self._resume in self._target.callbacks:
-            self._target.callbacks.remove(self._resume)
+        # Detach from the current target so its eventual firing is
+        # ignored.  A single guarded remove() replaces the former
+        # containment scan + remove (one O(n) pass instead of two when
+        # the target has many waiters).
+        target = self._target
+        if target is not None:
+            if target._waiter is self:
+                target._waiter = None
+            elif target.callbacks is not None:
+                try:
+                    target.callbacks.remove(self._resume)
+                except ValueError:
+                    pass
         self._target = None
-        self.sim._schedule(evt, delay=0.0, priority=URGENT)
-        evt.callbacks.append(self._resume)
+        sim._seq = seq = sim._seq + 1
+        _push(sim, (sim._now, URGENT, seq, evt))
 
     # -- internal ---------------------------------------------------------
     def _resume(self, event: Event) -> None:
-        self.sim._active_process = self
+        sim = self.sim
+        sim._active_process = self
+        send = self._send
         try:
             while True:
                 if event._ok:
                     try:
-                        target = self.generator.send(event._value)
+                        target = send(event._value)
                     except StopIteration as stop:
                         self._terminate(value=stop.value)
                         return
@@ -225,7 +398,7 @@ class Process(Event):
                 else:
                     event.defused = True
                     try:
-                        target = self.generator.throw(event._value)
+                        target = self._throw(event._value)
                     except StopIteration as stop:
                         self._terminate(value=stop.value)
                         return
@@ -241,24 +414,59 @@ class Process(Event):
                         f"process {self.name!r} yielded non-event {target!r}"
                     )
                     try:
-                        self.generator.throw(exc)
+                        self._throw(exc)
                     except StopIteration as stop:
                         self._terminate(value=stop.value)
                         return
                     except SimulationError as err:
                         self._terminate(error=err)
                         return
-                if target.sim is not self.sim:
+                if target.sim is not sim:
                     raise SimulationError("cannot wait on an event from another simulator")
                 if target._processed:
                     # Already fired: loop and resume immediately with its value.
                     event = target
                     continue
                 self._target = target
-                target.callbacks.append(self._resume)
+                if target._waiter is None and not target.callbacks:
+                    target._waiter = self
+                else:
+                    target.callbacks.append(self._resume)
                 return
         finally:
-            self.sim._active_process = None
+            sim._active_process = None
+
+    def _park_slow(self, target: Any) -> None:
+        """Handle a non-fast-path yield from the inlined run loop.
+
+        Covers non-event yields, events of another simulator, and
+        already-processed targets; mirrors the corresponding branches
+        of :meth:`_resume`.
+        """
+        if isinstance(target, Event):
+            if target.sim is not self.sim:
+                raise SimulationError("cannot wait on an event from another simulator")
+            # target is processed here (unprocessed same-sim events are
+            # parked inline by the run loop): consume it immediately.
+            self._resume(target)
+            return
+        sim = self.sim
+        sim._active_process = self
+        try:
+            exc = SimulationError(
+                f"process {self.name!r} yielded non-event {target!r}"
+            )
+            try:
+                self._throw(exc)
+            except StopIteration as stop:
+                self._terminate(value=stop.value)
+                return
+            except SimulationError as err:
+                self._terminate(error=err)
+                return
+            raise exc
+        finally:
+            sim._active_process = None
 
     def _terminate(self, value: Any = None, error: BaseException | None = None) -> None:
         self._target = None
@@ -270,6 +478,8 @@ class Process(Event):
 
 class _Condition(Event):
     """Base for :class:`AllOf` / :class:`AnyOf` composite events."""
+
+    __slots__ = ("events", "_count")
 
     def __init__(self, sim: "Simulator", events: Iterable[Event]):
         super().__init__(sim)
@@ -297,6 +507,8 @@ class _Condition(Event):
 class AllOf(_Condition):
     """Fires once *all* constituent events have fired successfully."""
 
+    __slots__ = ()
+
     def _check(self, event: Event) -> None:
         if self._triggered:
             return
@@ -312,6 +524,8 @@ class AllOf(_Condition):
 class AnyOf(_Condition):
     """Fires as soon as *any* constituent event fires successfully."""
 
+    __slots__ = ()
+
     def _check(self, event: Event) -> None:
         if self._triggered:
             return
@@ -322,14 +536,35 @@ class AnyOf(_Condition):
         self.succeed(self._collect())
 
 
+#: heap priority of the run-horizon sentinel: after every real event
+#: scheduled for the same instant (``run(until=t)`` is inclusive of t).
+_AFTER = 2
+
+
+class _Stop:
+    """Run-horizon sentinel pushed on the heap by bounded :meth:`Simulator.run`.
+
+    Popping the current run's sentinel ends the loop with no per-event
+    horizon comparison.  A sentinel orphaned by a run that raised is
+    recognized by identity and skipped by later runs.
+    """
+
+    __slots__ = ()
+
+
 class Simulator:
     """The event loop: owns the clock and the pending-event heap."""
+
+    __slots__ = ("_now", "_queue", "_next", "_seq", "_active_process", "_free_timeout")
 
     def __init__(self):
         self._now = 0.0
         self._queue: list[tuple[float, int, int, Event]] = []
+        #: single-slot min buffer in front of the heap (see _push)
+        self._next: tuple[float, int, int, Event] | None = None
         self._seq = 0
         self._active_process: Process | None = None
+        self._free_timeout: Timeout | None = None
 
     @property
     def now(self) -> float:
@@ -348,6 +583,28 @@ class Simulator:
 
     def timeout(self, delay: float, value: Any = None) -> Timeout:
         """Create an event that fires ``delay`` seconds from now."""
+        t = self._free_timeout
+        if t is not None:
+            if delay < 0:
+                raise SimulationError(f"negative timeout delay: {delay!r}")
+            self._free_timeout = None
+            t._value = value
+            t.delay = delay
+            self._seq = seq = self._seq + 1
+            entry = (self._now + delay, NORMAL, seq, t)
+            # Inline _push (the recycled-timeout fast path).
+            nxt = self._next
+            if nxt is None:
+                if self._queue:
+                    heappush(self._queue, entry)
+                else:
+                    self._next = entry
+            elif entry < nxt:
+                self._next = entry
+                heappush(self._queue, nxt)
+            else:
+                heappush(self._queue, entry)
+            return t
         return Timeout(self, delay, value)
 
     def process(self, generator: Generator, name: str | None = None) -> Process:
@@ -367,22 +624,42 @@ class Simulator:
         if delay < 0:
             raise SimulationError(f"cannot schedule into the past (delay={delay!r})")
         self._seq += 1
-        heapq.heappush(self._queue, (self._now + delay, priority, self._seq, event))
+        _push(self, (self._now + delay, priority, self._seq, event))
 
     def peek(self) -> float:
         """Time of the next scheduled event, or ``inf`` if none."""
+        nxt = self._next
+        if nxt is not None:
+            return nxt[0]
         return self._queue[0][0] if self._queue else float("inf")
 
     def step(self) -> None:
-        """Process exactly one event."""
-        if not self._queue:
+        """Process exactly one event (the slow, single-step path)."""
+        nxt = self._next
+        if nxt is not None:
+            self._next = None
+            time, _prio, _seq, event = nxt
+        elif self._queue:
+            time, _prio, _seq, event = heappop(self._queue)
+        else:
             raise SimulationError("step() on an empty event queue")
-        time, _prio, _seq, event = heapq.heappop(self._queue)
         if time < self._now:
             raise SimulationError("event queue corrupted: time moved backwards")
         self._now = time
+        cls = type(event)
+        if cls is _Bootstrap:
+            event.process._resume(event)
+            return
+        if cls is _Stop:
+            # Sentinel orphaned by a bounded run() that raised: skip it.
+            return
         event._processed = True
-        callbacks, event.callbacks = event.callbacks, []
+        waiter = event._waiter
+        if waiter is not None:
+            event._waiter = None
+            waiter._resume(event)
+        callbacks = event.callbacks
+        event.callbacks = None
         for callback in callbacks:
             callback(event)
         if not event._ok and not event.defused:
@@ -396,7 +673,7 @@ class Simulator:
         if isinstance(until, Event):
             stop = until
             while not stop._processed:
-                if not self._queue:
+                if self._next is None and not self._queue:
                     raise SimulationError(
                         "simulation ran out of events before the awaited event fired"
                     )
@@ -405,11 +682,226 @@ class Simulator:
                 return stop._value
             stop.defused = True
             raise stop._value
-        horizon = float("inf") if until is None else float(until)
-        if horizon < self._now:
-            raise SimulationError(f"run(until={horizon!r}) is in the past (now={self._now!r})")
-        while self._queue and self._queue[0][0] <= horizon:
-            self.step()
-        if horizon != float("inf"):
+        marker = None
+        if until is not None:
+            horizon = float(until)
+            if horizon < self._now:
+                raise SimulationError(
+                    f"run(until={horizon!r}) is in the past (now={self._now!r})"
+                )
+            # A sentinel at the horizon (at _AFTER priority, i.e. behind
+            # every real event scheduled for that instant) replaces the
+            # per-iteration `queue[0][0] <= horizon` bound check.  The
+            # sentinel is in the heap, so the loop below cannot drain the
+            # queue without popping it: a bounded run always exits at its
+            # own marker (or by an exception, which orphans the marker —
+            # later runs recognize and skip orphans by identity).
+            marker = _Stop()
+            self._seq = seq = self._seq + 1
+            _push(self, (horizon, _AFTER, seq, marker))
+        # The hot loop: step() inlined with queue/heappop bound to
+        # locals, dispatched on the event's concrete class (Timeout
+        # first — it dominates every workload in this repo), and the
+        # parked waiter resumed without a _resume call frame.  Heap pops
+        # are monotone by construction (negative delays are rejected at
+        # scheduling time), so the corruption check lives only on the
+        # slow step() path.  The inline resume block is deliberately
+        # repeated in all three dispatch arms: hoisting it into a helper
+        # costs a Python call frame per event, which is precisely what
+        # this loop exists to avoid.
+        queue = self._queue
+        pop = heappop
+        while True:
+            entry = self._next
+            if entry is not None:
+                self._next = None
+                time, _prio, _seq, event = entry
+                # Drop the tuple: the refcount==2 recycle test below
+                # must see only this frame's reference to the event.
+                entry = None
+            elif queue:
+                time, _prio, _seq, event = pop(queue)
+            else:
+                break
+            self._now = time
+            cls = type(event)
+            if cls is Timeout:
+                event._processed = True
+                waiter = event._waiter
+                if waiter is not None:
+                    # Timeouts always succeed: resume the waiter inline.
+                    event._waiter = None
+                    value = event._value
+                    self._active_process = waiter
+                    send = waiter._send
+                    while True:
+                        try:
+                            target = send(value)
+                        except StopIteration as stop:
+                            self._active_process = None
+                            waiter._target = None
+                            waiter.succeed(stop.value)
+                            break
+                        except BaseException as exc:
+                            self._active_process = None
+                            waiter._target = None
+                            waiter.fail(exc)
+                            break
+                        if type(target) is Timeout and target.sim is self:
+                            if target._processed:
+                                value = target._value
+                                continue
+                            waiter._target = target
+                            if target._waiter is None and not target.callbacks:
+                                target._waiter = waiter
+                            else:
+                                target.callbacks.append(waiter._resume)
+                            self._active_process = None
+                            break
+                        if (
+                            isinstance(target, Event)
+                            and target.sim is self
+                            and not target._processed
+                        ):
+                            waiter._target = target
+                            if target._waiter is None and not target.callbacks:
+                                target._waiter = waiter
+                            else:
+                                target.callbacks.append(waiter._resume)
+                            self._active_process = None
+                            break
+                        self._active_process = None
+                        waiter._park_slow(target)
+                        break
+                # Callbacks registered after the parked waiter fire after
+                # it, preserving registration order; with none, recycle
+                # the timeout if the loop holds the only live reference.
+                callbacks = event.callbacks
+                if callbacks:
+                    event.callbacks = None
+                    for callback in callbacks:
+                        callback(event)
+                elif self._free_timeout is None and getrefcount(event) == 2:
+                    # callbacks (the original empty list) stays attached.
+                    event._value = None
+                    event._processed = False
+                    self._free_timeout = event
+                else:
+                    event.callbacks = None
+                continue
+            if cls is _Bootstrap:
+                waiter = event.process
+                value = None
+                self._active_process = waiter
+                send = waiter._send
+                while True:
+                    try:
+                        target = send(value)
+                    except StopIteration as stop:
+                        self._active_process = None
+                        waiter._target = None
+                        waiter.succeed(stop.value)
+                        break
+                    except BaseException as exc:
+                        self._active_process = None
+                        waiter._target = None
+                        waiter.fail(exc)
+                        break
+                    if type(target) is Timeout and target.sim is self:
+                        if target._processed:
+                            value = target._value
+                            continue
+                        waiter._target = target
+                        if target._waiter is None and not target.callbacks:
+                            target._waiter = waiter
+                        else:
+                            target.callbacks.append(waiter._resume)
+                        self._active_process = None
+                        break
+                    if (
+                        isinstance(target, Event)
+                        and target.sim is self
+                        and not target._processed
+                    ):
+                        waiter._target = target
+                        if target._waiter is None and not target.callbacks:
+                            target._waiter = waiter
+                        else:
+                            target.callbacks.append(waiter._resume)
+                        self._active_process = None
+                        break
+                    self._active_process = None
+                    waiter._park_slow(target)
+                    break
+                continue
+            if cls is _Stop:
+                if event is marker:
+                    break
+                # Sentinel orphaned by an earlier run that raised: skip.
+                continue
+            # Generic event (Process termination, bare Events, conditions).
+            event._processed = True
+            waiter = event._waiter
+            if waiter is not None and event._ok:
+                event._waiter = None
+                value = event._value
+                self._active_process = waiter
+                send = waiter._send
+                while True:
+                    try:
+                        target = send(value)
+                    except StopIteration as stop:
+                        self._active_process = None
+                        waiter._target = None
+                        waiter.succeed(stop.value)
+                        break
+                    except BaseException as exc:
+                        self._active_process = None
+                        waiter._target = None
+                        waiter.fail(exc)
+                        break
+                    if type(target) is Timeout and target.sim is self:
+                        if target._processed:
+                            value = target._value
+                            continue
+                        waiter._target = target
+                        if target._waiter is None and not target.callbacks:
+                            target._waiter = waiter
+                        else:
+                            target.callbacks.append(waiter._resume)
+                        self._active_process = None
+                        break
+                    if (
+                        isinstance(target, Event)
+                        and target.sim is self
+                        and not target._processed
+                    ):
+                        waiter._target = target
+                        if target._waiter is None and not target.callbacks:
+                            target._waiter = waiter
+                        else:
+                            target.callbacks.append(waiter._resume)
+                        self._active_process = None
+                        break
+                    self._active_process = None
+                    waiter._park_slow(target)
+                    break
+                callbacks = event.callbacks
+                event.callbacks = None
+                for callback in callbacks:
+                    callback(event)
+                continue
+            if waiter is not None:
+                # Failed event with a parked waiter: the generic path
+                # throws the failure into the generator.
+                event._waiter = None
+                waiter._resume(event)
+            callbacks = event.callbacks
+            event.callbacks = None
+            for callback in callbacks:
+                callback(event)
+            if not event._ok and not event.defused:
+                raise event._value
+        if marker is not None:
             self._now = horizon
         return None

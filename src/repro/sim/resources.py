@@ -39,6 +39,8 @@ class Resource:
             resource.release(req)
     """
 
+    __slots__ = ("sim", "capacity", "_users", "_waiting")
+
     def __init__(self, sim: Simulator, capacity: int = 1):
         if capacity < 1:
             raise ValueError(f"capacity must be >= 1, got {capacity}")
@@ -105,6 +107,8 @@ class Store:
     next ``put`` arrives.  Waiters are served in FIFO order.
     """
 
+    __slots__ = ("sim", "_items", "_getters")
+
     def __init__(self, sim: Simulator):
         self.sim = sim
         self._items: deque[Any] = deque()
@@ -152,6 +156,16 @@ class BandwidthLink:
     A generation counter invalidates completion events that were
     scheduled under an outdated sharing level.
     """
+
+    __slots__ = (
+        "sim",
+        "bandwidth",
+        "name",
+        "_active",
+        "_last_update",
+        "_generation",
+        "bytes_transferred",
+    )
 
     def __init__(self, sim: Simulator, bandwidth: float, name: str = "link"):
         if bandwidth <= 0:

@@ -83,6 +83,7 @@ class ParallelSweep:
         locations: list[Location] | None = None,
         angles: AngleSet | None = None,
         timeline=None,
+        tracer=None,
     ):
         if isinstance(grind_time, (int, float)):
             grinds = [float(grind_time)] * decomp.size
@@ -106,6 +107,9 @@ class ParallelSweep:
         #: optional :class:`repro.sim.timeline.Timeline` receiving one
         #: busy interval per computed block
         self.timeline = timeline
+        #: optional :class:`repro.sim.trace.Tracer` passed to the
+        #: communicator; records the MPI event timeline of the run
+        self.tracer = tracer
 
     # -- per-rank process -----------------------------------------------------
     def _rank_solve_body(self, rank, phi_out: list, info: dict, max_iterations: int):
@@ -146,6 +150,14 @@ class ParallelSweep:
         i_surface = jt * mk * M * 8
         j_surface = it * mk * M * 8
         phi = np.zeros((inp.it, inp.jt, inp.kt))
+        # Boundary inflow surfaces, preallocated once per sweep and
+        # shared across blocks and octants: the kernel copies its
+        # inflows before writing (sweep_octant), so these stay zero and
+        # replace one fresh np.zeros per surface per K-block.
+        zero_in_x = np.zeros((jt, mk, M))
+        zero_in_y = np.zeros((it, mk, M))
+        zero_in_z = np.zeros((it, jt, M))
+        phi_oct = np.empty_like(phi)
         for octant in OCTANTS:
             signs = octant.signs
             src_f = _flip(source, signs)
@@ -153,8 +165,8 @@ class ParallelSweep:
             dn_i = dec.downstream_i(rank.index, octant.sx)
             up_j = dec.upstream_j(rank.index, octant.sy)
             dn_j = dec.downstream_j(rank.index, octant.sy)
-            psi_z = np.zeros((it, jt, M))
-            phi_oct = np.zeros_like(phi)
+            psi_z = zero_in_z
+            phi_oct.fill(0.0)
             for b in range(kb):
                 tag_i = _TAG_I + octant.id * kb + b
                 tag_j = _TAG_J + octant.id * kb + b
@@ -162,12 +174,12 @@ class ParallelSweep:
                     msg = yield from rank.recv(source=up_i, tag=tag_i)
                     in_x = msg.payload
                 else:
-                    in_x = np.zeros((jt, mk, M))
+                    in_x = zero_in_x
                 if up_j is not None:
                     msg = yield from rank.recv(source=up_j, tag=tag_j)
                     in_y = msg.payload
                 else:
-                    in_y = np.zeros((it, mk, M))
+                    in_y = zero_in_y
                 start = rank.sim.now
                 yield rank.sim.timeout(block_time)
                 if self.timeline is not None:
@@ -210,6 +222,8 @@ class ParallelSweep:
             raise ValueError("source must match the per-rank subgrid")
         sim = Simulator()
         comm = SimMPI(sim, self.fabric, self.locations)
+        if self.tracer is not None:
+            comm.tracer = self.tracer
         phi_out: list = [None] * dec.size
         for r in range(dec.size):
             sim.process(
@@ -245,6 +259,8 @@ class ParallelSweep:
         dec = self.decomp
         sim = Simulator()
         comm = SimMPI(sim, self.fabric, self.locations)
+        if self.tracer is not None:
+            comm.tracer = self.tracer
         phi_out: list = [None] * dec.size
         info: dict = {}
         for r in range(dec.size):

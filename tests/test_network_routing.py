@@ -11,6 +11,7 @@ from repro.network.routing import (
     bfs_hop_count,
     hop_census,
     hop_count,
+    hop_vector,
     route,
 )
 from repro.network.topology import RoadrunnerTopology
@@ -212,3 +213,33 @@ def test_census_shape_invariant_across_sources(src):
     )
     assert census[7] == cross_side_cus * (180 - crossbar_peers)
     assert sum(census.values()) == 3060
+
+
+# --- vectorized hop table (the cached fast path) -------------------------------
+
+def test_hop_vector_matches_scalar_hop_count(topo):
+    """The cached per-source hop table must agree element-for-element
+    with the scalar closed form for arbitrary sources."""
+    for src in (0, 179, 180, 1536, 3059):
+        hops = hop_vector(topo, src)
+        assert len(hops) == topo.node_count
+        assert hops[src] == 0
+        for dst in range(0, topo.node_count, 97):
+            assert hops[dst] == hop_count(topo, src, dst)
+
+
+def test_census_totals_equal_machine_size(topo):
+    """Every source's census must account for exactly the 3,060 compute
+    nodes of the full machine — the cached table drops or double-counts
+    nothing."""
+    for src in (0, 7, 176, 179, 1529, 3059):
+        census = hop_census(topo, src=src)
+        assert sum(census.values()) == 3060
+        assert census[0] == 1  # the source itself, at distance zero
+
+
+def test_hop_vector_rejects_out_of_range_source(topo):
+    with pytest.raises(ValueError):
+        hop_vector(topo, -1)
+    with pytest.raises(ValueError):
+        hop_vector(topo, topo.node_count)

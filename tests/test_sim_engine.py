@@ -353,3 +353,67 @@ def test_many_processes_deterministic():
         return log
 
     assert run_once() == run_once()
+
+
+def test_interrupt_detaches_among_many_waiters():
+    """Interrupting one of many processes parked on the same event must
+    detach exactly that process: the others still wake when the event
+    fires, and the stale registration never re-resumes the victim."""
+    sim = Simulator()
+    gate = sim.event()
+    woken = []
+    interrupted = []
+
+    def waiter(sim, tag):
+        try:
+            value = yield gate
+            woken.append((tag, value))
+        except Interrupt as intr:
+            interrupted.append((tag, intr.cause))
+            yield sim.timeout(5.0)  # victim keeps running afterwards
+
+    procs = [sim.process(waiter(sim, i)) for i in range(50)]
+
+    def interrupter(sim):
+        yield sim.timeout(1.0)
+        procs[17].interrupt("evicted")
+        procs[31].interrupt("evicted")
+        yield sim.timeout(1.0)
+        gate.succeed("go")
+
+    sim.process(interrupter(sim))
+    sim.run()
+    assert sorted(interrupted) == [(17, "evicted"), (31, "evicted")]
+    assert len(woken) == 48
+    assert {tag for tag, _ in woken} == set(range(50)) - {17, 31}
+    assert all(value == "go" for _, value in woken)
+
+
+def test_interrupt_victim_waiting_alone_detaches_fast_slot():
+    """The single-waiter fast slot must also be cleared on interrupt:
+    the event then fires with no one parked on it."""
+    sim = Simulator()
+    gate = sim.event()
+    log = []
+
+    def lone(sim):
+        try:
+            yield gate
+            log.append("woken")
+        except Interrupt:
+            log.append("interrupted")
+            yield sim.timeout(3.0)
+            log.append("resumed later")
+
+    victim = sim.process(lone(sim))
+
+    def driver(sim):
+        yield sim.timeout(1.0)
+        victim.interrupt()
+        yield sim.timeout(1.0)
+        gate.succeed()
+
+    sim.process(driver(sim))
+    sim.run()
+    assert log == ["interrupted", "resumed later"]
+    assert sim.now == pytest.approx(4.0)
