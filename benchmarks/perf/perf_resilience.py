@@ -1,0 +1,163 @@
+"""The resilience layer's zero-overhead-when-disabled contract.
+
+PR 2 adds a ``delivery`` policy hook to :class:`repro.comm.mpi.SimMPI`.
+The contract is that **without** a policy (the default), ``Rank.send``
+is the historical code: bit-identical event timelines against the seed
+commit's ``mpi.py``, and no additional per-message object allocation.
+The smoke tier asserts both; the measured tier records what the
+resilient path costs when it *is* enabled (perfect and lossy policies)
+so the overhead stays visible in ``BENCH_perf.json``.
+"""
+
+from __future__ import annotations
+
+import gc
+import hashlib
+
+import pytest
+
+from benchmarks.perf.harness import (
+    load_seed_module,
+    paired_seconds,
+    update_bench_json,
+)
+from repro.comm import mpi as current_mpi
+from repro.comm.transport import Transport
+from repro.resilience.policy import DeliveryPolicy
+from repro.sim import Simulator, Tracer
+from repro.units import US
+
+RANKS = 8
+ROUNDS = 40
+
+
+def _transport():
+    return Transport("bench", latency=2 * US, bandwidth=2e9,
+                     eager_threshold=1024, rendezvous_latency=1 * US)
+
+
+def _run_ring(mod, tracer=None, delivery=None):
+    """A ring workload with mixed sizes over ``mod``'s SimMPI; returns
+    the final simulated time."""
+    sim = Simulator()
+    fabric = mod.UniformFabric(_transport())
+    kwargs = {}
+    if tracer is not None:
+        kwargs["tracer"] = tracer
+    if delivery is not None:
+        kwargs["delivery"] = delivery
+    comm = mod.SimMPI(
+        sim, fabric, [mod.Location(node=i) for i in range(RANKS)], **kwargs
+    )
+
+    def body(rank):
+        nxt = (rank.index + 1) % RANKS
+        prev = (rank.index - 1) % RANKS
+        for i in range(ROUNDS):
+            yield from rank.send(nxt, size=64 if i % 3 else 8192, tag=i)
+            yield from rank.recv(source=prev, tag=i)
+
+    for r in range(RANKS):
+        sim.process(body(comm.rank(r)), name=f"rank{r}")
+    sim.run()
+    return sim.now
+
+
+def _fingerprint(tracer: Tracer) -> str:
+    h = hashlib.sha256()
+    for rec in tracer.records:
+        h.update(repr((rec.time, rec.category, rec.source, rec.detail)).encode())
+        h.update(b";")
+    return h.hexdigest()
+
+
+def test_smoke_disabled_path_bit_identical_to_seed_mpi():
+    """delivery=None must reproduce the seed commit's event timeline and
+    trace stream exactly."""
+    seed = load_seed_module("src/repro/comm/mpi.py", "_seed_comm_mpi")
+    if seed is None:
+        pytest.skip("seed mpi layer unavailable (no git history)")
+    t_seed, t_now = Tracer(), Tracer()
+    now_seed = _run_ring(seed, tracer=t_seed)
+    now_current = _run_ring(current_mpi, tracer=t_now)
+    assert now_current == now_seed
+    assert len(t_now.records) > 0
+    assert _fingerprint(t_now) == _fingerprint(t_seed)
+
+
+def _leftover_objects(mod, n_messages: int) -> int:
+    """Live-object growth from ``n_messages`` undelivered-to-user sends
+    (the Messages stay parked in the destination mailbox)."""
+    sim = Simulator()
+    fabric = mod.UniformFabric(_transport())
+    comm = mod.SimMPI(sim, fabric, [mod.Location(node=i) for i in range(2)])
+
+    def sender(rank):
+        for i in range(n_messages):
+            yield from rank.send(1, size=64, tag=0)
+
+    sim.process(sender(comm.rank(0)), name="sender")
+    gc.collect()
+    before = len(gc.get_objects())
+    sim.run()
+    gc.collect()
+    after = len(gc.get_objects())
+    # Keep comm alive past the measurement so mailbox contents count.
+    assert len(comm._mailboxes[1].pending) == n_messages
+    return after - before
+
+
+def test_smoke_disabled_path_adds_no_per_message_allocation():
+    """The per-message live-object slope of ``Rank.send`` with no policy
+    must not exceed the seed commit's — the ``delivery`` guard costs an
+    attribute load and an ``is`` check, not an allocation."""
+    seed = load_seed_module("src/repro/comm/mpi.py", "_seed_comm_mpi_alloc")
+    if seed is None:
+        pytest.skip("seed mpi layer unavailable (no git history)")
+    n1, n2 = 256, 512
+    slope_now = (_leftover_objects(current_mpi, n2)
+                 - _leftover_objects(current_mpi, n1)) / (n2 - n1)
+    slope_seed = (_leftover_objects(seed, n2)
+                  - _leftover_objects(seed, n1)) / (n2 - n1)
+    # Identical code path => identical slope; allow a sliver of noise
+    # (interned ints, list growth granularity) but nothing near one
+    # extra object per message.
+    assert slope_now <= slope_seed + 0.25, (slope_now, slope_seed)
+
+
+def test_smoke_perfect_policy_timeline_matches_disabled():
+    """Installing DeliveryPolicy() (perfect fabric) must not move one
+    event: same finish time, same trace stream."""
+    t_off, t_on = Tracer(), Tracer()
+    now_off = _run_ring(current_mpi, tracer=t_off)
+    now_on = _run_ring(current_mpi, tracer=t_on, delivery=DeliveryPolicy())
+    assert now_on == now_off
+    assert _fingerprint(t_on) == _fingerprint(t_off)
+
+
+def test_measured_resilience_overhead(perf_full):
+    """Record what the resilient send path costs when enabled."""
+    times = paired_seconds(
+        {
+            "disabled": lambda: _run_ring(current_mpi),
+            "perfect_policy": lambda: _run_ring(
+                current_mpi, delivery=DeliveryPolicy()
+            ),
+            "lossy_policy": lambda: _run_ring(
+                current_mpi,
+                delivery=DeliveryPolicy(drop_probability=0.05, max_retries=10),
+            ),
+        },
+        repeats=4,
+    )
+    payload = {
+        "config": f"{RANKS}-rank ring, {ROUNDS} rounds, mixed 64B/8KiB",
+        "disabled_s": round(times["disabled"], 5),
+        "perfect_policy_s": round(times["perfect_policy"], 5),
+        "lossy_policy_s": round(times["lossy_policy"], 5),
+        "perfect_overhead": round(
+            times["perfect_policy"] / times["disabled"], 3
+        ),
+    }
+    update_bench_json("resilience", payload)
+    assert times["disabled"] > 0

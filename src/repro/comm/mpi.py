@@ -26,6 +26,7 @@ from repro.sim.trace import NULL_TRACER, Tracer
 __all__ = [
     "ANY_SOURCE",
     "ANY_TAG",
+    "DeliveryError",
     "Location",
     "Message",
     "UniformFabric",
@@ -36,6 +37,16 @@ __all__ = [
 
 ANY_SOURCE = -1
 ANY_TAG = -1
+
+
+class DeliveryError(Exception):
+    """A message could not be delivered.
+
+    Raised by :meth:`Rank.send` once a :class:`~repro.resilience.policy.
+    DeliveryPolicy` exhausts its retries, and used by fabrics (e.g.
+    :class:`~repro.network.simfabric.ContendedFabric` with a health
+    ledger) to fail a transfer whose endpoint is down.
+    """
 
 
 class Location(NamedTuple):
@@ -162,6 +173,7 @@ class SimMPI:
         fabric,
         locations: list[Location],
         tracer: Tracer = NULL_TRACER,
+        delivery=None,
     ):
         if not locations:
             raise ValueError("communicator needs at least one rank")
@@ -169,6 +181,9 @@ class SimMPI:
         self.fabric = fabric
         self.locations = list(locations)
         self.tracer = tracer
+        #: optional DeliveryPolicy (duck-typed: delivered()/retry_delay()/
+        #: max_retries); None keeps the historical perfect-fabric path
+        self.delivery = delivery
         self._mailboxes = [_Mailbox() for _ in locations]
         #: zero-byte latency memoized per (src_rank, dest_rank) — rank
         #: locations are fixed for the communicator's lifetime
@@ -177,6 +192,8 @@ class SimMPI:
         #: statistics: (messages, bytes) sent per rank
         self.sent_counts = [0] * len(locations)
         self.sent_bytes = [0] * len(locations)
+        #: retransmissions per rank (stays all-zero without a policy)
+        self.retry_counts = [0] * len(locations)
         # Per-rank collective-invocation counters.  MPI requires every
         # rank to call collectives in the same order, so these counters
         # agree across ranks and give each invocation a fresh tag block,
@@ -221,6 +238,11 @@ class Rank:
         if size < 0:
             raise ValueError("message size must be >= 0")
         comm, sim = self.comm, self.sim
+        if comm.delivery is not None:
+            # Resilient path lives out-of-line so the default (perfect
+            # fabric) path stays allocation-identical to the historical
+            # code — asserted by benchmarks/perf/perf_resilience.py.
+            return (yield from self._send_resilient(dest, size, tag, payload))
         src_loc = comm.locations[self.index]
         dst_loc = comm.locations[dest]
         pair = (self.index, dest)
@@ -253,6 +275,71 @@ class Rank:
             lambda _evt, m=msg: comm._mailboxes[m.dest].deliver(m)
         )
         return msg
+
+    def _send_resilient(self, dest: int, size: int, tag: int, payload: Any):
+        """Send under a DeliveryPolicy (generator): retransmit lost
+        attempts with exponential backoff; raise :class:`DeliveryError`
+        once retries are exhausted.
+
+        With a *perfect* policy (no drops, no failed endpoints) this
+        path produces the exact event timeline of the policy-free
+        ``send`` — same trace records, same timeouts, no RNG draws —
+        which ``tests/test_resilience.py`` pins.
+        """
+        comm, sim = self.comm, self.sim
+        policy = comm.delivery
+        src_loc = comm.locations[self.index]
+        dst_loc = comm.locations[dest]
+        pair = (self.index, dest)
+        latency = comm._lat_cache.get(pair)
+        if latency is None:
+            latency = comm.fabric.zero_byte_latency(src_loc, dst_loc)
+            comm._lat_cache[pair] = latency
+        total = comm.fabric.one_way_time(src_loc, dst_loc, size)
+        sent_at = sim.now
+        comm.sent_counts[self.index] += 1
+        comm.sent_bytes[self.index] += size
+        comm.tracer.record(sim.now, "mpi.send", self.index,
+                           {"dest": dest, "size": size, "tag": tag})
+        attempt = 0
+        while True:
+            if comm._contended:
+                try:
+                    yield comm.fabric.transfer(src_loc, dst_loc, size)
+                except DeliveryError:
+                    # The fabric itself refused (endpoint NIC down):
+                    # counts as a lost attempt, retried below.
+                    delivered = False
+                else:
+                    delivered = policy.delivered(src_loc, dst_loc, size)
+            else:
+                serialize = max(0.0, total - latency)
+                if serialize > 0:
+                    yield sim.timeout(serialize)
+                delivered = policy.delivered(src_loc, dst_loc, size)
+            if delivered:
+                msg = Message(
+                    source=self.index, dest=dest, tag=tag, size=size,
+                    payload=payload, sent_at=sent_at,
+                    delivered_at=sim.now + latency,
+                )
+                deliver = sim.timeout(latency)
+                deliver.callbacks.append(
+                    lambda _evt, m=msg: comm._mailboxes[m.dest].deliver(m)
+                )
+                return msg
+            if attempt >= policy.max_retries:
+                raise DeliveryError(
+                    f"rank {self.index} -> rank {dest}: {size}-byte message "
+                    f"undeliverable after {attempt + 1} attempts"
+                )
+            comm.retry_counts[self.index] += 1
+            comm.tracer.record(
+                sim.now, "retry", self.index,
+                {"dest": dest, "size": size, "tag": tag, "attempt": attempt + 1},
+            )
+            yield sim.timeout(policy.retry_delay(attempt))
+            attempt += 1
 
     def recv(self, source: int = ANY_SOURCE, tag: int = ANY_TAG):
         """Blocking receive (generator); returns the :class:`Message`."""

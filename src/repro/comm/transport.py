@@ -14,7 +14,7 @@ costs at relay points.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from typing import Sequence
 
 __all__ = ["Transport", "PipelinePath"]
@@ -100,6 +100,26 @@ class Transport:
     def serialization_time(self, size_bytes: int) -> float:
         """Sender-side occupancy: total time minus the wire latency."""
         return self.one_way_time(size_bytes) - self.latency
+
+    def derated(self, factor: float, name: str | None = None) -> "Transport":
+        """A copy of this transport at ``factor`` of its bandwidth.
+
+        Models a degraded path — a fabric rerouted around failed links
+        delivers the same latencies over fewer parallel lanes, so only
+        the bandwidth terms scale.  ``factor`` is the retained fraction,
+        in (0, 1]; ``derated(1.0)`` is a plain copy.
+        """
+        if not 0 < factor <= 1:
+            raise ValueError("derate factor must be in (0, 1]")
+        return replace(
+            self,
+            name=name if name is not None else f"{self.name}@{factor:g}",
+            bandwidth=self.bandwidth * factor,
+            eager_bandwidth=(
+                None if self.eager_bandwidth is None
+                else self.eager_bandwidth * factor
+            ),
+        )
 
 
 @dataclass(frozen=True)

@@ -291,6 +291,12 @@ def _section4() -> dict[str, Any]:
     return characterize()
 
 
+def _resilience() -> dict[str, Any]:
+    from repro.resilience.checkpoint import sweep_failure_study
+
+    return sweep_failure_study()
+
+
 def _validate() -> dict[str, Any]:
     from repro.validation.report import run_checks
 
@@ -335,6 +341,7 @@ DATA_PRODUCERS: dict[str, Callable[[], dict[str, Any]]] = {
     "apps": _apps,
     "energy": _energy,
     "section4": _section4,
+    "resilience": _resilience,
     "validate": _validate,
 }
 

@@ -10,7 +10,14 @@ this graph.
 
 from repro.network.crossbar import CROSSBAR_PORTS, XbarId
 from repro.network.topology import NodeId, RoadrunnerTopology
-from repro.network.routing import hop_count, hop_census, average_hops, route
+from repro.network.routing import (
+    hop_count,
+    hop_census,
+    average_hops,
+    route,
+    degraded_route,
+    degraded_hop_census,
+)
 from repro.network.latency import IBLatencyModel
 from repro.network.simfabric import ContendedFabric
 
@@ -23,6 +30,8 @@ __all__ = [
     "hop_census",
     "average_hops",
     "route",
+    "degraded_route",
+    "degraded_hop_census",
     "IBLatencyModel",
     "ContendedFabric",
 ]

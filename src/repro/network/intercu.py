@@ -36,6 +36,7 @@ __all__ = [
     "build_intercu_switch",
     "wire_cu_uplinks",
     "uplink_target",
+    "uplink_edges",
 ]
 
 INTERCU_SWITCHES = 8
@@ -74,3 +75,18 @@ def wire_cu_uplinks(graph: nx.Graph, cu: int) -> None:
         low = XbarId("L", cu, i)
         for k in range(4):
             graph.add_edge(low, uplink_target(cu, i, k), kind="uplink")
+
+
+def uplink_edges(cu: int) -> list[tuple[XbarId, XbarId]]:
+    """CU ``cu``'s 96 uplink edges as ``(lower, inter-CU)`` vertex pairs.
+
+    These are the edges :func:`wire_cu_uplinks` adds — the inter-CU
+    links a fault study fails one at a time (degraded hop census, lost
+    bisection bandwidth), in deterministic ``(lower crossbar, uplink)``
+    order.
+    """
+    return [
+        (XbarId("L", cu, i), uplink_target(cu, i, k))
+        for i in range(24)
+        for k in range(4)
+    ]

@@ -29,6 +29,7 @@ __all__ = [
     "cu_oversubscription",
     "cross_side_links",
     "bisection_summary",
+    "degraded_bisection_summary",
 ]
 
 Edge = tuple
@@ -123,4 +124,60 @@ def bisection_summary(link_bandwidth: float = 2e9) -> dict[str, float]:
         "cross_side_capacity": waist_capacity,
         "far_side_nodes": float(far_side_nodes),
         "far_side_per_node_share": waist_capacity / far_side_nodes,
+    }
+
+
+def degraded_bisection_summary(
+    failed_links: Iterable[tuple], link_bandwidth: float = 2e9
+) -> dict[str, float]:
+    """Bisection and uplink capacity lost to a set of failed links.
+
+    ``failed_links`` are canonical ``(u, v)`` vertex pairs (the
+    :attr:`~repro.resilience.health.FabricHealth.failed_links` snapshot).
+    Three effects are priced:
+
+    * a failed **uplink** (lower crossbar to inter-CU level) removes one
+      of its CU's 96 uplinks, raising that CU's oversubscription;
+    * a failed **F-M or M-T crossbar link** severs its whole F-M-T chain
+      — the chains are series paths, so either edge kills the chain —
+      narrowing the 96-link cross-side waist;
+    * the degraded far-side per-node share follows from the surviving
+      waist.
+    """
+    if link_bandwidth <= 0:
+        raise ValueError("link bandwidth must be positive")
+    base = bisection_summary(link_bandwidth)
+    uplinks_per_cu = LOWER_XBARS * UPLINKS_PER_LOWER_XBAR
+    uplinks_lost: Counter = Counter()
+    dead_chains: set[tuple[int, int]] = set()
+    total = 0
+    for u, v in failed_links:
+        total += 1
+        levels = {getattr(u, "level", None), getattr(v, "level", None)}
+        if "L" in levels and levels & {"F", "T"}:
+            lower = u if u.level == "L" else v
+            uplinks_lost[lower.owner] += 1
+        elif levels in ({"F", "M"}, {"M", "T"}):
+            chain = u if u.level != "M" else v
+            dead_chains.add((chain.owner, chain.index))
+    waist_remaining = cross_side_links() - len(dead_chains)
+    worst_cu_uplinks = uplinks_per_cu - (
+        max(uplinks_lost.values()) if uplinks_lost else 0
+    )
+    return {
+        **base,
+        "failed_links": float(total),
+        "uplinks_lost": float(sum(uplinks_lost.values())),
+        "worst_cu_uplinks_remaining": float(worst_cu_uplinks),
+        "worst_cu_oversubscription": (
+            COMPUTE_NODES_PER_CU / worst_cu_uplinks
+            if worst_cu_uplinks > 0 else float("inf")
+        ),
+        "cross_side_links_lost": float(len(dead_chains)),
+        "cross_side_capacity_remaining": waist_remaining * link_bandwidth,
+        "cross_side_capacity_lost": len(dead_chains) * link_bandwidth,
+        "bisection_fraction_lost": len(dead_chains) / cross_side_links(),
+        "far_side_per_node_share_degraded": (
+            waist_remaining * link_bandwidth / base["far_side_nodes"]
+        ),
     }

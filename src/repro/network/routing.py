@@ -43,7 +43,15 @@ __all__ = [
     "hop_census",
     "average_hops",
     "bfs_hop_count",
+    "degraded_route",
+    "degraded_hop_vector",
+    "degraded_hop_census",
+    "UNREACHABLE",
 ]
+
+#: hop-census key under which unreachable destinations are counted, so a
+#: degraded census still sums to ``topo.node_count``
+UNREACHABLE = -1
 
 
 @lru_cache(maxsize=8)
@@ -178,3 +186,94 @@ def average_hops(topo: RoadrunnerTopology, src: NodeId = 0) -> float:
     """Average hop count over *all* destinations including self, the
     convention behind Table I's '5.38 (average)' row."""
     return float(hop_vector(topo, src).sum()) / topo.node_count
+
+
+# -- degraded-fabric routing --------------------------------------------------
+#
+# The closed forms above assume every wired link is up.  With links
+# failed (see :class:`repro.resilience.health.FabricHealth`) routes are
+# recomputed by breadth-first search over the explicit graph minus the
+# failed edges — exactly what an InfiniBand subnet manager's re-sweep
+# does after a link drops.  ``failed_links`` is always a *frozenset* of
+# canonical ``(u, v)`` vertex pairs (:func:`repro.resilience.health.
+# edge_key`), which makes it a cache key: the working graph and each
+# source's BFS tree are memoized until the failure set changes.
+
+
+@lru_cache(maxsize=32)
+def _working_graph(topo: RoadrunnerTopology, failed_links: frozenset) -> nx.Graph:
+    """The topology graph minus the failed edges (memoized)."""
+    graph = topo.graph.copy()
+    graph.remove_edges_from(failed_links)
+    return graph
+
+
+@lru_cache(maxsize=4096)
+def _degraded_lengths(
+    topo: RoadrunnerTopology, failed_links: frozenset, src: NodeId
+) -> dict:
+    """BFS edge-distances from ``src``'s graph vertex over the working
+    graph; vertices cut off by the failures are simply absent."""
+    graph = _working_graph(topo, failed_links)
+    return nx.single_source_shortest_path_length(graph, topo.graph_node(src))
+
+
+def degraded_route(
+    topo: RoadrunnerTopology,
+    src: NodeId,
+    dst: NodeId,
+    failed_links: frozenset,
+) -> list[XbarId] | None:
+    """A shortest crossbar path from ``src`` to ``dst`` avoiding the
+    failed links, or ``None`` if the failures disconnect the pair.
+
+    On a healthy fabric (``failed_links`` empty) the returned path has
+    the same length as :func:`route`'s — the closed-form routes are
+    shortest paths — though it may pick different equal-cost crossbars.
+    """
+    if src == dst:
+        return []
+    graph = _working_graph(topo, frozenset(failed_links))
+    try:
+        path = nx.shortest_path(graph, topo.graph_node(src), topo.graph_node(dst))
+    except nx.NetworkXNoPath:
+        return None
+    return [v for v in path if isinstance(v, XbarId)]
+
+
+def degraded_hop_vector(
+    topo: RoadrunnerTopology, src: NodeId, failed_links: frozenset
+) -> np.ndarray:
+    """Hops from ``src`` to every node over the degraded fabric.
+
+    Entries are crossbars traversed (BFS edge-distance minus one) or
+    :data:`UNREACHABLE` for destinations the failures cut off.  With no
+    failures this reproduces :func:`hop_vector` exactly (the test suite
+    pins this), so the BFS fallback and the closed form can't drift.
+    """
+    lengths = _degraded_lengths(topo, frozenset(failed_links), src)
+    hops = np.full(topo.node_count, UNREACHABLE, dtype=np.int64)
+    graph_node = topo.graph_node
+    for node in range(topo.node_count):
+        dist = lengths.get(graph_node(node))
+        if dist is not None:
+            hops[node] = max(dist - 1, 0)
+    return hops
+
+
+def degraded_hop_census(
+    topo: RoadrunnerTopology,
+    src: NodeId = 0,
+    failed_links: frozenset = frozenset(),
+) -> Counter:
+    """Table I recomputed on a degraded fabric.
+
+    Counts destinations per hop distance, with unreachable nodes under
+    the :data:`UNREACHABLE` key — the census always sums to
+    ``topo.node_count`` no matter what has failed.
+    """
+    hops = degraded_hop_vector(topo, src, failed_links)
+    counts = Counter()
+    for h, n in zip(*np.unique(hops, return_counts=True)):
+        counts[int(h)] = int(n)
+    return counts

@@ -17,7 +17,7 @@ bandwidth phase contends.
 
 from __future__ import annotations
 
-from repro.comm.mpi import Location
+from repro.comm.mpi import DeliveryError, Location
 from repro.network.latency import IBLatencyModel
 from repro.network.routing import hop_count
 from repro.network.topology import RoadrunnerTopology
@@ -43,6 +43,7 @@ class ContendedFabric:
         latency_model: IBLatencyModel | None = None,
         model_uplinks: bool = False,
         spread_routing: bool = False,
+        health=None,
     ):
         self.sim = sim
         self.topology = topology or RoadrunnerTopology(cu_count=1)
@@ -50,6 +51,11 @@ class ContendedFabric:
         #: also contend for the CU uplink a route leaves through (the
         #: 2:1-taper resource of §II-C); off by default for speed
         self.model_uplinks = model_uplinks
+        #: optional failed-node ledger (duck-typed ``node_ok``, e.g.
+        #: :class:`~repro.resilience.health.FabricHealth`): a transfer
+        #: touching a failed endpoint fails with
+        #: :class:`~repro.comm.mpi.DeliveryError`
+        self.health = health
         #: use destination-hashed routing when picking uplinks
         self.spread_routing = spread_routing
         self._tx: dict[int, BandwidthLink] = {}
@@ -89,6 +95,13 @@ class ContendedFabric:
         complete immediately.
         """
         done = Event(self.sim)
+        health = self.health
+        if health is not None and not (
+            health.node_ok(src.node) and health.node_ok(dst.node)
+        ):
+            down = src.node if not health.node_ok(src.node) else dst.node
+            done.fail(DeliveryError(f"node {down} is down"))
+            return done
         if size == 0 or src.node == dst.node:
             done.succeed(self.sim.now)
             return done

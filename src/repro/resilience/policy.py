@@ -1,0 +1,106 @@
+"""Retry/timeout/exponential-backoff delivery semantics for SimMPI.
+
+A :class:`DeliveryPolicy` decides, per transmission attempt, whether a
+message crosses the fabric, and how long a sender waits before
+retransmitting.  :class:`~repro.comm.mpi.SimMPI` consults it only when
+one is installed — ``SimMPI(..., delivery=None)`` (the default) keeps
+the perfect-fabric fast path byte-for-byte identical to the historical
+behavior, a property the perf smoke tier asserts
+(``benchmarks/perf/perf_resilience.py``).
+
+Two loss mechanisms compose:
+
+* **Health.**  A message to or from a node marked failed in the shared
+  :class:`~repro.resilience.health.FabricHealth` ledger is never
+  delivered — retries burn out and the send raises
+  :class:`~repro.comm.mpi.DeliveryError`.
+* **Random loss.**  ``drop_probability`` models a lossy/flaky link;
+  draws come from the policy's private seeded RNG, so runs are
+  deterministic under the engine's determinism contract.
+
+The default-constructed policy (``DeliveryPolicy()``) is *perfect*:
+no health ledger, zero drop probability — installing it changes no
+event timing, which ``tests/test_resilience.py`` pins against the
+policy-free path.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from repro.resilience.health import FabricHealth
+from repro.units import US
+
+__all__ = ["DeliveryPolicy"]
+
+
+@dataclass
+class DeliveryPolicy:
+    """Per-message delivery and retransmission policy.
+
+    Parameters
+    ----------
+    drop_probability:
+        Chance an attempt is lost in transit (0 = perfect link).
+    ack_timeout:
+        Seconds the sender waits for the (unmodeled) ack before the
+        first retransmission.
+    max_retries:
+        Retransmissions attempted before the send raises
+        :class:`~repro.comm.mpi.DeliveryError`.
+    backoff:
+        Multiplier applied to the wait per retry (exponential backoff).
+    max_delay:
+        Cap on any single backoff wait.
+    seed:
+        Seed of the private loss RNG.
+    health:
+        Optional shared failed-node ledger; when set, endpoints marked
+        failed make every attempt a loss.
+    """
+
+    drop_probability: float = 0.0
+    ack_timeout: float = 50 * US
+    max_retries: int = 8
+    backoff: float = 2.0
+    max_delay: float = 0.01
+    seed: int = 0
+    health: FabricHealth | None = None
+    _rng: random.Random = field(init=False, repr=False, compare=False)
+
+    def __post_init__(self):
+        if not 0.0 <= self.drop_probability < 1.0:
+            raise ValueError("drop_probability must be in [0, 1)")
+        if self.ack_timeout <= 0:
+            raise ValueError("ack_timeout must be positive")
+        if self.max_retries < 0:
+            raise ValueError("max_retries must be >= 0")
+        if self.backoff < 1.0:
+            raise ValueError("backoff must be >= 1")
+        if self.max_delay <= 0:
+            raise ValueError("max_delay must be positive")
+        self._rng = random.Random(self.seed)
+
+    def delivered(self, src, dst, size: int) -> bool:
+        """Whether one transmission attempt from ``src`` to ``dst``
+        (``Location`` endpoints) reaches the destination mailbox."""
+        health = self.health
+        if health is not None and not (
+            health.node_ok(src.node) and health.node_ok(dst.node)
+        ):
+            return False
+        p = self.drop_probability
+        if p <= 0.0:
+            return True
+        return self._rng.random() >= p
+
+    def retry_delay(self, attempt: int) -> float:
+        """Backoff wait before retransmission number ``attempt + 1``."""
+        delay = self.ack_timeout * self.backoff**attempt
+        return delay if delay < self.max_delay else self.max_delay
+
+    def reset(self) -> "DeliveryPolicy":
+        """Re-seed the loss RNG (for exact replay of a run); returns self."""
+        self._rng = random.Random(self.seed)
+        return self

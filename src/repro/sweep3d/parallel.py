@@ -56,6 +56,19 @@ class ParallelSweepResult:
         total = self.iteration_time * self.iterations
         return self.compute_time_per_rank / total if total > 0 else 1.0
 
+    def expected_wallclock(self, model, interval: float | None = None) -> float:
+        """Expected wall clock of this iteration set under failures.
+
+        ``model`` is a checkpoint/restart cost model (duck-typed
+        ``expected_runtime``, e.g. :class:`repro.resilience.checkpoint.
+        CheckpointModel`); ``interval`` overrides its optimal checkpoint
+        interval.  Bridges the DES-measured failure-free solve time to
+        the Young/Daly failure economics.
+        """
+        return model.expected_runtime(
+            self.iteration_time * self.iterations, interval
+        )
+
 
 class ParallelSweep:
     """Run the KBA sweep over ``decomp`` on a simulated fabric.

@@ -319,3 +319,103 @@ def test_location_aware_fabric_charges_by_distance():
     run_ranks(sim, comm, body)
     assert times[1] == pytest.approx(0.272e-6)
     assert times[2] == pytest.approx(8.78e-6, rel=0.01)
+
+
+# -- interrupts delivered inside collectives --------------------------------
+
+def test_interrupt_while_parked_in_barrier():
+    """A process interrupted mid-barrier (parked in the dissemination
+    exchange's recv) sees the Interrupt inside the collective and can
+    clean up; the other ranks' barrier never completes."""
+    from repro.sim.engine import Interrupt
+
+    sim, comm = make_comm(4)
+    seen = {}
+    procs = {}
+
+    def body(rank):
+        if rank.index == 3:
+            # Rank 3 never enters the barrier, so everyone else parks.
+            yield rank.sim.timeout(1.0)
+            return
+        try:
+            yield from rank.barrier()
+            seen[rank.index] = "completed"
+        except Interrupt as stop:
+            seen[rank.index] = ("interrupted", stop.cause, rank.sim.now)
+
+    for r in range(comm.size):
+        procs[r] = sim.process(body(comm.rank(r)), name=f"rank{r}")
+
+    def controller(sim):
+        yield sim.timeout(0.5)
+        procs[1].interrupt("node-down")
+
+    sim.process(controller(sim), name="controller")
+    for r in (0, 2):
+        procs[r].defused = True  # parked forever once rank 1 dies
+    sim.run(until=1.0)
+    assert seen[1] == ("interrupted", "node-down", 0.5)
+    assert 0 not in seen and 2 not in seen  # still parked, not completed
+
+
+def test_interrupt_while_parked_in_allreduce():
+    """Interrupt lands inside allreduce's internal recv; uninterrupted
+    ranks that already got their contributions finish normally."""
+    from repro.sim.engine import Interrupt
+
+    sim, comm = make_comm(2)
+    seen = {}
+
+    def body(rank):
+        try:
+            total = yield from rank.allreduce(rank.index + 1, lambda a, b: a + b)
+            seen[rank.index] = ("completed", total)
+        except Interrupt as stop:
+            seen[rank.index] = ("interrupted", stop.cause)
+
+    procs = [sim.process(body(comm.rank(r)), name=f"rank{r}") for r in range(2)]
+
+    def controller(sim):
+        # Fire immediately: rank 0 is parked in reduce's recv at t=0.
+        yield sim.timeout(0.0)
+        procs[0].interrupt("fault")
+
+    sim.process(controller(sim), name="controller")
+    procs[1].defused = True  # its bcast recv will never be answered
+    sim.run(until=1.0)
+    assert seen[0] == ("interrupted", "fault")
+    assert 1 not in seen  # parked in the broadcast that never comes
+
+
+def test_interrupted_rank_can_reenter_collectives():
+    """After catching an Interrupt inside a barrier, a process can keep
+    using its Rank handle (fresh collective tags don't collide)."""
+    from repro.sim.engine import Interrupt
+
+    sim, comm = make_comm(2)
+    log = []
+
+    def survivor(rank):
+        try:
+            yield from rank.barrier()
+        except Interrupt:
+            log.append("interrupted")
+        # Point-to-point still works after the aborted collective.
+        yield from rank.send(1, size=64, tag=9, payload="post-fault")
+
+    def peer(rank):
+        # Never joins the barrier; receives the post-fault message.
+        msg = yield from rank.recv(source=0, tag=9)
+        log.append(msg.payload)
+
+    p0 = sim.process(survivor(comm.rank(0)), name="rank0")
+    sim.process(peer(comm.rank(1)), name="rank1")
+
+    def controller(sim):
+        yield sim.timeout(0.1)
+        p0.interrupt("transient")
+
+    sim.process(controller(sim), name="controller")
+    sim.run()
+    assert log == ["interrupted", "post-fault"]

@@ -52,7 +52,8 @@ def test_readme_lists_every_example():
 def test_readme_mentions_every_package():
     readme = _read("README.md")
     for pkg in ("repro.sim", "repro.hardware", "repro.network", "repro.comm",
-                "repro.microbench", "repro.io", "repro.sweep3d",
+                "repro.microbench", "repro.io", "repro.resilience",
+                "repro.sweep3d",
                 "repro.linpack", "repro.apps", "repro.core",
                 "repro.validation"):
         assert pkg in readme, pkg

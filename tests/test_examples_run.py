@@ -22,6 +22,7 @@ EXPECTATIONS = {
     "contention_study.py": ["incast", "Amdahl"],
     "verification_study.py": ["order of accuracy", "rank0"],
     "machine_characterization.py": ["Communication hierarchy", "29.28"],
+    "failure_study.py": ["identical traces: True", "3060", "Daly"],
 }
 
 

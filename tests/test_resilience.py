@@ -1,0 +1,401 @@
+"""Tests for the resilience subsystem: fault injection, retry delivery,
+degraded routing, and the checkpoint/restart cost model."""
+
+import pytest
+
+from repro.comm.mpi import DeliveryError, Location, SimMPI, UniformFabric
+from repro.comm.transport import Transport
+from repro.network.crossbar import XbarId
+from repro.network.intercu import uplink_edges
+from repro.network.loadmap import degraded_bisection_summary
+from repro.network.routing import (
+    UNREACHABLE,
+    degraded_hop_census,
+    degraded_hop_vector,
+    degraded_route,
+    hop_count,
+    hop_vector,
+)
+from repro.network.topology import RoadrunnerTopology
+from repro.resilience import (
+    CheckpointModel,
+    DeliveryPolicy,
+    FabricHealth,
+    FaultInjector,
+    checkpoint_clock,
+    edge_key,
+    sweep_failure_study,
+)
+from repro.sim import Simulator, Tracer
+from repro.sim.engine import Interrupt
+from repro.units import US
+
+
+def make_comm(n_ranks, delivery=None, tracer=None, latency=1 * US):
+    sim = Simulator()
+    fabric = UniformFabric(Transport("test", latency=latency, bandwidth=1e9))
+    comm = SimMPI(
+        sim, fabric, [Location(node=i) for i in range(n_ranks)],
+        tracer=tracer if tracer is not None else Tracer(categories=frozenset()),
+        delivery=delivery,
+    )
+    return sim, comm
+
+
+# -- FabricHealth -----------------------------------------------------------
+
+def test_health_node_bookkeeping():
+    health = FabricHealth()
+    assert health.node_ok(5) and not health.degraded
+    health.fail_node(5)
+    assert not health.node_ok(5) and health.degraded
+    assert health.failed_nodes == frozenset({5})
+    health.repair_node(5)
+    assert health.node_ok(5) and not health.degraded
+
+
+def test_health_links_are_undirected():
+    health = FabricHealth()
+    u, v = XbarId("L", 0, 0), XbarId("U", 0, 3)
+    health.fail_link(v, u)
+    assert not health.link_ok(u, v)
+    assert health.failed_links == frozenset({edge_key(u, v)})
+    health.repair_link(u, v)
+    assert health.link_ok(v, u)
+
+
+def test_edge_key_is_canonical():
+    u, v = XbarId("F", 0, 0), XbarId("M", 0, 0)
+    assert edge_key(u, v) == edge_key(v, u)
+    node = ("node", 0, 0)
+    assert edge_key(node, XbarId("L", 0, 0)) == edge_key(XbarId("L", 0, 0), node)
+
+
+# -- FaultInjector ----------------------------------------------------------
+
+def test_injector_timetable_is_seed_deterministic():
+    def timetable(seed):
+        inj = FaultInjector(Simulator(), seed=seed)
+        inj.schedule_node_faults(range(50), mtbf=10.0, horizon=100.0,
+                                 repair_after=1.0)
+        return [(f.time, f.kind, f.target) for f in inj.faults]
+
+    assert timetable(3) == timetable(3)
+    assert timetable(3) != timetable(4)
+
+
+def test_node_fault_interrupts_victim_parked_in_recv():
+    sim, comm = make_comm(2)
+    seen = {}
+
+    def victim(rank):
+        try:
+            yield from rank.recv()
+        except Interrupt as stop:
+            seen["cause"] = stop.cause
+            seen["time"] = sim.now
+
+    injector = FaultInjector(sim)
+    proc = sim.process(victim(comm.rank(1)), name="victim")
+    injector.watch(1, proc)
+    fault = injector.fail_node_at(0.5, 1)
+    sim.run()
+    assert seen["cause"] is fault
+    assert seen["time"] == pytest.approx(0.5)
+    assert not injector.health.node_ok(1)
+
+
+def test_uncaught_fault_kills_victim_without_aborting_run():
+    sim, comm = make_comm(2)
+
+    def victim(rank):
+        yield from rank.recv()  # parked forever; never handles the fault
+
+    injector = FaultInjector(sim)
+    proc = sim.process(victim(comm.rank(1)), name="victim")
+    injector.watch(1, proc)
+    injector.fail_node_at(0.25, 1)
+    sim.run()  # must not raise
+    assert not proc.is_alive
+
+
+def test_fault_repair_restores_health_and_traces():
+    sim = Simulator()
+    tracer = Tracer()
+    injector = FaultInjector(sim, tracer=tracer)
+    injector.fail_node_at(1.0, 7, repair_after=2.0)
+    sim.run()
+    assert injector.health.node_ok(7)
+    actions = [(r.time, r.detail["action"]) for r in tracer.filter("fault")]
+    assert actions == [(1.0, "fail"), (3.0, "repair")]
+
+
+def test_link_fault_flips_ledger():
+    sim = Simulator()
+    injector = FaultInjector(sim)
+    u, v = XbarId("F", 2, 3), XbarId("M", 2, 3)
+    injector.fail_link_at(0.1, v, u)
+    sim.run()
+    assert not injector.health.link_ok(u, v)
+    assert injector.health.failed_links == frozenset({edge_key(u, v)})
+
+
+def test_checkpoint_clock_respects_horizon_and_traces():
+    sim = Simulator()
+    tracer = Tracer()
+    sim.process(checkpoint_clock(sim, interval=10.0, cost=2.0,
+                                 tracer=tracer, horizon=50.0))
+    sim.run()
+    records = list(tracer.filter("checkpoint"))
+    # Checkpoints start every 12 s of wall clock (10 work + 2 write);
+    # the one starting at 46 still completes by the 50 s horizon, and
+    # the next (would finish at 60) is never started.
+    assert [r.time for r in records] == [10.0, 22.0, 34.0, 46.0]
+    assert [r.detail["n"] for r in records] == [1, 2, 3, 4]
+    assert sim.now <= 50.0
+
+
+# -- DeliveryPolicy / resilient send ---------------------------------------
+
+def test_policy_validation():
+    with pytest.raises(ValueError):
+        DeliveryPolicy(drop_probability=1.0)
+    with pytest.raises(ValueError):
+        DeliveryPolicy(ack_timeout=0.0)
+    with pytest.raises(ValueError):
+        DeliveryPolicy(backoff=0.5)
+
+
+def test_retry_delay_backs_off_exponentially_with_cap():
+    policy = DeliveryPolicy(ack_timeout=10 * US, backoff=2.0, max_delay=35 * US)
+    delays = [policy.retry_delay(k) for k in range(4)]
+    assert delays == pytest.approx([10 * US, 20 * US, 35 * US, 35 * US])
+
+
+def test_send_to_failed_node_exhausts_retries():
+    health = FabricHealth()
+    health.fail_node(1)
+    tracer = Tracer()
+    policy = DeliveryPolicy(health=health, ack_timeout=10 * US,
+                            backoff=2.0, max_retries=3, max_delay=1.0)
+    sim, comm = make_comm(2, delivery=policy, tracer=tracer)
+    outcome = {}
+
+    def sender(rank):
+        try:
+            yield from rank.send(1, size=0)
+        except DeliveryError:
+            outcome["time"] = sim.now
+
+    sim.process(sender(comm.rank(0)), name="sender")
+    sim.run()
+    # 4 attempts; backoff waits of 10, 20, 40 us between them.
+    assert outcome["time"] == pytest.approx(70 * US)
+    assert comm.retry_counts[0] == 3
+    retries = list(tracer.filter("retry"))
+    assert [r.detail["attempt"] for r in retries] == [1, 2, 3]
+
+
+def test_lossy_delivery_is_seed_deterministic_and_eventually_delivers():
+    def run(seed):
+        tracer = Tracer()
+        policy = DeliveryPolicy(drop_probability=0.5, seed=seed,
+                                ack_timeout=10 * US, max_retries=20)
+        sim, comm = make_comm(2, delivery=policy, tracer=tracer)
+        got = []
+
+        def sender(rank):
+            for _ in range(20):
+                yield from rank.send(1, size=100)
+
+        def receiver(rank):
+            for _ in range(20):
+                msg = yield from rank.recv()
+                got.append(msg.size)
+
+        sim.process(sender(comm.rank(0)), name="s")
+        sim.process(receiver(comm.rank(1)), name="r")
+        sim.run()
+        return got, sim.now, tracer.records
+
+    got_a, now_a, rec_a = run(11)
+    got_b, now_b, rec_b = run(11)
+    assert got_a == [100] * 20
+    assert (got_a, now_a, rec_a) == (got_b, now_b, rec_b)
+    assert any(r.category == "retry" for r in rec_a)  # 50% loss retries
+
+
+def _collective_workload(sim, comm, result):
+    def body(rank):
+        yield from rank.send((rank.index + 1) % comm.size, size=4096, tag=1)
+        yield from rank.recv(tag=1)
+        yield from rank.barrier()
+        total = yield from rank.allreduce(rank.index, lambda a, b: a + b)
+        result[rank.index] = (total, sim.now)
+
+    for r in range(comm.size):
+        sim.process(body(comm.rank(r)), name=f"rank{r}")
+
+
+def test_perfect_policy_matches_disabled_path_exactly():
+    """DeliveryPolicy() (perfect) must not change one event: same trace,
+    same finish time, no RNG draws — the zero-overhead contract."""
+    tracer_off = Tracer()
+    sim_off, comm_off = make_comm(4, tracer=tracer_off)
+    result_off = {}
+    _collective_workload(sim_off, comm_off, result_off)
+    sim_off.run()
+
+    policy = DeliveryPolicy()
+    rng_before = policy._rng.getstate()
+    tracer_on = Tracer()
+    sim_on, comm_on = make_comm(4, delivery=policy, tracer=tracer_on)
+    result_on = {}
+    _collective_workload(sim_on, comm_on, result_on)
+    sim_on.run()
+
+    assert result_on == result_off
+    assert sim_on.now == sim_off.now
+    assert tracer_on.records == tracer_off.records
+    assert comm_on.retry_counts == [0] * 4
+    assert policy._rng.getstate() == rng_before
+
+
+# -- degraded routing -------------------------------------------------------
+
+@pytest.fixture(scope="module")
+def topo():
+    return RoadrunnerTopology(cu_count=17)
+
+
+def test_degraded_hop_vector_matches_closed_form_when_healthy(topo):
+    assert (degraded_hop_vector(topo, 0, frozenset())
+            == hop_vector(topo, 0)).all()
+
+
+@pytest.mark.parametrize("edge_index", [0, 1, 37, 95])
+def test_census_sums_to_node_count_with_failed_uplink(topo, edge_index):
+    failed = frozenset({edge_key(*uplink_edges(0)[edge_index])})
+    census = degraded_hop_census(topo, 0, failed)
+    assert sum(census.values()) == topo.node_count == 3060
+    assert UNREACHABLE not in census  # one uplink never partitions
+
+
+@pytest.mark.parametrize("level_pair", [("F", "M"), ("M", "T")])
+def test_census_sums_to_node_count_with_failed_chain_link(topo, level_pair):
+    a, b = level_pair
+    failed = frozenset({edge_key(XbarId(a, 0, 0), XbarId(b, 0, 0))})
+    census = degraded_hop_census(topo, 0, failed)
+    assert sum(census.values()) == topo.node_count == 3060
+    assert UNREACHABLE not in census
+
+
+def test_degraded_route_avoids_failed_links_at_same_length(topo):
+    src, dst = 0, 3059  # opposite sides of the fat tree
+    baseline = hop_count(topo, src, dst)
+    path = degraded_route(topo, src, dst, frozenset())
+    assert len(path) == baseline
+    # Fail the first uplink a route would naturally take.
+    failed = frozenset({edge_key(*uplink_edges(0)[0])})
+    rerouted = degraded_route(topo, src, dst, failed)
+    assert len(rerouted) == baseline  # plenty of equal-cost alternatives
+    edges = {edge_key(u, v) for u, v in zip(rerouted, rerouted[1:])}
+    assert not (edges & failed)
+
+
+def test_severed_access_link_partitions_one_node(topo):
+    access = edge_key(topo.graph_node(1), XbarId("L", 0, 0))
+    census = degraded_hop_census(topo, 0, frozenset({access}))
+    assert census[UNREACHABLE] == 1
+    assert sum(census.values()) == topo.node_count
+    assert degraded_route(topo, 0, 1, frozenset({access})) is None
+
+
+def test_degraded_bisection_summary_prices_losses():
+    uplink = edge_key(*uplink_edges(3)[0])
+    chain = edge_key(XbarId("M", 5, 2), XbarId("T", 5, 2))
+    summary = degraded_bisection_summary([uplink, chain])
+    assert summary["failed_links"] == 2.0
+    assert summary["uplinks_lost"] == 1.0
+    assert summary["worst_cu_uplinks_remaining"] == 95.0
+    assert summary["cross_side_links_lost"] == 1.0
+    assert summary["cross_side_capacity_remaining"] == 95 * 2e9
+    assert summary["worst_cu_oversubscription"] == pytest.approx(180 / 95)
+    assert summary["far_side_per_node_share_degraded"] < summary[
+        "far_side_per_node_share"]
+
+
+def test_fm_and_mt_failures_of_same_chain_count_once():
+    fm = edge_key(XbarId("F", 1, 4), XbarId("M", 1, 4))
+    mt = edge_key(XbarId("M", 1, 4), XbarId("T", 1, 4))
+    summary = degraded_bisection_summary([fm, mt])
+    assert summary["cross_side_links_lost"] == 1.0
+
+
+# -- checkpoint model -------------------------------------------------------
+
+def test_daly_interval_refines_young():
+    model = CheckpointModel(mtbf=3600.0, checkpoint_time=60.0)
+    young = model.young_interval()
+    daly = model.daly_interval()
+    assert young == pytest.approx((2 * 60.0 * 3600.0) ** 0.5)
+    # Daly's correction is small when delta << M.
+    assert abs(daly - young) / young < 0.25
+    # ... and the optimum it picks is at least as good as Young's.
+    assert model.expected_slowdown(daly) <= model.expected_slowdown(young) + 1e-12
+
+
+def test_optimal_interval_beats_fixed_choices():
+    model = CheckpointModel.from_node_mtbf(
+        node_mtbf=10 * 8760 * 3600.0, nodes=3060,
+        checkpoint_time=120.0, restart_time=300.0,
+    )
+    best = model.expected_slowdown()
+    for tau in (300.0, 1200.0, 3600.0, 7200.0, 4 * 3600.0):
+        assert best <= model.expected_slowdown(tau) + 1e-12
+    assert best > 1.0  # failures always cost something
+
+
+def test_expected_runtime_scales_linearly_with_solve_time():
+    model = CheckpointModel(mtbf=1800.0, checkpoint_time=30.0)
+    one = model.expected_runtime(1000.0)
+    assert model.expected_runtime(2000.0) == pytest.approx(2 * one)
+    assert model.expected_runtime(0.0) == 0.0
+
+
+def test_from_node_mtbf_aggregates():
+    model = CheckpointModel.from_node_mtbf(3060.0, 3060, checkpoint_time=1.0)
+    assert model.mtbf == pytest.approx(1.0)
+    with pytest.raises(ValueError):
+        CheckpointModel.from_node_mtbf(100.0, 0, checkpoint_time=1.0)
+    with pytest.raises(ValueError):
+        CheckpointModel(mtbf=-1.0, checkpoint_time=1.0)
+
+
+def test_sweep_failure_study_rows_improve_with_mtbf():
+    study = sweep_failure_study(node_mtbf_hours=(8760.0, 87600.0),
+                                campaign_hours=1.0)
+    assert study["nodes"] == 3060
+    assert len(study["rows"]) == 2
+    worse, better = study["rows"]
+    assert worse["expected_slowdown"] > better["expected_slowdown"] > 1.0
+    assert worse["daly_interval_s"] < better["daly_interval_s"]
+    for row in study["rows"]:
+        assert row["expected_wallclock_hours"] == pytest.approx(
+            row["expected_slowdown"] * study["campaign_hours"]
+        )
+
+
+def test_parallel_sweep_result_expected_wallclock():
+    from repro.sweep3d.parallel import ParallelSweepResult
+
+    result = ParallelSweepResult(
+        phi=None, iteration_time=2.0, iterations=50, messages=0, bytes_sent=0,
+    )
+    model = CheckpointModel(mtbf=3600.0, checkpoint_time=10.0)
+    assert result.expected_wallclock(model) == pytest.approx(
+        model.expected_runtime(100.0)
+    )
+    assert result.expected_wallclock(model, interval=600.0) == pytest.approx(
+        model.expected_runtime(100.0, 600.0)
+    )
