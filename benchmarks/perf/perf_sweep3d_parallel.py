@@ -6,9 +6,10 @@ of every fast path in this package.  The smoke tier runs a small 8x4
 sweep twice and asserts the full determinism contract — bit-identical
 flux field, simulated iteration time and traced MPI event timeline.
 The measured tier times the same configuration against the seed
-commit's ``parallel.py`` (executed over the current package tree, so
-the comparison isolates the sweep-layer changes on top of the shared
-kernel gains) and records both wall-clock times in ``BENCH_perf.json``.
+commit's ``parallel.py`` with the seed-commit ``sweep_octant`` injected
+into it — the genuine pre-PR numeric stack, not the seed sweep layer
+running over today's kernel — and records both wall-clock times in
+``BENCH_perf.json``, asserting the ISSUE's >= 2x end-to-end target.
 """
 
 from __future__ import annotations
@@ -83,8 +84,18 @@ def test_smoke_matches_seed_sweep_layer():
 
 def test_measured_parallel_sweep(perf_full):
     seed = load_seed_module("src/repro/sweep3d/parallel.py", "_seed_sweep3d_parallel")
-    payload = {"config": "8x4 SPE tile, it=jt=5 kt=40 mk=20 mmi=6"}
+    payload = {
+        "config": "8x4 SPE tile, it=jt=5 kt=40 mk=20 mmi=6",
+        "min_required_speedup": 2.0,
+    }
     if seed is not None:
+        seed_kernel = load_seed_module(
+            "src/repro/sweep3d/kernel.py", "_seed_sweep3d_kernel_p"
+        )
+        if seed_kernel is not None:
+            # The seed sweep layer imports the *current* kernel; rebind
+            # it so the baseline is the full pre-PR numeric stack.
+            seed.sweep_octant = seed_kernel.sweep_octant
         times = paired_seconds(
             {
                 "current": lambda: _run(current_parallel),
@@ -93,10 +104,11 @@ def test_measured_parallel_sweep(perf_full):
             repeats=4,
         )
         t_now = times["current"]
-        payload["seed_sweep_layer_s"] = round(times["seed"], 4)
+        payload["seed_stack_s"] = round(times["seed"], 4)
         payload["speedup"] = round(times["seed"] / t_now, 2)
     else:
         t_now = best_seconds(lambda: _run(current_parallel), repeats=3)
     payload["current_s"] = round(t_now, 4)
     update_bench_json("sweep3d_parallel", payload)
-    assert t_now > 0
+    if "speedup" in payload:
+        assert payload["speedup"] >= 2.0

@@ -18,8 +18,9 @@ The package mirrors the paper's study end to end:
 
 from repro.sweep3d.input import SweepInput
 from repro.sweep3d.quadrature import AngleSet, Octant, OCTANTS, make_angle_set
-from repro.sweep3d.kernel import sweep_octant
-from repro.sweep3d.fixup import sweep_octant_fixup
+from repro.sweep3d.plan import SweepPlan, get_plan, clear_plans
+from repro.sweep3d.kernel import sweep_octant, sweep_octants_batched
+from repro.sweep3d.fixup import sweep_octant_fixup, sweep_octants_batched_fixup
 from repro.sweep3d.multigroup import MultigroupInput, MultigroupResult, solve_multigroup
 from repro.sweep3d.reference import reference_sweep_octant
 from repro.sweep3d.solver import SweepResult, solve
@@ -41,8 +42,13 @@ __all__ = [
     "Octant",
     "OCTANTS",
     "make_angle_set",
+    "SweepPlan",
+    "get_plan",
+    "clear_plans",
     "sweep_octant",
+    "sweep_octants_batched",
     "sweep_octant_fixup",
+    "sweep_octants_batched_fixup",
     "MultigroupInput",
     "MultigroupResult",
     "solve_multigroup",

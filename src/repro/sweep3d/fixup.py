@@ -11,18 +11,74 @@ zero and the cell flux is recomputed from the cell balance
             + sum_{d fixed} (c_d / 2) * psi_in_d
 
 with ``c_d = 2 mu_d / delta_d``; the set of fixed directions grows
-monotonically, so at most three passes converge.  With non-negative
-inputs the result is non-negative in both cell and face fluxes, while
-preserving the particle balance the solver checks.
+monotonically, so at most four passes converge (three mask growths
+plus a clean recompute).  With non-negative inputs the result is
+non-negative in both cell and face fluxes, while preserving the
+particle balance the solver checks.  (The pre-plan kernel capped the
+loop at three passes, so a negative discovered on the third pass could
+escape uncorrected; the two kernels agree bit-for-bit everywhere that
+cap was sufficient.)
+
+Like :mod:`repro.sweep3d.kernel`, the sweep itself walks the cached
+:class:`repro.sweep3d.plan.SweepPlan` 3-D wavefronts.  The per-cell
+fix-up iteration is elementwise and its fixed sets grow monotonically,
+so converged cells recompute to the same bits on any extra pass their
+step-mates force — which is why regrouping cells from the seed's 2-D
+diagonals into 3-D wavefronts (or into the 8-octant batch) leaves every
+value bit-identical.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
-from repro.sweep3d.quadrature import AngleSet
+from repro.sweep3d.plan import SweepPlan, get_plan, reduce_rows
+from repro.sweep3d.quadrature import OCTANTS, AngleSet
 
-__all__ = ["sweep_octant_fixup"]
+__all__ = ["sweep_octant_fixup", "sweep_octants_batched_fixup"]
+
+
+def _fixup_cells(s, sg, cx, cy, cz, in_x, in_y, in_z):
+    """The set-to-zero rebalance for one batch of independent cells.
+
+    ``in_*`` carry a trailing angle axis (``(n, M)`` per-octant,
+    ``(n, 8, M)`` batched); ``s``/``sg`` broadcast against them.
+    Returns ``(center, out_x, out_y, out_z)`` after the fixed sets
+    stop growing.
+    """
+    fixed_x = np.zeros(np.shape(in_x), dtype=bool)
+    fixed_y = np.zeros(np.shape(in_y), dtype=bool)
+    fixed_z = np.zeros(np.shape(in_z), dtype=bool)
+    # The fixed sets grow strictly (a fixed direction emits exactly 0.0,
+    # never re-flagged), each (cell, angle) has three directions, and the
+    # update is elementwise — so this terminates in at most four passes:
+    # three mask growths plus one clean recompute.
+    while True:
+        numer = (
+            s
+            + np.where(fixed_x, 0.5 * cx * in_x, cx * in_x)
+            + np.where(fixed_y, 0.5 * cy * in_y, cy * in_y)
+            + np.where(fixed_z, 0.5 * cz * in_z, cz * in_z)
+        )
+        denom = (
+            sg
+            + np.where(fixed_x, 0.0, cx)
+            + np.where(fixed_y, 0.0, cy)
+            + np.where(fixed_z, 0.0, cz)
+        )
+        center = numer / denom
+        o_x = np.where(fixed_x, 0.0, 2.0 * center - in_x)
+        o_y = np.where(fixed_y, 0.0, 2.0 * center - in_y)
+        o_z = np.where(fixed_z, 0.0, 2.0 * center - in_z)
+        neg_x = o_x < 0.0
+        neg_y = o_y < 0.0
+        neg_z = o_z < 0.0
+        if not (neg_x.any() or neg_y.any() or neg_z.any()):
+            break
+        fixed_x |= neg_x
+        fixed_y |= neg_y
+        fixed_z |= neg_z
+    return center, o_x, o_y, o_z
 
 
 def sweep_octant_fixup(
@@ -35,6 +91,7 @@ def sweep_octant_fixup(
     inflow_x: np.ndarray,
     inflow_y: np.ndarray,
     inflow_z: np.ndarray,
+    plan: SweepPlan | None = None,
 ):
     """Sweep one (+,+,+) octant with set-to-zero negative-flux fixup.
 
@@ -42,72 +99,101 @@ def sweep_octant_fixup(
     plain diamond difference stays non-negative the two kernels agree
     exactly.
     """
-    source = np.asarray(source, dtype=np.float64)
+    source = np.ascontiguousarray(source, dtype=np.float64)
     I, J, K = source.shape
     M = angles.n_angles
-    sig = np.broadcast_to(np.asarray(sigma_t, dtype=np.float64), (I, J, K))
-    cx = 2.0 * angles.mu / dx
-    cy = 2.0 * angles.eta / dy
-    cz = 2.0 * angles.xi / dz
-    w = angles.weights
+    if plan is None:
+        plan = get_plan(I, J, K, M)
 
-    out_x = np.empty((J, K, M))
-    out_y = np.empty((I, K, M))
-    psi_z = np.array(inflow_z, dtype=np.float64, copy=True)
-    phi = np.zeros((I, J, K))
+    cx, cy, cz, _c_sum, w = plan.angle_constants(dx, dy, dz, angles)
+    src = source.reshape(-1)
+    if np.ndim(sigma_t) == 0:
+        sig = None
+    else:
+        sig = np.ascontiguousarray(
+            np.broadcast_to(np.asarray(sigma_t, dtype=np.float64), (I, J, K))
+        ).reshape(-1)
 
-    diagonals = []
-    for d in range(I + J - 1):
-        i_lo = max(0, d - (J - 1))
-        i_hi = min(I - 1, d)
-        ii = np.arange(i_lo, i_hi + 1)
-        diagonals.append((ii, d - ii))
+    psi_x = np.array(inflow_x, dtype=np.float64, copy=True).reshape(J * K, M)
+    psi_y = np.array(inflow_y, dtype=np.float64, copy=True).reshape(I * K, M)
+    psi_z = np.array(inflow_z, dtype=np.float64, copy=True).reshape(I * J, M)
+    phi = np.empty(I * J * K)
 
-    for k in range(K):
-        psi_x = np.array(inflow_x[:, k, :], dtype=np.float64, copy=True)
-        psi_y = np.array(inflow_y[:, k, :], dtype=np.float64, copy=True)
-        src_k = source[:, :, k]
-        sig_k = sig[:, :, k]
-        for ii, jj in diagonals:
-            in_x = psi_x[jj]
-            in_y = psi_y[ii]
-            in_z = psi_z[ii, jj]
-            s = src_k[ii, jj][:, None]
-            sg = sig_k[ii, jj][:, None]
-            fixed_x = np.zeros_like(in_x, dtype=bool)
-            fixed_y = np.zeros_like(in_y, dtype=bool)
-            fixed_z = np.zeros_like(in_z, dtype=bool)
-            # The fixed set grows monotonically; <= 3 passes suffice.
-            for _pass in range(3):
-                numer = (
-                    s
-                    + np.where(fixed_x, 0.5 * cx * in_x, cx * in_x)
-                    + np.where(fixed_y, 0.5 * cy * in_y, cy * in_y)
-                    + np.where(fixed_z, 0.5 * cz * in_z, cz * in_z)
-                )
-                denom = (
-                    sg
-                    + np.where(fixed_x, 0.0, cx)
-                    + np.where(fixed_y, 0.0, cy)
-                    + np.where(fixed_z, 0.0, cz)
-                )
-                center = numer / denom
-                o_x = np.where(fixed_x, 0.0, 2.0 * center - in_x)
-                o_y = np.where(fixed_y, 0.0, 2.0 * center - in_y)
-                o_z = np.where(fixed_z, 0.0, 2.0 * center - in_z)
-                neg_x = o_x < 0.0
-                neg_y = o_y < 0.0
-                neg_z = o_z < 0.0
-                if not (neg_x.any() or neg_y.any() or neg_z.any()):
-                    break
-                fixed_x |= neg_x
-                fixed_y |= neg_y
-                fixed_z |= neg_z
-            phi[ii, jj, k] += center @ w
-            psi_x[jj] = o_x
-            psi_y[ii] = o_y
-            psi_z[ii, jj] = o_z
-        out_x[:, k, :] = psi_x
-        out_y[:, k, :] = psi_y
+    for cell, xf, yf, zf, fix, _fix8 in plan.steps:
+        s = src[cell][:, None]
+        sg = sigma_t if sig is None else sig[cell][:, None]
+        center, o_x, o_y, o_z = _fixup_cells(
+            s, sg, cx, cy, cz, psi_x[xf], psi_y[yf], psi_z[zf]
+        )
+        p = reduce_rows(center, w, fix)
+        phi[cell] = p + 0.0  # 0.0 + p: the seed's "+=" on zeros
+        psi_x[xf] = o_x
+        psi_y[yf] = o_y
+        psi_z[zf] = o_z
 
-    return phi, out_x, out_y, psi_z
+    return (
+        phi.reshape(I, J, K),
+        psi_x.reshape(J, K, M),
+        psi_y.reshape(I, K, M),
+        psi_z.reshape(I, J, M),
+    )
+
+
+def sweep_octants_batched_fixup(
+    sigma_t: np.ndarray | float,
+    source: np.ndarray,
+    dx: float,
+    dy: float,
+    dz: float,
+    angles: AngleSet,
+    plan: SweepPlan | None = None,
+):
+    """All eight octants of one vacuum-inflow fixup sweep, batched.
+
+    The fixup analogue of
+    :func:`repro.sweep3d.kernel.sweep_octants_batched` — same stacking,
+    same return convention, with the rebalance applied per cell.
+    """
+    source = np.ascontiguousarray(source, dtype=np.float64)
+    I, J, K = source.shape
+    M = angles.n_angles
+    if plan is None:
+        plan = get_plan(I, J, K, M)
+    n_oct = len(OCTANTS)
+
+    cx, cy, cz, _c_sum, w = plan.angle_constants(dx, dy, dz, angles)
+    flip = plan.octant_maps
+    src8 = source.reshape(-1)[flip]
+    if np.ndim(sigma_t) == 0:
+        sig8 = None
+    else:
+        sig = np.ascontiguousarray(
+            np.broadcast_to(np.asarray(sigma_t, dtype=np.float64), (I, J, K))
+        ).reshape(-1)
+        sig8 = sig[flip]
+
+    psi_x = np.zeros((J * K, n_oct, M))
+    psi_y = np.zeros((I * K, n_oct, M))
+    psi_z = np.zeros((I * J, n_oct, M))
+    phi8 = np.empty((plan.n_cells, n_oct))
+
+    for cell, xf, yf, zf, _fix, fix8 in plan.steps:
+        s = src8[cell][:, :, None]
+        sg = sigma_t if sig8 is None else sig8[cell][:, :, None]
+        center, o_x, o_y, o_z = _fixup_cells(
+            s, sg, cx, cy, cz, psi_x[xf], psi_y[yf], psi_z[zf]
+        )
+        p = reduce_rows(center, w, fix8)
+        phi8[cell] = p + 0.0  # 0.0 + p: the seed's "+=" on zeros
+        psi_x[xf] = o_x
+        psi_y[yf] = o_y
+        psi_z[zf] = o_z
+
+    phi = np.zeros(plan.n_cells)
+    for o in range(n_oct):
+        phi += phi8[flip[:, o], o]
+
+    out_x = np.ascontiguousarray(psi_x.reshape(J, K, n_oct, M).transpose(2, 0, 1, 3))
+    out_y = np.ascontiguousarray(psi_y.reshape(I, K, n_oct, M).transpose(2, 0, 1, 3))
+    out_z = np.ascontiguousarray(psi_z.reshape(I, J, n_oct, M).transpose(2, 0, 1, 3))
+    return phi.reshape(I, J, K), out_x, out_y, out_z

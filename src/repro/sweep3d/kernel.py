@@ -1,23 +1,44 @@
-"""Vectorized diamond-difference sweep kernel.
+"""Vectorized diamond-difference sweep kernels, driven by a sweep plan.
 
 The dependency structure of a (+,+,+) sweep is ``(i, j, k)`` needing
-``(i-1, j, k)``, ``(i, j-1, k)``, ``(i, j, k-1)``; within a K-plane all
-cells on an anti-diagonal ``i + j = d`` are mutually independent, so the
-kernel walks K-planes in order and, within each, vectorizes over
-diagonal cells and angles simultaneously — the numpy analogue of the
-paper's SPE port, which vectorizes the innermost angle loop with SIMD.
+``(i-1, j, k)``, ``(i, j-1, k)``, ``(i, j, k-1)``: every cell on the
+3-D anti-diagonal ``i + j + k = d`` depends only on diagonal ``d - 1``,
+so the kernel walks the :class:`repro.sweep3d.plan.SweepPlan`'s
+precomputed wavefront steps — ``I+J+K-2`` of them, against the
+``K x (I+J-1)`` per-K-plane steps of the seed implementation — and
+vectorizes each over cells and angles simultaneously, the numpy
+analogue of the paper's SPE port batching its innermost loop for SIMD.
 
-Results match :func:`repro.sweep3d.reference.reference_sweep_octant`
-to floating-point round-off (tests compare against it directly).
+Results match :func:`repro.sweep3d.reference.reference_sweep_octant` to
+floating-point round-off, and the seed-commit ``sweep_octant`` **bit
+for bit** (the plan records which rows must take BLAS's one-row
+reduction path; see :mod:`repro.sweep3d.plan`) — both asserted by the
+perf smoke tier.
+
+:func:`sweep_octants_batched` additionally runs all eight octants of a
+vacuum-boundary sweep in one pass, stacking their independent inflows
+into the trailing angle axis (``8`` octants side by side) with the
+octant flips applied through the plan's precomputed index maps — one
+kernel invocation per transport sweep instead of eight.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
-from repro.sweep3d.quadrature import AngleSet
+from repro.sweep3d.plan import SweepPlan, get_plan, reduce_rows
+from repro.sweep3d.quadrature import OCTANTS, AngleSet
 
-__all__ = ["sweep_octant"]
+__all__ = ["sweep_octant", "sweep_octants_batched"]
+
+
+def _flat_sigma(sigma_t, shape: tuple[int, int, int]):
+    """Raveled total cross-section, or None when it is a scalar (the
+    common case, served by a precomputed per-angle denominator)."""
+    if np.ndim(sigma_t) == 0:
+        return None
+    sig = np.broadcast_to(np.asarray(sigma_t, dtype=np.float64), shape)
+    return np.ascontiguousarray(sig).reshape(-1)
 
 
 def sweep_octant(
@@ -30,13 +51,16 @@ def sweep_octant(
     inflow_x: np.ndarray,
     inflow_y: np.ndarray,
     inflow_z: np.ndarray,
+    plan: SweepPlan | None = None,
 ):
-    """Sweep one (+,+,+) octant, vectorized over diagonals and angles.
+    """Sweep one (+,+,+) octant, vectorized over 3-D wavefronts.
 
     Same contract as
-    :func:`repro.sweep3d.reference.reference_sweep_octant`.
+    :func:`repro.sweep3d.reference.reference_sweep_octant`; ``plan``
+    lets a caller pass the geometry's plan explicitly (it is looked up
+    in the plan cache otherwise).
     """
-    source = np.asarray(source, dtype=np.float64)
+    source = np.ascontiguousarray(source, dtype=np.float64)
     I, J, K = source.shape
     M = angles.n_angles
     if inflow_x.shape != (J, K, M):
@@ -45,43 +69,131 @@ def sweep_octant(
         raise ValueError(f"inflow_y must be (I, K, M)={I, K, M}, got {inflow_y.shape}")
     if inflow_z.shape != (I, J, M):
         raise ValueError(f"inflow_z must be (I, J, M)={I, J, M}, got {inflow_z.shape}")
+    if plan is None:
+        plan = get_plan(I, J, K, M)
 
-    sig = np.broadcast_to(np.asarray(sigma_t, dtype=np.float64), (I, J, K))
-    cx = 2.0 * angles.mu / dx    # (M,)
-    cy = 2.0 * angles.eta / dy
-    cz = 2.0 * angles.xi / dz
-    c_sum = cx + cy + cz
-    w = angles.weights
+    cx, cy, cz, c_sum, w = plan.angle_constants(dx, dy, dz, angles)
+    src = source.reshape(-1)
+    sig = _flat_sigma(sigma_t, (I, J, K))
+    denom = None if sig is not None else sigma_t + c_sum  # (M,)
 
-    out_x = np.empty((J, K, M), dtype=np.float64)
-    out_y = np.empty((I, K, M), dtype=np.float64)
-    psi_z = np.array(inflow_z, dtype=np.float64, copy=True)  # running (I, J, M)
-    phi = np.zeros((I, J, K), dtype=np.float64)
+    # Running face fluxes; the final states ARE the outflows.
+    psi_x = np.array(inflow_x, dtype=np.float64, copy=True).reshape(J * K, M)
+    psi_y = np.array(inflow_y, dtype=np.float64, copy=True).reshape(I * K, M)
+    psi_z = np.array(inflow_z, dtype=np.float64, copy=True).reshape(I * J, M)
+    phi = np.empty(I * J * K)
 
-    # Precompute the diagonal index lists once; they are k-invariant.
-    diagonals = []
-    for d in range(I + J - 1):
-        i_lo = max(0, d - (J - 1))
-        i_hi = min(I - 1, d)
-        ii = np.arange(i_lo, i_hi + 1)
-        diagonals.append((ii, d - ii))
+    ws = plan.workspace(M)
+    w_in_x, w_in_y, w_in_z = ws["in_x"], ws["in_y"], ws["in_z"]
+    w_numer, w_center, w_two, w_rows = (
+        ws["numer"], ws["center"], ws["two"], ws["rows"],
+    )
 
-    for k in range(K):
-        psi_x = np.array(inflow_x[:, k, :], dtype=np.float64, copy=True)  # (J, M)
-        psi_y = np.array(inflow_y[:, k, :], dtype=np.float64, copy=True)  # (I, M)
-        src_k = source[:, :, k]
-        sig_k = sig[:, :, k]
-        for ii, jj in diagonals:
-            in_x = psi_x[jj]          # (n, M)
-            in_y = psi_y[ii]
-            in_z = psi_z[ii, jj]
-            numer = src_k[ii, jj][:, None] + cx * in_x + cy * in_y + cz * in_z
-            center = numer / (sig_k[ii, jj][:, None] + c_sum)
-            phi[ii, jj, k] += center @ w
-            psi_x[jj] = 2.0 * center - in_x
-            psi_y[ii] = 2.0 * center - in_y
-            psi_z[ii, jj] = 2.0 * center - in_z
-        out_x[:, k, :] = psi_x
-        out_y[:, k, :] = psi_y
+    for cell, xf, yf, zf, fix, _fix8 in plan.steps:
+        n = cell.shape[0]
+        in_x = np.take(psi_x, xf, axis=0, out=w_in_x[:n])
+        in_y = np.take(psi_y, yf, axis=0, out=w_in_y[:n])
+        in_z = np.take(psi_z, zf, axis=0, out=w_in_z[:n])
+        numer = np.multiply(cx, in_x, out=w_numer[:n])
+        numer += np.take(src, cell, out=w_rows[:n])[:, None]
+        numer += np.multiply(cy, in_y, out=w_two[:n])
+        numer += np.multiply(cz, in_z, out=w_two[:n])
+        if denom is not None:
+            center = np.divide(numer, denom, out=w_center[:n])
+        else:
+            center = np.divide(
+                numer,
+                np.take(sig, cell, out=w_rows[:n])[:, None] + c_sum,
+                out=w_center[:n],
+            )
+        p = reduce_rows(center, w, fix, out=w_rows[:n])
+        phi[cell] = np.add(p, 0.0, out=p)  # 0.0 + p: the seed's "+=" on zeros
+        two = np.multiply(2.0, center, out=w_two[:n])
+        psi_x[xf] = np.subtract(two, in_x, out=in_x)
+        psi_y[yf] = np.subtract(two, in_y, out=in_y)
+        psi_z[zf] = np.subtract(two, in_z, out=in_z)
 
-    return phi, out_x, out_y, psi_z
+    return (
+        phi.reshape(I, J, K),
+        psi_x.reshape(J, K, M),
+        psi_y.reshape(I, K, M),
+        psi_z.reshape(I, J, M),
+    )
+
+
+def sweep_octants_batched(
+    sigma_t: np.ndarray | float,
+    source: np.ndarray,
+    dx: float,
+    dy: float,
+    dz: float,
+    angles: AngleSet,
+    plan: SweepPlan | None = None,
+):
+    """All eight octants of one vacuum-inflow transport sweep, batched.
+
+    The eight octants of a sweep are independent given their inflows;
+    with vacuum (all-zero) inflows they can run side by side, stacked
+    along a new octant axis ahead of the angle axis, with each octant's
+    array flips realized by the plan's precomputed flat index maps
+    instead of eight ``np.flip`` copies and eight kernel calls.
+
+    Returns ``(phi, out_x, out_y, out_z)``: the scalar flux summed over
+    octants in global orientation (octant-id accumulation order, bit-
+    identical to the per-octant solver loop), and per-octant outflow
+    faces in **sweep orientation** — ``out_x[o]`` is what
+    :func:`sweep_octant` would have returned for octant ``o`` —
+    shaped ``(8, J, K, M)`` / ``(8, I, K, M)`` / ``(8, I, J, M)``.
+    """
+    source = np.ascontiguousarray(source, dtype=np.float64)
+    I, J, K = source.shape
+    M = angles.n_angles
+    if plan is None:
+        plan = get_plan(I, J, K, M)
+    n_oct = len(OCTANTS)
+
+    cx, cy, cz, c_sum, w = plan.angle_constants(dx, dy, dz, angles)
+    flip = plan.octant_maps
+    src8 = source.reshape(-1)[flip]  # (n_cells, 8): per-octant flipped sources
+    sig = _flat_sigma(sigma_t, (I, J, K))
+    if sig is None:
+        denom = sigma_t + c_sum  # (M,), broadcasts over (n, 8, M)
+        sig8 = None
+    else:
+        denom = None
+        sig8 = sig[flip]
+
+    psi_x = np.zeros((J * K, n_oct, M))
+    psi_y = np.zeros((I * K, n_oct, M))
+    psi_z = np.zeros((I * J, n_oct, M))
+    phi8 = np.empty((plan.n_cells, n_oct))
+
+    for cell, xf, yf, zf, _fix, fix8 in plan.steps:
+        in_x = psi_x[xf]
+        in_y = psi_y[yf]
+        in_z = psi_z[zf]
+        numer = cx * in_x
+        numer += src8[cell][:, :, None]
+        numer += cy * in_y
+        numer += cz * in_z
+        if denom is not None:
+            center = numer / denom
+        else:
+            center = numer / (sig8[cell][:, :, None] + c_sum)
+        p = reduce_rows(center, w, fix8)
+        phi8[cell] = p + 0.0  # 0.0 + p: the seed's "+=" on zeros
+        two = 2.0 * center
+        psi_x[xf] = two - in_x
+        psi_y[yf] = two - in_y
+        psi_z[zf] = two - in_z
+
+    # Un-flip and accumulate in octant order (matching the sequential
+    # solver's `phi += _flip(phi_oct)` addition order bit for bit).
+    phi = np.zeros(plan.n_cells)
+    for o in range(n_oct):
+        phi += phi8[flip[:, o], o]
+
+    out_x = np.ascontiguousarray(psi_x.reshape(J, K, n_oct, M).transpose(2, 0, 1, 3))
+    out_y = np.ascontiguousarray(psi_y.reshape(I, K, n_oct, M).transpose(2, 0, 1, 3))
+    out_z = np.ascontiguousarray(psi_z.reshape(I, J, n_oct, M).transpose(2, 0, 1, 3))
+    return phi.reshape(I, J, K), out_x, out_y, out_z

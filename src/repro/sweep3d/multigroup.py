@@ -16,11 +16,13 @@ kernel is the right unit of reproduction.
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass
 
 import numpy as np
 
 from repro.sweep3d.input import SweepInput
+from repro.sweep3d.quadrature import make_angle_set
 from repro.sweep3d.solver import SweepResult, solve
 
 __all__ = ["MultigroupInput", "MultigroupResult", "solve_multigroup"]
@@ -100,10 +102,11 @@ def solve_multigroup(
     fixup: bool = False,
 ) -> MultigroupResult:
     """One-pass downscatter solve: fast groups first."""
-    import dataclasses
-
     base = mg.base
     shape = (base.it, base.jt, base.kt)
+    # One ordinate set (and hence one cached sweep plan + memoized angle
+    # constants) serves every group: the geometry never changes.
+    angles = make_angle_set(base.mmi)
     phi = np.zeros((mg.groups, *shape))
     results = []
     for g in range(mg.groups):
@@ -121,6 +124,7 @@ def solve_multigroup(
         result = solve(
             inp_g,
             max_iterations=max_iterations,
+            angles=angles,
             fixup=fixup,
             external_source=external,
         )

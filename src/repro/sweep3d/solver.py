@@ -30,8 +30,9 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.sweep3d.fixup import sweep_octant_fixup, sweep_octants_batched_fixup
 from repro.sweep3d.input import SweepInput
-from repro.sweep3d.kernel import sweep_octant
+from repro.sweep3d.kernel import sweep_octant, sweep_octants_batched
 from repro.sweep3d.quadrature import OCTANTS, AngleSet, make_angle_set
 
 __all__ = ["SweepResult", "sweep_all_octants", "solve", "ALL_REFLECTIVE", "FACES"]
@@ -83,6 +84,44 @@ def _flip(arr: np.ndarray, signs: tuple[int, int, int]) -> np.ndarray:
     return np.flip(arr, axis=axes) if axes else arr
 
 
+#: Per-octant kernels with an 8-octant batched counterpart (the batched
+#: variants only exist for vacuum inflows, hence the gate below).
+_BATCHED_KERNELS = {
+    sweep_octant: sweep_octants_batched,
+    sweep_octant_fixup: sweep_octants_batched_fixup,
+}
+
+
+def _sweep_batched(
+    inp: SweepInput, source: np.ndarray, angles: AngleSet, batched_kernel
+) -> tuple[np.ndarray, float, float]:
+    """One vacuum-boundary sweep via a single batched kernel call.
+
+    Bit-identical to the eight-call octant loop: the batched kernel
+    accumulates ``phi`` in octant order, and the leakage einsums below
+    run per octant per axis in the loop's exact order on faces with the
+    per-octant layout.  Reflected influx is identically zero here (the
+    vacuum-only gate), matching the loop's sum of ``+0.0`` terms.
+    """
+    phi, out_x, out_y, out_z = batched_kernel(
+        inp.sigma_t, source, inp.dx, inp.dy, inp.dz, angles
+    )
+    area = {"x": inp.dy * inp.dz, "y": inp.dx * inp.dz, "z": inp.dx * inp.dy}
+    cosine = {"x": angles.mu, "y": angles.eta, "z": angles.xi}
+    leakage = 0.0
+    for octant in OCTANTS:
+        for axis, out in (
+            ("x", out_x[octant.id]),
+            ("y", out_y[octant.id]),
+            ("z", out_z[octant.id]),
+        ):
+            leakage += float(
+                area[axis]
+                * np.einsum("abm,m->", out, angles.weights * cosine[axis])
+            )
+    return phi, leakage, 0.0
+
+
 def sweep_all_octants(
     inp: SweepInput,
     source: np.ndarray,
@@ -90,6 +129,7 @@ def sweep_all_octants(
     kernel=sweep_octant,
     reflective: frozenset = frozenset(),
     face_memory: dict | None = None,
+    batched: bool | None = None,
 ) -> tuple[np.ndarray, float, float]:
     """One full transport sweep of ``source`` over all eight octants.
 
@@ -106,10 +146,28 @@ def sweep_all_octants(
     ``reflective`` names mirrored faces (subset of :data:`FACES`);
     ``face_memory`` carries their stored outflows across sweeps (pass
     the same dict to every call of an iteration loop).
+
+    ``batched`` selects the 8-octant batched kernel (one call per sweep
+    instead of eight).  It requires all-vacuum inflows — no reflective
+    faces, no banked ``face_memory`` — and a kernel with a batched
+    counterpart; the default ``None`` auto-enables it exactly when
+    those hold, falling back to the octant loop otherwise.  Both paths
+    return bit-identical results.
     """
     bad = set(reflective) - FACES
     if bad:
         raise ValueError(f"unknown reflective faces: {sorted(bad)}")
+    batched_kernel = _BATCHED_KERNELS.get(kernel)
+    vacuum = not reflective and not face_memory
+    if batched is None:
+        batched = vacuum and batched_kernel is not None
+    elif batched and not (vacuum and batched_kernel is not None):
+        raise ValueError(
+            "batched sweeps require vacuum boundaries (no reflective faces "
+            "or face_memory) and a kernel with a batched counterpart"
+        )
+    if batched:
+        return _sweep_batched(inp, source, angles, batched_kernel)
     I, J, K = inp.it, inp.jt, inp.kt
     M = angles.n_angles
     memory = face_memory if face_memory is not None else {}
@@ -168,6 +226,7 @@ def solve(
     fixup: bool = False,
     external_source: np.ndarray | None = None,
     reflective: frozenset = frozenset(),
+    batched: bool | None = None,
 ) -> SweepResult:
     """Source-iterate to convergence (or ``max_iterations``).
 
@@ -178,10 +237,7 @@ def solve(
     """
     if max_iterations < 1:
         raise ValueError("max_iterations must be >= 1")
-    if fixup:
-        from repro.sweep3d.fixup import sweep_octant_fixup as kernel
-    else:
-        kernel = sweep_octant
+    kernel = sweep_octant_fixup if fixup else sweep_octant
     angles = angles or make_angle_set(inp.mmi)
     I, J, K = inp.it, inp.jt, inp.kt
     cell_volume = inp.dx * inp.dy * inp.dz
@@ -203,7 +259,7 @@ def solve(
         source = external + inp.sigma_s * phi
         phi_new, leakage, reflected_net = sweep_all_octants(
             inp, source, angles, kernel=kernel,
-            reflective=reflective, face_memory=face_memory,
+            reflective=reflective, face_memory=face_memory, batched=batched,
         )
         # Per-sweep particle balance — an *exact* identity of diamond
         # differencing, valid every iteration, converged or not:

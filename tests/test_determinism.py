@@ -108,3 +108,72 @@ def test_parallel_sweep_twice_is_bit_identical():
     assert np.array_equal(result_a.phi, result_b.phi)
     assert len(records_a) > 0
     assert records_a == records_b
+
+
+# -- the sweep-plan cache --------------------------------------------------
+
+
+def test_sweep_plan_reused_across_solvers_and_distinct_per_geometry():
+    """`solve` and `solve_multigroup` on one geometry share one cached
+    plan object; a different geometry gets a different plan."""
+    from repro.sweep3d import (
+        MultigroupInput, get_plan, make_angle_set, solve, solve_multigroup,
+    )
+
+    inp = SweepInput(it=4, jt=3, kt=4, mk=2, mmi=2)
+    M = make_angle_set(inp.mmi).n_angles
+    plan = get_plan(inp.it, inp.jt, inp.kt, M)
+    solve(inp, max_iterations=3)
+    assert get_plan(inp.it, inp.jt, inp.kt, M) is plan
+    mg = MultigroupInput(
+        base=inp,
+        sigma_t=(1.0, 1.2),
+        sigma_s=((0.3, 0.0), (0.2, 0.4)),
+        q=(1.0, 0.0),
+    )
+    solve_multigroup(mg, max_iterations=3)
+    assert get_plan(inp.it, inp.jt, inp.kt, M) is plan
+    other = get_plan(inp.it + 1, inp.jt, inp.kt, M)
+    assert other is not plan
+    assert other.shape == (inp.it + 1, inp.jt, inp.kt)
+
+
+def test_sweep_plan_warm_vs_cold_bitwise():
+    """A plan-cold solve (fresh cache) and a plan-warm solve (reusing
+    cached index vectors, angle constants and scratch workspaces) are
+    bit-identical — the cache carries no numeric state between runs."""
+    from repro.sweep3d import clear_plans, solve
+
+    inp = SweepInput(it=5, jt=4, kt=6, mk=2, mmi=6, sigma_t=2.0, sigma_s=0.9)
+    clear_plans()
+    cold = solve(inp, max_iterations=15)
+    warm = solve(inp, max_iterations=15)
+    assert np.array_equal(cold.phi, warm.phi)
+    assert cold.leakage == warm.leakage
+    assert cold.balance_residual == warm.balance_residual
+
+
+def test_sweep_plan_no_cross_run_leakage():
+    """Interleaving solves on different geometries (and the distributed
+    sweep, which shares block-shaped plans) leaves every result equal to
+    its isolated-run value."""
+    from repro.sweep3d import clear_plans, solve
+
+    inp_a = SweepInput(it=4, jt=4, kt=4, mk=2, mmi=2)
+    inp_b = SweepInput(it=3, jt=5, kt=6, mk=3, mmi=6, sigma_t=3.0)
+    clear_plans()
+    isolated_a = solve(inp_a, max_iterations=10).phi
+    clear_plans()
+    isolated_b = solve(inp_b, max_iterations=10).phi
+    clear_plans()
+    isolated_sweep, _ = _sweep_run()
+    clear_plans()
+    mixed_a = solve(inp_a, max_iterations=10).phi
+    mixed_sweep, _ = _sweep_run()
+    mixed_b = solve(inp_b, max_iterations=10).phi
+    mixed_a2 = solve(inp_a, max_iterations=10).phi
+    assert np.array_equal(mixed_a, isolated_a)
+    assert np.array_equal(mixed_a2, isolated_a)
+    assert np.array_equal(mixed_b, isolated_b)
+    assert np.array_equal(mixed_sweep.phi, isolated_sweep.phi)
+    assert mixed_sweep.iteration_time == isolated_sweep.iteration_time
