@@ -35,6 +35,14 @@ def _build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="emit machine-readable JSON instead of formatted text",
     )
+    parser.add_argument(
+        "--correlated",
+        action="store_true",
+        help=(
+            "render the resilience artifact under correlated power-domain "
+            "failures (shorthand for 'resilience-correlated')"
+        ),
+    )
     return parser
 
 
@@ -42,6 +50,11 @@ def main(argv: list[str] | None = None) -> int:
     """Entry point; returns the process exit code."""
     args = _build_parser().parse_args(argv)
     requested = list(args.artifacts)
+    if args.correlated:
+        requested = [
+            "resilience-correlated" if n == "resilience" else n
+            for n in requested
+        ]
 
     if args.json:
         import json

@@ -12,6 +12,14 @@ The *fabric* maps a pair of :class:`Location` endpoints to a transport
 cost; :class:`UniformFabric` applies one transport everywhere, while
 Sweep3D's runs use location-aware fabrics from :mod:`repro.comm.cml`
 and :mod:`repro.network.latency`.
+
+On an unhealthy machine the collectives are survivable: ``timeout=``
+bounds every receive in the tree (a dead partner raises
+:class:`DeliveryError` instead of stalling the subtree forever), and
+``shrink=True`` completes the collective over the live membership from
+a :class:`~repro.resilience.health.FabricHealth` ledger (see
+:mod:`repro.comm.membership`).  Both default off; the default path is
+bit-identical to the historical perfect-fabric communicator.
 """
 
 from __future__ import annotations
@@ -20,7 +28,7 @@ from dataclasses import dataclass, field
 from typing import Any, Callable, NamedTuple
 
 from repro.comm.transport import PipelinePath, Transport
-from repro.sim.engine import Event, Simulator
+from repro.sim.engine import AnyOf, Event, Simulator
 from repro.sim.trace import NULL_TRACER, Tracer
 
 __all__ = [
@@ -154,6 +162,15 @@ class _Mailbox:
         self.waiters.append((source, tag, evt))
         return evt
 
+    def cancel(self, evt: Event) -> None:
+        """Deregister a waiter created by :meth:`take`.  A receive that
+        gives up (deadline expired) must remove its stale event, or the
+        next matching message would be swallowed by it and lost."""
+        for i, (_src, _tag, waiting) in enumerate(self.waiters):
+            if waiting is evt:
+                del self.waiters[i]
+                return
+
 
 def _matches(msg: Message, source: int, tag: int) -> bool:
     return (source == ANY_SOURCE or msg.source == source) and (
@@ -184,6 +201,12 @@ class SimMPI:
         #: optional DeliveryPolicy (duck-typed: delivered()/retry_delay()/
         #: max_retries); None keeps the historical perfect-fabric path
         self.delivery = delivery
+        #: optional :class:`repro.comm.membership.Membership` consulted
+        #: by the ``shrink=True`` collectives; set via :meth:`attach_health`
+        self.membership = None
+        #: shared shrink-protocol state, one cell per collective
+        #: sequence number (see :mod:`repro.comm.membership`)
+        self._shrink_state: dict[int, Any] = {}
         self._mailboxes = [_Mailbox() for _ in locations]
         #: zero-byte latency memoized per (src_rank, dest_rank) — rank
         #: locations are fixed for the communicator's lifetime
@@ -204,6 +227,15 @@ class SimMPI:
     @property
     def size(self) -> int:
         return len(self.locations)
+
+    def attach_health(self, health):
+        """Give the communicator a live-membership view over ``health``
+        (a :class:`~repro.resilience.health.FabricHealth`), enabling the
+        ``shrink=True`` collectives.  Returns the Membership."""
+        from repro.comm.membership import Membership
+
+        self.membership = Membership(self.locations, health)
+        return self.membership
 
     def rank(self, index: int) -> "Rank":
         """Handle used by rank ``index``'s process."""
@@ -341,26 +373,90 @@ class Rank:
             yield sim.timeout(policy.retry_delay(attempt))
             attempt += 1
 
-    def recv(self, source: int = ANY_SOURCE, tag: int = ANY_TAG):
-        """Blocking receive (generator); returns the :class:`Message`."""
-        msg = yield self.irecv(source=source, tag=tag)
+    def recv(
+        self,
+        source: int = ANY_SOURCE,
+        tag: int = ANY_TAG,
+        timeout: float | None = None,
+    ):
+        """Blocking receive (generator); returns the :class:`Message`.
+
+        With ``timeout`` the wait is bounded: if no matching message
+        arrives within ``timeout`` simulated seconds the receive gives
+        up and raises :class:`DeliveryError` — the detection primitive
+        the survivable collectives are built on.  ``timeout=None`` (the
+        default) is the historical unbounded receive.
+        """
+        if timeout is not None:
+            msg = yield from self._recv_deadline(source, tag, timeout)
+        else:
+            msg = yield self.irecv(source=source, tag=tag)
         self.comm.tracer.record(self.sim.now, "mpi.recv", self.index,
                                 {"source": msg.source, "size": msg.size})
         return msg
+
+    def _recv_deadline(self, source: int, tag: int, timeout: float):
+        """Receive bounded by a deadline (generator): race the mailbox
+        event against a timer; on expiry deregister the waiter (so a
+        later matching message is not silently consumed by the stale
+        event) and raise :class:`DeliveryError`."""
+        if timeout <= 0:
+            raise ValueError("recv timeout must be positive")
+        sim = self.sim
+        evt = self.irecv(source=source, tag=tag)
+        if evt._triggered:  # already matched against pending messages
+            msg = yield evt
+            return msg
+        timer = sim.timeout(timeout)
+        fired = yield AnyOf(sim, (evt, timer))
+        if evt in fired:
+            return fired[evt]
+        if evt._triggered:
+            # The message landed in the very instant the deadline
+            # expired, after the timer in heap order: take it rather
+            # than lose a delivered message.
+            return evt._value
+        self.comm._mailboxes[self.index].cancel(evt)
+        who = "any source" if source == ANY_SOURCE else f"rank {source}"
+        raise DeliveryError(
+            f"rank {self.index}: no message from {who} (tag {tag}) "
+            f"within {timeout:g} s"
+        )
 
     def irecv(self, source: int = ANY_SOURCE, tag: int = ANY_TAG) -> Event:
         """Non-blocking receive: an event firing with the message."""
         return self.comm._mailboxes[self.index].take(self.sim, source, tag)
 
     # -- collectives (binomial trees over point-to-point) ---------------------
-    def _next_coll_tag(self) -> int:
-        """Fresh 64-tag block for one collective invocation."""
+    #
+    # All four core collectives take two survivability knobs:
+    #
+    # * ``timeout`` bounds every receive in the tree — a dead partner
+    #   surfaces as :class:`DeliveryError` out of the collective (abort
+    #   contract) instead of parking its whole subtree forever;
+    # * ``shrink=True`` (requires ``comm.attach_health(...)`` and a
+    #   ``timeout``) instead rebuilds the tree over the live membership
+    #   and completes with a survivor-only result — the shrink-and-
+    #   continue protocol of :mod:`repro.comm.membership`.
+    #
+    # The defaults keep the historical, perfect-fabric behavior.
+    def _next_coll_seq(self) -> int:
+        """This rank's next collective sequence number (MPI ordering
+        makes these agree across ranks)."""
         seq = self.comm._coll_seq[self.index]
         self.comm._coll_seq[self.index] += 1
-        return SimMPI._COLL_TAG + seq * 64
+        return seq
 
-    def barrier(self):
+    def _next_coll_tag(self) -> int:
+        """Fresh 64-tag block for one collective invocation."""
+        return SimMPI._COLL_TAG + self._next_coll_seq() * 64
+
+    def barrier(self, timeout: float | None = None, shrink: bool = False):
         """Dissemination barrier (generator)."""
+        if shrink:
+            from repro.comm.membership import shrink_barrier
+
+            return (yield from shrink_barrier(self, timeout=timeout))
         tag = self._next_coll_tag()
         n = self.comm.size
         if n == 1:
@@ -371,12 +467,28 @@ class Rank:
             dest = (self.index + distance) % n
             src = (self.index - distance) % n
             yield from self.send(dest, 0, tag=tag + round_no)
-            yield from self.recv(source=src, tag=tag + round_no)
+            yield from self.recv(source=src, tag=tag + round_no, timeout=timeout)
             distance *= 2
             round_no += 1
 
-    def bcast(self, value: Any, root: int = 0, size: int = 8, tag: int | None = None):
+    def bcast(
+        self,
+        value: Any,
+        root: int = 0,
+        size: int = 8,
+        tag: int | None = None,
+        timeout: float | None = None,
+        shrink: bool = False,
+    ):
         """Binomial-tree broadcast (generator); returns the value."""
+        if shrink:
+            from repro.comm.membership import shrink_bcast
+
+            return (
+                yield from shrink_bcast(
+                    self, value, root=root, size=size, timeout=timeout
+                )
+            )
         tag = tag if tag is not None else self._next_coll_tag()
         n = self.comm.size
         if n == 1:
@@ -386,7 +498,7 @@ class Rank:
         while mask < n:
             if vrank & mask:
                 src = ((vrank ^ mask) + root) % n
-                msg = yield from self.recv(source=src, tag=tag)
+                msg = yield from self.recv(source=src, tag=tag, timeout=timeout)
                 value = msg.payload
                 break
             mask <<= 1
@@ -407,9 +519,19 @@ class Rank:
         root: int = 0,
         size: int = 8,
         tag: int | None = None,
+        timeout: float | None = None,
+        shrink: bool = False,
     ):
         """Binomial-tree reduction (generator); root returns the result,
         other ranks return ``None``."""
+        if shrink:
+            from repro.comm.membership import shrink_reduce
+
+            return (
+                yield from shrink_reduce(
+                    self, value, op, root=root, size=size, timeout=timeout
+                )
+            )
         tag = tag if tag is not None else self._next_coll_tag()
         n = self.comm.size
         vrank = (self.index - root) % n
@@ -422,7 +544,9 @@ class Rank:
                 return None
             partner = vrank | mask
             if partner < n:
-                msg = yield from self.recv(source=(partner + root) % n, tag=tag)
+                msg = yield from self.recv(
+                    source=(partner + root) % n, tag=tag, timeout=timeout
+                )
                 acc = op(acc, msg.payload)
             mask <<= 1
         return acc
@@ -432,11 +556,23 @@ class Rank:
         value: Any,
         op: Callable[[Any, Any], Any],
         size: int = 8,
+        timeout: float | None = None,
+        shrink: bool = False,
     ):
         """Reduce-to-root then broadcast (generator); all ranks return
         the reduced value."""
-        reduced = yield from self.reduce(value, op, root=0, size=size)
-        result = yield from self.bcast(reduced, root=0, size=size)
+        if shrink:
+            from repro.comm.membership import shrink_allreduce
+
+            return (
+                yield from shrink_allreduce(
+                    self, value, op, size=size, timeout=timeout
+                )
+            )
+        reduced = yield from self.reduce(value, op, root=0, size=size,
+                                         timeout=timeout)
+        result = yield from self.bcast(reduced, root=0, size=size,
+                                       timeout=timeout)
         return result
 
     def gather(self, value: Any, root: int = 0, size: int = 8):

@@ -451,9 +451,49 @@ def _resilience() -> str:
         f"{table}\n\n"
         f"full-machine sweep iteration: {study['iteration_time_s']:.3f} s "
         f"({study['config']}, {study['nodes']} nodes)\n"
-        f"checkpoint write {study['checkpoint_time_s']:.0f} s, "
+        f"checkpoint write {study['checkpoint_time_s']:.0f} s (Panasas "
+        "PFS model, half of system memory through 204 I/O nodes), "
         f"restart {study['restart_time_s']:.0f} s; intervals are "
         "Daly-optimal (model extension beyond the paper)"
+    )
+
+
+def _resilience_correlated() -> str:
+    from repro.resilience.checkpoint import sweep_failure_study
+
+    studies = {
+        "independent": sweep_failure_study(burst_size=1),
+        "triblade pair": sweep_failure_study(burst_size=2),
+        "CU domain": sweep_failure_study(burst_size=180),
+    }
+    by_mtbf = list(zip(*(s["rows"] for s in studies.values())))
+    rows = [
+        (
+            f"{ind['node_mtbf_hours'] / 8760:.0f}y",
+            f"{ind['daly_interval_s'] / 60:.0f}",
+            f"{ind['expected_slowdown']:.3f}x",
+            f"{pair['daly_interval_s'] / 60:.0f}",
+            f"{pair['expected_slowdown']:.3f}x",
+            f"{cu['daly_interval_s'] / 60:.0f}",
+            f"{cu['expected_slowdown']:.3f}x",
+        )
+        for ind, pair, cu in by_mtbf
+    ]
+    table = format_table(
+        ["node MTBF",
+         "indep tau (min)", "slowdown",
+         "pair tau (min)", "slowdown",
+         "CU tau (min)", "slowdown"],
+        rows,
+        title="Extension: correlated power-domain failures at 3,060 nodes",
+    )
+    return (
+        f"{table}\n\n"
+        "same per-node MTBF throughout: correlated bursts (triblade "
+        "pair = 2 nodes, CU power domain = 180 nodes) make interrupting "
+        "events rarer, so the Daly-optimal checkpoint interval "
+        "stretches ~sqrt(burst) and the expected slowdown falls "
+        "(model extension beyond the paper)"
     )
 
 
@@ -481,6 +521,10 @@ ARTIFACTS: dict[str, tuple[str, Callable[[], str]]] = {
     "energy": ("Extension: energy-to-solution", _energy),
     "section4": ("§IV measured in one campaign", _section4),
     "resilience": ("Extension: MTBF vs checkpoint economics", _resilience),
+    "resilience-correlated": (
+        "Extension: correlated power-domain failure economics",
+        _resilience_correlated,
+    ),
 }
 
 

@@ -297,6 +297,16 @@ def _resilience() -> dict[str, Any]:
     return sweep_failure_study()
 
 
+def _resilience_correlated() -> dict[str, Any]:
+    from repro.resilience.checkpoint import sweep_failure_study
+
+    return {
+        "independent": sweep_failure_study(burst_size=1),
+        "triblade_pair": sweep_failure_study(burst_size=2),
+        "cu_domain": sweep_failure_study(burst_size=180),
+    }
+
+
 def _validate() -> dict[str, Any]:
     from repro.validation.report import run_checks
 
@@ -342,6 +352,7 @@ DATA_PRODUCERS: dict[str, Callable[[], dict[str, Any]]] = {
     "energy": _energy,
     "section4": _section4,
     "resilience": _resilience,
+    "resilience-correlated": _resilience_correlated,
     "validate": _validate,
 }
 

@@ -26,6 +26,7 @@ from repro.network.topology import NodeId, RoadrunnerTopology
 __all__ = [
     "link_loads",
     "max_link_load",
+    "degraded_link_loads",
     "cu_oversubscription",
     "cross_side_links",
     "bisection_summary",
@@ -90,6 +91,56 @@ def max_link_load(
     """The hottest link's traversal count (0 for no flows)."""
     loads = link_loads(topo, pairs, spread=spread)
     return max(loads.values()) if loads else 0
+
+
+@lru_cache(maxsize=1 << 17)
+def _degraded_flow_edges(
+    topo: RoadrunnerTopology, src: NodeId, dst: NodeId, failed: frozenset
+) -> tuple[Edge, ...] | None:
+    """Edge keys of the BFS reroute around ``failed`` links, memoized
+    per ``(topology, src, dst, failed-set)``; ``None`` when the
+    failures disconnect the pair."""
+    from repro.network.routing import degraded_route
+
+    hops = degraded_route(topo, src, dst, failed)
+    if hops is None:
+        return None
+    path = [topo.graph_node(src), *hops, topo.graph_node(dst)]
+    reprs = [_vertex_repr(v) for v in path]
+    return tuple(
+        (u, v) if u <= v else (v, u) for u, v in zip(reprs, reprs[1:])
+    )
+
+
+def degraded_link_loads(
+    topo: RoadrunnerTopology,
+    pairs: Iterable[tuple[NodeId, NodeId]],
+    failed_links: Iterable[tuple],
+) -> tuple[Counter, list[tuple[NodeId, NodeId]]]:
+    """Traversal count per surviving link when flows reroute around
+    ``failed_links`` (a :attr:`~repro.resilience.health.FabricHealth.
+    failed_links` snapshot).
+
+    Each flow takes the shortest path over the working fabric
+    (:func:`repro.network.routing.degraded_route`), so traffic that
+    used a dead uplink or cross-side chain piles onto the survivors —
+    the concentration that motivates feeding ``Transport.derated`` into
+    the DES.  Returns ``(loads, unroutable)``: the per-link Counter
+    plus the pairs the failures disconnect entirely.
+    """
+    failed = frozenset(failed_links)
+    loads: Counter = Counter()
+    unroutable: list[tuple[NodeId, NodeId]] = []
+    update = loads.update
+    for src, dst in pairs:
+        if src == dst:
+            continue
+        edges = _degraded_flow_edges(topo, src, dst, failed)
+        if edges is None:
+            unroutable.append((src, dst))
+        else:
+            update(edges)
+    return loads, unroutable
 
 
 def cu_oversubscription() -> float:

@@ -19,17 +19,34 @@ package adds the failure axis the paper's measurements assume away:
 :mod:`repro.resilience.checkpoint`
     :class:`CheckpointModel` — the Young/Daly optimal-interval
     checkpoint/restart cost model, applied to the full-machine sweep
-    by :func:`sweep_failure_study` (``python -m repro resilience``).
+    by :func:`sweep_failure_study` (``python -m repro resilience``;
+    ``--correlated`` prices power-domain burst failures, and
+    ``CheckpointModel.from_pfs`` derives the write cost from the
+    Panasas model).
+:mod:`repro.resilience.recovery`
+    :func:`run_with_recovery` — the end-to-end loop: a distributed
+    sweep survives injected faults by re-placing around the health
+    ledger, restoring from its last checkpoint, and continuing;
+    :func:`placement_penalty` replays identical fault plans under
+    failure-aware vs. naive placement (``examples/failure_study.py``).
 
 Degraded-fabric rerouting lives with the rest of the routing code in
 :mod:`repro.network.routing` (``degraded_route`` / ``degraded_hop_census``)
-and :mod:`repro.network.loadmap` (``degraded_bisection_summary``).
+and :mod:`repro.network.loadmap` (``degraded_bisection_summary`` /
+``degraded_link_loads``); shrink-and-continue collectives live with the
+communicator in :mod:`repro.comm.membership`.
 """
 
 from repro.resilience.checkpoint import CheckpointModel, sweep_failure_study
 from repro.resilience.faults import Fault, FaultInjector, checkpoint_clock
 from repro.resilience.health import FabricHealth, edge_key
 from repro.resilience.policy import DeliveryPolicy
+from repro.resilience.recovery import (
+    RecoveryOutcome,
+    draw_fault_plan,
+    placement_penalty,
+    run_with_recovery,
+)
 
 __all__ = [
     "CheckpointModel",
@@ -37,7 +54,11 @@ __all__ = [
     "FabricHealth",
     "Fault",
     "FaultInjector",
+    "RecoveryOutcome",
     "checkpoint_clock",
+    "draw_fault_plan",
     "edge_key",
+    "placement_penalty",
+    "run_with_recovery",
     "sweep_failure_study",
 ]

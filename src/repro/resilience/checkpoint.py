@@ -68,15 +68,53 @@ class CheckpointModel:
         nodes: int,
         checkpoint_time: float,
         restart_time: float = 0.0,
+        burst_size: int = 1,
     ) -> "CheckpointModel":
         """Aggregate model of ``nodes`` components failing independently:
-        the system MTBF is ``node_mtbf / nodes``."""
+        the system MTBF is ``node_mtbf / nodes``.
+
+        ``burst_size`` models correlated failures sharing a power
+        domain (CU = 180, triblade pair = 2): nodes still fail at the
+        per-node rate, but in bursts that take ``burst_size`` of them
+        down per *event* — and checkpoint/restart pays per event, not
+        per node, so the interrupting-event MTBF is ``node_mtbf *
+        burst_size / nodes`` and the Daly optimum stretches by roughly
+        ``sqrt(burst_size)``.  Matches the event rate of
+        ``FaultInjector.schedule_correlated_node_faults``.
+        """
         if nodes < 1:
             raise ValueError("nodes must be >= 1")
+        if burst_size < 1:
+            raise ValueError("burst_size must be >= 1")
         return cls(
-            mtbf=node_mtbf / nodes,
+            mtbf=node_mtbf * burst_size / nodes,
             checkpoint_time=checkpoint_time,
             restart_time=restart_time,
+        )
+
+    @classmethod
+    def from_pfs(
+        cls,
+        node_mtbf: float,
+        nodes: int,
+        pfs=None,
+        memory_fraction: float = 0.5,
+        restart_time: float = 0.0,
+        burst_size: int = 1,
+    ) -> "CheckpointModel":
+        """:meth:`from_node_mtbf` with ``delta`` priced by the Panasas
+        PFS model instead of guessed: the time to stream
+        ``memory_fraction`` of system memory through the 204 I/O nodes
+        (:meth:`repro.io.panasas.PanasasModel.checkpoint_time`)."""
+        from repro.io.panasas import PanasasModel
+
+        pfs = pfs if pfs is not None else PanasasModel()
+        return cls.from_node_mtbf(
+            node_mtbf=node_mtbf,
+            nodes=nodes,
+            checkpoint_time=pfs.checkpoint_time(memory_fraction),
+            restart_time=restart_time,
+            burst_size=burst_size,
         )
 
     # -- optimal intervals --------------------------------------------------
@@ -129,11 +167,12 @@ class CheckpointModel:
 
 def sweep_failure_study(
     node_mtbf_hours: tuple[float, ...] = (8760.0, 43800.0, 87600.0, 219000.0),
-    checkpoint_time: float = 120.0,
+    checkpoint_time: float | None = None,
     restart_time: float = 300.0,
     nodes: int = 3060,
     campaign_hours: float = 24.0,
     config: str = "cell_measured",
+    burst_size: int = 1,
 ) -> dict:
     """Expected cost of a full-machine sweep campaign under failures.
 
@@ -143,11 +182,21 @@ def sweep_failure_study(
     block of sweep iterations — iteration time taken from the
     DES-validated wavefront model at full machine scale.
 
+    ``checkpoint_time`` defaults to the Panasas PFS model's time to
+    write half of system memory through the 204 I/O nodes (pass a
+    scalar to override); ``burst_size > 1`` prices correlated power-
+    domain failures (see :meth:`CheckpointModel.from_node_mtbf`) — the
+    ``--correlated`` variant of the CLI artifact.
+
     Returns a JSON-friendly dict (the ``python -m repro resilience``
     artifact): per-MTBF rows plus the underlying sweep numbers.
     """
     from repro.sweep3d.scaling import ScalingStudy
 
+    if checkpoint_time is None:
+        from repro.io.panasas import PanasasModel
+
+        checkpoint_time = PanasasModel().checkpoint_time(0.5)
     point = ScalingStudy().point(nodes, config)
     iteration_time = point.iteration_time
     solve_time = campaign_hours * _HOUR
@@ -159,6 +208,7 @@ def sweep_failure_study(
             nodes=nodes,
             checkpoint_time=checkpoint_time,
             restart_time=restart_time,
+            burst_size=burst_size,
         )
         tau = model.daly_interval()
         slowdown = model.expected_slowdown(tau)
@@ -182,5 +232,6 @@ def sweep_failure_study(
         "iterations": iterations,
         "checkpoint_time_s": checkpoint_time,
         "restart_time_s": restart_time,
+        "burst_size": burst_size,
         "rows": rows,
     }

@@ -153,6 +153,50 @@ class FaultInjector:
                 t += repair_after + self.rng.expovariate(rate)
         return placed
 
+    def schedule_correlated_node_faults(
+        self,
+        nodes: Iterable[int],
+        mtbf: float,
+        horizon: float,
+        domain_size: int = 180,
+        repair_after: float | None = None,
+    ) -> int:
+        """Correlated failures by shared power domain: one exponential
+        stream per domain, each event failing *every* node of the
+        domain at once; returns node failures placed.
+
+        Domains are keyed on ``node // domain_size`` — 180 groups a
+        whole CU behind its power distribution, 2 pairs the triblades
+        that share a chassis power supply.  Against the independent
+        model of :meth:`schedule_node_faults`, the same per-node
+        ``mtbf`` now produces ``domain_size``-fold *fewer* interrupting
+        events (each taking down ``domain_size`` nodes), which is what
+        shifts the Daly-optimal checkpoint interval — see
+        ``CheckpointModel.from_node_mtbf(burst_size=...)``.
+        """
+        if mtbf <= 0:
+            raise ValueError("mtbf must be positive")
+        if horizon <= 0:
+            raise ValueError("horizon must be positive")
+        if domain_size < 1:
+            raise ValueError("domain_size must be >= 1")
+        domains: dict[int, list[int]] = {}
+        for node in nodes:
+            domains.setdefault(node // domain_size, []).append(node)
+        placed = 0
+        rate = 1.0 / mtbf
+        for domain in sorted(domains):
+            members = sorted(domains[domain])
+            t = self.rng.expovariate(rate)
+            while t < horizon:
+                for node in members:
+                    self.fail_node_at(t, node, repair_after=repair_after)
+                placed += len(members)
+                if repair_after is None:
+                    break  # permanent: the domain's history ends here
+                t += repair_after + self.rng.expovariate(rate)
+        return placed
+
     def schedule_link_faults(
         self,
         links: Iterable[tuple],

@@ -35,8 +35,8 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from repro.comm.mpi import Location, SimMPI
-from repro.sim.engine import Simulator
+from repro.comm.mpi import DeliveryError, Location, SimMPI
+from repro.sim.engine import SimulationError, Simulator
 from repro.sweep3d.decomposition import Decomposition2D
 from repro.sweep3d.input import SweepInput
 from repro.sweep3d.kernel import sweep_octant
@@ -44,10 +44,43 @@ from repro.sweep3d.plan import get_plan
 from repro.sweep3d.quadrature import OCTANTS, AngleSet, make_angle_set
 from repro.sweep3d.solver import _flip
 
-__all__ = ["ParallelSweepResult", "ParallelSweep"]
+__all__ = ["ParallelSweepResult", "ParallelSweep", "SweepAborted"]
 
 _TAG_I = 1 << 16
 _TAG_J = 1 << 17
+
+
+class SweepAborted(RuntimeError):
+    """A distributed sweep died mid-run on a delivery failure.
+
+    Raised by :meth:`ParallelSweep.run` when a rank's bounded receive
+    or resilient send gives up (:class:`~repro.comm.mpi.DeliveryError`)
+    — only possible when the survivability knobs (``recv_timeout`` /
+    ``delivery``) are enabled.  Carries what a recovery orchestrator
+    needs: how far the simulated clock got and how many whole
+    iterations every rank had completed (the resume point).
+    """
+
+    def __init__(self, sim_time: float, completed_iterations: int,
+                 cause: Exception, retries: int = 0):
+        super().__init__(
+            f"sweep aborted at t={sim_time:.6g}s after "
+            f"{completed_iterations} completed iteration(s): {cause}"
+        )
+        self.sim_time = sim_time
+        self.completed_iterations = completed_iterations
+        self.cause = cause
+        #: message retransmissions charged before the abort
+        self.retries = retries
+
+
+def _finish_line(body, finish, remaining: list):
+    """Wrap a rank body so the last one to return succeeds ``finish``."""
+    result = yield from body
+    remaining[0] -= 1
+    if remaining[0] == 0:
+        finish.succeed(None)
+    return result
 
 
 @dataclass
@@ -62,6 +95,8 @@ class ParallelSweepResult:
     #: simulated seconds each rank spent computing blocks (all
     #: iterations; identical across ranks in weak scaling)
     compute_time_per_rank: float = 0.0
+    #: message retransmissions (0 without a delivery policy)
+    retries: int = 0
     per_rank_phi: list = field(repr=False, default_factory=list)
 
     @property
@@ -100,6 +135,13 @@ class ParallelSweep:
         A SimMPI fabric (transport cost model between rank locations).
     locations:
         Physical placement of each rank; defaults to one node per rank.
+    delivery, recv_timeout, fault_hook:
+        Survivability knobs (all default off — the default run is the
+        seed timeline, bit for bit): a DeliveryPolicy for the
+        communicator, a bound on every surface receive, and a hook to
+        wire a FaultInjector into the run's private Simulator.  With
+        them enabled a mid-run fault surfaces as :class:`SweepAborted`;
+        see :func:`repro.resilience.recovery.run_with_recovery`.
     """
 
     def __init__(
@@ -112,6 +154,9 @@ class ParallelSweep:
         angles: AngleSet | None = None,
         timeline=None,
         tracer=None,
+        delivery=None,
+        recv_timeout: float | None = None,
+        fault_hook=None,
     ):
         if isinstance(grind_time, (int, float)):
             grinds = [float(grind_time)] * decomp.size
@@ -138,6 +183,20 @@ class ParallelSweep:
         #: optional :class:`repro.sim.trace.Tracer` passed to the
         #: communicator; records the MPI event timeline of the run
         self.tracer = tracer
+        # -- survivability knobs (all default off: the default run is
+        # bit-identical to the seed timeline, asserted in perf smoke) --
+        #: optional :class:`repro.resilience.policy.DeliveryPolicy`
+        #: given to the communicator (sends to dead endpoints fail)
+        self.delivery = delivery
+        #: bound on every surface receive, simulated seconds; a dead
+        #: upstream neighbour then aborts the run (:class:`SweepAborted`)
+        #: instead of stalling the wavefront forever
+        self.recv_timeout = recv_timeout
+        #: optional ``hook(sim, procs, locations)`` called after the
+        #: rank processes are created and before the simulation runs —
+        #: the seam where a recovery driver wires a FaultInjector to
+        #: this run's private Simulator (``injector.watch`` per node)
+        self.fault_hook = fault_hook
 
     # -- once-per-run preparation ----------------------------------------------
     def _flipped_source_blocks(self, source: np.ndarray) -> list:
@@ -243,12 +302,16 @@ class ParallelSweep:
                 tag_i = _TAG_I + octant.id * kb + b
                 tag_j = _TAG_J + octant.id * kb + b
                 if up_i is not None:
-                    msg = yield from rank.recv(source=up_i, tag=tag_i)
+                    msg = yield from rank.recv(
+                        source=up_i, tag=tag_i, timeout=self.recv_timeout
+                    )
                     in_x = msg.payload
                 else:
                     in_x = zero_in_x
                 if up_j is not None:
-                    msg = yield from rank.recv(source=up_j, tag=tag_j)
+                    msg = yield from rank.recv(
+                        source=up_j, tag=tag_j, timeout=self.recv_timeout
+                    )
                     in_y = msg.payload
                 else:
                     in_y = zero_in_y
@@ -279,18 +342,21 @@ class ParallelSweep:
 
     def _rank_body(
         self, rank, blocks: list, scratch: dict, phi_out: list,
-        iterations: int, replay: bool,
+        iterations: int, replay: bool, progress: list,
     ):
         """Timed runs: repeat the same fixed-source sweep, as the
         paper's fixed-iteration measurements do.  With ``replay`` only
         the first sweep computes; the rest replay the identical DES
-        event sequence (see :meth:`_sweep_once`)."""
+        event sequence (see :meth:`_sweep_once`).  ``progress[rank]``
+        counts this rank's finished sweeps — the recovery driver's
+        resume point when a fault aborts the run."""
         phi = None
         for iteration in range(iterations):
             compute = iteration == 0 or not replay
             out = yield from self._sweep_once(rank, blocks, scratch, compute=compute)
             if out is not None:
                 phi = out
+            progress[rank.index] = iteration + 1
         phi_out[rank.index] = phi
 
     # -- driver ----------------------------------------------------------------
@@ -321,18 +387,47 @@ class ParallelSweep:
         blocks = self._flipped_source_blocks(source)
         scratch = self._scratch()
         sim = Simulator()
-        comm = SimMPI(sim, self.fabric, self.locations)
+        comm = SimMPI(sim, self.fabric, self.locations, delivery=self.delivery)
         if self.tracer is not None:
             comm.tracer = self.tracer
         phi_out: list = [None] * dec.size
+        progress = [0] * dec.size
+        procs = []
+        # With bounded receives armed, recv timers that lose their race
+        # against the message stay in the event heap; draining it would
+        # drag ``sim.now`` past the real completion time.  A finish-line
+        # event succeeded by the last rank to complete lets the bounded
+        # run stop at the true finish instant and never pop the stale
+        # timers — while a survivor's DeliveryError still escapes, and a
+        # fault victim's defused Interrupt stays silent.
+        finish = sim.event() if self.recv_timeout is not None else None
+        remaining = [dec.size]
         for r in range(dec.size):
-            sim.process(
-                self._rank_body(
-                    comm.rank(r), blocks, scratch, phi_out, iterations, replay
-                ),
-                name=f"sweep-rank{r}",
+            body = self._rank_body(
+                comm.rank(r), blocks, scratch, phi_out, iterations,
+                replay, progress,
             )
-        sim.run()
+            if finish is not None:
+                body = _finish_line(body, finish, remaining)
+            procs.append(sim.process(body, name=f"sweep-rank{r}"))
+        if self.fault_hook is not None:
+            self.fault_hook(sim, procs, self.locations)
+        try:
+            if finish is not None:
+                sim.run(until=finish)
+            else:
+                sim.run()
+        except DeliveryError as err:
+            raise SweepAborted(
+                sim.now, min(progress), err, retries=sum(comm.retry_counts)
+            ) from err
+        except SimulationError as err:
+            if finish is None:
+                raise
+            # every rank died before any survivor's timeout could fire
+            raise SweepAborted(
+                sim.now, min(progress), err, retries=sum(comm.retry_counts)
+            ) from err
         return self._result(sim, comm, phi_out, iterations)
 
     def solve_distributed(self, max_iterations: int = 100):
@@ -349,7 +444,7 @@ class ParallelSweep:
         dec = self.decomp
         scratch = self._scratch()
         sim = Simulator()
-        comm = SimMPI(sim, self.fabric, self.locations)
+        comm = SimMPI(sim, self.fabric, self.locations, delivery=self.delivery)
         if self.tracer is not None:
             comm.tracer = self.tracer
         phi_out: list = [None] * dec.size
@@ -379,6 +474,7 @@ class ParallelSweep:
             messages=sum(comm.sent_counts),
             bytes_sent=sum(comm.sent_bytes),
             compute_time_per_rank=iterations * 8 * self.inp.k_blocks * block_time,
+            retries=sum(comm.retry_counts),
             per_rank_phi=phi_out,
         )
 

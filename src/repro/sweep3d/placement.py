@@ -21,6 +21,11 @@ __all__ = [
     "spe_locations",
     "cell_fabric",
     "boundary_classes",
+    "unusable_nodes",
+    "failure_aware_locations",
+    "naive_respawn_locations",
+    "HopAwareFabric",
+    "hop_aware_cell_fabric",
 ]
 
 #: Ranks per node tile: 8 SPEs (i) x 4 Cells (j).
@@ -63,6 +68,191 @@ def cell_fabric(path: CellMessagePath | None = None) -> TransportMapFabric:
         },
         classify,
     )
+
+
+# -- failure-aware placement ------------------------------------------------
+#
+# When nodes die mid-campaign the job must respawn the lost tiles on
+# spare triblades.  Where those spares sit matters: the healthy tiling
+# keeps neighbouring tiles on consecutive nodes (mostly one crossbar
+# hop apart), so a replacement pulled from the far end of the machine
+# drags its tile boundaries across the reduced fat tree's full depth.
+# ``failure_aware_locations`` consults the health ledger and substitutes
+# spares from the *same CU* first (3 hops to the old neighbours), only
+# spilling to the nearest other CU when the home CU is exhausted;
+# ``naive_respawn_locations`` models a locality-blind scheduler that
+# backfills from the free-node pool at the far end of the machine.
+
+#: compute nodes per connected unit (paper §II-B)
+NODES_PER_CU = 180
+
+
+def unusable_nodes(health, nodes) -> frozenset[int]:
+    """The subset of ``nodes`` the ledger marks unusable: the node
+    itself failed, or its single access link (node to lower crossbar)
+    is down — either way the node cannot reach the fabric."""
+    failed_links = health.failed_links
+    out = set()
+    for node in nodes:
+        if not health.node_ok(node):
+            out.add(node)
+            continue
+        # access links appear in the ledger as the topology graph's
+        # ("node", cu, local) vertex on one side
+        vertex = ("node", node // NODES_PER_CU, node % NODES_PER_CU)
+        for u, v in failed_links:
+            if u == vertex or v == vertex:
+                out.add(node)
+                break
+    return frozenset(out)
+
+
+def _substitutions(base, health, machine_nodes, prefer_same_cu):
+    """Map each unusable base node to a healthy spare, deterministically.
+
+    With ``prefer_same_cu`` spares come from the failed node's own CU
+    first, then the CU at the smallest CU distance (lowest id breaking
+    ties); without it, from the tail of the machine's free pool — the
+    locality-blind backfill a generic scheduler would hand out.
+    """
+    used = {loc.node for loc in base}
+    down = unusable_nodes(health, range(machine_nodes))
+    dead = sorted(n for n in used if n in down)
+    if not dead:
+        return {}
+    spares = sorted(n for n in range(machine_nodes) if n not in used and n not in down)
+    if len(dead) > len(spares):
+        raise ValueError(
+            f"machine exhausted: {len(dead)} nodes to replace, "
+            f"{len(spares)} healthy spares"
+        )
+    mapping = {}
+    free = set(spares)
+    for node in dead:
+        if prefer_same_cu:
+            cu = node // NODES_PER_CU
+            pick = min(
+                free,
+                key=lambda s: (abs(s // NODES_PER_CU - cu), s),
+            )
+        else:
+            pick = max(free)
+        mapping[node] = pick
+        free.discard(pick)
+    return mapping
+
+
+def failure_aware_locations(
+    decomp: Decomposition2D,
+    health,
+    base: list[Location] | None = None,
+    machine_nodes: int = 3060,
+) -> list[Location]:
+    """The 8x4 tiling re-routed around the health ledger's failures.
+
+    Tiles on unusable nodes move to spare triblades in the same CU
+    (``Location.node // 180``) when any are healthy and unused, and
+    only then spill to the CU at the smallest CU distance — so a
+    replaced tile stays at most 3 crossbar hops from its old
+    neighbours whenever the home CU has a spare.
+    """
+    base = list(base) if base is not None else spe_locations(decomp)
+    mapping = _substitutions(base, health, machine_nodes, prefer_same_cu=True)
+    if not mapping:
+        return base
+    return [
+        Location(node=mapping.get(l.node, l.node), cell=l.cell, spe=l.spe)
+        for l in base
+    ]
+
+
+def naive_respawn_locations(
+    decomp: Decomposition2D,
+    health,
+    base: list[Location] | None = None,
+    machine_nodes: int = 3060,
+) -> list[Location]:
+    """The locality-blind baseline: failed tiles respawn on whatever
+    the free pool offers — modeled as the highest-numbered healthy
+    unused node, since a packed job's spares accumulate at the far end
+    of the machine.  Compared against :func:`failure_aware_locations`
+    under identical fault seeds in ``examples/failure_study.py``."""
+    base = list(base) if base is not None else spe_locations(decomp)
+    mapping = _substitutions(base, health, machine_nodes, prefer_same_cu=False)
+    if not mapping:
+        return base
+    return [
+        Location(node=mapping.get(l.node, l.node), cell=l.cell, spe=l.spe)
+        for l in base
+    ]
+
+
+def _node_hops(a: int, b: int) -> int:
+    """Crossbar hops between two compute nodes — the closed form of
+    ``repro.network.routing.hop_count`` on raw node ids (validated
+    against it in ``tests/test_recovery.py``)."""
+    from repro.network.cu_switch import MIXED_XBAR, NODES_PER_LOWER_XBAR
+    from repro.network.intercu import FIRST_SIDE_CUS
+
+    if a == b:
+        return 0
+    cu_a, local_a = divmod(a, NODES_PER_CU)
+    cu_b, local_b = divmod(b, NODES_PER_CU)
+    xbar_a = local_a // NODES_PER_LOWER_XBAR if local_a < 176 else MIXED_XBAR
+    xbar_b = local_b // NODES_PER_LOWER_XBAR if local_b < 176 else MIXED_XBAR
+    if cu_a == cu_b:
+        return 1 if xbar_a == xbar_b else 3
+    same_side = (cu_a < FIRST_SIDE_CUS) == (cu_b < FIRST_SIDE_CUS)
+    if same_side:
+        return 3 if xbar_a == xbar_b else 5
+    return 5 if xbar_a == xbar_b else 7
+
+
+class HopAwareFabric:
+    """``cell_fabric``'s class costs plus per-hop latency on internode
+    messages.
+
+    The flat ``internode`` transport of :func:`cell_fabric` charges the
+    same cost to every off-node pair, which makes placement quality
+    invisible to the DES.  This fabric adds ``hop_latency`` for each
+    crossbar traversed beyond the first (the baseline transport already
+    represents a nearest-neighbour, same-crossbar path), so moving a
+    tile across the machine costs simulated time — the quantity the
+    failure-aware vs. naive placement study measures.
+    """
+
+    def __init__(self, path: CellMessagePath | None = None,
+                 hop_latency: float = 220e-9):
+        if hop_latency < 0:
+            raise ValueError("hop_latency must be >= 0")
+        self.inner = cell_fabric(path)
+        self.hop_latency = hop_latency
+        self._extra: dict[tuple[int, int], float] = {}
+
+    def _extra_for(self, a: int, b: int) -> float:
+        key = (a, b)
+        extra = self._extra.get(key)
+        if extra is None:
+            extra = self.hop_latency * max(0, _node_hops(a, b) - 1)
+            self._extra[key] = extra
+        return extra
+
+    def one_way_time(self, src: Location, dst: Location, size: int) -> float:
+        t = self.inner.one_way_time(src, dst, size)
+        if src.node != dst.node:
+            t += self._extra_for(src.node, dst.node)
+        return t
+
+    def zero_byte_latency(self, src: Location, dst: Location) -> float:
+        return self.one_way_time(src, dst, 0)
+
+
+def hop_aware_cell_fabric(path: CellMessagePath | None = None,
+                          hop_latency: float = 220e-9) -> HopAwareFabric:
+    """The standard fabric for placement studies (see
+    :class:`HopAwareFabric`); ``hop_latency`` defaults to the IB
+    switch latency of :class:`repro.network.latency.IBLatencyModel`."""
+    return HopAwareFabric(path, hop_latency)
 
 
 def boundary_classes(decomp: Decomposition2D) -> dict[str, int]:

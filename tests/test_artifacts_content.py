@@ -28,7 +28,8 @@ CONTENT = {
     "apps": ["1.00x", "1.50x", "1.95x"],
     "energy": ["energy adv."],
     "section4": ["8.78 us", "29.28", "FPD"],
-    "resilience": ["3,060", "Daly", "1.053x", "model extension"],
+    "resilience": ["3,060", "Daly", "1.124x", "Panasas", "model extension"],
+    "resilience-correlated": ["pair tau", "1.008x", "sqrt(burst)", "180 nodes"],
 }
 
 

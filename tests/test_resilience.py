@@ -7,7 +7,11 @@ from repro.comm.mpi import DeliveryError, Location, SimMPI, UniformFabric
 from repro.comm.transport import Transport
 from repro.network.crossbar import XbarId
 from repro.network.intercu import uplink_edges
-from repro.network.loadmap import degraded_bisection_summary
+from repro.network.loadmap import (
+    degraded_bisection_summary,
+    degraded_link_loads,
+    link_loads,
+)
 from repro.network.routing import (
     UNREACHABLE,
     degraded_hop_census,
@@ -399,3 +403,116 @@ def test_parallel_sweep_result_expected_wallclock():
     assert result.expected_wallclock(model, interval=600.0) == pytest.approx(
         model.expected_runtime(100.0, 600.0)
     )
+
+
+# -- correlated power-domain failures ---------------------------------------
+
+def test_correlated_faults_take_down_whole_domains():
+    inj = FaultInjector(Simulator(), seed=5)
+    placed = inj.schedule_correlated_node_faults(
+        range(360), mtbf=50.0, horizon=200.0, domain_size=180
+    )
+    node_faults = [f for f in inj.faults if f.kind == "node"]
+    assert placed == len(node_faults) > 0
+    # every event strikes all 180 members of one domain at one instant
+    by_time = {}
+    for f in node_faults:
+        by_time.setdefault(f.time, set()).add(f.target)
+    for nodes in by_time.values():
+        domains = {n // 180 for n in nodes}
+        assert len(domains) == 1
+        (d,) = domains
+        assert nodes == set(range(d * 180, (d + 1) * 180))
+
+
+def test_correlated_faults_seed_deterministic_and_pairwise():
+    def timetable(seed, domain_size):
+        inj = FaultInjector(Simulator(), seed=seed)
+        inj.schedule_correlated_node_faults(
+            range(40), mtbf=5.0, horizon=100.0, domain_size=domain_size
+        )
+        return [(f.time, f.kind, f.target) for f in inj.faults]
+
+    assert timetable(2, 2) == timetable(2, 2)
+    assert timetable(2, 2) != timetable(3, 2)
+    # triblade pairs: node failures come in even counts
+    assert len(timetable(2, 2)) % 2 == 0
+
+
+def test_from_node_mtbf_burst_size_stretches_event_mtbf():
+    independent = CheckpointModel.from_node_mtbf(
+        87600.0, 3060, checkpoint_time=600.0
+    )
+    cu_burst = CheckpointModel.from_node_mtbf(
+        87600.0, 3060, checkpoint_time=600.0, burst_size=180
+    )
+    assert cu_burst.mtbf == pytest.approx(independent.mtbf * 180)
+    # rarer (bigger) events: longer Daly interval, smaller slowdown
+    assert cu_burst.daly_interval() > independent.daly_interval()
+    assert (cu_burst.expected_slowdown(cu_burst.daly_interval())
+            < independent.expected_slowdown(independent.daly_interval()))
+    with pytest.raises(ValueError):
+        CheckpointModel.from_node_mtbf(
+            87600.0, 3060, checkpoint_time=600.0, burst_size=0
+        )
+
+
+def test_from_pfs_prices_checkpoint_from_panasas():
+    from repro.io.panasas import PanasasModel
+
+    model = CheckpointModel.from_pfs(87600.0 * 3600.0, 3060)
+    assert model.checkpoint_time == pytest.approx(
+        PanasasModel().checkpoint_time(0.5)
+    )
+    assert model.mtbf == pytest.approx(87600.0 * 3600.0 / 3060)
+
+
+def test_sweep_failure_study_defaults_to_pfs_and_threads_burst():
+    from repro.io.panasas import PanasasModel
+
+    study = sweep_failure_study(node_mtbf_hours=(87600.0,), campaign_hours=1.0)
+    assert study["checkpoint_time_s"] == pytest.approx(
+        PanasasModel().checkpoint_time(0.5)
+    )
+    assert study["burst_size"] == 1
+    burst = sweep_failure_study(
+        node_mtbf_hours=(87600.0,), campaign_hours=1.0, burst_size=180
+    )
+    assert burst["burst_size"] == 180
+    assert (burst["rows"][0]["expected_slowdown"]
+            < study["rows"][0]["expected_slowdown"])
+    # Daly interval stretches ~sqrt(burst) while delta << tau holds
+    ratio = burst["rows"][0]["daly_interval_s"] / study["rows"][0]["daly_interval_s"]
+    assert 0.5 * 180 ** 0.5 < ratio < 1.5 * 180 ** 0.5
+
+
+# -- degraded link loads ----------------------------------------------------
+
+def test_degraded_link_loads_matches_healthy_when_nothing_failed(topo):
+    pairs = [(n, 180 + n) for n in range(8)]
+    healthy = link_loads(topo, pairs)
+    degraded, unroutable = degraded_link_loads(topo, pairs, frozenset())
+    assert not unroutable
+    assert degraded == healthy
+
+
+def test_degraded_link_loads_concentrates_on_survivors(topo):
+    pairs = [(n, 180 + n) for n in range(32)]
+    dead = [edge_key(*e) for e in uplink_edges(0)[:2]]
+    healthy = link_loads(topo, pairs, spread=True)
+    degraded, unroutable = degraded_link_loads(topo, pairs, frozenset(dead))
+    assert not unroutable
+    assert sum(degraded.values()) > 0
+    for edge in dead:
+        assert degraded[edge] == 0  # nothing rides a dead uplink
+    # the surviving uplinks absorb the displaced flows
+    assert max(degraded.values()) > max(healthy.values())
+
+
+def test_degraded_link_loads_reports_unroutable_pairs(topo):
+    access = edge_key(topo.graph_node(1), XbarId("L", 0, 0))
+    loads, unroutable = degraded_link_loads(
+        topo, [(0, 1), (0, 2)], frozenset({access})
+    )
+    assert unroutable == [(0, 1)]
+    assert sum(loads.values()) > 0  # the routable flow still lands
