@@ -4,6 +4,7 @@
     python -m repro table1          # print Table I
     python -m repro fig13 fig14     # several at once
     python -m repro all             # everything
+    python -m repro profile sweep16 # sim-time profile of a canned run
 """
 
 from __future__ import annotations
@@ -46,8 +47,78 @@ def _build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _profile_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro profile",
+        description=(
+            "Run a canned scenario with the observability recorder "
+            "attached and print its sim-time profile"
+        ),
+    )
+    from repro.obs.scenarios import SCENARIOS
+
+    parser.add_argument(
+        "scenario",
+        choices=sorted(SCENARIOS),
+        help="which canned simulation to profile",
+    )
+    parser.add_argument(
+        "--trace",
+        metavar="PATH",
+        help="also write a Chrome trace_event JSON file (Perfetto-loadable)",
+    )
+    parser.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the machine-readable summary instead of tables",
+    )
+    return parser
+
+
+def _profile_main(argv: list[str]) -> int:
+    """The ``profile`` subcommand: run a scenario, print its profile."""
+    args = _profile_parser().parse_args(argv)
+    from repro.obs import (
+        format_profile,
+        profile,
+        run_scenario,
+        to_summary,
+        write_chrome_trace,
+    )
+
+    rec, sim_time = run_scenario(args.scenario)
+    if args.trace:
+        write_chrome_trace(rec, args.trace)
+    if args.json:
+        import json
+
+        print(json.dumps(to_summary(rec, sim_time), indent=2, sort_keys=True))
+    else:
+        print(format_profile(
+            profile(rec, sim_time), title=f"scenario: {args.scenario}"
+        ))
+        if args.trace:
+            print(f"\nChrome trace written to {args.trace}")
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     """Entry point; returns the process exit code."""
+    if argv is None:
+        argv = sys.argv[1:]
+    if argv and argv[0] == "profile":
+        # The profile subcommand has its own option surface; dispatch
+        # before the artifact parser sees (and rejects) it.
+        try:
+            return _profile_main(list(argv[1:]))
+        except BrokenPipeError:
+            import os
+
+            try:
+                sys.stdout.close()
+            except BrokenPipeError:
+                os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+            return 0
     args = _build_parser().parse_args(argv)
     requested = list(args.artifacts)
     if args.correlated:

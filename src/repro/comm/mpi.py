@@ -191,6 +191,7 @@ class SimMPI:
         locations: list[Location],
         tracer: Tracer = NULL_TRACER,
         delivery=None,
+        obs=None,
     ):
         if not locations:
             raise ValueError("communicator needs at least one rank")
@@ -201,6 +202,14 @@ class SimMPI:
         #: optional DeliveryPolicy (duck-typed: delivered()/retry_delay()/
         #: max_retries); None keeps the historical perfect-fabric path
         self.delivery = delivery
+        #: optional :class:`repro.obs.recorder.ObsRecorder` receiving
+        #: send/recv/collective spans and message/byte/retry counters;
+        #: None (the default) keeps recording branches off the hot path
+        if obs is not None:
+            from repro.obs.recorder import active
+
+            obs = active(obs)
+        self.obs = obs
         #: optional :class:`repro.comm.membership.Membership` consulted
         #: by the ``shrink=True`` collectives; set via :meth:`attach_health`
         self.membership = None
@@ -306,6 +315,12 @@ class Rank:
         deliver.callbacks.append(
             lambda _evt, m=msg: comm._mailboxes[m.dest].deliver(m)
         )
+        obs = comm.obs
+        if obs is not None:
+            obs.span("mpi.send", self.index, sent_at, sim.now,
+                     dest=dest, size=size, tag=tag)
+            obs.count("mpi.messages", track=self.index)
+            obs.count("mpi.bytes", size, track=self.index)
         return msg
 
     def _send_resilient(self, dest: int, size: int, tag: int, payload: Any):
@@ -359,6 +374,12 @@ class Rank:
                 deliver.callbacks.append(
                     lambda _evt, m=msg: comm._mailboxes[m.dest].deliver(m)
                 )
+                obs = comm.obs
+                if obs is not None:
+                    obs.span("mpi.send", self.index, sent_at, sim.now,
+                             dest=dest, size=size, tag=tag, attempts=attempt + 1)
+                    obs.count("mpi.messages", track=self.index)
+                    obs.count("mpi.bytes", size, track=self.index)
                 return msg
             if attempt >= policy.max_retries:
                 raise DeliveryError(
@@ -370,6 +391,9 @@ class Rank:
                 sim.now, "retry", self.index,
                 {"dest": dest, "size": size, "tag": tag, "attempt": attempt + 1},
             )
+            obs = comm.obs
+            if obs is not None:
+                obs.count("mpi.retries", track=self.index)
             yield sim.timeout(policy.retry_delay(attempt))
             attempt += 1
 
@@ -387,12 +411,17 @@ class Rank:
         the survivable collectives are built on.  ``timeout=None`` (the
         default) is the historical unbounded receive.
         """
+        obs = self.comm.obs
+        t0 = self.sim.now if obs is not None else 0.0
         if timeout is not None:
             msg = yield from self._recv_deadline(source, tag, timeout)
         else:
             msg = yield self.irecv(source=source, tag=tag)
         self.comm.tracer.record(self.sim.now, "mpi.recv", self.index,
                                 {"source": msg.source, "size": msg.size})
+        if obs is not None:
+            obs.span("mpi.recv", self.index, t0, self.sim.now,
+                     source=msg.source, tag=tag, size=msg.size)
         return msg
 
     def _recv_deadline(self, source: int, tag: int, timeout: float):
@@ -417,6 +446,9 @@ class Rank:
             # than lose a delivered message.
             return evt._value
         self.comm._mailboxes[self.index].cancel(evt)
+        obs = self.comm.obs
+        if obs is not None:
+            obs.count("mpi.recv_timeouts", track=self.index)
         who = "any source" if source == ANY_SOURCE else f"rank {source}"
         raise DeliveryError(
             f"rank {self.index}: no message from {who} (tag {tag}) "
@@ -451,8 +483,31 @@ class Rank:
         """Fresh 64-tag block for one collective invocation."""
         return SimMPI._COLL_TAG + self._next_coll_seq() * 64
 
+    def _collective_span(self, op: str, gen):
+        """Delegate to a collective's body (generator), recording an
+        ``mpi.collective`` span over it when a recorder is attached.
+        The span closes even when the body aborts (DeliveryError), so
+        failed collectives still appear in the timeline."""
+        obs = self.comm.obs
+        if obs is None:
+            result = yield from gen
+            return result
+        t0 = self.sim.now
+        try:
+            result = yield from gen
+        finally:
+            obs.span("mpi.collective", self.index, t0, self.sim.now, op=op)
+        return result
+
     def barrier(self, timeout: float | None = None, shrink: bool = False):
         """Dissemination barrier (generator)."""
+        return (
+            yield from self._collective_span(
+                "barrier", self._barrier_impl(timeout=timeout, shrink=shrink)
+            )
+        )
+
+    def _barrier_impl(self, timeout: float | None = None, shrink: bool = False):
         if shrink:
             from repro.comm.membership import shrink_barrier
 
@@ -481,6 +536,25 @@ class Rank:
         shrink: bool = False,
     ):
         """Binomial-tree broadcast (generator); returns the value."""
+        return (
+            yield from self._collective_span(
+                "bcast",
+                self._bcast_impl(
+                    value, root=root, size=size, tag=tag,
+                    timeout=timeout, shrink=shrink,
+                ),
+            )
+        )
+
+    def _bcast_impl(
+        self,
+        value: Any,
+        root: int = 0,
+        size: int = 8,
+        tag: int | None = None,
+        timeout: float | None = None,
+        shrink: bool = False,
+    ):
         if shrink:
             from repro.comm.membership import shrink_bcast
 
@@ -524,6 +598,26 @@ class Rank:
     ):
         """Binomial-tree reduction (generator); root returns the result,
         other ranks return ``None``."""
+        return (
+            yield from self._collective_span(
+                "reduce",
+                self._reduce_impl(
+                    value, op, root=root, size=size, tag=tag,
+                    timeout=timeout, shrink=shrink,
+                ),
+            )
+        )
+
+    def _reduce_impl(
+        self,
+        value: Any,
+        op: Callable[[Any, Any], Any],
+        root: int = 0,
+        size: int = 8,
+        tag: int | None = None,
+        timeout: float | None = None,
+        shrink: bool = False,
+    ):
         if shrink:
             from repro.comm.membership import shrink_reduce
 
@@ -561,6 +655,23 @@ class Rank:
     ):
         """Reduce-to-root then broadcast (generator); all ranks return
         the reduced value."""
+        return (
+            yield from self._collective_span(
+                "allreduce",
+                self._allreduce_impl(
+                    value, op, size=size, timeout=timeout, shrink=shrink
+                ),
+            )
+        )
+
+    def _allreduce_impl(
+        self,
+        value: Any,
+        op: Callable[[Any, Any], Any],
+        size: int = 8,
+        timeout: float | None = None,
+        shrink: bool = False,
+    ):
         if shrink:
             from repro.comm.membership import shrink_allreduce
 
@@ -569,15 +680,24 @@ class Rank:
                     self, value, op, size=size, timeout=timeout
                 )
             )
-        reduced = yield from self.reduce(value, op, root=0, size=size,
-                                         timeout=timeout)
-        result = yield from self.bcast(reduced, root=0, size=size,
-                                       timeout=timeout)
+        # The inner phases delegate to the *impl* bodies so a user-level
+        # allreduce records exactly one collective span.
+        reduced = yield from self._reduce_impl(value, op, root=0, size=size,
+                                               timeout=timeout)
+        result = yield from self._bcast_impl(reduced, root=0, size=size,
+                                             timeout=timeout)
         return result
 
     def gather(self, value: Any, root: int = 0, size: int = 8):
         """Gather every rank's value at ``root`` (generator); root gets
         the list ordered by rank, others get ``None``."""
+        return (
+            yield from self._collective_span(
+                "gather", self._gather_impl(value, root=root, size=size)
+            )
+        )
+
+    def _gather_impl(self, value: Any, root: int = 0, size: int = 8):
         tag = self._next_coll_tag()
         n = self.comm.size
         if self.index == root:
@@ -593,6 +713,13 @@ class Rank:
     def scatter(self, values: list[Any] | None, root: int = 0, size: int = 8):
         """Scatter ``values`` (length = communicator size, significant
         at root only); every rank returns its element."""
+        return (
+            yield from self._collective_span(
+                "scatter", self._scatter_impl(values, root=root, size=size)
+            )
+        )
+
+    def _scatter_impl(self, values: list[Any] | None, root: int = 0, size: int = 8):
         tag = self._next_coll_tag()
         n = self.comm.size
         if self.index == root:
@@ -608,6 +735,13 @@ class Rank:
     def allgather(self, value: Any, size: int = 8):
         """Bruck-style allgather (generator): every rank returns the
         list of all ranks' values, ordered by rank."""
+        return (
+            yield from self._collective_span(
+                "allgather", self._allgather_impl(value, size=size)
+            )
+        )
+
+    def _allgather_impl(self, value: Any, size: int = 8):
         tag = self._next_coll_tag()
         n = self.comm.size
         values: dict[int, Any] = {self.index: value}
@@ -629,6 +763,13 @@ class Rank:
     def alltoall(self, values: list[Any], size: int = 8):
         """Personalized all-to-all (generator): rank i's ``values[j]``
         lands at rank j; returns the list received, ordered by source."""
+        return (
+            yield from self._collective_span(
+                "alltoall", self._alltoall_impl(values, size=size)
+            )
+        )
+
+    def _alltoall_impl(self, values: list[Any], size: int = 8):
         tag = self._next_coll_tag()
         n = self.comm.size
         if len(values) != n:

@@ -17,11 +17,31 @@ from __future__ import annotations
 from dataclasses import dataclass, replace
 from typing import Sequence
 
-__all__ = ["Transport", "PipelinePath"]
+__all__ = ["Transport", "PipelinePath", "set_transport_observer"]
 
 #: cap on each instance's memoized size -> time curve points; real
 #: workloads use a handful of message sizes, so this is generous
 _TIME_CACHE_MAX = 4096
+
+#: module-level observability hook: when a recorder is installed via
+#: :func:`set_transport_observer`, every cost-model evaluation counts a
+#: ``transport.cache_hit`` / ``transport.cache_miss`` on the transport's
+#: name track.  Module-level (not per-instance) because transports are
+#: frozen dataclasses shared across fabrics; None keeps the hot path to
+#: one global load and an ``is None`` test.
+_OBSERVER = None
+
+
+def set_transport_observer(obs) -> None:
+    """Install (or with ``None`` remove) the module's cost-model
+    observer.  ``obs`` is normalized like every ``obs=`` argument: a
+    disabled recorder counts as ``None``."""
+    global _OBSERVER
+    if obs is not None:
+        from repro.obs.recorder import active
+
+        obs = active(obs)
+    _OBSERVER = obs
 
 
 @dataclass(frozen=True)
@@ -65,7 +85,11 @@ class Transport:
         cache = self._time_cache
         cached = cache.get(size_bytes)
         if cached is not None:
+            if _OBSERVER is not None:
+                _OBSERVER.count("transport.cache_hit", track=self.name)
             return cached
+        if _OBSERVER is not None:
+            _OBSERVER.count("transport.cache_miss", track=self.name)
         if size_bytes < 0:
             raise ValueError("message size must be >= 0")
         eager_bw = self.eager_bandwidth or self.bandwidth
@@ -161,7 +185,11 @@ class PipelinePath:
         cache = self._time_cache
         cached = cache.get(size_bytes)
         if cached is not None:
+            if _OBSERVER is not None:
+                _OBSERVER.count("transport.cache_hit", track=self.name)
             return cached
+        if _OBSERVER is not None:
+            _OBSERVER.count("transport.cache_miss", track=self.name)
         total = sum(leg.one_way_time(size_bytes) for leg in self.legs)
         if self.relay_copy_bandwidth > 0 and len(self.legs) > 1:
             relays = len(self.legs) - 1

@@ -44,8 +44,18 @@ class ContendedFabric:
         model_uplinks: bool = False,
         spread_routing: bool = False,
         health=None,
+        obs=None,
     ):
         self.sim = sim
+        #: optional :class:`repro.obs.recorder.ObsRecorder`: each
+        #: transfer records a ``link`` span per shared link it crosses
+        #: (t0 = transfer start, t1 = that link's bytes cleared) plus
+        #: ``link.bytes`` counters — the profiler's per-link occupancy
+        if obs is not None:
+            from repro.obs.recorder import active
+
+            obs = active(obs)
+        self.obs = obs
         self.topology = topology or RoadrunnerTopology(cu_count=1)
         self.latency = latency_model or IBLatencyModel()
         #: also contend for the CU uplink a route leaves through (the
@@ -111,9 +121,20 @@ class ContendedFabric:
         ]
         if self.model_uplinks:
             links.extend(self._route_uplinks(src.node, dst.node))
+        obs = self.obs
 
         def mover(sim):
-            yield sim.all_of([link.transfer(size) for link in links])
+            events = [link.transfer(size) for link in links]
+            if obs is not None:
+                t0 = sim.now
+                for link, evt in zip(links, events):
+                    evt.callbacks.append(
+                        lambda _e, name=link.name: (
+                            obs.span("link", name, t0, sim.now, size=size),
+                            obs.count("link.bytes", size, track=name),
+                        )
+                    )
+            yield sim.all_of(events)
             return sim.now
 
         proc = self.sim.process(mover(self.sim), name="fabric-transfer")

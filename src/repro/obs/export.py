@@ -1,0 +1,236 @@
+"""Exporters for recorded observability data.
+
+Three output formats, all derived from one
+:class:`~repro.obs.recorder.ObsRecorder`:
+
+* :func:`span_stream` / :func:`to_summary` — plain JSON-able structures
+  (the span stream is the golden-trace fixture format: deterministic,
+  sim-time only, no host wall-clock contamination);
+* :func:`to_chrome_trace` / :func:`write_chrome_trace` — the Chrome
+  ``trace_event`` JSON object format, loadable in ``about://tracing``
+  and Perfetto (ranks and links render as separate processes; span
+  times are exported in microseconds of *simulated* time);
+* :func:`format_profile` — the text breakdown table behind
+  ``python -m repro profile <scenario>``.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any
+
+from repro.obs.profiler import PHASES, SimProfile, profile
+from repro.obs.recorder import ObsRecorder
+
+__all__ = [
+    "span_stream",
+    "to_summary",
+    "to_chrome_trace",
+    "write_chrome_trace",
+    "format_profile",
+]
+
+#: simulated seconds -> trace_event timestamp units (microseconds)
+_TS_SCALE = 1e6
+
+
+def span_stream(rec: ObsRecorder) -> list[dict[str, Any]]:
+    """The recorder's spans as JSON-able dicts, in recording order.
+
+    This is the assertable fixture format: deterministic for a fixed
+    seed (host wall-clock data never appears in it), and stable under
+    JSON round-trips (floats survive via repr round-tripping).
+    """
+    return [
+        {
+            "category": span.category,
+            "track": span.track,
+            "t0": span.t0,
+            "t1": span.t1,
+            "attrs": dict(span.attrs),
+        }
+        for span in rec.spans
+    ]
+
+
+def _counter_map(rec: ObsRecorder) -> dict[str, dict[str, float]]:
+    """Counters as ``name -> {"total": x, "by_track": {...}}``."""
+    out: dict[str, dict[str, Any]] = {}
+    for (name, track), value in rec.counters.items():
+        entry = out.setdefault(name, {"total": 0.0, "by_track": {}})
+        entry["total"] += value
+        if track is not None:
+            entry["by_track"][str(track)] = (
+                entry["by_track"].get(str(track), 0.0) + value
+            )
+    return {name: out[name] for name in sorted(out)}
+
+
+def to_summary(rec: ObsRecorder, sim_time: float) -> dict[str, Any]:
+    """Full JSON summary: profile, counters, gauges, engine stats."""
+    prof = profile(rec, sim_time)
+    ranks = {
+        str(track): {
+            **{phase: rp.phases[phase] for phase in PHASES},
+            "other": rp.other,
+            "idle": rp.idle,
+            "total": rp.total,
+        }
+        for track, rp in prof.ranks.items()
+    }
+    links = {
+        name: {
+            "busy_time": lp.busy_time,
+            "utilization": lp.utilization,
+            "transfers": lp.transfers,
+            "bytes": lp.bytes,
+        }
+        for name, lp in prof.links.items()
+    }
+    return {
+        "sim_time": sim_time,
+        "span_count": len(rec.spans),
+        "ranks": ranks,
+        "links": links,
+        "counters": _counter_map(rec),
+        "gauges": {
+            f"{name}" if track is None else f"{name}[{track}]": value
+            for (name, track), value in sorted(
+                rec.gauges.items(), key=lambda kv: repr(kv[0])
+            )
+        },
+        "engine": {
+            "events_by_class": dict(rec.events_by_class),
+            "resumes_by_process": dict(rec.resumes_by_process),
+            "host_run_time_s": rec.host_run_time,
+        },
+    }
+
+
+def to_chrome_trace(rec: ObsRecorder) -> dict[str, Any]:
+    """The span stream in Chrome ``trace_event`` object format.
+
+    Ranks live under pid 1 ("sim ranks", one thread per rank) and links
+    under pid 2 ("links", one thread per link name); every span becomes
+    a complete ("X") event with microsecond sim-time timestamps.
+    """
+    events: list[dict[str, Any]] = []
+    rank_tids: dict[Any, int] = {}
+    link_tids: dict[Any, int] = {}
+
+    def _tid(track: Any, is_link: bool) -> int:
+        table = link_tids if is_link else rank_tids
+        tid = table.get(track)
+        if tid is None:
+            tid = len(table)
+            table[track] = tid
+            pid = 2 if is_link else 1
+            events.append(
+                {
+                    "ph": "M",
+                    "pid": pid,
+                    "tid": tid,
+                    "name": "thread_name",
+                    "args": {"name": str(track)},
+                }
+            )
+        return tid
+
+    for pid, name in ((1, "sim ranks"), (2, "links")):
+        events.append(
+            {
+                "ph": "M",
+                "pid": pid,
+                "tid": 0,
+                "name": "process_name",
+                "args": {"name": name},
+            }
+        )
+    for span in rec.spans:
+        is_link = span.category == "link"
+        events.append(
+            {
+                "ph": "X",
+                "pid": 2 if is_link else 1,
+                "tid": _tid(span.track, is_link),
+                "name": span.category,
+                "cat": span.category,
+                "ts": span.t0 * _TS_SCALE,
+                "dur": (span.t1 - span.t0) * _TS_SCALE,
+                "args": dict(span.attrs),
+            }
+        )
+    return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+
+def write_chrome_trace(rec: ObsRecorder, path) -> None:
+    """Write :func:`to_chrome_trace` output as JSON to ``path``."""
+    with open(path, "w") as fh:
+        json.dump(to_chrome_trace(rec), fh)
+
+
+def _fmt_pct(value: float, total: float) -> str:
+    return f"{100.0 * value / total:5.1f}%" if total > 0 else "    -"
+
+
+def format_profile(prof: SimProfile, title: str | None = None) -> str:
+    """The text breakdown table (``python -m repro profile``)."""
+    from repro.core.report import format_table
+
+    lines: list[str] = []
+    if title:
+        lines.append(title)
+        lines.append("")
+    lines.append(f"total simulated time: {prof.sim_time:.6g} s")
+    if prof.host_run_time > 0:
+        lines.append(f"host wall-clock (observed runs): {prof.host_run_time:.3f} s")
+    if prof.events_by_class:
+        counts = ", ".join(
+            f"{name}={count}" for name, count in sorted(prof.events_by_class.items())
+        )
+        lines.append(f"events processed: {counts}")
+    if prof.ranks:
+        rows = []
+        for track, rp in prof.ranks.items():
+            rows.append(
+                (
+                    str(track),
+                    *(_fmt_pct(rp.phases[phase], rp.total) for phase in PHASES),
+                    _fmt_pct(rp.other, rp.total),
+                    _fmt_pct(rp.idle, rp.total),
+                    f"{prof.host_time_by_process.get(f'sweep-rank{track}', 0.0) * 1e3:.1f}"
+                    if prof.host_time_by_process
+                    else "-",
+                )
+            )
+        lines.append("")
+        lines.append(
+            format_table(
+                ["rank", *PHASES, "other", "idle", "host ms"],
+                rows,
+                title="per-rank sim-time attribution",
+            )
+        )
+    if prof.links:
+        busiest = sorted(
+            prof.links.values(), key=lambda lp: lp.busy_time, reverse=True
+        )[:12]
+        rows = [
+            (
+                lp.name,
+                f"{lp.busy_time:.6g}",
+                f"{100.0 * lp.utilization:.1f}%",
+                lp.transfers,
+                f"{lp.bytes:.0f}",
+            )
+            for lp in busiest
+        ]
+        lines.append("")
+        lines.append(
+            format_table(
+                ["link", "busy s", "util", "transfers", "bytes"],
+                rows,
+                title="per-link occupancy (busiest first)",
+            )
+        )
+    return "\n".join(lines)

@@ -77,6 +77,7 @@ import heapq
 from collections.abc import Generator, Iterable
 from heapq import heappop, heappush
 from sys import getrefcount
+from time import perf_counter
 from typing import Any
 
 __all__ = [
@@ -555,7 +556,15 @@ class _Stop:
 class Simulator:
     """The event loop: owns the clock and the pending-event heap."""
 
-    __slots__ = ("_now", "_queue", "_next", "_seq", "_active_process", "_free_timeout")
+    __slots__ = (
+        "_now",
+        "_queue",
+        "_next",
+        "_seq",
+        "_active_process",
+        "_free_timeout",
+        "_observer",
+    )
 
     def __init__(self):
         self._now = 0.0
@@ -565,6 +574,9 @@ class Simulator:
         self._seq = 0
         self._active_process: Process | None = None
         self._free_timeout: Timeout | None = None
+        #: observability sink (see attach_observer); None keeps run()
+        #: on the uninstrumented fast loop
+        self._observer = None
 
     @property
     def now(self) -> float:
@@ -575,6 +587,32 @@ class Simulator:
     def active_process(self) -> Process | None:
         """The process currently being resumed, if any."""
         return self._active_process
+
+    # -- observability -------------------------------------------------------
+    @property
+    def observer(self):
+        """The attached observability sink, if any."""
+        return self._observer
+
+    def attach_observer(self, observer) -> None:
+        """Route :meth:`run` through the observed loop.
+
+        ``observer`` implements ``_note_event(cls_name, proc_name,
+        host_dt)`` (see :class:`repro.obs.recorder.ObsRecorder`) and may
+        expose a ``host_run_time`` accumulator.  Observation never
+        changes the event timeline: the observed loop dispatches through
+        the same generic machinery as :meth:`step`, consumes ``seq``
+        numbers identically to the fast loop, and only *reads* state —
+        the determinism contract holds with or without an observer.
+        ``None`` (or an observer whose ``enabled`` is false) detaches.
+        """
+        if observer is not None and not getattr(observer, "enabled", True):
+            observer = None
+        self._observer = observer
+
+    def detach_observer(self) -> None:
+        """Return :meth:`run` to the uninstrumented fast loop."""
+        self._observer = None
 
     # -- event construction -------------------------------------------------
     def event(self) -> Event:
@@ -665,11 +703,103 @@ class Simulator:
         if not event._ok and not event.defused:
             raise event._value
 
+    def _step_observed(self, obs) -> Any:
+        """Pop and dispatch one event, reporting it to ``obs``.
+
+        Mirrors :meth:`step`'s generic dispatch (identical event order
+        and clock advance — the inlined fast paths of :meth:`run` exist
+        for speed, not semantics) and additionally attributes the host
+        wall-clock cost of each dispatch to the resumed process.
+        Returns the popped occurrence so :meth:`_run_observed` can
+        recognize its own horizon sentinel.
+        """
+        nxt = self._next
+        if nxt is not None:
+            self._next = None
+            time, _prio, _seq, event = nxt
+        else:
+            time, _prio, _seq, event = heappop(self._queue)
+        if time < self._now:
+            raise SimulationError("event queue corrupted: time moved backwards")
+        self._now = time
+        cls = type(event)
+        if cls is _Stop:
+            return event
+        t0 = perf_counter()
+        if cls is _Bootstrap:
+            process = event.process
+            process._resume(event)
+            obs._note_event("Bootstrap", process.name, perf_counter() - t0)
+            return event
+        event._processed = True
+        waiter = event._waiter
+        name = waiter.name if waiter is not None else None
+        if waiter is not None:
+            event._waiter = None
+            waiter._resume(event)
+        callbacks = event.callbacks
+        event.callbacks = None
+        for callback in callbacks:
+            callback(event)
+        obs._note_event(cls.__name__, name, perf_counter() - t0)
+        if not event._ok and not event.defused:
+            raise event._value
+        return event
+
+    def _run_observed(self, until: float | Event | None) -> Any:
+        """The observed counterpart of :meth:`run`.
+
+        Reproduces run()'s semantics exactly — including the horizon
+        sentinel (one ``seq`` consumed, identical to the fast loop) and
+        orphaned-sentinel skipping — while counting every processed
+        event and attributing host time per resumed process.
+        """
+        obs = self._observer
+        t_run = perf_counter()
+        try:
+            if isinstance(until, Event):
+                stop = until
+                while not stop._processed:
+                    if self._next is None and not self._queue:
+                        raise SimulationError(
+                            "simulation ran out of events before the awaited "
+                            "event fired"
+                        )
+                    self._step_observed(obs)
+                if stop._ok:
+                    return stop._value
+                stop.defused = True
+                raise stop._value
+            marker = None
+            if until is not None:
+                horizon = float(until)
+                if horizon < self._now:
+                    raise SimulationError(
+                        f"run(until={horizon!r}) is in the past (now={self._now!r})"
+                    )
+                marker = _Stop()
+                self._seq = seq = self._seq + 1
+                _push(self, (horizon, _AFTER, seq, marker))
+            while self._next is not None or self._queue:
+                occurrence = self._step_observed(obs)
+                if occurrence is marker and marker is not None:
+                    break
+            if marker is not None:
+                self._now = horizon
+            return None
+        finally:
+            try:
+                obs.host_run_time += perf_counter() - t_run
+            except AttributeError:
+                pass
+
     def run(self, until: float | Event | None = None) -> Any:
         """Run until the queue drains, time ``until``, or event ``until``.
 
         Returns the event's value when ``until`` is an event that fired.
         """
+        if self._observer is not None:
+            return self._run_observed(until)
         if isinstance(until, Event):
             stop = until
             while not stop._processed:

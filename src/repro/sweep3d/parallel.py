@@ -157,6 +157,7 @@ class ParallelSweep:
         delivery=None,
         recv_timeout: float | None = None,
         fault_hook=None,
+        obs=None,
     ):
         if isinstance(grind_time, (int, float)):
             grinds = [float(grind_time)] * decomp.size
@@ -197,6 +198,15 @@ class ParallelSweep:
         #: the seam where a recovery driver wires a FaultInjector to
         #: this run's private Simulator (``injector.watch`` per node)
         self.fault_hook = fault_hook
+        #: optional :class:`repro.obs.recorder.ObsRecorder`: records
+        #: ``sweep.iteration`` / ``sweep.octant`` / ``sweep.compute``
+        #: spans per rank, attaches to the run's private Simulator, and
+        #: is handed to the communicator for send/recv/collective spans
+        if obs is not None:
+            from repro.obs.recorder import active
+
+            obs = active(obs)
+        self.obs = obs
 
     # -- once-per-run preparation ----------------------------------------------
     def _flipped_source_blocks(self, source: np.ndarray) -> list:
@@ -242,7 +252,9 @@ class ParallelSweep:
         inp = self.inp
         external = np.full((inp.it, inp.jt, inp.kt), inp.q)
         phi = np.zeros_like(external)
+        obs = self.obs
         for iteration in range(1, max_iterations + 1):
+            t0 = rank.sim.now if obs is not None else 0.0
             source = external + inp.sigma_s * phi
             blocks = self._flipped_source_blocks(source)
             phi_new = yield from self._sweep_once(rank, blocks, scratch)
@@ -250,6 +262,9 @@ class ParallelSweep:
             local_peak = float(np.abs(phi_new).max())
             global_change = yield from rank.allreduce(local_change, op=max)
             global_peak = yield from rank.allreduce(local_peak, op=max)
+            if obs is not None:
+                obs.span("sweep.iteration", rank.index, t0, rank.sim.now,
+                         iteration=iteration)
             phi = phi_new
             rel = global_change / global_peak if global_peak > 0 else 0.0
             if rel < inp.epsi:
@@ -288,6 +303,7 @@ class ParallelSweep:
         plan = scratch["plan"]
         phi = np.zeros((it, jt, inp.kt)) if compute else None
         phi_oct = scratch["phi_oct"][rank.index]
+        obs = self.obs
         for octant in OCTANTS:
             signs = octant.signs
             oct_blocks = blocks[octant.id]
@@ -298,6 +314,7 @@ class ParallelSweep:
             psi_z = zero_in_z
             if compute:
                 phi_oct.fill(0.0)
+            t_oct = rank.sim.now if obs is not None else 0.0
             for b in range(kb):
                 tag_i = _TAG_I + octant.id * kb + b
                 tag_j = _TAG_J + octant.id * kb + b
@@ -317,6 +334,9 @@ class ParallelSweep:
                     in_y = zero_in_y
                 start = rank.sim.now
                 yield rank.sim.timeout(block_time)
+                if obs is not None:
+                    obs.span("sweep.compute", rank.index, start, rank.sim.now,
+                             octant=octant.id, block=b)
                 if self.timeline is not None:
                     self.timeline.record(
                         f"rank{rank.index}", start, rank.sim.now,
@@ -336,6 +356,9 @@ class ParallelSweep:
                     yield from rank.send(dn_i, i_surface, tag=tag_i, payload=out_x)
                 if dn_j is not None:
                     yield from rank.send(dn_j, j_surface, tag=tag_j, payload=out_y)
+            if obs is not None:
+                obs.span("sweep.octant", rank.index, t_oct, rank.sim.now,
+                         octant=octant.id)
             if compute:
                 phi += _flip(phi_oct, signs)
         return phi
@@ -351,9 +374,14 @@ class ParallelSweep:
         counts this rank's finished sweeps — the recovery driver's
         resume point when a fault aborts the run."""
         phi = None
+        obs = self.obs
         for iteration in range(iterations):
             compute = iteration == 0 or not replay
+            t0 = rank.sim.now if obs is not None else 0.0
             out = yield from self._sweep_once(rank, blocks, scratch, compute=compute)
+            if obs is not None:
+                obs.span("sweep.iteration", rank.index, t0, rank.sim.now,
+                         iteration=iteration, replay=not compute)
             if out is not None:
                 phi = out
             progress[rank.index] = iteration + 1
@@ -387,7 +415,10 @@ class ParallelSweep:
         blocks = self._flipped_source_blocks(source)
         scratch = self._scratch()
         sim = Simulator()
-        comm = SimMPI(sim, self.fabric, self.locations, delivery=self.delivery)
+        if self.obs is not None:
+            sim.attach_observer(self.obs)
+        comm = SimMPI(sim, self.fabric, self.locations,
+                      delivery=self.delivery, obs=self.obs)
         if self.tracer is not None:
             comm.tracer = self.tracer
         phi_out: list = [None] * dec.size
@@ -444,7 +475,10 @@ class ParallelSweep:
         dec = self.decomp
         scratch = self._scratch()
         sim = Simulator()
-        comm = SimMPI(sim, self.fabric, self.locations, delivery=self.delivery)
+        if self.obs is not None:
+            sim.attach_observer(self.obs)
+        comm = SimMPI(sim, self.fabric, self.locations,
+                      delivery=self.delivery, obs=self.obs)
         if self.tracer is not None:
             comm.tracer = self.tracer
         phi_out: list = [None] * dec.size

@@ -1,0 +1,196 @@
+"""Direct unit tests for the application timing models and power model.
+
+The physics of MiniMD/MiniPIC and the headline Green500/Top500 claims
+are covered elsewhere; these tests pin the *model* surfaces directly —
+the OffloadModel's component accounting and limits, the MD/PIC timestep
+models' byte and cycle bookkeeping, and the power models' arithmetic.
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.apps.minimd import MDTimestepModel, MiniMD
+from repro.apps.minipic import MiniPIC, PICTimestepModel
+from repro.apps.offload import OffloadModel
+from repro.apps.speedup import all_speedups, workload_cycles
+from repro.apps.workloads import APP_WORKLOADS
+from repro.hardware.cell import CELL_BE, POWERXCELL_8I
+from repro.linpack.power import (
+    GREEN500_CELL_ONLY_MODEL,
+    TOP500_JUNE_2008_ANCHORS,
+    CellOnlyPowerModel,
+    PowerModel,
+    top500_position,
+)
+
+
+# -- OffloadModel ------------------------------------------------------------
+
+def _model(**kw) -> OffloadModel:
+    defaults = dict(
+        cpu_time=1.0, hotspot_fraction=0.9, kernel_speedup=20.0,
+        bytes_down=1 << 20, bytes_up=1 << 20,
+    )
+    defaults.update(kw)
+    return OffloadModel(**defaults)
+
+
+def test_offload_components_sum_to_hybrid_time():
+    m = _model()
+    assert m.hybrid_time() == pytest.approx(
+        m.host_time + m.kernel_time + m.transfer_time
+    )
+    assert m.host_time == pytest.approx(0.1)
+    assert m.kernel_time == pytest.approx(0.9 / 20.0)
+    assert m.transfer_time > 0
+
+
+def test_offload_speedup_orderings():
+    """Real speedup <= transfer-bound ceiling <= Amdahl ceiling."""
+    m = _model()
+    assert 1.0 < m.speedup() < m.transfer_bound_speedup() <= m.amdahl_limit()
+    assert m.amdahl_limit() == pytest.approx(10.0)
+    assert _model(hotspot_fraction=1.0).amdahl_limit() == math.inf
+
+
+def test_offload_breakeven():
+    m = _model()
+    k = m.breakeven_kernel_speedup()
+    assert k > 1.0
+    # At the breakeven kernel speedup the offload neither wins nor loses.
+    at = _model(kernel_speedup=k)
+    assert at.speedup() == pytest.approx(1.0)
+    assert _model(kernel_speedup=k * 2).speedup() > 1.0
+    # A hotspot whose transfers already exceed it can never break even.
+    tiny = _model(cpu_time=1e-9, hotspot_fraction=0.5)
+    assert tiny.breakeven_kernel_speedup() == math.inf
+
+
+def test_offload_calls_split_the_transfers():
+    """N calls each pay link latency, so chattier offloads cost more."""
+    one = _model(calls=1)
+    many = _model(calls=16)
+    assert many.transfer_time > one.transfer_time
+
+
+def test_offload_validation():
+    with pytest.raises(ValueError):
+        _model(cpu_time=0.0)
+    with pytest.raises(ValueError):
+        _model(hotspot_fraction=1.5)
+    with pytest.raises(ValueError):
+        _model(kernel_speedup=0.0)
+    with pytest.raises(ValueError):
+        _model(bytes_down=-1)
+    with pytest.raises(ValueError):
+        _model(calls=0)
+
+
+# -- MDTimestepModel ---------------------------------------------------------
+
+@pytest.fixture(scope="module")
+def md_system():
+    return MiniMD(cells_per_side=3)
+
+
+def test_md_offload_byte_accounting(md_system):
+    model = MDTimestepModel().offload_model(md_system)
+    # Positions down, forces back: 3 doubles per atom each way.
+    assert model.bytes_down == md_system.n_atoms * 3 * 8
+    assert model.bytes_up == model.bytes_down
+    assert model.kernel_speedup > 1.0
+
+
+def test_md_unaccelerated_time_is_the_cpu_time(md_system):
+    ts = MDTimestepModel()
+    assert ts.timestep_time(md_system, accelerated=False) == pytest.approx(
+        ts.offload_model(md_system).cpu_time
+    )
+    assert ts.timestep_time(md_system) < ts.timestep_time(
+        md_system, accelerated=False
+    )
+
+
+def test_md_timestep_scales_with_system_size():
+    small, large = MiniMD(cells_per_side=3), MiniMD(cells_per_side=4)
+    ts = MDTimestepModel()
+    assert ts.timestep_time(large) > ts.timestep_time(small)
+
+
+# -- PICTimestepModel --------------------------------------------------------
+
+def test_pic_cycles_match_the_vpic_workload():
+    pic = MiniPIC()
+    model = PICTimestepModel()
+    assert model.particle_cycles(POWERXCELL_8I) == pytest.approx(
+        workload_cycles(APP_WORKLOADS["VPIC"], POWERXCELL_8I)
+    )
+    expect = (
+        model.particle_cycles(POWERXCELL_8I) * pic.n_particles / 8
+        / POWERXCELL_8I.clock_hz
+    )
+    assert model.timestep_time(pic, POWERXCELL_8I) == pytest.approx(expect)
+
+
+def test_pic_pxc8i_speedup_is_exactly_one():
+    """§IV-A's VPIC row: single precision, so the PXC8i buys nothing."""
+    assert PICTimestepModel().pxc8i_speedup(MiniPIC()) == 1.0
+
+
+def test_all_speedups_consistent_with_pairwise():
+    table = all_speedups()
+    assert table["VPIC"] == pytest.approx(1.0)
+    assert table["Sweep3D"] > table["SPaSM"] > table["VPIC"]
+
+
+# -- power models ------------------------------------------------------------
+
+def test_node_power_includes_overhead():
+    from repro.hardware.node import TRIBLADE
+
+    pm = PowerModel()
+    assert pm.node_power() == pytest.approx(
+        TRIBLADE.power_watts + pm.node_overhead_watts
+    )
+    assert pm.system_power(3060) == pytest.approx(
+        pm.node_power() * 3060 * 1.088
+    )
+
+
+def test_system_power_validation():
+    with pytest.raises(ValueError):
+        PowerModel().system_power(0)
+
+
+def test_green500_scales_inversely_with_nodes():
+    pm = PowerModel()
+    rmax = 1.026e15
+    assert pm.green500_mflops_per_watt(rmax, nodes=1530) == pytest.approx(
+        2 * pm.green500_mflops_per_watt(rmax, nodes=3060)
+    )
+
+
+def test_cell_only_cluster_near_488_mflops_per_watt():
+    """The two QS22-only systems above Roadrunner on the June 2008
+    Green500 delivered ~488 Mflop/s per watt."""
+    assert GREEN500_CELL_ONLY_MODEL.mflops_per_watt() == pytest.approx(
+        488.0, rel=0.02
+    )
+    # Heavier infrastructure or lower HPL efficiency only hurts.
+    worse = CellOnlyPowerModel(infrastructure_factor=2.0)
+    assert worse.mflops_per_watt() < GREEN500_CELL_ONLY_MODEL.mflops_per_watt()
+
+
+def test_top500_anchors_map_to_their_positions():
+    for position, rmax in TOP500_JUNE_2008_ANCHORS:
+        assert top500_position(rmax) == position
+
+
+def test_top500_position_monotone_in_rmax():
+    rmaxes = [9.0, 12.0, 30.0, 51.0, 106.1, 205.0, 478.2, 1026.0, 2000.0]
+    positions = [top500_position(r) for r in rmaxes]
+    assert positions == sorted(positions, reverse=True)
+    assert positions[-1] == 1

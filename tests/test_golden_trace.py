@@ -1,0 +1,92 @@
+"""Golden-trace conformance: the tiny 4-rank sweep's span stream.
+
+The ``sweep4`` scenario (2x2 KBA sweep, two timed iterations) is run
+with the recorder attached end to end, and its exported span stream is
+compared *exactly* against the committed fixture — category by
+category, float by float.  Any change to the instrumented timeline, the
+span schema, or the recording order shows up here.
+
+To regenerate the fixture after an intentional change::
+
+    REPRO_REGEN_GOLDEN=1 PYTHONPATH=src python -m pytest tests/test_golden_trace.py
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.obs import run_scenario, self_times, span_stream
+
+FIXTURE = Path(__file__).parent / "fixtures" / "golden_trace.json"
+
+#: every span dict carries exactly these keys
+SPAN_KEYS = {"category", "track", "t0", "t1", "attrs"}
+
+#: categories the sweep4 scenario is allowed to emit
+KNOWN_CATEGORIES = {
+    "sweep.iteration",
+    "sweep.octant",
+    "sweep.compute",
+    "mpi.send",
+    "mpi.recv",
+    "mpi.collective",
+    "link",
+}
+
+
+@pytest.fixture(scope="module")
+def recorded():
+    rec, sim_time = run_scenario("sweep4")
+    return rec, sim_time, span_stream(rec)
+
+
+def test_fixture_up_to_date(recorded):
+    _rec, sim_time, stream = recorded
+    payload = {"scenario": "sweep4", "sim_time": sim_time, "spans": stream}
+    if os.environ.get("REPRO_REGEN_GOLDEN"):
+        FIXTURE.parent.mkdir(parents=True, exist_ok=True)
+        FIXTURE.write_text(json.dumps(payload, indent=1) + "\n")
+        pytest.skip(f"regenerated {FIXTURE}")
+    golden = json.loads(FIXTURE.read_text())
+    assert golden["sim_time"] == sim_time
+    assert golden["spans"] == stream, (
+        "span stream diverged from the golden fixture; if the change is "
+        "intentional, regenerate with REPRO_REGEN_GOLDEN=1"
+    )
+
+
+def test_schema(recorded):
+    _rec, sim_time, stream = recorded
+    assert len(stream) > 0
+    for span in stream:
+        assert set(span) == SPAN_KEYS
+        assert span["category"] in KNOWN_CATEGORIES
+        assert isinstance(span["t0"], float) and isinstance(span["t1"], float)
+        assert 0.0 <= span["t0"] <= span["t1"] <= sim_time
+        assert isinstance(span["attrs"], dict)
+
+
+def test_monotonic_close_order(recorded):
+    """Spans are recorded as they *close*, so t1 never goes backwards."""
+    _rec, _sim_time, stream = recorded
+    ends = [span["t1"] for span in stream]
+    assert ends == sorted(ends)
+
+
+def test_rank_spans_nest_properly(recorded):
+    """Per track, spans either disjoint or contained — the profiler's
+    self_times() walks the stream without raising."""
+    rec, _sim_time, _stream = recorded
+    by_track: dict = {}
+    for span in rec.spans:
+        if span.category != "link":
+            by_track.setdefault(span.track, []).append(span)
+    assert set(by_track) == {0, 1, 2, 3}
+    for spans in by_track.values():
+        attributed = self_times(spans)  # raises on partial overlap
+        assert len(attributed) == len(spans)
+        assert all(self_time >= 0.0 for _s, self_time in attributed)
