@@ -13,7 +13,8 @@ The smoke tier asserts the determinism contract: the same workload run
 twice — and run against the seed engine pulled from git — pops events
 at bit-identical simulated times.  The measured tier
 (``--perf-full``) times both engines round-robin on the same machine
-and asserts the tentpole's >= 3x floor on the chain workload.
+and asserts the tentpole's >= 3x floor on the chain workload plus the
+spawn/join pool fast-path's >= 2.5x floor.
 """
 
 from __future__ import annotations
@@ -34,6 +35,10 @@ FULL_N = 300_000
 
 #: required speedup on the headline event-loop microbenchmark
 MIN_CHAIN_SPEEDUP = 3.0
+
+#: required speedup on spawn/join — the pre-pool worst workload (1.74x);
+#: the timeout free-list and inlined join-resume path close the gap
+MIN_SPAWN_JOIN_SPEEDUP = 2.5
 
 
 def _workloads(mod):
@@ -158,7 +163,7 @@ def test_smoke_matches_seed_engine_timeline(name):
 
 def test_measured_event_throughput(perf_full):
     """Measured tier: record events/s for both engines, assert the
-    >= 3x floor on the chain microbenchmark, write BENCH_perf.json."""
+    >= 3x chain and >= 2.5x spawn_join floors, write BENCH_perf.json."""
     seed = load_seed_engine()
     current = _workloads(current_engine)
     baseline_source = "git-seed-commit" if seed is not None else "recorded-constants"
@@ -196,6 +201,8 @@ def test_measured_event_throughput(perf_full):
             "workloads": results,
             "headline": "chain",
             "min_required_speedup": MIN_CHAIN_SPEEDUP,
+            "min_required_spawn_join_speedup": MIN_SPAWN_JOIN_SPEEDUP,
         },
     )
     assert results["chain"]["speedup"] >= MIN_CHAIN_SPEEDUP, results
+    assert results["spawn_join"]["speedup"] >= MIN_SPAWN_JOIN_SPEEDUP, results

@@ -1,0 +1,246 @@
+"""Full-machine scale: the 3,060-rank sweep through the DES.
+
+The paper's headline results are whole-machine runs, so the simulator
+has to be able to *execute* the whole machine — 3,060 ranks (60x51 KBA,
+one rank per hybrid node) and a "2x Roadrunner" what-if at 6,120 —
+not extrapolate to it.  This module pins that capability:
+
+* **smoke** (tier-1 time budget, 120 ranks on the same reduced tile):
+  the event/message pools are timeline-invisible — a pooled run and a
+  ``Simulator(pool_size=0)`` run produce bit-identical ``phi``,
+  ``messages``, ``bytes_sent``, ``iteration_time`` and MPI trace; the
+  streaming obs sink reproduces the unbounded recorder's summary; and
+  an enabled-obs run with the sink stays inside a tracemalloc memory
+  band that the unbounded recorder already violates at this scale.
+* **measured** (``--perf-full``): wall-clock and events/s for one
+  3,060-rank iteration, tracemalloc peaks with obs disabled and with
+  the streaming sink (the ISSUE's <= 2x contract), the 6,120-rank
+  what-if, all written to the ``fullmachine`` section of
+  ``BENCH_perf.json`` with floors that fail the run if the scale
+  capability regresses.
+
+Wall-clock is timed without tracemalloc (tracing multiplies allocator
+cost); memory is a separate traced run.
+"""
+
+from __future__ import annotations
+
+import functools
+import math
+import time
+import tracemalloc
+
+import numpy as np
+import pytest
+
+from benchmarks.perf.harness import update_bench_json
+from repro.comm.mpi import UniformFabric
+from repro.comm.transport import Transport
+from repro.obs import AggregatingSink, ObsRecorder, to_summary
+from repro.sim.engine import Simulator
+from repro.sim.trace import Tracer
+from repro.sweep3d import parallel
+from repro.sweep3d.decomposition import Decomposition2D
+from repro.sweep3d.input import SweepInput
+
+#: the per-rank tile: small enough that 3,060 ranks finish in seconds,
+#: deep enough in K (8 planes, mk=4) that the pipeline actually fills
+INP = SweepInput(it=2, jt=2, kt=8, mk=4, mmi=2)
+
+FULL_RANKS = 3060
+DOUBLE_RANKS = 6120
+SMOKE_RANKS = 120
+
+#: BENCH_perf.json floors — conservative multiples of the measured
+#: container numbers (~37k events/s, ~9 s, ~18 MB at 3,060 ranks)
+MIN_EVENTS_PER_S = 10_000.0
+MAX_WALL_S_3060 = 90.0
+MAX_PEAK_MB_3060 = 64.0
+MAX_OBS_PEAK_RATIO = 2.0
+
+
+def _run(ranks: int, obs=None, tracer=None, iterations: int = 1):
+    fabric = UniformFabric(Transport("ib", latency=2e-6, bandwidth=2e9))
+    sweep = parallel.ParallelSweep(
+        INP,
+        Decomposition2D.near_square(ranks),
+        1e-6,
+        fabric,
+        obs=obs,
+        **({"tracer": tracer} if tracer is not None else {}),
+    )
+    return sweep.run(iterations=iterations)
+
+
+def _unpooled_simulator(monkeypatch):
+    """Rebind the sweep layer's Simulator to the pool-free engine —
+    the honest unpooled baseline, same code, recycling disabled."""
+    monkeypatch.setattr(
+        parallel, "Simulator", functools.partial(Simulator, pool_size=0)
+    )
+
+
+def _traced_peak(fn) -> int:
+    tracemalloc.start()
+    try:
+        fn()
+        return tracemalloc.get_traced_memory()[1]
+    finally:
+        tracemalloc.stop()
+
+
+def _strip_host(summary: dict) -> dict:
+    """Summary minus host wall-clock (the one nondeterministic field)."""
+    out = dict(summary)
+    engine = dict(out["engine"])
+    engine.pop("host_run_time_s", None)
+    out["engine"] = engine
+    return out
+
+
+def _assert_summaries_agree(a: dict, b: dict) -> None:
+    """Sink summary vs unbounded summary: exact for every count, equal
+    to floating-point roundoff for the aggregated times (the sink
+    accumulates in flush order rather than global sort order)."""
+    a, b = _strip_host(a), _strip_host(b)
+    assert a["span_count"] == b["span_count"]
+    assert a["counters"] == b["counters"]
+    assert a["gauges"] == b["gauges"]
+    assert a["engine"] == b["engine"]
+    assert set(a["ranks"]) == set(b["ranks"])
+    for track in a["ranks"]:
+        for key in a["ranks"][track]:
+            assert math.isclose(
+                a["ranks"][track][key],
+                b["ranks"][track][key],
+                rel_tol=1e-9,
+                abs_tol=1e-15,
+            ), (track, key)
+    assert set(a["links"]) == set(b["links"])
+    for name in a["links"]:
+        assert a["links"][name]["transfers"] == b["links"][name]["transfers"]
+        for key in ("busy_time", "utilization", "bytes"):
+            assert math.isclose(
+                a["links"][name][key],
+                b["links"][name][key],
+                rel_tol=1e-9,
+                abs_tol=1e-15,
+            ), (name, key)
+
+
+# -- smoke tier ------------------------------------------------------------
+
+
+def test_smoke_pooled_vs_unpooled_bit_identical(monkeypatch):
+    """Event/timeout/envelope recycling is timeline-invisible: the
+    pooled run equals the pool-free run bit for bit."""
+    t_pool, t_plain = Tracer(), Tracer()
+    pooled = _run(SMOKE_RANKS, tracer=t_pool)
+    _unpooled_simulator(monkeypatch)
+    plain = _run(SMOKE_RANKS, tracer=t_plain)
+    assert pooled.iteration_time == plain.iteration_time
+    assert pooled.messages == plain.messages
+    assert pooled.bytes_sent == plain.bytes_sent
+    assert np.array_equal(pooled.phi, plain.phi)
+    assert len(t_pool.records) > 0
+    assert t_pool.records == t_plain.records
+
+
+def test_smoke_sink_summary_matches_unbounded():
+    rec_full = ObsRecorder()
+    r_full = _run(SMOKE_RANKS, obs=rec_full, iterations=2)
+    rec_sink = ObsRecorder(sink=AggregatingSink(), flush_threshold=1000)
+    r_sink = _run(SMOKE_RANKS, obs=rec_sink, iterations=2)
+    assert r_sink.iteration_time == r_full.iteration_time
+    assert rec_sink.span_count == rec_full.span_count
+    assert len(rec_sink.spans) < rec_sink.span_count  # it actually flushed
+    sim_time = r_full.iteration_time * r_full.iterations
+    _assert_summaries_agree(
+        to_summary(rec_sink, sim_time), to_summary(rec_full, sim_time)
+    )
+
+
+def test_smoke_sink_summary_is_deterministic():
+    runs = []
+    for _ in range(2):
+        rec = ObsRecorder(sink=AggregatingSink(), flush_threshold=1000)
+        result = _run(SMOKE_RANKS, obs=rec)
+        runs.append(
+            _strip_host(to_summary(rec, result.iteration_time))
+        )
+    assert runs[0] == runs[1]
+
+
+def test_smoke_obs_sink_memory_ceiling():
+    """The tracemalloc band for the nightly job: with the streaming
+    sink an enabled recorder must stay well under the unbounded
+    recorder and inside an absolute ceiling the unbounded path is
+    already on course to blow."""
+    peak_disabled = _traced_peak(lambda: _run(SMOKE_RANKS, iterations=2))
+    peak_sink = _traced_peak(
+        lambda: _run(
+            SMOKE_RANKS,
+            obs=ObsRecorder(sink=AggregatingSink(), flush_threshold=1000),
+            iterations=2,
+        )
+    )
+    peak_full = _traced_peak(
+        lambda: _run(SMOKE_RANKS, obs=ObsRecorder(), iterations=2)
+    )
+    assert peak_sink < peak_full / 2
+    # 2x the disabled peak plus the flush buffer's constant overhead.
+    assert peak_sink < 2 * peak_disabled + 3_000_000
+    assert peak_sink < 8_000_000
+
+
+# -- measured tier ---------------------------------------------------------
+
+
+def test_measured_fullmachine(perf_full):
+    # Wall-clock, untraced: best of 2 for the full machine.
+    wall_3060 = min(
+        _timed(lambda: _run(FULL_RANKS)) for _ in range(2)
+    )
+    # One obs-sink run gives the deterministic event/span census.
+    rec = ObsRecorder(sink=AggregatingSink())
+    result = _run(FULL_RANKS, obs=rec)
+    events = sum(rec.events_by_class.values())
+    events_per_s = events / wall_3060
+    # Memory, traced separately: disabled vs streaming-sink recorder.
+    peak_disabled = _traced_peak(lambda: _run(FULL_RANKS))
+    peak_sink = _traced_peak(
+        lambda: _run(FULL_RANKS, obs=ObsRecorder(sink=AggregatingSink()))
+    )
+    obs_ratio = peak_sink / peak_disabled
+    wall_6120 = _timed(lambda: _run(DOUBLE_RANKS))
+
+    payload = {
+        "config": (
+            f"{FULL_RANKS} ranks (60x51 KBA), per-rank tile "
+            "it=jt=2 kt=8 mk=4 mmi=2, 1 iteration"
+        ),
+        "events": events,
+        "spans": rec.span_count,
+        "messages": result.messages,
+        "wall_s_3060": round(wall_3060, 3),
+        "events_per_s": round(events_per_s),
+        "peak_mb_3060": round(peak_disabled / 1e6, 1),
+        "peak_mb_3060_obs_sink": round(peak_sink / 1e6, 1),
+        "obs_peak_ratio": round(obs_ratio, 2),
+        "wall_s_6120_whatif": round(wall_6120, 3),
+        "min_events_per_s": MIN_EVENTS_PER_S,
+        "max_wall_s_3060": MAX_WALL_S_3060,
+        "max_peak_mb_3060": MAX_PEAK_MB_3060,
+        "max_obs_peak_ratio": MAX_OBS_PEAK_RATIO,
+    }
+    update_bench_json("fullmachine", payload)
+    assert events_per_s >= MIN_EVENTS_PER_S
+    assert wall_3060 <= MAX_WALL_S_3060
+    assert peak_disabled <= MAX_PEAK_MB_3060 * 1e6
+    assert obs_ratio <= MAX_OBS_PEAK_RATIO
+
+
+def _timed(fn) -> float:
+    t0 = time.perf_counter()
+    fn()
+    return time.perf_counter() - t0

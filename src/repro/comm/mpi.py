@@ -24,7 +24,7 @@ bit-identical to the historical perfect-fabric communicator.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, Callable, NamedTuple
 
 from repro.comm.transport import PipelinePath, Transport
@@ -65,9 +65,14 @@ class Location(NamedTuple):
     spe: int = 0
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Message:
-    """An in-flight or delivered message."""
+    """An in-flight or delivered message.
+
+    Slotted: a full-machine sweep keeps hundreds of thousands of these
+    alive per iteration, and the per-instance ``__dict__`` of a plain
+    dataclass would dominate their footprint.
+    """
 
     source: int
     dest: int
@@ -139,10 +144,17 @@ class TransportMapFabric:
         return self.one_way_time(src, dst, 0)
 
 
-@dataclass
 class _Mailbox:
-    pending: list[Message] = field(default_factory=list)
-    waiters: list[tuple[int, int, Event]] = field(default_factory=list)
+    """One rank's receive queue: delivered-but-unclaimed messages and
+    posted-but-unmatched receives.  Slotted — a communicator
+    preallocates one per rank, and at 3,060 ranks the dataclass
+    ``__dict__`` these used to carry is measurable memory."""
+
+    __slots__ = ("pending", "waiters")
+
+    def __init__(self):
+        self.pending: list[Message] = []
+        self.waiters: list[tuple[int, int, Event]] = []
 
     def deliver(self, msg: Message) -> None:
         for i, (src, tag, evt) in enumerate(self.waiters):
@@ -170,6 +182,32 @@ class _Mailbox:
             if waiting is evt:
                 del self.waiters[i]
                 return
+
+
+class _Delivery:
+    """Slotted, reusable deliver-callback record.
+
+    Replaces the per-message closure the send path used to allocate for
+    the delivery timeout's callback.  After firing, the record parks
+    itself on the communicator's free-list for the next send — the
+    steady-state send path then allocates no callback objects.  Records
+    only ever *read* simulation state, so pooling them is invisible to
+    the event timeline.
+    """
+
+    __slots__ = ("comm", "msg")
+
+    def __init__(self, comm: "SimMPI", msg: Message):
+        self.comm = comm
+        self.msg = msg
+
+    def __call__(self, _evt: Event) -> None:
+        comm, msg = self.comm, self.msg
+        self.msg = None
+        free = comm._free_deliveries
+        if len(free) < 64:
+            free.append(self)
+        comm._mailboxes[msg.dest].deliver(msg)
 
 
 def _matches(msg: Message, source: int, tag: int) -> bool:
@@ -217,6 +255,9 @@ class SimMPI:
         #: sequence number (see :mod:`repro.comm.membership`)
         self._shrink_state: dict[int, Any] = {}
         self._mailboxes = [_Mailbox() for _ in locations]
+        #: free-list of reusable delivery-callback records (see
+        #: :class:`_Delivery`)
+        self._free_deliveries: list[_Delivery] = []
         #: zero-byte latency memoized per (src_rank, dest_rank) — rank
         #: locations are fixed for the communicator's lifetime
         self._lat_cache: dict[tuple[int, int], float] = {}
@@ -256,6 +297,8 @@ class SimMPI:
 class Rank:
     """Per-rank MPI API.  All methods are generators to be ``yield
     from``-ed inside a simulation process (or events to ``yield``)."""
+
+    __slots__ = ("comm", "index", "sim")
 
     def __init__(self, comm: SimMPI, index: int):
         self.comm = comm
@@ -312,9 +355,13 @@ class Rank:
             delivered_at=sim.now + latency,
         )
         deliver = sim.timeout(latency)
-        deliver.callbacks.append(
-            lambda _evt, m=msg: comm._mailboxes[m.dest].deliver(m)
-        )
+        free = comm._free_deliveries
+        if free:
+            rec = free.pop()
+            rec.msg = msg
+        else:
+            rec = _Delivery(comm, msg)
+        deliver.callbacks.append(rec)
         obs = comm.obs
         if obs is not None:
             obs.span("mpi.send", self.index, sent_at, sim.now,
@@ -371,9 +418,13 @@ class Rank:
                     delivered_at=sim.now + latency,
                 )
                 deliver = sim.timeout(latency)
-                deliver.callbacks.append(
-                    lambda _evt, m=msg: comm._mailboxes[m.dest].deliver(m)
-                )
+                free = comm._free_deliveries
+                if free:
+                    rec = free.pop()
+                    rec.msg = msg
+                else:
+                    rec = _Delivery(comm, msg)
+                deliver.callbacks.append(rec)
                 obs = comm.obs
                 if obs is not None:
                     obs.span("mpi.send", self.index, sent_at, sim.now,

@@ -27,6 +27,56 @@ from repro.sim.resources import BandwidthLink
 __all__ = ["ContendedFabric"]
 
 
+class _LinkSpan:
+    """Slotted, reusable per-link transfer record.
+
+    One fires per shared link a transfer crosses, emitting the ``link``
+    span and byte counter the profiler consumes; afterwards it parks
+    itself on the fabric's free-list for the next transfer.  Replaces a
+    closure allocation per link per message on the observed path.
+    """
+
+    __slots__ = ("fabric", "name", "t0", "size")
+
+    def __init__(self, fabric: "ContendedFabric", name: str, t0: float, size: int):
+        self.fabric = fabric
+        self.name = name
+        self.t0 = t0
+        self.size = size
+
+    def __call__(self, _evt: Event) -> None:
+        fabric = self.fabric
+        obs = fabric.obs
+        obs.span("link", self.name, self.t0, fabric.sim.now, size=self.size)
+        obs.count("link.bytes", self.size, track=self.name)
+        self.name = None
+        free = fabric._free_spans
+        if len(free) < 64:
+            free.append(self)
+
+
+class _Finish:
+    """Slotted completion record relaying a mover's outcome to the
+    transfer's ``done`` event, pooled per fabric like :class:`_LinkSpan`."""
+
+    __slots__ = ("fabric", "done")
+
+    def __init__(self, fabric: "ContendedFabric", done: Event):
+        self.fabric = fabric
+        self.done = done
+
+    def __call__(self, evt: Event) -> None:
+        done = self.done
+        self.done = None
+        free = self.fabric._free_finishes
+        if len(free) < 64:
+            free.append(self)
+        if evt.ok:
+            done.succeed(evt.value)
+        else:
+            done.fail(evt.value)
+
+
 class ContendedFabric:
     """Per-node NIC contention over the Roadrunner fabric.
 
@@ -71,6 +121,10 @@ class ContendedFabric:
         self._tx: dict[int, BandwidthLink] = {}
         self._rx: dict[int, BandwidthLink] = {}
         self._uplinks: dict[tuple, BandwidthLink] = {}
+        #: free-lists of reusable per-transfer records (timeline-neutral
+        #: allocation recycling; see _LinkSpan / _Finish)
+        self._free_spans: list[_LinkSpan] = []
+        self._free_finishes: list[_Finish] = []
 
     def _nic(self, table: dict[int, BandwidthLink], node: int) -> BandwidthLink:
         if node not in table:
@@ -127,20 +181,27 @@ class ContendedFabric:
             events = [link.transfer(size) for link in links]
             if obs is not None:
                 t0 = sim.now
+                spans = self._free_spans
                 for link, evt in zip(links, events):
-                    evt.callbacks.append(
-                        lambda _e, name=link.name: (
-                            obs.span("link", name, t0, sim.now, size=size),
-                            obs.count("link.bytes", size, track=name),
-                        )
-                    )
+                    if spans:
+                        rec = spans.pop()
+                        rec.name = link.name
+                        rec.t0 = t0
+                        rec.size = size
+                    else:
+                        rec = _LinkSpan(self, link.name, t0, size)
+                    evt.callbacks.append(rec)
             yield sim.all_of(events)
             return sim.now
 
         proc = self.sim.process(mover(self.sim), name="fabric-transfer")
-        proc.callbacks.append(
-            lambda evt: done.succeed(evt.value) if evt.ok else done.fail(evt.value)
-        )
+        finishes = self._free_finishes
+        if finishes:
+            fin = finishes.pop()
+            fin.done = done
+        else:
+            fin = _Finish(self, done)
+        proc.callbacks.append(fin)
         return done
 
     def _route_uplinks(self, src_node: int, dst_node: int) -> list[BandwidthLink]:

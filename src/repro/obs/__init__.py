@@ -42,8 +42,11 @@ from repro.obs.recorder import (
     active,
 )
 from repro.obs.scenarios import SCENARIOS, run_scenario
+from repro.obs.sinks import AggregatingSink, RotatingFileSink
 
 __all__ = [
+    "AggregatingSink",
+    "RotatingFileSink",
     "ObsRecorder",
     "SpanRecord",
     "NullRecorder",

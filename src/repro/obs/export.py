@@ -89,7 +89,7 @@ def to_summary(rec: ObsRecorder, sim_time: float) -> dict[str, Any]:
     }
     return {
         "sim_time": sim_time,
-        "span_count": len(rec.spans),
+        "span_count": getattr(rec, "span_count", None) or len(rec.spans),
         "ranks": ranks,
         "links": links,
         "counters": _counter_map(rec),
@@ -191,7 +191,13 @@ def format_profile(prof: SimProfile, title: str | None = None) -> str:
         lines.append(f"events processed: {counts}")
     if prof.ranks:
         rows = []
-        for track, rp in prof.ranks.items():
+        shown = list(prof.ranks.items())
+        dropped = len(shown) - 32
+        if dropped > 0:
+            # Full-machine profiles have thousands of ranks; the table
+            # shows the first 32 tracks and says what it dropped.
+            shown = shown[:32]
+        for track, rp in shown:
             rows.append(
                 (
                     str(track),
@@ -211,6 +217,8 @@ def format_profile(prof: SimProfile, title: str | None = None) -> str:
                 title="per-rank sim-time attribution",
             )
         )
+        if dropped > 0:
+            lines.append(f"... and {dropped} more ranks (see to_summary)")
     if prof.links:
         busiest = sorted(
             prof.links.values(), key=lambda lp: lp.busy_time, reverse=True

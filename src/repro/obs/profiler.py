@@ -207,9 +207,17 @@ def link_occupancy(rec: ObsRecorder, sim_time: float) -> dict[str, LinkProfile]:
 
 
 def profile(rec: ObsRecorder, sim_time: float) -> SimProfile:
-    """Build the full :class:`SimProfile` of one recorded run."""
+    """Build the full :class:`SimProfile` of one recorded run.
+
+    A recorder with a streaming sink attached (see
+    :mod:`repro.obs.sinks`) delegates to the sink's aggregate, merging
+    it with any still-buffered spans — same profile, bounded memory.
+    """
     if sim_time < 0:
         raise ValueError("sim_time must be >= 0")
+    sink = getattr(rec, "sink", None)
+    if sink is not None and hasattr(sink, "aggregate_profile"):
+        return sink.aggregate_profile(rec, sim_time)
     return SimProfile(
         sim_time=sim_time,
         ranks=phase_breakdown(rec, sim_time),

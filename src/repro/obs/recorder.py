@@ -98,12 +98,29 @@ class ObsRecorder:
 
     ``categories``, when given, restricts *span* recording to those
     categories (counters and gauges are always kept — they are cheap
-    and the profile tables read them).
+    and the profile tables read them).  ``categories=()`` skips span
+    retention entirely — no ``SpanRecord`` is ever built or stored, so
+    a counter-only recorder stays flat-memory no matter how long the
+    run is.
+
+    Memory contract: without a sink, ``spans`` grows with every span
+    recorded — O(total spans), fine for tests and small profiles.  For
+    full-machine runs attach a *sink*
+    (:class:`repro.obs.sinks.AggregatingSink` or
+    :class:`~repro.obs.sinks.RotatingFileSink`): once the buffer
+    reaches ``flush_threshold`` spans it is handed to
+    ``sink.consume()`` and dropped, bounding live memory at
+    O(``flush_threshold`` + sink state) while ``profile()`` /
+    ``to_summary`` keep working via the sink's aggregate.
     """
 
     categories: frozenset[str] | None = None
     #: completed spans, in recording (simulated-time close) order
     spans: list[SpanRecord] = field(default_factory=list)
+    #: streaming span sink; buffered spans are flushed to it in batches
+    sink: Any = None
+    #: buffered-span count that triggers a flush to ``sink``
+    flush_threshold: int = 10_000
     #: ``(name, track)`` -> accumulated value; ``track=None`` is global
     counters: dict[tuple[str, Any], float] = field(default_factory=dict)
     #: ``(name, track)`` -> last written value
@@ -131,10 +148,29 @@ class ObsRecorder:
         self.spans.append(
             SpanRecord(category, track, t0, t1, tuple(attrs.items()))
         )
+        if self.sink is not None and len(self.spans) >= self.flush_threshold:
+            batch = self.spans
+            self.spans = []
+            self.sink.consume(batch)
 
     def measure(self, sim, category: str, track: Any, **attrs) -> _SpanScope:
         """Span context manager over the ``with`` block's sim-time."""
+        if self.categories is not None and category not in self.categories:
+            return _NULL_SCOPE
         return _SpanScope(self, sim, category, track, attrs)
+
+    def flush(self) -> None:
+        """Hand any buffered spans to the sink now (no-op without one)."""
+        if self.sink is not None and self.spans:
+            batch = self.spans
+            self.spans = []
+            self.sink.consume(batch)
+
+    @property
+    def span_count(self) -> int:
+        """Total spans recorded, including those flushed to the sink."""
+        flushed = getattr(self.sink, "flushed_spans", 0) if self.sink else 0
+        return len(self.spans) + flushed
 
     # -- counters and gauges ----------------------------------------------
     def count(self, name: str, value: float = 1.0, track: Any = None) -> None:
@@ -168,8 +204,10 @@ class ObsRecorder:
 
     # -- bookkeeping -------------------------------------------------------
     def clear(self) -> None:
-        """Drop everything recorded so far."""
+        """Drop everything recorded so far (including sink aggregate)."""
         self.spans.clear()
+        if self.sink is not None:
+            self.sink.clear()
         self.counters.clear()
         self.gauges.clear()
         self.events_by_class.clear()

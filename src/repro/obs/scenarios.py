@@ -82,13 +82,50 @@ def ring8(obs) -> float:
     return sim.now
 
 
+def _fullmachine(obs, ranks: int, iterations: int = 1) -> float:
+    """A full-machine KBA sweep at ``ranks`` ranks — the paper's whole-
+    machine scale, on a reduced per-rank tile so the scenario finishes
+    in CLI-tolerable wall-clock.  The span volume is what makes it a
+    scenario worth profiling: hundreds of thousands of spans per
+    iteration, which is why the default recorder for these scenarios
+    carries a streaming :class:`~repro.obs.sinks.AggregatingSink`."""
+    from repro.comm.mpi import UniformFabric
+    from repro.comm.transport import Transport
+    from repro.sweep3d.decomposition import Decomposition2D
+    from repro.sweep3d.input import SweepInput
+    from repro.sweep3d.parallel import ParallelSweep
+
+    inp = SweepInput(it=2, jt=2, kt=8, mk=4, mmi=2)
+    fabric = UniformFabric(Transport("ib", latency=2e-6, bandwidth=2e9))
+    sweep = ParallelSweep(
+        inp, Decomposition2D.near_square(ranks), 1e-6, fabric, obs=obs
+    )
+    result = sweep.run(iterations=iterations)
+    return result.iteration_time * result.iterations
+
+
+def sweep3060(obs) -> float:
+    """Roadrunner full machine: 3,060 ranks (60x51 KBA), one iteration."""
+    return _fullmachine(obs, 3060)
+
+
+def sweep6120(obs) -> float:
+    """The "2x Roadrunner" what-if: 6,120 ranks, one iteration."""
+    return _fullmachine(obs, 6120)
+
+
 #: scenario name -> function(obs) -> total simulated seconds
 SCENARIOS = {
     "sweep4": sweep4,
     "sweep16": sweep16,
     "solve4": solve4,
     "ring8": ring8,
+    "sweep3060": sweep3060,
+    "sweep6120": sweep6120,
 }
+
+#: scenarios whose span volume needs a streaming sink by default
+_SINKED = frozenset({"sweep3060", "sweep6120"})
 
 
 def run_scenario(name: str, obs: ObsRecorder | None = None):
@@ -103,7 +140,14 @@ def run_scenario(name: str, obs: ObsRecorder | None = None):
         raise ValueError(
             f"unknown scenario {name!r}; choose from {', '.join(sorted(SCENARIOS))}"
         ) from None
-    rec = obs if obs is not None else ObsRecorder()
+    if obs is not None:
+        rec = obs
+    elif name in _SINKED:
+        from repro.obs.sinks import AggregatingSink
+
+        rec = ObsRecorder(sink=AggregatingSink())
+    else:
+        rec = ObsRecorder()
     set_transport_observer(rec)
     try:
         sim_time = fn(rec)

@@ -43,12 +43,20 @@ trades some repetition for speed:
   the heap instead of a full pre-succeeded :class:`Event`;
 * ``Timeout``/``succeed``/``fail`` inline the heap push instead of
   calling :meth:`Simulator._schedule`;
-* a processed :class:`Timeout` is recycled through a one-deep
-  per-simulator free slot when the run loop holds the only remaining
+* a processed :class:`Timeout` is recycled through a bounded
+  per-simulator free-list (``Simulator(pool_size=...)``, default 64
+  entries, 0 disables) when the run loop holds the only remaining
   reference (checked with ``sys.getrefcount``), so steady-state
-  timeout loops allocate no event objects at all.  A timeout anyone
-  still references — held in a variable, parked in a condition — is
-  never recycled, so ``.value``/``.ok`` stay valid;
+  timeout loops — including bursty many-rank schedules that retire
+  several timeouts between creations — allocate no event objects at
+  all.  A timeout anyone still references — held in a variable,
+  parked in a condition — is never recycled, so ``.value``/``.ok``
+  stay valid.  Process-bootstrap markers recycle through a one-deep
+  slot the same way;
+* after a heap pop, the next queued entry is hoisted into the empty
+  min buffer when it fires at the same instant, so same-timestamp
+  event cohorts (a wavefront diagonal firing together) drain through
+  slotted pops;
 * bounded ``run(until=t)`` pushes a heap sentinel at the horizon
   instead of comparing ``queue[0][0] <= t`` every iteration;
 * a one-slot min buffer (``Simulator._next``, see :func:`_push`) sits
@@ -78,6 +86,7 @@ from collections.abc import Generator, Iterable
 from heapq import heappop, heappush
 from sys import getrefcount
 from time import perf_counter
+from types import GeneratorType
 from typing import Any
 
 __all__ = [
@@ -326,18 +335,53 @@ class Process(Event):
     __slots__ = ("generator", "name", "_target", "_send", "_throw")
 
     def __init__(self, sim: "Simulator", generator: Generator, name: str | None = None):
-        if not isinstance(generator, Generator):
+        if type(generator) is GeneratorType:
+            if not name:
+                name = generator.__name__
+        elif isinstance(generator, Generator):
+            if not name:
+                name = getattr(generator, "__name__", "process")
+        else:
             raise TypeError(f"Process requires a generator, got {type(generator)!r}")
-        super().__init__(sim)
+        # Inline Event.__init__: process creation is the spawn/join hot
+        # path, and the ABC isinstance above is bypassed for the plain
+        # generators every caller in this repository passes.
+        self.sim = sim
+        self.callbacks = []
+        self._value = None
+        self._ok = None
+        self._triggered = False
+        self._processed = False
+        self._waiter = None
+        self.defused = False
         self.generator = generator
-        self.name = name or getattr(generator, "__name__", "process")
+        self.name = name
         self._target: Event | None = None
         self._send = generator.send
         self._throw = generator.throw
         # Bootstrap: resume the generator at the current instant.  The
-        # marker consumes one seq number like any scheduled event.
+        # marker consumes one seq number like any scheduled event and is
+        # drawn from a one-deep free slot refilled by the run loop.
+        marker = sim._free_bootstrap
+        if marker is not None:
+            sim._free_bootstrap = None
+            marker.process = self
+        else:
+            marker = _Bootstrap(self)
         sim._seq = seq = sim._seq + 1
-        _push(sim, (sim._now, URGENT, seq, _Bootstrap(self)))
+        entry = (sim._now, URGENT, seq, marker)
+        # Inline _push.
+        nxt = sim._next
+        if nxt is None:
+            if sim._queue:
+                heappush(sim._queue, entry)
+            else:
+                sim._next = entry
+        elif entry < nxt:
+            sim._next = entry
+            heappush(sim._queue, nxt)
+        else:
+            heappush(sim._queue, entry)
 
     @property
     def is_alive(self) -> bool:
@@ -553,8 +597,17 @@ class _Stop:
     __slots__ = ()
 
 
+#: default depth of the per-simulator timeout free-list (see Simulator)
+_POOL_SIZE = 64
+
+
 class Simulator:
-    """The event loop: owns the clock and the pending-event heap."""
+    """The event loop: owns the clock and the pending-event heap.
+
+    ``pool_size`` bounds the timeout free-list (``None`` uses the
+    module default, ``0`` disables recycling entirely — the unpooled
+    reference path the full-machine benchmark cross-checks against).
+    """
 
     __slots__ = (
         "_now",
@@ -563,17 +616,29 @@ class Simulator:
         "_seq",
         "_active_process",
         "_free_timeout",
+        "_free_timeouts",
+        "_free_bootstrap",
+        "_pool_cap",
         "_observer",
     )
 
-    def __init__(self):
+    def __init__(self, pool_size: int | None = None):
         self._now = 0.0
         self._queue: list[tuple[float, int, int, Event]] = []
         #: single-slot min buffer in front of the heap (see _push)
         self._next: tuple[float, int, int, Event] | None = None
         self._seq = 0
         self._active_process: Process | None = None
+        #: one-deep first-level timeout free slot (the chain cadence
+        #: recycles through this without touching the overflow list)
         self._free_timeout: Timeout | None = None
+        #: overflow free-list of dead Timeout objects behind the slot
+        #: (bursty schedules retire several timeouts between
+        #: creations); bounded by _pool_cap
+        self._free_timeouts: list[Timeout] = []
+        #: one-deep free slot for process-bootstrap heap markers
+        self._free_bootstrap: _Bootstrap | None = None
+        self._pool_cap = _POOL_SIZE if pool_size is None else pool_size
         #: observability sink (see attach_observer); None keeps run()
         #: on the uninstrumented fast loop
         self._observer = None
@@ -623,27 +688,32 @@ class Simulator:
         """Create an event that fires ``delay`` seconds from now."""
         t = self._free_timeout
         if t is not None:
-            if delay < 0:
-                raise SimulationError(f"negative timeout delay: {delay!r}")
             self._free_timeout = None
-            t._value = value
-            t.delay = delay
-            self._seq = seq = self._seq + 1
-            entry = (self._now + delay, NORMAL, seq, t)
-            # Inline _push (the recycled-timeout fast path).
-            nxt = self._next
-            if nxt is None:
-                if self._queue:
-                    heappush(self._queue, entry)
-                else:
-                    self._next = entry
-            elif entry < nxt:
-                self._next = entry
-                heappush(self._queue, nxt)
-            else:
+        else:
+            free = self._free_timeouts
+            if not free:
+                return Timeout(self, delay, value)
+            t = free.pop()
+        if delay < 0:
+            self._free_timeout = t
+            raise SimulationError(f"negative timeout delay: {delay!r}")
+        t._value = value
+        t.delay = delay
+        self._seq = seq = self._seq + 1
+        entry = (self._now + delay, NORMAL, seq, t)
+        # Inline _push (the recycled-timeout fast path).
+        nxt = self._next
+        if nxt is None:
+            if self._queue:
                 heappush(self._queue, entry)
-            return t
-        return Timeout(self, delay, value)
+            else:
+                self._next = entry
+        elif entry < nxt:
+            self._next = entry
+            heappush(self._queue, nxt)
+        else:
+            heappush(self._queue, entry)
+        return t
 
     def process(self, generator: Generator, name: str | None = None) -> Process:
         """Start a new process from ``generator``."""
@@ -841,6 +911,8 @@ class Simulator:
         # this loop exists to avoid.
         queue = self._queue
         pop = heappop
+        free = self._free_timeouts
+        cap = self._pool_cap
         while True:
             entry = self._next
             if entry is not None:
@@ -851,6 +923,12 @@ class Simulator:
                 entry = None
             elif queue:
                 time, _prio, _seq, event = pop(queue)
+                if queue and queue[0][0] == time:
+                    # Same-instant cohort (a wavefront diagonal firing
+                    # together): hoist the next member into the empty
+                    # slot so the cohort drains through slotted pops and
+                    # pushes during dispatch compare against it first.
+                    self._next = pop(queue)
             else:
                 break
             self._now = time
@@ -870,12 +948,35 @@ class Simulator:
                         except StopIteration as stop:
                             self._active_process = None
                             waiter._target = None
-                            waiter.succeed(stop.value)
+                            # Inline Event.succeed: process termination is
+                            # the spawn/join hot path.
+                            if waiter._triggered:
+                                raise SimulationError("event already triggered")
+                            waiter._triggered = True
+                            waiter._ok = True
+                            waiter._value = stop.value
+                            self._seq = seq = self._seq + 1
+                            entry = (time, NORMAL, seq, waiter)
+                            nxt = self._next
+                            if nxt is None:
+                                if queue:
+                                    heappush(queue, entry)
+                                else:
+                                    self._next = entry
+                            elif entry < nxt:
+                                self._next = entry
+                                heappush(queue, nxt)
+                            else:
+                                heappush(queue, entry)
+                            # Clear the parked-yield local: a stale reference
+                            # would defeat the timeout recycle test below.
+                            target = None
                             break
                         except BaseException as exc:
                             self._active_process = None
                             waiter._target = None
                             waiter.fail(exc)
+                            target = None
                             break
                         if type(target) is Timeout and target.sim is self:
                             if target._processed:
@@ -905,17 +1006,26 @@ class Simulator:
                         break
                 # Callbacks registered after the parked waiter fire after
                 # it, preserving registration order; with none, recycle
-                # the timeout if the loop holds the only live reference.
+                # the timeout if the loop holds the only live reference
+                # (into the one-deep slot first, the overflow list once
+                # the slot is taken).
                 callbacks = event.callbacks
                 if callbacks:
                     event.callbacks = None
                     for callback in callbacks:
                         callback(event)
-                elif self._free_timeout is None and getrefcount(event) == 2:
-                    # callbacks (the original empty list) stays attached.
-                    event._value = None
-                    event._processed = False
-                    self._free_timeout = event
+                elif cap and getrefcount(event) == 2:
+                    if self._free_timeout is None:
+                        # callbacks (the original empty list) stays attached.
+                        event._value = None
+                        event._processed = False
+                        self._free_timeout = event
+                    elif len(free) < cap:
+                        event._value = None
+                        event._processed = False
+                        free.append(event)
+                    else:
+                        event.callbacks = None
                 else:
                     event.callbacks = None
                 continue
@@ -930,12 +1040,35 @@ class Simulator:
                     except StopIteration as stop:
                         self._active_process = None
                         waiter._target = None
-                        waiter.succeed(stop.value)
+                        # Inline Event.succeed: process termination is
+                        # the spawn/join hot path.
+                        if waiter._triggered:
+                            raise SimulationError("event already triggered")
+                        waiter._triggered = True
+                        waiter._ok = True
+                        waiter._value = stop.value
+                        self._seq = seq = self._seq + 1
+                        entry = (time, NORMAL, seq, waiter)
+                        nxt = self._next
+                        if nxt is None:
+                            if queue:
+                                heappush(queue, entry)
+                            else:
+                                self._next = entry
+                        elif entry < nxt:
+                            self._next = entry
+                            heappush(queue, nxt)
+                        else:
+                            heappush(queue, entry)
+                        # Clear the parked-yield local: a stale reference
+                        # would defeat the timeout recycle test below.
+                        target = None
                         break
                     except BaseException as exc:
                         self._active_process = None
                         waiter._target = None
                         waiter.fail(exc)
+                        target = None
                         break
                     if type(target) is Timeout and target.sim is self:
                         if target._processed:
@@ -963,6 +1096,11 @@ class Simulator:
                     self._active_process = None
                     waiter._park_slow(target)
                     break
+                # Recycle the two-word marker for the next spawn (the
+                # loop holds the only reference once the entry is gone).
+                if self._free_bootstrap is None and getrefcount(event) == 2:
+                    event.process = None
+                    self._free_bootstrap = event
                 continue
             if cls is _Stop:
                 if event is marker:
@@ -983,12 +1121,35 @@ class Simulator:
                     except StopIteration as stop:
                         self._active_process = None
                         waiter._target = None
-                        waiter.succeed(stop.value)
+                        # Inline Event.succeed: process termination is
+                        # the spawn/join hot path.
+                        if waiter._triggered:
+                            raise SimulationError("event already triggered")
+                        waiter._triggered = True
+                        waiter._ok = True
+                        waiter._value = stop.value
+                        self._seq = seq = self._seq + 1
+                        entry = (time, NORMAL, seq, waiter)
+                        nxt = self._next
+                        if nxt is None:
+                            if queue:
+                                heappush(queue, entry)
+                            else:
+                                self._next = entry
+                        elif entry < nxt:
+                            self._next = entry
+                            heappush(queue, nxt)
+                        else:
+                            heappush(queue, entry)
+                        # Clear the parked-yield local: a stale reference
+                        # would defeat the timeout recycle test below.
+                        target = None
                         break
                     except BaseException as exc:
                         self._active_process = None
                         waiter._target = None
                         waiter.fail(exc)
+                        target = None
                         break
                     if type(target) is Timeout and target.sim is self:
                         if target._processed:
@@ -1018,8 +1179,9 @@ class Simulator:
                     break
                 callbacks = event.callbacks
                 event.callbacks = None
-                for callback in callbacks:
-                    callback(event)
+                if callbacks:
+                    for callback in callbacks:
+                        callback(event)
                 continue
             if waiter is not None:
                 # Failed event with a parked waiter: the generic path

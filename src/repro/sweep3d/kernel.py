@@ -35,7 +35,7 @@ __all__ = ["sweep_octant", "sweep_octants_batched"]
 def _flat_sigma(sigma_t, shape: tuple[int, int, int]):
     """Raveled total cross-section, or None when it is a scalar (the
     common case, served by a precomputed per-angle denominator)."""
-    if np.ndim(sigma_t) == 0:
+    if type(sigma_t) is float or np.ndim(sigma_t) == 0:
         return None
     sig = np.broadcast_to(np.asarray(sigma_t, dtype=np.float64), shape)
     return np.ascontiguousarray(sig).reshape(-1)
@@ -89,13 +89,18 @@ def sweep_octant(
         ws["numer"], ws["center"], ws["two"], ws["rows"],
     )
 
+    # The gathers go through the bound ndarray methods rather than the
+    # ``np.take`` wrapper: at full-machine scale the kernel is invoked
+    # tens of thousands of times on tiny blocks and the fromnumeric
+    # dispatch layer alone is seconds of wall-clock.  The C routine —
+    # and therefore every bit of the result — is identical.
     for cell, xf, yf, zf, fix, _fix8 in plan.steps:
         n = cell.shape[0]
-        in_x = np.take(psi_x, xf, axis=0, out=w_in_x[:n])
-        in_y = np.take(psi_y, yf, axis=0, out=w_in_y[:n])
-        in_z = np.take(psi_z, zf, axis=0, out=w_in_z[:n])
+        in_x = psi_x.take(xf, 0, w_in_x[:n])
+        in_y = psi_y.take(yf, 0, w_in_y[:n])
+        in_z = psi_z.take(zf, 0, w_in_z[:n])
         numer = np.multiply(cx, in_x, out=w_numer[:n])
-        numer += np.take(src, cell, out=w_rows[:n])[:, None]
+        numer += src.take(cell, None, w_rows[:n])[:, None]
         numer += np.multiply(cy, in_y, out=w_two[:n])
         numer += np.multiply(cz, in_z, out=w_two[:n])
         if denom is not None:
@@ -103,7 +108,7 @@ def sweep_octant(
         else:
             center = np.divide(
                 numer,
-                np.take(sig, cell, out=w_rows[:n])[:, None] + c_sum,
+                sig.take(cell, None, w_rows[:n])[:, None] + c_sum,
                 out=w_center[:n],
             )
         p = reduce_rows(center, w, fix, out=w_rows[:n])

@@ -44,12 +44,12 @@ def _traffic_plan(seed):
     return plans, incoming
 
 
-def _random_traffic_run(seed):
+def _random_traffic_run(seed, pool_size=None):
     """A seeded random message storm over SimMPI, returning the traced
     timeline.  Every rank replays its plan — jittered sends to random
     peers — then drains exactly the messages addressed to it."""
     plans, incoming = _traffic_plan(seed)
-    sim = Simulator()
+    sim = Simulator() if pool_size is None else Simulator(pool_size=pool_size)
     fabric = UniformFabric(Transport("test", latency=2 * US, bandwidth=1e9))
     tracer = Tracer()
     comm = SimMPI(
@@ -108,6 +108,54 @@ def test_parallel_sweep_twice_is_bit_identical():
     assert np.array_equal(result_a.phi, result_b.phi)
     assert len(records_a) > 0
     assert records_a == records_b
+
+
+# -- the event/timeout free-list pool --------------------------------------
+
+
+def test_event_pool_warm_vs_cold_bitwise():
+    """The engine's timeout/bootstrap free lists are timeline-invisible:
+    a pooled run (objects recycled once the pool is warm) and a
+    ``pool_size=0`` run (every event freshly allocated) produce the
+    identical traced timeline, message for message."""
+    records_pooled, now_pooled = _random_traffic_run(SEED)
+    records_plain, now_plain = _random_traffic_run(SEED, pool_size=0)
+    assert now_pooled == now_plain
+    assert len(records_pooled) > 0
+    assert records_pooled == records_plain
+
+
+def test_event_pool_recycles_within_one_run():
+    """The pool actually engages on this workload (the bitwise test
+    above would pass vacuously if recycling never happened)."""
+    sim = Simulator()
+
+    def ticker():
+        for _ in range(50):
+            yield sim.timeout(1.0)
+
+    sim.process(ticker())
+    sim.run()
+    assert sim._free_timeout is not None or sim._free_timeouts
+
+
+def test_event_pool_no_cross_run_leakage():
+    """Interleaving simulations (each with its own Simulator and
+    therefore its own pools) leaves every traced timeline equal to its
+    isolated-run value — recycled event objects carry no state between
+    models, mirroring the sweep-plan cache leakage test."""
+    isolated_a = _random_traffic_run(SEED)
+    isolated_sweep = _sweep_run()
+    mixed_a = _random_traffic_run(SEED)
+    mixed_sweep = _sweep_run()
+    mixed_b = _random_traffic_run(SEED + 1)
+    mixed_a2 = _random_traffic_run(SEED)
+    assert mixed_a == isolated_a
+    assert mixed_a2 == isolated_a
+    assert mixed_b != isolated_a
+    assert mixed_sweep[0].iteration_time == isolated_sweep[0].iteration_time
+    assert np.array_equal(mixed_sweep[0].phi, isolated_sweep[0].phi)
+    assert mixed_sweep[1] == isolated_sweep[1]
 
 
 # -- the sweep-plan cache --------------------------------------------------

@@ -72,6 +72,90 @@ def test_recorder_category_filter():
     assert rec.counter_total("always") == 1.0
 
 
+def test_empty_categories_skips_span_retention_entirely():
+    """``categories=()`` is the counter-only mode: no span is ever
+    retained (flat memory), while counters and gauges still record."""
+    rec = ObsRecorder(categories=frozenset())
+    rec.span("any", 0, 0.0, 1.0)
+    scope = rec.measure(None, "any", 0)  # never touches the sim clock
+    with scope:
+        pass
+    assert rec.spans == []
+    assert rec.span_count == 0
+    rec.count("msgs", track=0)
+    rec.gauge("depth", 2.0, track=0)
+    assert rec.counter_total("msgs") == 1.0
+    assert rec.gauges[("depth", 0)] == 2.0
+
+
+# -- streaming sinks ---------------------------------------------------------
+
+
+def test_sink_flushes_past_threshold_and_keeps_the_census():
+    from repro.obs import AggregatingSink
+
+    rec = ObsRecorder(sink=AggregatingSink(), flush_threshold=4)
+    for i in range(10):
+        rec.span("phase", 0, float(i), float(i) + 0.5)
+    assert len(rec.spans) < 10  # buffer was handed to the sink
+    assert rec.span_count == 10
+    rec.flush()
+    assert rec.spans == []
+    assert rec.span_count == 10
+
+
+def test_sink_profile_matches_unbounded_recorder():
+    """The aggregated profile equals the unbounded recorder's on a real
+    scenario, and clear() resets the sink with the recorder."""
+    from repro.obs import AggregatingSink
+
+    rec_full, sim_time = run_scenario("sweep4")
+    sink = AggregatingSink()
+    rec_sink, sim_time_s = run_scenario(
+        "sweep4", ObsRecorder(sink=sink, flush_threshold=50)
+    )
+    assert sim_time == sim_time_s
+    ref = profile(rec_full, sim_time)
+    agg = profile(rec_sink, sim_time)
+    assert set(agg.ranks) == set(ref.ranks)
+    for track, rp in ref.ranks.items():
+        got = agg.ranks[track]
+        for phase, value in rp.phases.items():
+            assert got.phases[phase] == pytest.approx(value, rel=1e-9, abs=1e-15)
+        assert got.other == pytest.approx(rp.other, rel=1e-9, abs=1e-15)
+        assert got.idle == pytest.approx(rp.idle, rel=1e-9, abs=1e-15)
+    assert set(agg.links) == set(ref.links)
+    for name, lp in ref.links.items():
+        assert agg.links[name].transfers == lp.transfers
+        assert agg.links[name].busy_time == pytest.approx(
+            lp.busy_time, rel=1e-9, abs=1e-15
+        )
+    rec_sink.clear()
+    assert rec_sink.span_count == 0
+    assert sink.flushed_spans == 0
+
+
+def test_rotating_file_sink_streams_spans_to_disk(tmp_path):
+    from repro.obs import RotatingFileSink
+
+    with RotatingFileSink(tmp_path / "spans", max_spans_per_file=3) as sink:
+        rec = ObsRecorder(sink=sink, flush_threshold=2)
+        for i in range(8):
+            rec.span("phase", 0, float(i), float(i) + 0.5, step=i)
+        rec.flush()
+    assert len(sink.paths) == 3  # 3 + 3 + 2 spans
+    rows = [
+        json.loads(line) for path in sink.paths for line in open(path)
+    ]
+    assert len(rows) == 8
+    assert rows[0] == {
+        "category": "phase", "track": 0, "t0": 0.0, "t1": 0.5,
+        "attrs": {"step": 0},
+    }
+    # and it aggregates like its parent class
+    assert profile(rec, 8.0).ranks[0].other == pytest.approx(4.0)
+
+
 def test_measure_context_manager_reads_the_sim_clock():
     sim = Simulator()
     rec = ObsRecorder()
