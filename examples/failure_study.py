@@ -27,11 +27,17 @@ first-order effect.  Six experiments on top of the reproduced models:
 Run:  python examples/failure_study.py
       python examples/failure_study.py --campaign --seeds 100
       python examples/failure_study.py --campaign --write-bands
+      python examples/failure_study.py --campaign --seeds 100 \\
+          --workers 4 --cache-dir .campaign-cache --report report.json
 
 ``--campaign`` replays the seeded placement-penalty experiment over
 many fault seeds and checks the aggregate retry counts and slowdown
 distributions against the checked-in bands in ``BENCH_campaign.json``
-(the nightly CI job runs it at 100 seeds).
+(the nightly CI job runs it at 100 seeds).  The replays go through the
+campaign service (``repro.campaign``): ``--workers N`` fans the seeds
+over a process pool and ``--cache-dir`` enables the content-addressed
+artifact cache, so an identical rerun performs zero simulations — the
+aggregate is identical either way, seed for seed, byte for byte.
 """
 
 import argparse
@@ -285,18 +291,40 @@ def placement_recovery_study() -> None:
 
 # -- the campaign ------------------------------------------------------------
 
-def run_campaign(seeds: int) -> dict:
-    """Placement-penalty replays over ``seeds`` fault seeds; returns
-    the aggregate the bands file pins."""
-    rows = []
-    for seed in range(seeds):
-        rows.append(placement_penalty(
-            CAMPAIGN_INP, CAMPAIGN_DECOMP, CAMPAIGN_GRIND, seed=seed,
-            iterations=CAMPAIGN_ITERATIONS,
-        ))
+#: the campaign job expressed as a campaign-service scenario config
+#: (same numbers as the CAMPAIGN_* constants above)
+CAMPAIGN_CONFIG = {
+    "it": CAMPAIGN_INP.it, "jt": CAMPAIGN_INP.jt, "kt": CAMPAIGN_INP.kt,
+    "mk": CAMPAIGN_INP.mk, "mmi": CAMPAIGN_INP.mmi,
+    "npe_i": CAMPAIGN_DECOMP.npe_i, "npe_j": CAMPAIGN_DECOMP.npe_j,
+    "grind": CAMPAIGN_GRIND,
+    "iterations": CAMPAIGN_ITERATIONS,
+}
+
+
+def run_campaign(seeds: int, workers: int = 1, cache_dir: str | None = None):
+    """Placement-penalty replays over ``seeds`` fault seeds through the
+    campaign service; returns ``(aggregate, campaign_report)`` where
+    the aggregate is the dict the bands file pins.
+
+    The per-seed rows come back from
+    :class:`repro.campaign.CampaignService` in seed order regardless of
+    ``workers``, so the aggregate is worker-count-invariant (and, with
+    a ``cache_dir``, free on a warm cache)."""
+    from repro.campaign import CampaignService, grid
+
+    specs = grid("placement-penalty", seeds, CAMPAIGN_CONFIG)
+    service = CampaignService(cache_dir, workers=workers)
+    report = service.run(specs)
+    bad = [o for o in report.outcomes if o.state != "done"]
+    if bad:
+        raise RuntimeError(
+            f"{len(bad)} campaign job(s) failed; first: {bad[0].error}"
+        )
+    rows = report.artifacts()
     n = len(rows)
     faulty = [r for r in rows if r["faults"]]
-    return {
+    summary = {
         "seeds": n,
         "faulty_seeds": len(faulty),
         "faults_total": sum(r["faults"] for r in rows),
@@ -309,6 +337,7 @@ def run_campaign(seeds: int) -> dict:
         "penalty_mean": sum(r["penalty"] for r in rows) / n,
         "penalty_max": max(r["penalty"] for r in rows),
     }
+    return summary, report
 
 
 def check_bands(summary: dict, bands: dict) -> list[str]:
@@ -334,14 +363,26 @@ def _band(value: float, slack: float = 0.10) -> list[float]:
     return [round(value - pad, 6), round(value + pad, 6)]
 
 
-def campaign_main(seeds: int, write_bands: bool) -> int:
+def campaign_main(seeds: int, write_bands: bool, workers: int = 1,
+                  cache_dir: str | None = None,
+                  report_path: str | None = None) -> int:
     label = "quick" if seeds <= 10 else "full"
     print(f"fault-injection campaign: {seeds} seeds "
           f"({CAMPAIGN_DECOMP.size} ranks, {CAMPAIGN_ITERATIONS} "
           "iterations per run, identical plans under both placements)")
-    summary = run_campaign(seeds)
+    summary, report = run_campaign(seeds, workers=workers,
+                                   cache_dir=cache_dir)
     for key, value in summary.items():
         print(f"  {key}: {value}")
+    if cache_dir is not None:
+        print(f"  cache: {report.cached_hits} hit(s) / {report.submitted} "
+              f"job(s) ({report.cache_hit_rate:.0%}) in {cache_dir}")
+    if report_path is not None:
+        payload = report.to_dict()
+        payload["aggregate"] = summary
+        with open(report_path, "w") as fh:
+            json.dump(payload, fh, indent=2, sort_keys=True)
+        print(f"  campaign report written to {report_path}")
     if write_bands:
         data = json.loads(BANDS_PATH.read_text()) if BANDS_PATH.exists() else {}
         entry = {key: _band(value) for key, value in summary.items()
@@ -379,9 +420,20 @@ def main(argv: list[str] | None = None) -> int:
                         help="campaign fault seeds (default 3; nightly CI uses 100)")
     parser.add_argument("--write-bands", action="store_true",
                         help="write BENCH_campaign.json instead of checking it")
+    parser.add_argument("--workers", type=int, default=1,
+                        help="campaign worker processes (default 1 = the "
+                             "historical in-process loop, byte-identical)")
+    parser.add_argument("--cache-dir", metavar="PATH", default=None,
+                        help="campaign artifact cache; a rerun against a "
+                             "warm cache performs zero simulations")
+    parser.add_argument("--report", metavar="PATH", default=None,
+                        help="write the campaign-service report JSON "
+                             "(jobs, cache hits, aggregate) to PATH")
     args = parser.parse_args(argv)
     if args.campaign:
-        return campaign_main(args.seeds, args.write_bands)
+        return campaign_main(args.seeds, args.write_bands,
+                             workers=args.workers, cache_dir=args.cache_dir,
+                             report_path=args.report)
     fault_injection_study()
     degraded_fabric_study()
     checkpoint_study()

@@ -1,0 +1,71 @@
+"""Campaign service: simulation-as-a-service with a worker pool, job
+queue, and content-addressed artifact cache.
+
+Every DES run in this repository is a deterministic, single-threaded
+function of ``(scenario, config, seed, code_version)`` — which makes
+campaigns of parameterized runs (the paper's scaling curves, the
+failure-economics sweeps) embarrassingly parallel *and* perfectly
+cacheable.  This package turns that property into a service layer:
+
+* :mod:`~repro.campaign.jobs` — frozen :class:`JobSpec` with a
+  canonical-JSON SHA-256 content address;
+* :mod:`~repro.campaign.store` — the on-disk, content-addressed,
+  self-verifying :class:`ArtifactStore`;
+* :mod:`~repro.campaign.scenarios` — registered tenants
+  (``sweep``, ``sweep3060``, ``placement-penalty``);
+* :mod:`~repro.campaign.workers` — the process pool: per-job timeout,
+  bounded crash retries, deterministic result order;
+* :mod:`~repro.campaign.service` — :class:`CampaignService`:
+  cache-first execution, streamed :class:`ProgressEvent`\\ s with obs
+  counter snapshots, :class:`CampaignReport` aggregation;
+* :mod:`~repro.campaign.cli` — ``python -m repro campaign``.
+
+See ``docs/CAMPAIGN.md`` for the job model, cache-key rules, progress
+stream format, and tenancy examples.
+"""
+
+from repro.campaign.jobs import (
+    DONE,
+    FAILED,
+    JOB_STATES,
+    PENDING,
+    RUNNING,
+    JobSpec,
+    canonical_json,
+    content_digest,
+    default_code_version,
+)
+from repro.campaign.scenarios import SCENARIOS, Scenario, job_config, run_job
+from repro.campaign.service import (
+    CampaignReport,
+    CampaignService,
+    JobOutcome,
+    ProgressEvent,
+    grid,
+)
+from repro.campaign.store import ArtifactStore
+from repro.campaign.workers import JobResult, run_specs
+
+__all__ = [
+    "PENDING",
+    "RUNNING",
+    "DONE",
+    "FAILED",
+    "JOB_STATES",
+    "JobSpec",
+    "canonical_json",
+    "content_digest",
+    "default_code_version",
+    "ArtifactStore",
+    "Scenario",
+    "SCENARIOS",
+    "job_config",
+    "run_job",
+    "JobResult",
+    "run_specs",
+    "ProgressEvent",
+    "JobOutcome",
+    "CampaignReport",
+    "CampaignService",
+    "grid",
+]

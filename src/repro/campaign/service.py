@@ -1,0 +1,265 @@
+"""Simulation-as-a-service: submit a campaign, stream progress, get a
+report.
+
+:class:`CampaignService` is the front door the CLI, the failure-study
+example, and the nightly CI client all share.  ``run()`` takes a list
+of :class:`~repro.campaign.jobs.JobSpec`\\ s (build grids with
+:func:`grid`), consults the content-addressed
+:class:`~repro.campaign.store.ArtifactStore` first, fans the misses
+over the :mod:`~repro.campaign.workers` pool, caches fresh artifacts,
+and returns a :class:`CampaignReport` whose job outcomes are in
+submission order — independent of worker count and completion order.
+
+Progress streaming
+------------------
+Every state change emits a :class:`ProgressEvent`
+(``queued`` / ``cached-hit`` / ``started`` / ``finished`` /
+``failed``) carrying the job's digest, scenario, and seed, plus a
+snapshot of the service's own obs counters
+(``campaign.queued``, ``campaign.cached_hit``, ``campaign.executed``,
+``campaign.failed``, ``campaign.crash_attempts`` — via
+:func:`repro.obs.export.counter_snapshot`), so a consumer can render a
+live gauge without holding any other state.  Events serialize to
+JSON-lines via :meth:`ProgressEvent.to_dict`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterable, Mapping, Sequence
+
+from repro.campaign.jobs import (
+    DONE,
+    FAILED,
+    JobSpec,
+    content_digest,
+    default_code_version,
+)
+from repro.campaign.scenarios import job_config
+from repro.campaign.store import ArtifactStore
+from repro.campaign.workers import run_specs
+
+__all__ = ["ProgressEvent", "JobOutcome", "CampaignReport",
+           "CampaignService", "grid"]
+
+
+@dataclass(frozen=True)
+class ProgressEvent:
+    """One streamed campaign state change."""
+
+    event: str                  # queued | cached-hit | started | finished | failed
+    index: int                  # submission position of the job
+    digest: str                 # the job's full content address
+    scenario: str
+    seed: int
+    detail: Mapping[str, Any] = field(default_factory=dict)
+    #: obs counter snapshot at emission time (campaign.* counters)
+    counters: Mapping[str, float] = field(default_factory=dict)
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-lines wire form."""
+        return {
+            "event": self.event,
+            "index": self.index,
+            "job": self.digest[:12],
+            "digest": self.digest,
+            "scenario": self.scenario,
+            "seed": self.seed,
+            "detail": dict(self.detail),
+            "counters": dict(self.counters),
+        }
+
+
+@dataclass
+class JobOutcome:
+    """Final state of one submitted job."""
+
+    spec: JobSpec
+    digest: str
+    state: str                  # done | failed
+    cached: bool = False
+    attempts: int = 0           # executor attempts (0 for a cache hit)
+    error: str | None = None
+    artifact: dict | None = None
+    artifact_sha256: str | None = None
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "spec": self.spec.to_dict(),
+            "digest": self.digest,
+            "state": self.state,
+            "cached": self.cached,
+            "attempts": self.attempts,
+            "error": self.error,
+            "artifact_sha256": self.artifact_sha256,
+            "artifact": self.artifact,
+        }
+
+
+@dataclass
+class CampaignReport:
+    """Everything a campaign produced, in submission order."""
+
+    outcomes: list[JobOutcome]
+    submitted: int = 0
+    cached_hits: int = 0
+    executed: int = 0
+    failed: int = 0
+    store_stats: dict[str, int] | None = None
+
+    @property
+    def cache_hit_rate(self) -> float:
+        return self.cached_hits / self.submitted if self.submitted else 0.0
+
+    def artifacts(self) -> list[dict | None]:
+        """Per-job artifacts in submission order (``None`` for failures)."""
+        return [o.artifact for o in self.outcomes]
+
+    def to_dict(self) -> dict[str, Any]:
+        """Deterministic JSON-able report (the CI upload artifact)."""
+        return {
+            "submitted": self.submitted,
+            "cached_hits": self.cached_hits,
+            "executed": self.executed,
+            "failed": self.failed,
+            "cache_hit_rate": self.cache_hit_rate,
+            "store": self.store_stats,
+            "jobs": [o.to_dict() for o in self.outcomes],
+        }
+
+
+def grid(
+    scenario: str,
+    seeds: int | Iterable[int],
+    config: Mapping[str, Any] | None = None,
+    *,
+    code_version: str | None = None,
+) -> list[JobSpec]:
+    """A campaign as a seed sweep: one spec per seed, all sharing the
+    scenario's complete effective config (defaults + ``config``
+    overrides; unknown keys raise).  ``seeds`` is a count (``range``)
+    or an explicit iterable of seed values."""
+    full = job_config(scenario, config)
+    seed_values = range(seeds) if isinstance(seeds, int) else seeds
+    cv = code_version if code_version is not None else default_code_version()
+    return [
+        JobSpec(scenario=scenario, config=full, seed=int(s), code_version=cv)
+        for s in seed_values
+    ]
+
+
+class CampaignService:
+    """Run campaigns against an optional artifact cache.
+
+    Parameters
+    ----------
+    store:
+        Artifact cache (or a path to open one at); ``None`` disables
+        caching — every job executes.
+    workers, timeout, max_retries:
+        Pool knobs, passed through to
+        :func:`repro.campaign.workers.run_specs`.
+    """
+
+    def __init__(
+        self,
+        store: ArtifactStore | str | None = None,
+        *,
+        workers: int = 1,
+        timeout: float | None = None,
+        max_retries: int = 1,
+    ):
+        if isinstance(store, (str, bytes)) or hasattr(store, "__fspath__"):
+            store = ArtifactStore(store)
+        self.store = store
+        self.workers = workers
+        self.timeout = timeout
+        self.max_retries = max_retries
+
+    def run(
+        self,
+        specs: Sequence[JobSpec],
+        progress: Callable[[ProgressEvent], None] | None = None,
+    ) -> CampaignReport:
+        """Execute a campaign; see the module docstring for the flow."""
+        from repro.obs.export import counter_snapshot
+        from repro.obs.recorder import ObsRecorder
+
+        rec = ObsRecorder()
+
+        def emit(event: str, index: int, spec: JobSpec,
+                 detail: Mapping[str, Any] | None = None) -> None:
+            if progress is not None:
+                progress(ProgressEvent(
+                    event=event, index=index, digest=digests[index],
+                    scenario=spec.scenario, seed=spec.seed,
+                    detail=dict(detail or {}),
+                    counters=counter_snapshot(rec),
+                ))
+
+        digests = [spec.digest for spec in specs]
+        outcomes: list[JobOutcome | None] = [None] * len(specs)
+        to_run: list[int] = []
+        for i, spec in enumerate(specs):
+            rec.count("campaign.queued")
+            emit("queued", i, spec)
+            cached = self.store.get(spec) if self.store is not None else None
+            if cached is not None:
+                rec.count("campaign.cached_hit")
+                outcomes[i] = JobOutcome(
+                    spec, digests[i], DONE, cached=True, artifact=cached,
+                    artifact_sha256=content_digest(cached),
+                )
+                emit("cached-hit", i, spec,
+                     {"artifact_sha256": outcomes[i].artifact_sha256})
+            else:
+                to_run.append(i)
+
+        if to_run:
+            def relay(event: str, pool_index: int, spec: JobSpec,
+                      detail: dict) -> None:
+                # Counters move with the event, so the snapshot a
+                # consumer sees on a "finished" line already includes
+                # that finish.
+                if event == "started":
+                    if detail.get("attempt", 1) > 1:
+                        rec.count("campaign.crash_attempts")
+                elif event == "finished":
+                    rec.count("campaign.executed")
+                elif event == "failed":
+                    rec.count("campaign.failed")
+                emit(event, to_run[pool_index], spec, detail)
+
+            run_results = run_specs(
+                [specs[i] for i in to_run],
+                workers=self.workers, timeout=self.timeout,
+                max_retries=self.max_retries, progress=relay,
+            )
+            for pool_index, result in enumerate(run_results):
+                index = to_run[pool_index]
+                if result.state == DONE:
+                    sha = content_digest(result.artifact)
+                    if self.store is not None:
+                        self.store.put(result.spec, result.artifact)
+                    outcomes[index] = JobOutcome(
+                        result.spec, digests[index], DONE,
+                        attempts=result.attempts, artifact=result.artifact,
+                        artifact_sha256=sha,
+                    )
+                else:
+                    outcomes[index] = JobOutcome(
+                        result.spec, digests[index], FAILED,
+                        attempts=result.attempts, error=result.error,
+                    )
+
+        final = [o for o in outcomes if o is not None]
+        return CampaignReport(
+            outcomes=final,
+            submitted=len(specs),
+            cached_hits=sum(1 for o in final if o.cached),
+            executed=sum(
+                1 for o in final if o.state == DONE and not o.cached
+            ),
+            failed=sum(1 for o in final if o.state == FAILED),
+            store_stats=self.store.stats() if self.store is not None else None,
+        )

@@ -1,0 +1,127 @@
+"""The content-addressed artifact cache.
+
+Artifacts live on disk under ``root/<aa>/<digest>.json`` where
+``digest`` is the owning :class:`~repro.campaign.jobs.JobSpec`'s
+SHA-256 content address (``aa`` = its first two hex chars, the usual
+fan-out so directories stay small at campaign scale).  Each file is a
+self-describing envelope::
+
+    {
+      "format": 1,
+      "spec": {...},                # the full spec, for audit/debug
+      "spec_digest": "...",         # must match the requesting spec
+      "artifact_sha256": "...",     # digest of canonical artifact JSON
+      "artifact": {...}             # the cached result payload
+    }
+
+Reads are paranoid: a file that is missing, truncated, not JSON, from
+a different format version, keyed by a different spec digest, or whose
+payload no longer matches its recorded ``artifact_sha256`` is treated
+as a cache **miss** (and counted in :attr:`ArtifactStore.corrupt` when
+it existed but failed verification) — the service then recomputes and
+atomically rewrites it.  Writes go through a same-directory temp file
+and ``os.replace``, so a crashed writer can truncate at worst, never
+tear a verified read.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pathlib
+import tempfile
+from typing import Any
+
+from repro.campaign.jobs import JobSpec, canonical_json, content_digest
+
+__all__ = ["ArtifactStore", "STORE_FORMAT"]
+
+#: envelope schema version; bump on incompatible layout changes
+STORE_FORMAT = 1
+
+
+class ArtifactStore:
+    """On-disk, content-addressed cache of job artifacts.
+
+    The store never judges freshness — the content address already
+    encodes scenario, config, seed, and code version, so an entry is
+    valid for as long as its bytes verify.  Hit/miss/corrupt counters
+    accumulate over the store's lifetime (the service snapshots them
+    into progress events).
+    """
+
+    def __init__(self, root: str | os.PathLike):
+        self.root = pathlib.Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+        self.hits = 0
+        self.misses = 0
+        self.corrupt = 0
+
+    def path_for(self, spec: JobSpec) -> pathlib.Path:
+        """Where ``spec``'s artifact lives (whether or not it exists)."""
+        digest = spec.digest
+        return self.root / digest[:2] / f"{digest}.json"
+
+    def get(self, spec: JobSpec) -> dict[str, Any] | None:
+        """The verified cached artifact for ``spec``, or ``None``."""
+        path = self.path_for(spec)
+        try:
+            raw = path.read_text()
+        except (FileNotFoundError, OSError):
+            self.misses += 1
+            return None
+        try:
+            data = json.loads(raw)
+            if (
+                data["format"] == STORE_FORMAT
+                and data["spec_digest"] == spec.digest
+                and content_digest(data["artifact"]) == data["artifact_sha256"]
+            ):
+                self.hits += 1
+                return data["artifact"]
+        except (ValueError, KeyError, TypeError):
+            pass
+        # Existed but failed verification: corrupt/truncated/foreign.
+        self.corrupt += 1
+        self.misses += 1
+        return None
+
+    def put(self, spec: JobSpec, artifact: dict[str, Any]) -> pathlib.Path:
+        """Atomically cache ``artifact`` under ``spec``'s address."""
+        path = self.path_for(spec)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        envelope = {
+            "format": STORE_FORMAT,
+            "spec": spec.to_dict(),
+            "spec_digest": spec.digest,
+            "artifact_sha256": content_digest(artifact),
+            "artifact": artifact,
+        }
+        payload = canonical_json(envelope)
+        fd, tmp = tempfile.mkstemp(
+            dir=path.parent, prefix=f".{spec.short}-", suffix=".tmp"
+        )
+        try:
+            with os.fdopen(fd, "w") as fh:
+                fh.write(payload)
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+        return path
+
+    def __len__(self) -> int:
+        """Number of artifact files currently on disk."""
+        return sum(1 for _ in self.root.glob("??/*.json"))
+
+    def stats(self) -> dict[str, int]:
+        """Lifetime hit/miss/corruption counters (JSON-able)."""
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "corrupt": self.corrupt,
+            "entries": len(self),
+        }

@@ -1,0 +1,195 @@
+"""The campaign worker pool: fan job specs over OS processes.
+
+Every DES run is single-threaded and a pure function of its spec, so
+the pool is the whole parallelization story: ``workers=1`` executes
+inline in the calling process (zero overhead, byte-identical to the
+historical serial loops), ``workers=N`` fans the queue over a
+``concurrent.futures.ProcessPoolExecutor``.
+
+Guarantees
+----------
+* **Deterministic result order.**  Results come back indexed by
+  submission position regardless of completion order, and progress
+  *outcome* events (``finished``/``failed``) are emitted in submission
+  order too — a 4-worker run and a 1-worker run of the same specs
+  produce the identical result list.
+* **Per-job timeout.**  ``timeout`` bounds the wait for each job once
+  the collector reaches it; a job that blows the bound is marked
+  failed and the pool is rebuilt so the stuck worker cannot absorb
+  further jobs.  Queued-but-unstarted jobs are resubmitted (they are
+  pure, so re-running is always safe).
+* **Bounded crash retries.**  A worker process that *dies* (segfault,
+  ``os._exit``, OOM-kill) breaks the pool; the job being collected is
+  blamed, its crash count incremented, and it is resubmitted up to
+  ``max_retries`` times before being marked failed.  Jobs that merely
+  *raise* are failed immediately — a deterministic exception would
+  just raise again.
+"""
+
+from __future__ import annotations
+
+import concurrent.futures
+from dataclasses import dataclass, field
+from typing import Any, Callable, Sequence
+
+from repro.campaign.jobs import DONE, FAILED, JobSpec
+
+__all__ = ["JobResult", "run_specs"]
+
+#: progress callback signature: (event, index, spec, detail)
+ProgressFn = Callable[[str, int, JobSpec, dict], None]
+
+
+@dataclass
+class JobResult:
+    """Outcome of one executed spec (never a cache hit — the service
+    short-circuits those before the pool sees them)."""
+
+    spec: JobSpec
+    state: str                      # DONE or FAILED
+    artifact: dict | None = None
+    error: str | None = None
+    attempts: int = 1
+    detail: dict = field(default_factory=dict)
+
+
+def _execute(payload: dict) -> dict:
+    """Worker-side entry point (module-level, hence picklable)."""
+    from repro.campaign.scenarios import run_job
+
+    return run_job(JobSpec.from_dict(payload))
+
+
+def _progress(fn: ProgressFn | None, event: str, index: int,
+              spec: JobSpec, detail: dict) -> None:
+    if fn is not None:
+        fn(event, index, spec, detail)
+
+
+def _run_inline(
+    specs: Sequence[JobSpec], progress: ProgressFn | None
+) -> list[JobResult]:
+    results: list[JobResult] = []
+    for i, spec in enumerate(specs):
+        _progress(progress, "started", i, spec, {"attempt": 1})
+        try:
+            artifact = _execute(spec.to_dict())
+        except Exception as exc:  # noqa: BLE001 — job errors become results
+            results.append(JobResult(
+                spec, FAILED, error=f"{type(exc).__name__}: {exc}"
+            ))
+            _progress(progress, "failed", i, spec,
+                      {"error": results[-1].error, "attempts": 1})
+            continue
+        results.append(JobResult(spec, DONE, artifact=artifact))
+        _progress(progress, "finished", i, spec, {"attempts": 1})
+    return results
+
+
+def run_specs(
+    specs: Sequence[JobSpec],
+    *,
+    workers: int = 1,
+    timeout: float | None = None,
+    max_retries: int = 1,
+    progress: ProgressFn | None = None,
+) -> list[JobResult]:
+    """Execute every spec; returns one :class:`JobResult` per spec, in
+    submission order.  See the module docstring for the semantics of
+    ``workers``, ``timeout``, and ``max_retries``."""
+    if workers < 1:
+        raise ValueError("workers must be >= 1")
+    if max_retries < 0:
+        raise ValueError("max_retries must be >= 0")
+    if not specs:
+        return []
+    if workers == 1:
+        return _run_inline(specs, progress)
+
+    n = len(specs)
+    results: list[JobResult | None] = [None] * n
+    crashes = [0] * n
+    pending = list(range(n))
+    executor = concurrent.futures.ProcessPoolExecutor(max_workers=workers)
+    try:
+        while pending:
+            futures: dict[int, concurrent.futures.Future] = {}
+            for i in pending:
+                _progress(progress, "started", i, specs[i],
+                          {"attempt": crashes[i] + 1})
+                futures[i] = executor.submit(_execute, specs[i].to_dict())
+            rebuild = False
+            resubmit: list[int] = []
+            for i in sorted(futures):
+                fut = futures[i]
+                if rebuild:
+                    # The pool already broke (or was torn down after a
+                    # timeout); salvage finished results, requeue the rest.
+                    if fut.done() and not fut.cancelled() \
+                            and fut.exception() is None:
+                        results[i] = JobResult(
+                            specs[i], DONE, artifact=fut.result(),
+                            attempts=crashes[i] + 1,
+                        )
+                        _progress(progress, "finished", i, specs[i],
+                                  {"attempts": crashes[i] + 1})
+                    else:
+                        resubmit.append(i)
+                    continue
+                try:
+                    artifact = fut.result(timeout=timeout)
+                except concurrent.futures.TimeoutError:
+                    results[i] = JobResult(
+                        specs[i], FAILED, attempts=crashes[i] + 1,
+                        error=f"timeout: no result within {timeout}s",
+                    )
+                    _progress(progress, "failed", i, specs[i],
+                              {"error": results[i].error,
+                               "attempts": crashes[i] + 1})
+                    rebuild = True  # reclaim the stuck worker
+                except concurrent.futures.process.BrokenProcessPool:
+                    # The collected job is the blamed one; later futures
+                    # are victims and requeue without a crash strike.
+                    crashes[i] += 1
+                    if crashes[i] > max_retries:
+                        results[i] = JobResult(
+                            specs[i], FAILED, attempts=crashes[i],
+                            error=(
+                                "worker process died "
+                                f"({crashes[i]} attempt(s), retries exhausted)"
+                            ),
+                        )
+                        _progress(progress, "failed", i, specs[i],
+                                  {"error": results[i].error,
+                                   "attempts": crashes[i]})
+                    else:
+                        resubmit.append(i)
+                    rebuild = True
+                except Exception as exc:  # noqa: BLE001 — job raised
+                    results[i] = JobResult(
+                        specs[i], FAILED, attempts=crashes[i] + 1,
+                        error=f"{type(exc).__name__}: {exc}",
+                    )
+                    _progress(progress, "failed", i, specs[i],
+                              {"error": results[i].error,
+                               "attempts": crashes[i] + 1})
+                else:
+                    results[i] = JobResult(
+                        specs[i], DONE, artifact=artifact,
+                        attempts=crashes[i] + 1,
+                    )
+                    _progress(progress, "finished", i, specs[i],
+                              {"attempts": crashes[i] + 1})
+            if rebuild:
+                executor.shutdown(wait=False, cancel_futures=True)
+                executor = concurrent.futures.ProcessPoolExecutor(
+                    max_workers=workers
+                )
+            pending = resubmit
+    finally:
+        # On a clean drain the workers are idle, so waiting is instant
+        # and keeps the atexit hook from poking an already-closed pipe;
+        # if jobs are still pending we bailed mid-collection and a
+        # worker may be stuck, so don't risk blocking on the join.
+        executor.shutdown(wait=not pending, cancel_futures=True)
+    return [r for r in results if r is not None]

@@ -1,20 +1,52 @@
 """Command-line interface: regenerate any reproduced table or figure.
 
-    python -m repro list            # what can be produced
-    python -m repro table1          # print Table I
-    python -m repro fig13 fig14     # several at once
-    python -m repro all             # everything
-    python -m repro profile sweep16 # sim-time profile of a canned run
+    python -m repro list              # what can be produced
+    python -m repro table1            # print Table I
+    python -m repro fig13 fig14       # several at once
+    python -m repro all               # everything
+    python -m repro profile sweep16   # sim-time profile of a canned run
+    python -m repro campaign sweep    # seed-sweep through the job service
+
+Subcommands with their own option surfaces register in
+:data:`SUBCOMMANDS`; anything else is an artifact name for the default
+reproduction command.
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
+from typing import Callable
 
 from repro.core.artifacts import ARTIFACTS, available, produce
 
-__all__ = ["main"]
+__all__ = ["main", "SUBCOMMANDS", "register_subcommand"]
+
+#: the subcommand table: name -> (runner(argv) -> exit code, help line).
+#: Dispatch happens on ``argv[0]`` before the artifact parser runs, so
+#: each subcommand owns its full option surface.
+SUBCOMMANDS: dict[str, tuple[Callable[[list[str]], int], str]] = {}
+
+
+def register_subcommand(
+    name: str, runner: Callable[[list[str]], int], help_text: str
+) -> None:
+    """Register ``name`` in the dispatch table (idempotent per name)."""
+    SUBCOMMANDS[name] = (runner, help_text)
+
+
+def _subcommand_epilog() -> str:
+    if not SUBCOMMANDS:
+        return ""
+    width = max(len(name) for name in SUBCOMMANDS)
+    lines = [
+        f"  {name.ljust(width)}  {help_text}"
+        for name, (_runner, help_text) in sorted(SUBCOMMANDS.items())
+    ]
+    return (
+        "subcommands (each takes its own options; try "
+        "'python -m repro <subcommand> --help'):\n" + "\n".join(lines)
+    )
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -24,6 +56,8 @@ def _build_parser() -> argparse.ArgumentParser:
             "Reproduce the tables and figures of 'Entering the Petaflop "
             "Era: The Architecture and Performance of Roadrunner' (SC 2008)"
         ),
+        epilog=_subcommand_epilog(),
+        formatter_class=argparse.RawDescriptionHelpFormatter,
     )
     parser.add_argument(
         "artifacts",
@@ -102,15 +136,32 @@ def _profile_main(argv: list[str]) -> int:
     return 0
 
 
+def _campaign_main(argv: list[str]) -> int:
+    """The ``campaign`` subcommand (lazy import: the service pulls in
+    the worker pool and store only when actually used)."""
+    from repro.campaign.cli import main as campaign_main
+
+    return campaign_main(argv)
+
+
+register_subcommand(
+    "profile", _profile_main,
+    "run a canned scenario under the obs recorder and print its profile",
+)
+register_subcommand(
+    "campaign", _campaign_main,
+    "submit a campaign of cached, deterministic jobs to the worker pool",
+)
+
+
 def main(argv: list[str] | None = None) -> int:
     """Entry point; returns the process exit code."""
     if argv is None:
         argv = sys.argv[1:]
-    if argv and argv[0] == "profile":
-        # The profile subcommand has its own option surface; dispatch
-        # before the artifact parser sees (and rejects) it.
+    if argv and argv[0] in SUBCOMMANDS:
+        runner, _help = SUBCOMMANDS[argv[0]]
         try:
-            return _profile_main(list(argv[1:]))
+            return runner(list(argv[1:]))
         except BrokenPipeError:
             import os
 

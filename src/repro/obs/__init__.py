@@ -17,6 +17,8 @@ exportable traces:
 """
 
 from repro.obs.export import (
+    counter_snapshot,
+    deterministic_summary,
     format_profile,
     span_stream,
     to_chrome_trace,
@@ -63,6 +65,8 @@ __all__ = [
     "profile",
     "span_stream",
     "to_summary",
+    "counter_snapshot",
+    "deterministic_summary",
     "to_chrome_trace",
     "write_chrome_trace",
     "format_profile",

@@ -25,6 +25,8 @@ from repro.obs.recorder import ObsRecorder
 __all__ = [
     "span_stream",
     "to_summary",
+    "counter_snapshot",
+    "deterministic_summary",
     "to_chrome_trace",
     "write_chrome_trace",
     "format_profile",
@@ -105,6 +107,34 @@ def to_summary(rec: ObsRecorder, sim_time: float) -> dict[str, Any]:
             "host_run_time_s": rec.host_run_time,
         },
     }
+
+
+def counter_snapshot(rec: ObsRecorder) -> dict[str, float]:
+    """Flat, JSON-able counter totals (track dimension summed away).
+
+    The progress-event payload for streaming consumers — e.g. the
+    campaign service embeds a snapshot in every emitted event, so a
+    client can render a live gauge from any single line.
+    """
+    totals: dict[str, float] = {}
+    for (name, _track), value in rec.counters.items():
+        totals[name] = totals.get(name, 0.0) + value
+    return {name: totals[name] for name in sorted(totals)}
+
+
+def deterministic_summary(rec: ObsRecorder, sim_time: float) -> dict[str, Any]:
+    """:func:`to_summary` with the host wall-clock field removed.
+
+    Host run time is the one nondeterministic value in the summary;
+    stripping it makes the result a pure function of the simulated
+    run — safe to content-address, cache, and compare across worker
+    processes (the campaign artifact contract).
+    """
+    summary = to_summary(rec, sim_time)
+    engine = dict(summary["engine"])
+    engine.pop("host_run_time_s", None)
+    summary["engine"] = engine
+    return summary
 
 
 def to_chrome_trace(rec: ObsRecorder) -> dict[str, Any]:

@@ -1,0 +1,305 @@
+"""The campaign service: job model, artifact store, worker pool, CLI.
+
+The load-bearing contracts, in test order:
+
+* **Content addressing** — the spec digest is a pure function of the
+  spec's *values* (dict insertion order is invisible), and every field
+  (scenario, config, seed, code_version) perturbs it.
+* **The store** — a cache hit returns the bitwise-identical artifact;
+  a ``code_version`` change misses; corrupt/truncated/tampered entries
+  are detected, reported as misses, and healed by recomputation.
+* **The service** — a warm-cache rerun of an identical campaign
+  performs *zero* simulations (every job streams ``cached-hit``).
+* **The pool** — crashes retry (bounded), deterministic job
+  exceptions fail fast, timeouts don't wedge the campaign.
+* **The CLI** — ``python -m repro --help`` lists the subcommand table;
+  the ``campaign`` subcommand runs end to end and streams JSON-lines.
+"""
+
+import json
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.campaign import (
+    ArtifactStore,
+    CampaignService,
+    JobSpec,
+    canonical_json,
+    content_digest,
+    grid,
+    run_specs,
+)
+from repro.campaign.jobs import DONE, FAILED
+from repro.campaign.scenarios import job_config, run_job
+
+REPO = Path(__file__).resolve().parents[1]
+
+#: the fast sweep tenant: ~10 ms per job, seed-sensitive via drops
+TINY = {"drop_probability": 0.05}
+
+
+def _spec(seed=0, config=TINY, **kwargs):
+    return JobSpec(
+        "sweep", job_config("sweep", config), seed,
+        kwargs.pop("code_version", "test-v1"),
+    )
+
+
+def _selftest_spec(seed, **config):
+    return JobSpec(
+        "_selftest", job_config("_selftest", config), seed, "test-v1"
+    )
+
+
+# -- content addressing ------------------------------------------------------
+
+
+def test_digest_stable_across_dict_ordering():
+    a = JobSpec("sweep", {"kt": 4, "it": 2, "grind": 1e-6}, 3, "v1")
+    b = JobSpec("sweep", {"grind": 1e-6, "it": 2, "kt": 4}, 3, "v1")
+    assert a == b
+    assert a.digest == b.digest
+    # nested dicts canonicalize recursively too
+    x = JobSpec("sweep", {"outer": {"b": 2, "a": 1}}, 0, "v1")
+    y = JobSpec("sweep", {"outer": {"a": 1, "b": 2}}, 0, "v1")
+    assert x.digest == y.digest
+
+
+def test_digest_sensitive_to_every_field():
+    base = _spec()
+    assert _spec(seed=1).digest != base.digest
+    assert _spec(config={"drop_probability": 0.06}).digest != base.digest
+    assert _spec(code_version="test-v2").digest != base.digest
+    other = JobSpec("sweep3060", base.config, base.seed, base.code_version)
+    assert other.digest != base.digest
+
+
+def test_spec_roundtrips_through_wire_format():
+    spec = _spec(seed=9)
+    again = JobSpec.from_dict(json.loads(canonical_json(spec.to_dict())))
+    assert again == spec
+    assert again.digest == spec.digest
+
+
+def test_spec_rejects_non_json_config_and_nan():
+    with pytest.raises(TypeError):
+        JobSpec("sweep", {"bad": object()}, 0, "v1")
+    with pytest.raises(ValueError):
+        JobSpec("sweep", {"bad": float("nan")}, 0, "v1")
+
+
+def test_job_config_rejects_unknown_keys():
+    with pytest.raises(ValueError, match="unknown config key"):
+        job_config("sweep", {"drop_probablity": 0.05})  # the typo guard
+    with pytest.raises(ValueError, match="unknown scenario"):
+        job_config("no-such-scenario")
+
+
+# -- the artifact store ------------------------------------------------------
+
+
+def test_store_hit_is_bitwise_identical(tmp_path):
+    store = ArtifactStore(tmp_path)
+    spec = _spec()
+    artifact = run_job(spec)
+    store.put(spec, artifact)
+    cached = store.get(spec)
+    assert cached == artifact
+    assert canonical_json(cached) == canonical_json(artifact)
+    assert store.hits == 1 and store.corrupt == 0
+    assert len(store) == 1
+
+
+def test_store_misses_on_code_version_change(tmp_path):
+    store = ArtifactStore(tmp_path)
+    spec = _spec()
+    store.put(spec, run_job(spec))
+    assert store.get(_spec(code_version="test-v2")) is None
+    assert store.misses == 1
+
+
+@pytest.mark.parametrize("damage", ["truncate", "garbage", "tamper"])
+def test_store_detects_corruption_and_service_heals_it(tmp_path, damage):
+    store = ArtifactStore(tmp_path)
+    spec = _spec()
+    artifact = run_job(spec)
+    path = store.put(spec, artifact)
+    if damage == "truncate":
+        path.write_text(path.read_text()[: len(path.read_text()) // 2])
+    elif damage == "garbage":
+        path.write_text("not json at all {{{")
+    else:  # tamper: flip a payload value, leave the recorded sha stale
+        data = json.loads(path.read_text())
+        data["artifact"]["messages"] += 1
+        path.write_text(json.dumps(data))
+    assert store.get(spec) is None
+    assert store.corrupt == 1
+    # the service recomputes and atomically rewrites the entry
+    report = CampaignService(store).run([spec])
+    assert report.executed == 1 and report.cached_hits == 0
+    assert store.get(spec) == artifact
+
+
+# -- the service -------------------------------------------------------------
+
+
+def test_warm_cache_rerun_performs_zero_simulations(tmp_path):
+    specs = grid("sweep", 4, TINY, code_version="test-v1")
+    service = CampaignService(tmp_path / "cache")
+    events = []
+    first = service.run(specs, progress=lambda e: events.append(e))
+    assert first.executed == 4 and first.cached_hits == 0
+    events.clear()
+    second = service.run(specs, progress=lambda e: events.append(e))
+    # the acceptance criterion: every job a cached-hit, nothing started
+    assert second.cached_hits == 4 and second.executed == 0
+    assert all(o.cached for o in second.outcomes)
+    assert {e.event for e in events} == {"queued", "cached-hit"}
+    assert second.artifacts() == first.artifacts()
+    assert [o.artifact_sha256 for o in second.outcomes] == [
+        o.artifact_sha256 for o in first.outcomes
+    ]
+
+
+def test_progress_stream_order_and_counters(tmp_path):
+    specs = grid("sweep", 2, TINY, code_version="test-v1")
+    service = CampaignService(tmp_path / "cache")
+    service.run([specs[0]])  # warm exactly one job
+    events = []
+    service.run(specs, progress=lambda e: events.append(e))
+    kinds = [(e.event, e.index) for e in events]
+    assert kinds == [
+        ("queued", 0), ("cached-hit", 0),
+        ("queued", 1), ("started", 1), ("finished", 1),
+    ]
+    last = events[-1]
+    assert last.counters["campaign.executed"] == 1.0
+    assert last.counters["campaign.cached_hit"] == 1.0
+    # events serialize to JSON-lines
+    for e in events:
+        line = json.dumps(e.to_dict(), sort_keys=True)
+        assert json.loads(line)["job"] == e.digest[:12]
+
+
+def test_service_without_store_executes_everything():
+    specs = grid("sweep", 2, TINY, code_version="test-v1")
+    report = CampaignService(store=None).run(specs)
+    assert report.executed == 2 and report.cached_hits == 0
+    assert report.store_stats is None
+
+
+def test_grid_builds_complete_configs():
+    specs = grid("sweep", [5, 7], TINY, code_version="test-v1")
+    assert [s.seed for s in specs] == [5, 7]
+    # the spec carries the *full* effective config, not just overrides
+    assert specs[0].config["kt"] == 4
+    assert specs[0].config["drop_probability"] == 0.05
+
+
+# -- the worker pool ---------------------------------------------------------
+
+
+def test_pool_retries_crashed_worker(tmp_path):
+    crash = _selftest_spec(0, mode="crash-once",
+                           marker=str(tmp_path / "marker"))
+    ok = _selftest_spec(1, mode="ok", value=7)
+    results = run_specs([crash, ok], workers=2, max_retries=2)
+    assert results[0].state == DONE
+    assert results[0].attempts == 2
+    assert results[0].artifact == {"seed": 0, "recovered": True}
+    assert results[1].state == DONE
+
+
+def test_pool_crash_retries_are_bounded(tmp_path):
+    # no marker file is ever consulted twice with max_retries=0: the
+    # first death exhausts the budget
+    crash = _selftest_spec(0, mode="crash-once",
+                           marker=str(tmp_path / "marker"))
+    results = run_specs([crash], workers=2, max_retries=0)
+    assert results[0].state == FAILED
+    assert "worker process died" in results[0].error
+
+
+def test_pool_fails_fast_on_job_exception():
+    bad = _selftest_spec(0, mode="fail")
+    ok = _selftest_spec(1, mode="ok", value=1)
+    results = run_specs([bad, ok], workers=2)
+    assert results[0].state == FAILED
+    assert results[0].attempts == 1  # deterministic raise: no retry
+    assert "ValueError" in results[0].error
+    assert results[1].state == DONE
+
+
+def test_pool_timeout_does_not_wedge_the_campaign():
+    sleepy = _selftest_spec(0, mode="sleep", sleep_s=1.5)
+    ok = [_selftest_spec(s, mode="ok", value=s) for s in (1, 2)]
+    results = run_specs([sleepy, *ok], workers=2, timeout=0.4)
+    assert results[0].state == FAILED
+    assert "timeout" in results[0].error
+    assert [r.state for r in results[1:]] == [DONE, DONE]
+
+
+def test_inline_and_pool_agree_on_results():
+    specs = [_selftest_spec(s, mode="ok", value=s * s) for s in range(4)]
+    inline = run_specs(specs, workers=1)
+    pooled = run_specs(specs, workers=2)
+    assert [r.artifact for r in inline] == [r.artifact for r in pooled]
+    assert [r.state for r in inline] == [r.state for r in pooled]
+
+
+# -- the CLI -----------------------------------------------------------------
+
+
+def _run_cli(*args, cwd=None):
+    return subprocess.run(
+        [sys.executable, "-m", "repro", *args],
+        capture_output=True, text=True, timeout=180, cwd=cwd,
+        env={"PYTHONPATH": str(REPO / "src"), "PATH": "/usr/bin:/bin"},
+    )
+
+
+def test_repro_help_lists_subcommand_table():
+    proc = _run_cli("--help")
+    assert proc.returncode == 0, proc.stderr
+    assert "subcommands" in proc.stdout
+    assert "profile" in proc.stdout
+    assert "campaign" in proc.stdout
+
+
+def test_campaign_cli_lists_scenarios():
+    proc = _run_cli("campaign", "--list")
+    assert proc.returncode == 0, proc.stderr
+    for name in ("sweep", "sweep3060", "placement-penalty"):
+        assert name in proc.stdout
+    assert "_selftest" not in proc.stdout  # harness tenant stays hidden
+
+
+def test_campaign_cli_end_to_end_with_cache(tmp_path):
+    args = ("campaign", "sweep", "--seeds", "2", "--cache-dir",
+            str(tmp_path / "cache"), "--jsonl")
+    first = _run_cli(*args, cwd=str(tmp_path))
+    assert first.returncode == 0, first.stderr
+    events = [json.loads(line) for line in first.stdout.splitlines()]
+    assert sum(1 for e in events if e["event"] == "finished") == 2
+    second = _run_cli(*args, cwd=str(tmp_path))
+    assert second.returncode == 0, second.stderr
+    events = [json.loads(line) for line in second.stdout.splitlines()]
+    assert sum(1 for e in events if e["event"] == "cached-hit") == 2
+    assert not any(e["event"] == "started" for e in events)
+
+
+def test_campaign_cli_rejects_unknown_scenario_and_keys(tmp_path):
+    assert _run_cli("campaign", "no-such").returncode == 2
+    proc = _run_cli("campaign", "sweep", "--seeds", "1",
+                    "--set", "not_a_key=1")
+    assert proc.returncode == 2
+    assert "unknown config key" in proc.stderr
+
+
+def test_profile_still_dispatches_through_the_registry():
+    proc = _run_cli("profile", "--help")
+    assert proc.returncode == 0, proc.stderr
+    assert "scenario" in proc.stdout
