@@ -18,6 +18,8 @@ from __future__ import annotations
 import hashlib
 import importlib.util
 import json
+import os
+import platform
 import subprocess
 import sys
 import time
@@ -168,14 +170,37 @@ def timeline_fingerprint(times: list[float]) -> str:
 
 
 def update_bench_json(section: str, payload: dict) -> None:
-    """Merge ``payload`` under ``section`` in ``BENCH_perf.json``."""
+    """Merge ``payload`` under ``section`` in ``BENCH_perf.json``.
+
+    ``_meta`` records the interpreter and host platform the numbers
+    were taken on — two BENCH files are only comparable when these
+    match.
+    """
     data: dict = {}
     if BENCH_JSON.exists():
         try:
             data = json.loads(BENCH_JSON.read_text())
         except (OSError, json.JSONDecodeError):
             data = {}
-    data.setdefault("_meta", {})["format"] = 1
-    data["_meta"]["python"] = sys.version.split()[0]
+    meta = data.setdefault("_meta", {})
+    meta["format"] = 1
+    meta["python"] = sys.version.split()[0]
+    meta["machine"] = platform.machine()
+    meta["processor"] = platform.processor()
+    meta["cpu_count"] = os.cpu_count()
     data[section] = payload
     BENCH_JSON.write_text(json.dumps(data, indent=2, sort_keys=True) + "\n")
+
+
+def enforce_speedup_floors(results: dict, floors: dict[str, float]) -> None:
+    """Assert every workload's measured speedup meets its committed
+    floor.  ``results`` maps workload name to a dict with a
+    ``"speedup"`` entry (the shape the des_engine section records);
+    ``floors`` maps workload name to the minimum acceptable ratio.
+    All violations are reported together rather than first-failure."""
+    failures = {
+        name: {"measured": results[name]["speedup"], "floor": floor}
+        for name, floor in floors.items()
+        if results[name]["speedup"] < floor
+    }
+    assert not failures, f"speedup floors violated: {failures}"

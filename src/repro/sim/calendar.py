@@ -1,0 +1,204 @@
+"""Calendar-queue event scheduling for the DES kernel.
+
+The seed engine keeps the future-event set in one binary heap ordered by
+``(time, priority, seq)``.  Heap pushes and pops cost O(log n)
+comparisons each, and the full-machine workloads (3,060+ rank Sweep3D
+wavefronts) spend a measurable slice of their event budget on heap
+maintenance — while exhibiting a strongly *clustered* schedule: most
+events land on a small set of distinct instants (a wavefront diagonal's
+cohort all fires at the same simulated time).
+
+The calendar queue exploits that clustering.  Instead of one heap of
+entries it keeps a **calendar of occupied instants**:
+
+* ``_times`` — a small heap ("spine") of the *distinct* times that
+  currently have scheduled events.  Its size is the number of occupied
+  instants D, not the number of pending events n (for the full-machine
+  sweep D is orders of magnitude below n).
+* ``_buckets`` — a dict mapping each occupied time to a *bucket*: three
+  priority **lanes** (``URGENT``, ``NORMAL``, ``_AFTER``) holding the
+  events scheduled for that instant, each with a drain index.
+
+Because the engine hands out ``seq`` numbers monotonically, plain
+``list.append`` keeps every lane sorted by ``seq`` — scheduling into an
+occupied instant is a dict lookup plus an append, O(1), with **no entry
+tuple and no comparisons at all**.  Popping takes the front bucket's
+first undrained lane in priority order, O(1); only the first event of a
+*new* instant pays an O(log D) spine push, and retiring an exhausted
+instant pays an O(log D) spine pop.  The pop order is exactly the
+heap's ``(time, priority, seq)`` total order, so every simulation trace
+is bit-identical under either backend — the determinism contract, not
+wall-clock, is the acceptance oracle (``tests/test_calendar.py``
+property-checks this against a ``heapq`` reference, and the perf smoke
+tier re-runs the golden trace under both).
+
+The engine keeps its one-slot min buffer (``Simulator._next``) in front
+of the calendar, exactly as it sits in front of the heap: the
+push-one/pop-one cadence of a lone timeout chain stays in the slot and
+never touches the spine, dict, or lanes, so sparse workloads keep the
+seed's fast path while clustered workloads get O(1) cohort scheduling.
+An entry displaced from the slot by a smaller one carries an *older*
+``seq`` than anything stored, so it is inserted at the front of its
+lane's undrained region (the one place plain append would misorder);
+see ``engine._insert_displaced``.
+
+Buckets are retired **eagerly**: the pop that extracts a bucket's last
+undrained event also removes the bucket and its spine time.  The spine
+therefore never holds duplicate or stale ("husk") times, ``peek()`` is
+``times[0]`` verbatim, and — because no user code runs between the
+extraction and the retirement — a dispatch that schedules back into the
+just-retired instant simply re-creates the bucket with a fresh spine
+push, preserving order (everything previously at that instant has
+already been extracted).
+
+Backend selection
+-----------------
+``Simulator(scheduler="calendar" | "heap")`` picks the backend per
+simulator; the default is :data:`DEFAULT_SCHEDULER`, read once from the
+``REPRO_SCHED`` environment variable (``calendar`` unless overridden).
+The heap remains the reference backend — CI runs the perf smoke tier
+under both so neither can rot.
+
+For speed the engine *inlines* the lane push/pop at its hot sites (the
+same treatment the seed gives ``heappush``); the :class:`CalendarQueue`
+class below is the standalone, uninlined form of the same structure —
+the executable specification the property tests exercise, with the lazy
+cancellation the engine itself never needs (the kernel never removes a
+scheduled event; it detaches waiters instead).
+"""
+
+from __future__ import annotations
+
+import os
+from bisect import insort
+from heapq import heappop, heappush
+from typing import Any
+
+__all__ = ["SCHEDULERS", "DEFAULT_SCHEDULER", "CalendarQueue"]
+
+#: the recognized ``Simulator(scheduler=...)`` / ``REPRO_SCHED`` values
+SCHEDULERS = ("calendar", "heap")
+
+
+def _default_scheduler() -> str:
+    value = os.environ.get("REPRO_SCHED", "calendar")
+    if value not in SCHEDULERS:
+        raise ValueError(
+            f"REPRO_SCHED={value!r} is not a scheduler backend; "
+            f"expected one of {SCHEDULERS}"
+        )
+    return value
+
+
+#: backend used when ``Simulator(scheduler=None)``: the ``REPRO_SCHED``
+#: environment variable, else ``"calendar"``.  Read once at import;
+#: tests monkeypatch this attribute to pin a backend.
+DEFAULT_SCHEDULER = _default_scheduler()
+
+# Lane indices inside a bucket: [urgent, normal, after, ui, ni, ai].
+# The lane index *is* the engine's event priority (URGENT=0, NORMAL=1,
+# horizon sentinel _AFTER=2), so ``bucket[priority]`` selects the lane
+# and ``bucket[3 + priority]`` its drain index.
+_U, _N, _A, _UI, _NI, _AI = range(6)
+
+
+class CalendarQueue:
+    """Standalone calendar queue over ``(time, priority, seq)`` entries.
+
+    The uninlined specification of the structure the engine embeds:
+    a spine heap of distinct occupied times over per-instant priority
+    lanes, popping in exactly the ``(time, priority, seq)`` order a
+    ``heapq`` of the same entries would produce.  Unlike the engine's
+    embedded form it supports **lazy cancellation**: :meth:`cancel`
+    marks a pending ``seq`` and :meth:`pop` silently skips marked
+    entries when they surface (rescheduling is cancel + push with a
+    fresh ``seq``).  ``seq`` numbers must be unique; pushes need not be
+    monotone — an out-of-order ``seq`` is placed by bisection, the
+    monotone common case degenerates to an append.
+    """
+
+    __slots__ = ("_times", "_buckets", "_cancelled", "_pending")
+
+    def __init__(self) -> None:
+        self._times: list[float] = []
+        self._buckets: dict[float, list] = {}
+        self._cancelled: set[int] = set()
+        self._pending: set[int] = set()
+
+    def __len__(self) -> int:
+        return len(self._pending)
+
+    def push(self, time: float, priority: int, seq: int, item: Any = None) -> None:
+        """Schedule ``item`` at ``(time, priority, seq)``."""
+        if seq in self._pending:
+            raise ValueError(f"duplicate seq {seq}")
+        bucket = self._buckets.get(time)
+        if bucket is None:
+            heappush(self._times, time)
+            bucket = [[], [], [], 0, 0, 0]
+            self._buckets[time] = bucket
+        lane = bucket[priority]
+        # seqs are unique, so insort never compares items; a monotone
+        # push lands at the end after one comparison.  The drain index
+        # bounds the search: positions below it hold popped/cancelled
+        # husks (None) that must never be compared against.
+        insort(lane, (seq, item), lo=bucket[3 + priority])
+        self._pending.add(seq)
+
+    def cancel(self, seq: int) -> bool:
+        """Lazily cancel the pending entry carrying ``seq``.
+
+        Returns True if ``seq`` was pending; the entry stays in its
+        lane and is discarded when a pop surfaces it.
+        """
+        if seq not in self._pending:
+            return False
+        self._pending.remove(seq)
+        self._cancelled.add(seq)
+        return True
+
+    def _front(self):
+        """(bucket, lane, drain-index-slot) of the next live entry."""
+        times, buckets = self._times, self._buckets
+        cancelled = self._cancelled
+        while times:
+            t = times[0]
+            bucket = buckets[t]
+            for lane_idx in (_U, _N, _A):
+                lane = bucket[lane_idx]
+                i = bucket[3 + lane_idx]
+                while i < len(lane):
+                    seq = lane[i][0]
+                    if seq not in cancelled:
+                        bucket[3 + lane_idx] = i
+                        return t, bucket, lane_idx, i
+                    cancelled.remove(seq)
+                    lane[i] = None
+                    i += 1
+                bucket[3 + lane_idx] = i
+            heappop(times)
+            del buckets[t]
+        return None
+
+    def peek(self) -> tuple[float, int, int] | None:
+        """``(time, priority, seq)`` of the next live entry, or None."""
+        front = self._front()
+        if front is None:
+            return None
+        t, bucket, lane_idx, i = front
+        return t, lane_idx, bucket[lane_idx][i][0]
+
+    def pop(self) -> tuple[float, int, int, Any]:
+        """Remove and return the next live ``(time, priority, seq, item)``."""
+        front = self._front()
+        if front is None:
+            raise IndexError("pop from an empty CalendarQueue")
+        t, bucket, lane_idx, i = front
+        lane = bucket[lane_idx]
+        seq, item = lane[i]
+        lane[i] = None
+        bucket[3 + lane_idx] = i + 1
+        self._pending.remove(seq)
+        # Exhausted buckets are retired by the next _front() walk; the
+        # engine's embedded form retires eagerly at the extraction site.
+        return t, lane_idx, seq, item

@@ -63,7 +63,19 @@ trades some repetition for speed:
   in front of the heap: an entry that sorts before everything queued
   waits in a single attribute, so the push-one/pop-one cadence of a
   timeout chain bypasses ``heapq`` entirely while reproducing the
-  heap's total order exactly.
+  heap's total order exactly;
+* the future-event set itself is pluggable
+  (``Simulator(scheduler=...)`` / the ``REPRO_SCHED`` environment
+  variable): the default ``"calendar"`` backend replaces the binary
+  heap with a calendar of occupied instants — a small spine heap of
+  *distinct* times over per-instant priority lanes (see
+  :mod:`repro.sim.calendar`) — making scheduling into an occupied
+  instant an O(1) dict-lookup-plus-append with no entry tuple at all,
+  which is the dominant pattern in same-instant wavefront cohorts.
+  The ``"heap"`` backend is the seed's binary heap, retained as the
+  reference; both produce bit-identical event timelines (the lanes
+  preserve the exact ``(time, priority, seq)`` total order) and both
+  sit behind the same one-slot min buffer.
 
 Example
 -------
@@ -88,6 +100,8 @@ from sys import getrefcount
 from time import perf_counter
 from types import GeneratorType
 from typing import Any
+
+from repro.sim import calendar as _calendar
 
 __all__ = [
     "AllOf",
@@ -124,32 +138,77 @@ URGENT = 0
 NORMAL = 1
 
 
+def _insert_displaced(sim: "Simulator", entry: tuple) -> None:
+    """File an entry displaced from the one-slot buffer in its lane.
+
+    Calendar backend only.  The displaced entry was the global minimum,
+    so its ``seq`` is older than every stored entry's: it belongs at
+    the *front* of its lane's undrained region — the one push for which
+    the plain append (correct for fresh, monotonically numbered
+    entries) would misorder the lane.
+    """
+    t, prio, _seq, event = entry
+    buckets = sim._buckets
+    b = buckets.get(t)
+    if b is None:
+        heappush(sim._times, t)
+        b = [[], [], [], 0, 0, 0]
+        b[prio].append(event)
+        buckets[t] = b
+    else:
+        b[prio].insert(b[3 + prio], event)
+
+
 def _push(sim: "Simulator", entry: tuple) -> None:
     """Insert ``entry`` preserving the single-slot min-buffer invariant.
 
     ``sim._next``, when not None, holds the entry that sorts before
-    everything in ``sim._queue``; pops take it without touching the
-    heap.  A workload alternating one push with one pop (the timeout
-    chain every process body reduces to) then never pays for heap
-    maintenance at all.  Entries are unique in their ``seq`` field, so
-    the tuple comparisons below reproduce the heap's total order
-    exactly — the slot is invisible to the determinism contract.
+    everything queued (binary heap and calendar alike); pops take it
+    without touching the backend.  A workload alternating one push with
+    one pop (the timeout chain every process body reduces to) then
+    never pays for queue maintenance at all.  Entries are unique in
+    their ``seq`` field, so the tuple comparisons below reproduce the
+    heap's total order exactly — the slot is invisible to the
+    determinism contract.
+
+    On the calendar backend (``sim._buckets`` is a dict) an entry bound
+    for an occupied instant is appended to that instant's priority
+    lane: ``seq`` numbers are handed out monotonically, so appends keep
+    every lane sorted and the lanes replay the heap's
+    ``(time, priority, seq)`` order exactly (the sole exception — an
+    entry displaced from the slot — is handled by
+    :func:`_insert_displaced`).
 
     The hot construction sites (``Timeout.__init__``,
     ``Simulator.timeout``, ``Event.succeed``, process bootstrap) inline
     this body to avoid the call frame; keep them in sync.
     """
     nxt = sim._next
-    if nxt is None:
-        if sim._queue:
-            heappush(sim._queue, entry)
-        else:
+    buckets = sim._buckets
+    if buckets is None:
+        if nxt is None:
+            if sim._queue:
+                heappush(sim._queue, entry)
+            else:
+                sim._next = entry
+        elif entry < nxt:
             sim._next = entry
-    elif entry < nxt:
+            heappush(sim._queue, nxt)
+        else:
+            heappush(sim._queue, entry)
+    elif nxt is None and not buckets:
         sim._next = entry
-        heappush(sim._queue, nxt)
+    elif nxt is not None and entry < nxt:
+        sim._next = entry
+        _insert_displaced(sim, nxt)
     else:
-        heappush(sim._queue, entry)
+        t = entry[0]
+        b = buckets.get(t)
+        if b is None:
+            heappush(sim._times, t)
+            b = [[], [], [], 0, 0, 0]
+            buckets[t] = b
+        b[entry[1]].append(entry[3])
 
 
 class Event:
@@ -225,19 +284,34 @@ class Event:
         self._value = value
         sim = self.sim
         sim._seq = seq = sim._seq + 1
-        entry = (sim._now + delay, NORMAL, seq, self)
+        t = sim._now + delay
         # Inline _push (hot: every process termination lands here).
         nxt = sim._next
-        if nxt is None:
-            if sim._queue:
-                heappush(sim._queue, entry)
-            else:
+        buckets = sim._buckets
+        if buckets is None:
+            entry = (t, NORMAL, seq, self)
+            if nxt is None:
+                if sim._queue:
+                    heappush(sim._queue, entry)
+                else:
+                    sim._next = entry
+            elif entry < nxt:
                 sim._next = entry
-        elif entry < nxt:
-            sim._next = entry
-            heappush(sim._queue, nxt)
+                heappush(sim._queue, nxt)
+            else:
+                heappush(sim._queue, entry)
+        elif nxt is None and not buckets:
+            sim._next = (t, NORMAL, seq, self)
+        elif nxt is not None and (t, NORMAL, seq, self) < nxt:
+            sim._next = (t, NORMAL, seq, self)
+            _insert_displaced(sim, nxt)
         else:
-            heappush(sim._queue, entry)
+            b = buckets.get(t)
+            if b is None:
+                heappush(sim._times, t)
+                buckets[t] = [[], [self], [], 0, 0, 0]
+            else:
+                b[1].append(self)
         return self
 
     def fail(self, exception: BaseException, delay: float = 0.0) -> "Event":
@@ -288,19 +362,34 @@ class Timeout(Event):
         self.defused = False
         self.delay = delay
         sim._seq = seq = sim._seq + 1
-        entry = (sim._now + delay, NORMAL, seq, self)
+        t = sim._now + delay
         # Inline _push (hottest allocation site in the repository).
         nxt = sim._next
-        if nxt is None:
-            if sim._queue:
-                heappush(sim._queue, entry)
-            else:
+        buckets = sim._buckets
+        if buckets is None:
+            entry = (t, NORMAL, seq, self)
+            if nxt is None:
+                if sim._queue:
+                    heappush(sim._queue, entry)
+                else:
+                    sim._next = entry
+            elif entry < nxt:
                 sim._next = entry
-        elif entry < nxt:
-            sim._next = entry
-            heappush(sim._queue, nxt)
+                heappush(sim._queue, nxt)
+            else:
+                heappush(sim._queue, entry)
+        elif nxt is None and not buckets:
+            sim._next = (t, NORMAL, seq, self)
+        elif nxt is not None and (t, NORMAL, seq, self) < nxt:
+            sim._next = (t, NORMAL, seq, self)
+            _insert_displaced(sim, nxt)
         else:
-            heappush(sim._queue, entry)
+            b = buckets.get(t)
+            if b is None:
+                heappush(sim._times, t)
+                buckets[t] = [[], [self], [], 0, 0, 0]
+            else:
+                b[1].append(self)
 
 
 class _Bootstrap:
@@ -369,19 +458,35 @@ class Process(Event):
         else:
             marker = _Bootstrap(self)
         sim._seq = seq = sim._seq + 1
-        entry = (sim._now, URGENT, seq, marker)
-        # Inline _push.
+        t = sim._now
+        # Inline _push (URGENT: bootstraps run before NORMAL events at
+        # the same instant — lane 0 on the calendar backend).
         nxt = sim._next
-        if nxt is None:
-            if sim._queue:
-                heappush(sim._queue, entry)
-            else:
+        buckets = sim._buckets
+        if buckets is None:
+            entry = (t, URGENT, seq, marker)
+            if nxt is None:
+                if sim._queue:
+                    heappush(sim._queue, entry)
+                else:
+                    sim._next = entry
+            elif entry < nxt:
                 sim._next = entry
-        elif entry < nxt:
-            sim._next = entry
-            heappush(sim._queue, nxt)
+                heappush(sim._queue, nxt)
+            else:
+                heappush(sim._queue, entry)
+        elif nxt is None and not buckets:
+            sim._next = (t, URGENT, seq, marker)
+        elif nxt is not None and (t, URGENT, seq, marker) < nxt:
+            sim._next = (t, URGENT, seq, marker)
+            _insert_displaced(sim, nxt)
         else:
-            heappush(sim._queue, entry)
+            b = buckets.get(t)
+            if b is None:
+                heappush(sim._times, t)
+                buckets[t] = [[marker], [], [], 0, 0, 0]
+            else:
+                b[0].append(marker)
 
     @property
     def is_alive(self) -> bool:
@@ -602,16 +707,27 @@ _POOL_SIZE = 64
 
 
 class Simulator:
-    """The event loop: owns the clock and the pending-event heap.
+    """The event loop: owns the clock and the future-event set.
 
     ``pool_size`` bounds the timeout free-list (``None`` uses the
     module default, ``0`` disables recycling entirely — the unpooled
     reference path the full-machine benchmark cross-checks against).
+
+    ``scheduler`` picks the future-event-set backend: ``"calendar"``
+    (the default — a calendar of occupied instants, O(1) scheduling
+    into an occupied instant, see :mod:`repro.sim.calendar`) or
+    ``"heap"`` (the seed's binary heap, retained as the reference).
+    ``None`` defers to :data:`repro.sim.calendar.DEFAULT_SCHEDULER`,
+    i.e. the ``REPRO_SCHED`` environment variable.  Both backends pop
+    in the identical ``(time, priority, seq)`` total order, so every
+    simulation is bit-for-bit reproducible under either.
     """
 
     __slots__ = (
         "_now",
         "_queue",
+        "_times",
+        "_buckets",
         "_next",
         "_seq",
         "_active_process",
@@ -620,12 +736,33 @@ class Simulator:
         "_free_bootstrap",
         "_pool_cap",
         "_observer",
+        "scheduler",
     )
 
-    def __init__(self, pool_size: int | None = None):
+    def __init__(self, pool_size: int | None = None, scheduler: str | None = None):
+        if scheduler is None:
+            scheduler = _calendar.DEFAULT_SCHEDULER
+        if scheduler not in _calendar.SCHEDULERS:
+            raise ValueError(
+                f"unknown scheduler {scheduler!r}; expected one of "
+                f"{_calendar.SCHEDULERS}"
+            )
+        #: the future-event-set backend this simulator runs on
+        self.scheduler = scheduler
         self._now = 0.0
+        #: binary-heap backend storage (always a list so emptiness
+        #: checks stay cheap; unused — empty — on the calendar backend)
         self._queue: list[tuple[float, int, int, Event]] = []
-        #: single-slot min buffer in front of the heap (see _push)
+        if scheduler == "calendar":
+            #: spine heap of the distinct occupied instants
+            self._times: list[float] | None = []
+            #: time -> [urgent, normal, after, ui, ni, ai] lane bucket;
+            #: also the backend discriminator (None means heap mode)
+            self._buckets: dict[float, list] | None = {}
+        else:
+            self._times = None
+            self._buckets = None
+        #: single-slot min buffer in front of either backend (see _push)
         self._next: tuple[float, int, int, Event] | None = None
         self._seq = 0
         self._active_process: Process | None = None
@@ -700,19 +837,34 @@ class Simulator:
         t._value = value
         t.delay = delay
         self._seq = seq = self._seq + 1
-        entry = (self._now + delay, NORMAL, seq, t)
+        when = self._now + delay
         # Inline _push (the recycled-timeout fast path).
         nxt = self._next
-        if nxt is None:
-            if self._queue:
-                heappush(self._queue, entry)
-            else:
+        buckets = self._buckets
+        if buckets is None:
+            entry = (when, NORMAL, seq, t)
+            if nxt is None:
+                if self._queue:
+                    heappush(self._queue, entry)
+                else:
+                    self._next = entry
+            elif entry < nxt:
                 self._next = entry
-        elif entry < nxt:
-            self._next = entry
-            heappush(self._queue, nxt)
+                heappush(self._queue, nxt)
+            else:
+                heappush(self._queue, entry)
+        elif nxt is None and not buckets:
+            self._next = (when, NORMAL, seq, t)
+        elif nxt is not None and (when, NORMAL, seq, t) < nxt:
+            self._next = (when, NORMAL, seq, t)
+            _insert_displaced(self, nxt)
         else:
-            heappush(self._queue, entry)
+            b = buckets.get(when)
+            if b is None:
+                heappush(self._times, when)
+                buckets[when] = [[], [t], [], 0, 0, 0]
+            else:
+                b[1].append(t)
         return t
 
     def process(self, generator: Generator, name: str | None = None) -> Process:
@@ -739,7 +891,45 @@ class Simulator:
         nxt = self._next
         if nxt is not None:
             return nxt[0]
-        return self._queue[0][0] if self._queue else float("inf")
+        if self._buckets is None:
+            return self._queue[0][0] if self._queue else float("inf")
+        # Eager bucket retirement keeps the spine free of exhausted
+        # times, so its front is the next instant verbatim.
+        return self._times[0] if self._times else float("inf")
+
+    def _pop_bucket(self) -> tuple[float, Any] | None:
+        """Extract the next event from the calendar (slot already empty).
+
+        Returns ``(time, event)``, or None when no events remain.  The
+        pop that drains a bucket's last lane entry also retires the
+        bucket — no user code runs in between, so a dispatch that
+        schedules back into that instant re-creates the bucket *after*
+        everything previously there has been extracted, preserving the
+        ``(time, priority, seq)`` order.  The run loop inlines this
+        body; keep them in sync.
+        """
+        times = self._times
+        if not times:
+            return None
+        t = times[0]
+        buckets = self._buckets
+        b = buckets[t]
+        for prio in (0, 1, 2):
+            i = b[3 + prio]
+            lane = b[prio]
+            if i < len(lane):
+                event = lane[i]
+                lane[i] = None
+                b[3 + prio] = i + 1
+                if (
+                    b[3] == len(b[0])
+                    and b[4] == len(b[1])
+                    and b[5] == len(b[2])
+                ):
+                    heappop(times)
+                    del buckets[t]
+                return t, event
+        raise SimulationError("event queue corrupted: exhausted bucket on spine")
 
     def step(self) -> None:
         """Process exactly one event (the slow, single-step path)."""
@@ -747,6 +937,11 @@ class Simulator:
         if nxt is not None:
             self._next = None
             time, _prio, _seq, event = nxt
+        elif self._buckets is not None:
+            popped = self._pop_bucket()
+            if popped is None:
+                raise SimulationError("step() on an empty event queue")
+            time, event = popped
         elif self._queue:
             time, _prio, _seq, event = heappop(self._queue)
         else:
@@ -787,6 +982,8 @@ class Simulator:
         if nxt is not None:
             self._next = None
             time, _prio, _seq, event = nxt
+        elif self._buckets is not None:
+            time, event = self._pop_bucket()
         else:
             time, _prio, _seq, event = heappop(self._queue)
         if time < self._now:
@@ -830,7 +1027,7 @@ class Simulator:
             if isinstance(until, Event):
                 stop = until
                 while not stop._processed:
-                    if self._next is None and not self._queue:
+                    if self._next is None and not self._queue and not self._times:
                         raise SimulationError(
                             "simulation ran out of events before the awaited "
                             "event fired"
@@ -850,7 +1047,7 @@ class Simulator:
                 marker = _Stop()
                 self._seq = seq = self._seq + 1
                 _push(self, (horizon, _AFTER, seq, marker))
-            while self._next is not None or self._queue:
+            while self._next is not None or self._queue or self._times:
                 occurrence = self._step_observed(obs)
                 if occurrence is marker and marker is not None:
                     break
@@ -870,20 +1067,19 @@ class Simulator:
         """
         if self._observer is not None:
             return self._run_observed(until)
-        if isinstance(until, Event):
-            stop = until
-            while not stop._processed:
-                if self._next is None and not self._queue:
-                    raise SimulationError(
-                        "simulation ran out of events before the awaited event fired"
-                    )
-                self.step()
-            if stop._ok:
-                return stop._value
-            stop.defused = True
-            raise stop._value
+        # NB: named stop_evt, not stop — the dispatch arms' `except
+        # StopIteration as stop` clauses delete `stop` on block exit.
+        stop_evt = None
         marker = None
-        if until is not None:
+        if isinstance(until, Event):
+            # An awaited stop event runs through the same inlined hot
+            # loop as an unbounded run: one `stop_evt._processed` check
+            # per iteration replaces the seed's step()-per-event loop
+            # (the full-machine sweep drives its finish-line event
+            # through here, so this is the hottest run() mode in the
+            # repo).
+            stop_evt = until
+        elif until is not None:
             horizon = float(until)
             if horizon < self._now:
                 raise SimulationError(
@@ -910,10 +1106,14 @@ class Simulator:
         # costs a Python call frame per event, which is precisely what
         # this loop exists to avoid.
         queue = self._queue
+        times = self._times
+        buckets = self._buckets
         pop = heappop
         free = self._free_timeouts
         cap = self._pool_cap
         while True:
+            if stop_evt is not None and stop_evt._processed:
+                break
             entry = self._next
             if entry is not None:
                 self._next = None
@@ -921,14 +1121,55 @@ class Simulator:
                 # Drop the tuple: the refcount==2 recycle test below
                 # must see only this frame's reference to the event.
                 entry = None
-            elif queue:
-                time, _prio, _seq, event = pop(queue)
-                if queue and queue[0][0] == time:
-                    # Same-instant cohort (a wavefront diagonal firing
-                    # together): hoist the next member into the empty
-                    # slot so the cohort drains through slotted pops and
-                    # pushes during dispatch compare against it first.
-                    self._next = pop(queue)
+            elif buckets is None:
+                if queue:
+                    time, _prio, _seq, event = pop(queue)
+                    if queue and queue[0][0] == time:
+                        # Same-instant cohort (a wavefront diagonal
+                        # firing together): hoist the next member into
+                        # the empty slot so the cohort drains through
+                        # slotted pops and pushes during dispatch
+                        # compare against it first.
+                        self._next = pop(queue)
+                else:
+                    break
+            elif times:
+                # Calendar pop (the inlined body of _pop_bucket): front
+                # bucket, first undrained lane in priority order; the
+                # extraction that empties a bucket retires it in place.
+                time = times[0]
+                b = buckets[time]
+                i = b[3]
+                lane = b[0]
+                if i < len(lane):
+                    event = lane[i]
+                    lane[i] = None
+                    i += 1
+                    b[3] = i
+                    if i == len(lane) and b[4] == len(b[1]) and b[5] == len(b[2]):
+                        pop(times)
+                        del buckets[time]
+                else:
+                    i = b[4]
+                    lane = b[1]
+                    if i < len(lane):
+                        event = lane[i]
+                        lane[i] = None
+                        i += 1
+                        b[4] = i
+                        if i == len(lane) and b[5] == len(b[2]):
+                            pop(times)
+                            del buckets[time]
+                    else:
+                        i = b[5]
+                        lane = b[2]
+                        event = lane[i]
+                        lane[i] = None
+                        i += 1
+                        b[5] = i
+                        if i == len(lane):
+                            pop(times)
+                            del buckets[time]
             else:
                 break
             self._now = time
@@ -956,18 +1197,31 @@ class Simulator:
                             waiter._ok = True
                             waiter._value = stop.value
                             self._seq = seq = self._seq + 1
-                            entry = (time, NORMAL, seq, waiter)
                             nxt = self._next
-                            if nxt is None:
-                                if queue:
-                                    heappush(queue, entry)
-                                else:
+                            if buckets is None:
+                                entry = (time, NORMAL, seq, waiter)
+                                if nxt is None:
+                                    if queue:
+                                        heappush(queue, entry)
+                                    else:
+                                        self._next = entry
+                                elif entry < nxt:
                                     self._next = entry
-                            elif entry < nxt:
-                                self._next = entry
-                                heappush(queue, nxt)
+                                    heappush(queue, nxt)
+                                else:
+                                    heappush(queue, entry)
+                            elif nxt is None and not buckets:
+                                self._next = (time, NORMAL, seq, waiter)
+                            elif nxt is not None and (time, NORMAL, seq, waiter) < nxt:
+                                self._next = (time, NORMAL, seq, waiter)
+                                _insert_displaced(self, nxt)
                             else:
-                                heappush(queue, entry)
+                                b = buckets.get(time)
+                                if b is None:
+                                    heappush(times, time)
+                                    buckets[time] = [[], [waiter], [], 0, 0, 0]
+                                else:
+                                    b[1].append(waiter)
                             # Clear the parked-yield local: a stale reference
                             # would defeat the timeout recycle test below.
                             target = None
@@ -1048,18 +1302,31 @@ class Simulator:
                         waiter._ok = True
                         waiter._value = stop.value
                         self._seq = seq = self._seq + 1
-                        entry = (time, NORMAL, seq, waiter)
                         nxt = self._next
-                        if nxt is None:
-                            if queue:
-                                heappush(queue, entry)
-                            else:
+                        if buckets is None:
+                            entry = (time, NORMAL, seq, waiter)
+                            if nxt is None:
+                                if queue:
+                                    heappush(queue, entry)
+                                else:
+                                    self._next = entry
+                            elif entry < nxt:
                                 self._next = entry
-                        elif entry < nxt:
-                            self._next = entry
-                            heappush(queue, nxt)
+                                heappush(queue, nxt)
+                            else:
+                                heappush(queue, entry)
+                        elif nxt is None and not buckets:
+                            self._next = (time, NORMAL, seq, waiter)
+                        elif nxt is not None and (time, NORMAL, seq, waiter) < nxt:
+                            self._next = (time, NORMAL, seq, waiter)
+                            _insert_displaced(self, nxt)
                         else:
-                            heappush(queue, entry)
+                            b = buckets.get(time)
+                            if b is None:
+                                heappush(times, time)
+                                buckets[time] = [[], [waiter], [], 0, 0, 0]
+                            else:
+                                b[1].append(waiter)
                         # Clear the parked-yield local: a stale reference
                         # would defeat the timeout recycle test below.
                         target = None
@@ -1129,18 +1396,31 @@ class Simulator:
                         waiter._ok = True
                         waiter._value = stop.value
                         self._seq = seq = self._seq + 1
-                        entry = (time, NORMAL, seq, waiter)
                         nxt = self._next
-                        if nxt is None:
-                            if queue:
-                                heappush(queue, entry)
-                            else:
+                        if buckets is None:
+                            entry = (time, NORMAL, seq, waiter)
+                            if nxt is None:
+                                if queue:
+                                    heappush(queue, entry)
+                                else:
+                                    self._next = entry
+                            elif entry < nxt:
                                 self._next = entry
-                        elif entry < nxt:
-                            self._next = entry
-                            heappush(queue, nxt)
+                                heappush(queue, nxt)
+                            else:
+                                heappush(queue, entry)
+                        elif nxt is None and not buckets:
+                            self._next = (time, NORMAL, seq, waiter)
+                        elif nxt is not None and (time, NORMAL, seq, waiter) < nxt:
+                            self._next = (time, NORMAL, seq, waiter)
+                            _insert_displaced(self, nxt)
                         else:
-                            heappush(queue, entry)
+                            b = buckets.get(time)
+                            if b is None:
+                                heappush(times, time)
+                                buckets[time] = [[], [waiter], [], 0, 0, 0]
+                            else:
+                                b[1].append(waiter)
                         # Clear the parked-yield local: a stale reference
                         # would defeat the timeout recycle test below.
                         target = None
@@ -1196,4 +1476,13 @@ class Simulator:
                 raise event._value
         if marker is not None:
             self._now = horizon
+        if stop_evt is not None:
+            if stop_evt._processed:
+                if stop_evt._ok:
+                    return stop_evt._value
+                stop_evt.defused = True
+                raise stop_evt._value
+            raise SimulationError(
+                "simulation ran out of events before the awaited event fired"
+            )
         return None

@@ -29,7 +29,7 @@ import numpy as np
 from repro.sweep3d.plan import SweepPlan, get_plan, reduce_rows
 from repro.sweep3d.quadrature import OCTANTS, AngleSet
 
-__all__ = ["sweep_octant", "sweep_octants_batched"]
+__all__ = ["BoundKernel", "bind_octant_kernel", "sweep_octant", "sweep_octants_batched"]
 
 
 def _flat_sigma(sigma_t, shape: tuple[int, int, int]):
@@ -124,6 +124,184 @@ def sweep_octant(
         psi_y.reshape(I, K, M),
         psi_z.reshape(I, J, M),
     )
+
+
+class BoundKernel:
+    """:func:`sweep_octant` with everything but the data bound ahead.
+
+    At full-machine scale the kernel runs ~49,000 times per sweep on
+    tiny blocks, and its cost is numpy *call dispatch*, not arithmetic.
+    A ``BoundKernel`` binds geometry (the plan), a **scalar** total
+    cross-section, cell spacings, and the ordinate set once, and
+    restructures the per-step body around one fused face buffer:
+
+    * the three face surfaces live stacked in a single
+      ``(J*K + I*K + I*J, M)`` array, gathered and scattered through
+      one precomputed concatenated index vector per step — one
+      ``take`` / one fancy-store where the unbound kernel pays three;
+    * the ``cx/cy/cz`` multiplies and the ``2*center - in`` outflow
+      updates run once over a ``(3, n, M)`` stack instead of three
+      times over ``(n, M)``;
+    * every workspace slice, reshape, and broadcast view the step loop
+      needs is precomputed at bind time, so the per-call loop performs
+      only the arithmetic ops themselves.
+
+    The arithmetic *order* is kept exactly the seed's —
+    ``((cx*in_x + src) + cy*in_y) + cz*in_z``, the one-row BLAS
+    ``ddot`` fix-up rows, the ``0.0 + p`` flux store — so results are
+    bit-identical to :func:`sweep_octant` (asserted in the perf smoke
+    tier).  Inflow shapes are trusted, not validated: callers are the
+    inner loops that already carry plan-shaped faces.  Like the plan
+    workspaces, a bound kernel is not re-entrant; calls complete
+    atomically between DES yields.
+    """
+
+    __slots__ = (
+        "plan", "shape", "_steps", "_denom", "_w", "_faces",
+        "_cell_all", "_src_all", "_p_all",
+    )
+
+    def __init__(
+        self,
+        plan: SweepPlan,
+        sigma_t: float,
+        dx: float,
+        dy: float,
+        dz: float,
+        angles: AngleSet,
+    ):
+        if np.ndim(sigma_t) != 0:
+            raise ValueError("BoundKernel requires a scalar sigma_t")
+        I, J, K = plan.shape
+        M = plan.n_angles
+        self.plan = plan
+        self.shape = (I, J, K)
+        cx, cy, cz, c_sum, w = plan.angle_constants(dx, dy, dz, angles)
+        self._denom = sigma_t + c_sum
+        self._w = w
+        JK, IK = J * K, I * K
+        self._faces = (JK, IK, I * J)
+        # (3, 1, M) per-axis constants, broadcast over the face stack.
+        c3 = np.ascontiguousarray(np.stack([cx, cy, cz])[:, None, :])
+
+        n_max = int(np.diff(plan.offsets).max())
+        w_in = np.empty((3 * n_max, M))
+        w_prod = np.empty((3 * n_max, M))
+        w_out = np.empty((3 * n_max, M))
+        w_numer = np.empty((n_max, M))
+        w_center = np.empty((n_max, M))
+        w_two = np.empty((n_max, M))
+        # Source and scalar-flux values have no cross-step dataflow
+        # (unlike the face traffic), so they live in step-concatenated
+        # buffers: one gather before the loop, one ``0.0 + p`` store
+        # and one scatter after it, instead of one of each per step.
+        self._cell_all = plan.cell_idx
+        self._src_all = np.empty(plan.n_cells)
+        self._p_all = np.empty(plan.n_cells)
+
+        steps = []
+        for d, (cell, xf, yf, zf, fix, _fix8) in enumerate(plan.steps):
+            n = cell.shape[0]
+            n3 = 3 * n
+            o0, o1 = int(plan.offsets[d]), int(plan.offsets[d + 1])
+            idx3 = np.concatenate([xf, JK + yf, JK + IK + zf])
+            steps.append((
+                idx3,
+                fix,
+                w_in[:n3],                      # take target (n3, M)
+                w_in[:n3].reshape(3, n, M),     # ... viewed as the stack
+                w_prod[:n3].reshape(3, n, M),
+                self._src_all[o0:o1, None],     # this step's source column
+                w_numer[:n],
+                w_center[:n],
+                self._p_all[o0:o1],             # this step's flux rows
+                w_two[:n],
+                w_two[None, :n],                # ... broadcast over the stack
+                w_out[:n3].reshape(3, n, M),
+                w_out[:n3],                     # scatter source (n3, M)
+                c3,
+            ))
+        self._steps = tuple(steps)
+
+    def __call__(
+        self,
+        source: np.ndarray,
+        inflow_x: np.ndarray,
+        inflow_y: np.ndarray,
+        inflow_z: np.ndarray,
+    ):
+        """Sweep one octant; same returns as :func:`sweep_octant`.
+
+        ``phi`` and the outflow faces are freshly allocated per call
+        (the faces are views of one buffer): callers hand them to
+        in-flight simulated messages and chain them into the next
+        block's inflow, so they must survive across calls.
+        """
+        I, J, K = self.shape
+        JK, IK, IJ = self._faces
+        M = self.plan.n_angles
+        src = source.reshape(-1)
+        denom = self._denom
+        w = self._w
+        psi = np.empty((JK + IK + IJ, M))
+        psi[:JK] = inflow_x.reshape(JK, M)
+        psi[JK:JK + IK] = inflow_y.reshape(IK, M)
+        psi[JK + IK:] = inflow_z.reshape(IJ, M)
+        phi = np.empty(I * J * K)
+        src.take(self._cell_all, None, self._src_all)
+        for (idx3, fix, t_in, in3, prod3, src_col, t_numer, t_center,
+             t_p, t_two, two_b, out3, out_flat, c3) in self._steps:
+            psi.take(idx3, 0, t_in)
+            np.multiply(c3, in3, out=prod3)
+            numer = np.add(prod3[0], src_col, out=t_numer)
+            numer += prod3[1]
+            numer += prod3[2]
+            center = np.divide(numer, denom, out=t_center)
+            p = np.matmul(center, w, out=t_p)
+            for r in fix:
+                p[r] = center[r] @ w
+            np.multiply(2.0, center, out=t_two)
+            np.subtract(two_b, in3, out=out3)
+            psi[idx3] = out_flat
+        p_all = self._p_all
+        np.add(p_all, 0.0, out=p_all)  # 0.0 + p: the seed's "+=" on zeros
+        phi[self._cell_all] = p_all
+        return (
+            phi.reshape(I, J, K),
+            psi[:JK].reshape(J, K, M),
+            psi[JK:JK + IK].reshape(I, K, M),
+            psi[JK + IK:].reshape(I, J, M),
+        )
+
+
+def bind_octant_kernel(
+    sigma_t: float,
+    dx: float,
+    dy: float,
+    dz: float,
+    angles: AngleSet,
+    plan: SweepPlan,
+) -> BoundKernel:
+    """The plan's cached :class:`BoundKernel` for one parameter set.
+
+    Keyed like the plan's angle-constant memo (spacings plus ordinate
+    bytes, plus the scalar cross-section); the same few combinations
+    recur across every K-block, octant, iteration — and, through the
+    plan cache, across runs.
+    """
+    key = (
+        float(sigma_t), dx, dy, dz,
+        angles.mu.tobytes(), angles.eta.tobytes(),
+        angles.xi.tobytes(), angles.weights.tobytes(),
+    )
+    cache = plan._bound_cache
+    bound = cache.get(key)
+    if bound is None:
+        bound = BoundKernel(plan, float(sigma_t), dx, dy, dz, angles)
+        if len(cache) >= 8:
+            cache.pop(next(iter(cache)))
+        cache[key] = bound
+    return bound
 
 
 def sweep_octants_batched(

@@ -76,6 +76,7 @@ class SweepPlan:
         "_angle_cache",
         "_octant_maps",
         "_workspaces",
+        "_bound_cache",
     )
 
     def __init__(self, I: int, J: int, K: int, M: int):
@@ -138,6 +139,9 @@ class SweepPlan:
         self._angle_cache: dict = {}
         self._octant_maps = None
         self._workspaces: dict = {}
+        #: bound fused kernels per (sigma, spacing, ordinates) — see
+        #: :func:`repro.sweep3d.kernel.bind_octant_kernel`
+        self._bound_cache: dict = {}
 
     # -- angle constants -------------------------------------------------------
     def angle_constants(self, dx: float, dy: float, dz: float, angles: AngleSet):

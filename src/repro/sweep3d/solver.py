@@ -78,10 +78,24 @@ class SweepResult:
     balance_residual: float
 
 
+#: per-signs reversal slices (``None`` marks the identity octant) —
+#: ``np.flip`` builds exactly these slices on every call; caching them
+#: keeps the 8-octant inner loops off its axis-normalization machinery
+_FLIP_SLICES: dict[tuple[int, int, int], tuple | None] = {}
+
+
 def _flip(arr: np.ndarray, signs: tuple[int, int, int]) -> np.ndarray:
     """Flip a cell array along each negative-direction axis."""
-    axes = [ax for ax, s in enumerate(signs) if s < 0]
-    return np.flip(arr, axis=axes) if axes else arr
+    try:
+        sl = _FLIP_SLICES[signs]
+    except KeyError:
+        sl = tuple(
+            slice(None, None, -1) if s < 0 else slice(None) for s in signs
+        )
+        if all(s >= 0 for s in signs):
+            sl = None
+        _FLIP_SLICES[signs] = sl
+    return arr if sl is None else arr[sl]
 
 
 #: Per-octant kernels with an 8-octant batched counterpart (the batched

@@ -1,0 +1,224 @@
+"""The calendar-queue scheduler backend (see ``repro.sim.calendar``).
+
+Three layers of evidence that the calendar backend is order-identical
+to the heap it replaces:
+
+* a hypothesis property test driving randomized schedule / cancel /
+  reschedule / pop sequences through :class:`CalendarQueue` and a
+  ``heapq`` reference model side by side, asserting bit-identical
+  ``(time, priority, seq)`` pop order;
+* engine-level runs of the same workload under
+  ``Simulator(scheduler="calendar")`` and ``scheduler="heap"``,
+  asserting identical event timelines;
+* the ``sweep16`` scenario (16-rank KBA sweep with the recorder
+  attached) exported under both backends, asserting identical span
+  streams — the full instrumented pipeline, not just the queue.
+"""
+
+from __future__ import annotations
+
+import heapq
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.obs import run_scenario, span_stream
+from repro.sim import calendar as calendar_mod
+from repro.sim.calendar import SCHEDULERS, CalendarQueue, _default_scheduler
+from repro.sim.engine import Simulator
+
+
+# -- reference model --------------------------------------------------------
+
+
+class _HeapReference:
+    """The seed's future-event set: one heap of (time, priority, seq)
+    with the same lazy cancellation the CalendarQueue offers."""
+
+    def __init__(self):
+        self._heap: list[tuple[float, int, int]] = []
+        self._cancelled: set[int] = set()
+        self._pending: set[int] = set()
+
+    def __len__(self):
+        return len(self._pending)
+
+    def push(self, time, priority, seq):
+        heapq.heappush(self._heap, (time, priority, seq))
+        self._pending.add(seq)
+
+    def cancel(self, seq):
+        if seq not in self._pending:
+            return False
+        self._pending.remove(seq)
+        self._cancelled.add(seq)
+        return True
+
+    def pop(self):
+        while self._heap:
+            time, priority, seq = heapq.heappop(self._heap)
+            if seq in self._cancelled:
+                self._cancelled.remove(seq)
+                continue
+            self._pending.remove(seq)
+            return time, priority, seq
+        raise IndexError("empty")
+
+
+#: times drawn from a small pool so instants collide (the clustered
+#: schedule the calendar is built for), mixed with a few odd floats
+_TIMES = st.sampled_from([0.0, 0.5, 1.0, 1.0 + 2**-40, 2.0, 3.25, 7.0])
+_OPS = st.lists(
+    st.one_of(
+        st.tuples(st.just("push"), _TIMES, st.integers(0, 2)),
+        st.tuples(st.just("cancel"), st.integers(0, 10**6)),
+        st.tuples(st.just("resched"), st.integers(0, 10**6), _TIMES,
+                  st.integers(0, 2)),
+        st.tuples(st.just("pop")),
+    ),
+    max_size=200,
+)
+
+
+@settings(max_examples=200, deadline=None)
+@given(ops=_OPS)
+def test_property_pop_order_matches_heap_reference(ops):
+    """Randomized schedule/cancel/reschedule/pop sequences: the
+    CalendarQueue pops in the heap's exact (time, priority, seq)
+    order, with cancellations honored lazily."""
+    cq = CalendarQueue()
+    ref = _HeapReference()
+    seq = 0
+    live: list[int] = []  # seqs pushed and possibly still pending
+    for op in ops:
+        if op[0] == "push":
+            _, time, priority = op
+            cq.push(time, priority, seq)
+            ref.push(time, priority, seq)
+            live.append(seq)
+            seq += 1
+        elif op[0] == "cancel":
+            if not live:
+                continue
+            victim = live[op[1] % len(live)]
+            assert cq.cancel(victim) == ref.cancel(victim)
+        elif op[0] == "resched":
+            _, pick, time, priority = op
+            if not live:
+                continue
+            victim = live[pick % len(live)]
+            if cq.cancel(victim):
+                assert ref.cancel(victim)
+                cq.push(time, priority, seq)
+                ref.push(time, priority, seq)
+                live.append(seq)
+                seq += 1
+        else:  # pop
+            assert len(cq) == len(ref)
+            if len(ref) == 0:
+                with pytest.raises(IndexError):
+                    cq.pop()
+                continue
+            expect = ref.pop()
+            t, lane, s, item = cq.pop()
+            assert (t, lane, s) == expect
+            assert item is None
+        peek = cq.peek()
+        assert (peek is not None) == (len(cq) > 0)
+    # Drain both to the end: full order equality.
+    while len(ref):
+        expect = ref.pop()
+        t, lane, s, _item = cq.pop()
+        assert (t, lane, s) == expect
+    assert len(cq) == 0
+    assert cq.peek() is None
+
+
+def test_queue_edge_cases():
+    cq = CalendarQueue()
+    cq.push(1.0, 1, 7, item="x")
+    with pytest.raises(ValueError):
+        cq.push(2.0, 1, 7)  # duplicate seq
+    assert cq.cancel(99) is False
+    assert cq.peek() == (1.0, 1, 7)
+    assert cq.pop() == (1.0, 1, 7, "x")
+    with pytest.raises(IndexError):
+        cq.pop()
+
+
+# -- backend selection ------------------------------------------------------
+
+
+def test_scheduler_validation():
+    with pytest.raises(ValueError):
+        Simulator(scheduler="fifo")
+    for name in SCHEDULERS:
+        assert Simulator(scheduler=name).scheduler == name
+
+
+def test_repro_sched_env(monkeypatch):
+    monkeypatch.setenv("REPRO_SCHED", "heap")
+    assert _default_scheduler() == "heap"
+    monkeypatch.setenv("REPRO_SCHED", "bogus")
+    with pytest.raises(ValueError):
+        _default_scheduler()
+    monkeypatch.delenv("REPRO_SCHED")
+    assert _default_scheduler() == "calendar"
+
+
+def test_default_scheduler_monkeypatch(monkeypatch):
+    monkeypatch.setattr(calendar_mod, "DEFAULT_SCHEDULER", "heap")
+    assert Simulator().scheduler == "heap"
+    monkeypatch.setattr(calendar_mod, "DEFAULT_SCHEDULER", "calendar")
+    assert Simulator().scheduler == "calendar"
+
+
+# -- engine timelines -------------------------------------------------------
+
+
+def _timeline(scheduler: str) -> list[tuple]:
+    """A mixed workload's resume timeline under one backend: staggered
+    timeout chains (clustered instants), event signalling, and
+    spawn/join — every scheduling site the engine inlines."""
+    sim = Simulator(scheduler=scheduler)
+    record: list[tuple] = []
+
+    def chain(sim, tag, delay, n):
+        for _ in range(n):
+            yield sim.timeout(delay)
+            record.append(("t", tag, sim.now))
+
+    def child(sim, tag):
+        yield sim.timeout(0.5)
+        record.append(("c", tag, sim.now))
+        return tag
+
+    def parent(sim, n):
+        for i in range(n):
+            got = yield sim.process(child(sim, i))
+            record.append(("j", got, sim.now))
+
+    for i in range(8):
+        sim.process(chain(sim, i, 1.0 + 0.25 * (i % 3), 40))
+    sim.process(parent(sim, 25))
+    sim.run()
+    return record
+
+
+def test_engine_backends_identical_timeline():
+    assert _timeline("calendar") == _timeline("heap")
+
+
+def test_sweep16_span_stream_identical_across_backends(monkeypatch):
+    """The full instrumented 16-rank sweep exports an identical span
+    stream under both scheduler backends."""
+    streams = {}
+    for backend in SCHEDULERS:
+        monkeypatch.setattr(calendar_mod, "DEFAULT_SCHEDULER", backend)
+        rec, sim_time = run_scenario("sweep16")
+        streams[backend] = (sim_time, span_stream(rec))
+    assert streams["calendar"] == streams["heap"]
+    sim_time, stream = streams["calendar"]
+    assert sim_time > 0
+    assert len(stream) > 0
