@@ -302,7 +302,8 @@ CAMPAIGN_CONFIG = {
 }
 
 
-def run_campaign(seeds: int, workers: int = 1, cache_dir: str | None = None):
+def run_campaign(seeds: int, workers: int = 1, cache_dir: str | None = None,
+                 journal: str | None = None):
     """Placement-penalty replays over ``seeds`` fault seeds through the
     campaign service; returns ``(aggregate, campaign_report)`` where
     the aggregate is the dict the bands file pins.
@@ -310,12 +311,14 @@ def run_campaign(seeds: int, workers: int = 1, cache_dir: str | None = None):
     The per-seed rows come back from
     :class:`repro.campaign.CampaignService` in seed order regardless of
     ``workers``, so the aggregate is worker-count-invariant (and, with
-    a ``cache_dir``, free on a warm cache)."""
+    a ``cache_dir``, free on a warm cache).  ``journal`` (requires
+    ``cache_dir``) write-ahead logs the run; a killed study resumes
+    with ``python -m repro campaign --resume <journal>``."""
     from repro.campaign import CampaignService, grid
 
     specs = grid("placement-penalty", seeds, CAMPAIGN_CONFIG)
     service = CampaignService(cache_dir, workers=workers)
-    report = service.run(specs)
+    report = service.run(specs, journal=journal)
     bad = [o for o in report.outcomes if o.state != "done"]
     if bad:
         raise RuntimeError(
@@ -365,13 +368,14 @@ def _band(value: float, slack: float = 0.10) -> list[float]:
 
 def campaign_main(seeds: int, write_bands: bool, workers: int = 1,
                   cache_dir: str | None = None,
-                  report_path: str | None = None) -> int:
+                  report_path: str | None = None,
+                  journal: str | None = None) -> int:
     label = "quick" if seeds <= 10 else "full"
     print(f"fault-injection campaign: {seeds} seeds "
           f"({CAMPAIGN_DECOMP.size} ranks, {CAMPAIGN_ITERATIONS} "
           "iterations per run, identical plans under both placements)")
     summary, report = run_campaign(seeds, workers=workers,
-                                   cache_dir=cache_dir)
+                                   cache_dir=cache_dir, journal=journal)
     for key, value in summary.items():
         print(f"  {key}: {value}")
     if cache_dir is not None:
@@ -429,11 +433,18 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--report", metavar="PATH", default=None,
                         help="write the campaign-service report JSON "
                              "(jobs, cache hits, aggregate) to PATH")
+    parser.add_argument("--journal", metavar="PATH", default=None,
+                        help="write-ahead journal for the campaign "
+                             "(requires --cache-dir); a killed study "
+                             "resumes via "
+                             "'python -m repro campaign --resume PATH'")
     args = parser.parse_args(argv)
+    if args.journal and not args.cache_dir:
+        parser.error("--journal requires --cache-dir")
     if args.campaign:
         return campaign_main(args.seeds, args.write_bands,
                              workers=args.workers, cache_dir=args.cache_dir,
-                             report_path=args.report)
+                             report_path=args.report, journal=args.journal)
     fault_injection_study()
     degraded_fabric_study()
     checkpoint_study()

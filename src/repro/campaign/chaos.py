@@ -1,0 +1,304 @@
+"""Real-fault injection for the campaign service.
+
+This module injects *actual* process- and filesystem-level faults into
+a running campaign — not simulated DES faults (those live in
+:mod:`repro.resilience`), but the infrastructure failures the paper
+treats as an operating condition at Roadrunner scale:
+
+* **worker kills** — a worker process ``SIGKILL``\\ s itself while
+  executing a job (before or after computing the artifact), exactly
+  like an OOM-kill or a node crash under it;
+* **campaign kills** — the campaign *driver* process ``SIGKILL``\\ s
+  itself immediately after the Nth journal record reaches the OS,
+  exercising every resume boundary of the write-ahead journal;
+* **disk-full** — the Nth artifact-store or journal write raises
+  ``OSError(ENOSPC)``, as a full scratch filesystem would;
+* **cache corruption** — on-disk artifact entries are truncated or
+  bit-flipped between campaigns (:func:`corrupt_store`).
+
+Faults are described by a seeded, JSON-serializable :class:`ChaosPlan`
+(draw one with :func:`draw_plan`).  :func:`install` writes the plan to
+disk and points the ``REPRO_CHAOS_PLAN`` environment variable at it, so
+*worker processes inherit the plan* — injection happens inside the
+worker's own ``_execute``, in its own address space, by really dying.
+
+Every injected fault is appended (``fsync``\\ ed, before the fault
+lands) to the plan's *ledger* file, one JSON line per fault, from
+whichever process injects it.  :func:`ledger_counts` aggregates the
+ledger into ``campaign.chaos.*`` counter totals; the service folds
+them into its obs counters at the end of a run so the counters account
+for every injected fault.
+
+With no plan installed the hooks are a single dict lookup — the
+campaign hot path is untouched.
+"""
+
+from __future__ import annotations
+
+import errno
+import json
+import os
+import pathlib
+import random
+import signal
+from dataclasses import asdict, dataclass, field
+from typing import Any, Iterable, Mapping
+
+__all__ = [
+    "PLAN_ENV",
+    "ChaosPlan",
+    "draw_plan",
+    "install",
+    "clear",
+    "active_plan",
+    "maybe_kill_worker",
+    "check_write",
+    "maybe_kill_campaign",
+    "ledger_counts",
+    "corrupt_store",
+]
+
+#: environment variable naming the installed plan file (inherited by
+#: worker processes, fork or spawn)
+PLAN_ENV = "REPRO_CHAOS_PLAN"
+
+
+@dataclass
+class ChaosPlan:
+    """A seeded, serializable description of the faults to inject.
+
+    Job-targeted kills key on ``(digest12, attempt)`` where
+    ``digest12`` is the first 12 hex chars of the job's content
+    address and ``attempt`` counts from 1 — so a plan kills a specific
+    execution of a specific job and its retry survives.
+    """
+
+    seed: int = 0
+    #: digest12 -> attempts whose worker dies *before* computing
+    kill_before: dict[str, list[int]] = field(default_factory=dict)
+    #: digest12 -> attempts whose worker dies *after* computing, before
+    #: returning (the artifact is lost, never cached)
+    kill_after: dict[str, list[int]] = field(default_factory=dict)
+    #: SIGKILL the campaign process right after journal record N lands
+    kill_campaign_after_records: int | None = None
+    #: 1-based store-write ordinals that raise ENOSPC
+    store_enospc_writes: list[int] = field(default_factory=list)
+    #: 1-based journal-append ordinals that raise ENOSPC
+    journal_enospc_records: list[int] = field(default_factory=list)
+    #: fault ledger path (one JSON line per injected fault)
+    ledger: str | None = None
+
+    def to_dict(self) -> dict[str, Any]:
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "ChaosPlan":
+        return cls(**dict(data))
+
+
+def draw_plan(
+    seed: int,
+    digests: Iterable[str],
+    *,
+    kill_probability: float = 0.25,
+    kill_after_probability: float = 0.1,
+    max_kills_per_job: int = 2,
+    ledger: str | None = None,
+) -> ChaosPlan:
+    """Draw a seeded worker-kill plan over ``digests``.
+
+    Each job independently draws whether its early attempts die, and
+    whether the death lands before or after the artifact is computed.
+    ``max_kills_per_job`` bounds consecutive kills so a retry budget of
+    ``max_kills_per_job`` always suffices to finish every job.
+    """
+    rng = random.Random(f"chaos:{seed}")
+    plan = ChaosPlan(seed=seed, ledger=ledger)
+    for digest in digests:
+        key = digest[:12]
+        kills = 0
+        for attempt in range(1, max_kills_per_job + 1):
+            if rng.random() >= kill_probability:
+                break
+            table = (
+                plan.kill_after
+                if rng.random() < kill_after_probability
+                else plan.kill_before
+            )
+            table.setdefault(key, []).append(attempt)
+            kills += 1
+    return plan
+
+
+# -- plan installation and lookup --------------------------------------------
+
+#: in-process cache: (plan_path, plan) so repeated hooks don't re-read
+_cached: tuple[str, ChaosPlan] | None = None
+
+
+def install(plan: ChaosPlan, path: str | os.PathLike) -> pathlib.Path:
+    """Write ``plan`` to ``path`` and activate it via :data:`PLAN_ENV`
+    for this process and every child it forks or spawns."""
+    global _cached
+    p = pathlib.Path(path)
+    p.write_text(json.dumps(plan.to_dict(), sort_keys=True))
+    os.environ[PLAN_ENV] = str(p)
+    _cached = (str(p), plan)
+    _reset_counters()
+    return p
+
+
+def clear() -> None:
+    """Deactivate any installed plan (children spawned later see none)."""
+    global _cached
+    os.environ.pop(PLAN_ENV, None)
+    _cached = None
+    _reset_counters()
+
+
+def active_plan() -> ChaosPlan | None:
+    """The installed plan, or ``None``.  Reads the plan file once per
+    path per process (workers inherit the env var, not the cache)."""
+    global _cached
+    path = os.environ.get(PLAN_ENV)
+    if not path:
+        return None
+    if _cached is not None and _cached[0] == path:
+        return _cached[1]
+    try:
+        plan = ChaosPlan.from_dict(json.loads(pathlib.Path(path).read_text()))
+    except (OSError, ValueError, TypeError):
+        return None
+    _cached = (path, plan)
+    return plan
+
+
+# -- the fault ledger ---------------------------------------------------------
+
+
+def _log_fault(plan: ChaosPlan, fault: str, **attrs: Any) -> None:
+    """Append one fault record to the ledger, durably, *before* the
+    fault lands (a SIGKILL must not erase its own accounting)."""
+    if plan.ledger is None:
+        return
+    line = json.dumps({"fault": fault, "pid": os.getpid(), **attrs},
+                      sort_keys=True)
+    fd = os.open(plan.ledger, os.O_WRONLY | os.O_CREAT | os.O_APPEND, 0o644)
+    try:
+        os.write(fd, (line + "\n").encode())
+        os.fsync(fd)
+    finally:
+        os.close(fd)
+
+
+def ledger_counts(ledger: str | os.PathLike) -> dict[str, int]:
+    """Aggregate a fault ledger into ``campaign.chaos.<fault>`` totals
+    (tolerates a missing file and a torn final line)."""
+    counts: dict[str, int] = {}
+    try:
+        text = pathlib.Path(ledger).read_text()
+    except OSError:
+        return counts
+    for line in text.splitlines():
+        try:
+            fault = json.loads(line)["fault"]
+        except (ValueError, KeyError):
+            continue  # torn tail from a mid-write kill
+        name = f"campaign.chaos.{fault}"
+        counts[name] = counts.get(name, 0) + 1
+    return counts
+
+
+# -- injection hooks ----------------------------------------------------------
+
+
+def maybe_kill_worker(digest: str, attempt: int, point: str) -> None:
+    """Worker-side hook: die by ``SIGKILL`` if the plan schedules this
+    ``(job, attempt)`` at ``point`` (``"before"`` or ``"after"`` the
+    artifact computation)."""
+    plan = active_plan()
+    if plan is None:
+        return
+    table = plan.kill_before if point == "before" else plan.kill_after
+    if attempt in table.get(digest[:12], ()):
+        _log_fault(plan, "worker_kill", digest=digest[:12],
+                   attempt=attempt, point=point)
+        os.kill(os.getpid(), signal.SIGKILL)
+
+
+#: per-process write ordinals, per stream name ("store" / "journal")
+_write_ordinals: dict[str, int] = {}
+
+
+def _reset_counters() -> None:
+    _write_ordinals.clear()
+
+
+def check_write(stream: str) -> None:
+    """Driver-side hook: raise ``OSError(ENOSPC)`` if the plan fails
+    this write ordinal of ``stream`` (``"store"`` or ``"journal"``)."""
+    plan = active_plan()
+    if plan is None:
+        return
+    ordinal = _write_ordinals.get(stream, 0) + 1
+    _write_ordinals[stream] = ordinal
+    failing = (
+        plan.store_enospc_writes
+        if stream == "store"
+        else plan.journal_enospc_records
+    )
+    if ordinal in failing:
+        _log_fault(plan, f"{stream}_enospc", ordinal=ordinal)
+        raise OSError(errno.ENOSPC, f"chaos: injected disk-full on "
+                                    f"{stream} write {ordinal}")
+
+
+def maybe_kill_campaign(records: int) -> None:
+    """Journal-side hook: ``SIGKILL`` the campaign process right after
+    journal record number ``records`` reached the OS."""
+    plan = active_plan()
+    if plan is None or plan.kill_campaign_after_records != records:
+        return
+    _log_fault(plan, "campaign_kill", after_records=records)
+    os.kill(os.getpid(), signal.SIGKILL)
+
+
+# -- cache corruption ---------------------------------------------------------
+
+
+def corrupt_store(
+    root: str | os.PathLike,
+    seed: int,
+    *,
+    fraction: float = 0.5,
+    modes: tuple[str, ...] = ("truncate", "bitflip"),
+    ledger: str | os.PathLike | None = None,
+) -> list[pathlib.Path]:
+    """Really damage a fraction of the artifact files under ``root``.
+
+    ``truncate`` keeps the first half of the file (a torn write);
+    ``bitflip`` flips one bit at a seeded offset (silent media
+    corruption).  Returns the damaged paths; each damage event is
+    logged to ``ledger`` when given.  Deterministic per seed.
+    """
+    rng = random.Random(f"corrupt:{seed}")
+    damaged: list[pathlib.Path] = []
+    victims = sorted(pathlib.Path(root).glob("??/*.json"))
+    for path in victims:
+        if rng.random() >= fraction:
+            continue
+        mode = modes[rng.randrange(len(modes))]
+        raw = bytearray(path.read_bytes())
+        if not raw:
+            continue
+        if mode == "truncate":
+            raw = raw[: len(raw) // 2]
+        else:
+            offset = rng.randrange(len(raw))
+            raw[offset] ^= 1 << rng.randrange(8)
+        path.write_bytes(bytes(raw))
+        damaged.append(path)
+        if ledger is not None:
+            _log_fault(ChaosPlan(ledger=str(ledger)), "corruption",
+                       path=path.name, mode=mode)
+    return damaged

@@ -13,6 +13,16 @@ print / write the campaign report::
 
 Re-running an identical invocation against the same ``--cache-dir``
 performs zero simulations: every job streams ``cached-hit``.
+
+Durability: ``--journal PATH`` (requires ``--cache-dir``) write-ahead
+logs every job-state transition; if the campaign process dies,
+``--resume PATH`` finishes it — done jobs are restored from the cache,
+never recomputed, and the final report matches an uninterrupted run
+byte for byte.  ``--breaker K`` arms the per-scenario circuit breaker::
+
+    python -m repro campaign sweep --seeds 100 --workers 4 \
+        --cache-dir .campaign-cache --journal sweep.journal
+    python -m repro campaign --resume sweep.journal
 """
 
 from __future__ import annotations
@@ -68,6 +78,17 @@ def _build_parser() -> argparse.ArgumentParser:
                         help="artifact cache directory (default: no cache)")
     parser.add_argument("--timeout", type=float, default=None,
                         help="per-job timeout in host seconds")
+    parser.add_argument("--max-retries", type=int, default=1,
+                        help="extra attempts after a worker crash (default 1)")
+    parser.add_argument("--journal", metavar="PATH",
+                        help="write-ahead journal for this run "
+                             "(requires --cache-dir)")
+    parser.add_argument("--resume", metavar="PATH",
+                        help="resume a journaled campaign that died "
+                             "(exclusive with a scenario)")
+    parser.add_argument("--breaker", type=int, default=None, metavar="K",
+                        help="trip a scenario's circuit breaker after K "
+                             "consecutive failures (default: off)")
     parser.add_argument("--set", dest="overrides", action="append",
                         default=[], metavar="KEY=VALUE",
                         help="override a scenario config key (repeatable)")
@@ -92,6 +113,12 @@ def main(argv: list[str] | None = None) -> int:
     if args.list:
         _list_scenarios()
         return 0
+    if args.resume:
+        return _resume(args)
+    if args.journal and not args.cache_dir:
+        print("--journal requires --cache-dir (the journal records "
+              "artifact hashes, the cache holds the bytes)", file=sys.stderr)
+        return 2
     if not args.scenario:
         print("a scenario is required (see --list)", file=sys.stderr)
         return 2
@@ -133,11 +160,63 @@ def main(argv: list[str] | None = None) -> int:
               f"{args.workers} worker(s)"
               + (f", cache {args.cache_dir}" if args.cache_dir else ""))
     service = CampaignService(
-        args.cache_dir, workers=args.workers, timeout=args.timeout
+        args.cache_dir, workers=args.workers, timeout=args.timeout,
+        max_retries=args.max_retries, breaker_threshold=args.breaker,
     )
-    report = service.run(specs, progress=progress)
+    report = service.run(specs, progress=progress, journal=args.journal)
     elapsed = time.monotonic() - t0
 
+    if args.report:
+        with open(args.report, "w") as fh:
+            json.dump(report.to_dict(), fh, indent=2, sort_keys=True)
+    if not args.jsonl:
+        print(f"done in {elapsed:.2f} s: {report.submitted} job(s), "
+              f"{report.cached_hits} cached, {report.executed} executed, "
+              f"{report.failed} failed")
+        _print_aggregate(report)
+        if args.report:
+            print(f"report written to {args.report}")
+    return 1 if report.failed else 0
+
+
+def _resume(args) -> int:
+    """``--resume PATH``: finish a journaled campaign after a crash."""
+    if args.scenario:
+        print("--resume is exclusive with a scenario argument",
+              file=sys.stderr)
+        return 2
+    from repro.campaign.journal import read_journal
+
+    try:
+        state = read_journal(args.resume)
+    except (OSError, ValueError) as exc:
+        print(f"cannot resume: {exc}", file=sys.stderr)
+        return 2
+    total = len(state.specs)
+
+    def console(event: ProgressEvent) -> None:
+        if event.event == "queued":
+            return
+        extra = ""
+        if event.event == "failed":
+            extra = f"  {event.detail.get('error', '')}"
+        print(f"  [{event.index + 1}/{total}] "
+              f"{event.event:<10} {event.digest[:12]}  seed {event.seed}"
+              f"{extra}")
+
+    def jsonl(event: ProgressEvent) -> None:
+        print(json.dumps(event.to_dict(), sort_keys=True))
+
+    progress = jsonl if args.jsonl else (None if args.quiet else console)
+    summary = state.summary()
+    if not args.jsonl:
+        print(f"resuming campaign from {args.resume}: {total} job(s) "
+              f"({summary['done']} done, {summary['failed']} failed, "
+              f"{summary['running']} in flight, "
+              f"{summary['pending']} pending)")
+    t0 = time.monotonic()
+    report = CampaignService.resume(args.resume, progress=progress)
+    elapsed = time.monotonic() - t0
     if args.report:
         with open(args.report, "w") as fh:
             json.dump(report.to_dict(), fh, indent=2, sort_keys=True)

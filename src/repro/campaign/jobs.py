@@ -40,6 +40,7 @@ __all__ = [
     "RUNNING",
     "DONE",
     "FAILED",
+    "TERMINAL_STATES",
     "JOB_STATES",
     "canonical_json",
     "content_digest",
@@ -54,6 +55,8 @@ RUNNING = "running"
 DONE = "done"
 FAILED = "failed"
 JOB_STATES = (PENDING, RUNNING, DONE, FAILED)
+#: states a job never leaves (journal replay stops updating at these)
+TERMINAL_STATES = (DONE, FAILED)
 
 
 def canonical_json(obj: Any) -> str:

@@ -1,0 +1,330 @@
+"""The campaign write-ahead journal: durable, resumable execution.
+
+A journaled campaign appends one JSON line per job-state transition to
+an append-only journal file.  If the campaign process dies — power
+loss, OOM-kill, a chaos-harness ``SIGKILL`` — the journal plus the
+content-addressed :class:`~repro.campaign.store.ArtifactStore` are
+enough to reconstruct the exact campaign state:
+
+* jobs whose terminal record landed (``finished`` / ``failed`` /
+  ``cached-hit``) are **never recomputed** — their artifacts are
+  restored from the store by recorded hash;
+* jobs whose last record is ``started`` were in flight at the crash
+  and are **re-queued** (re-run with the same attempt number — the
+  campaign died, not the job, so no retry strike);
+* jobs with no record are still queued and run normally.
+
+File format (``format`` 1): line 1 is the header record carrying the
+full spec list, the store root, and the pool knobs; every subsequent
+line is a state record ``{"type": "state", "index": i, ...}``.  Lines
+are canonical JSON (:func:`~repro.campaign.jobs.canonical_json`), so
+the journal is byte-deterministic for a deterministic campaign.
+
+Durability model
+----------------
+Appends reach the OS on every record (``flush``); ``fsync`` is issued
+on *terminal* records only (the default, ``fsync="terminal"``).
+Losing a ``started`` record merely re-queues the job on resume; losing
+a terminal record costs one recomputation, never correctness — the
+store, not the journal, is the artifact of record.  ``fsync="always"``
+hardens every append; ``fsync="never"`` is for tests.  The reader
+tolerates a torn final line (a crash mid-append), and
+:meth:`Journal.rotate` compacts a resumed journal atomically
+(same-directory temp file, fsync file and directory, ``os.replace``)
+so repeated crash/resume cycles keep the journal bounded.
+
+Chaos hooks: every append consults
+:func:`repro.campaign.chaos.check_write` (injected disk-full) and,
+after the bytes land, :func:`~repro.campaign.chaos.maybe_kill_campaign`
+(kill-at-every-boundary testing).  With no plan installed both are a
+dict lookup.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pathlib
+import tempfile
+from dataclasses import dataclass, field
+from typing import Any, Mapping, Sequence
+
+from repro.campaign import chaos
+from repro.campaign.jobs import (
+    DONE,
+    FAILED,
+    PENDING,
+    RUNNING,
+    TERMINAL_STATES,
+    JobSpec,
+    canonical_json,
+)
+
+__all__ = ["JOURNAL_FORMAT", "Journal", "JournalState", "read_journal"]
+
+#: journal schema version; bump on incompatible record-shape changes
+JOURNAL_FORMAT = 1
+
+
+def _fsync_dir(path: pathlib.Path) -> None:
+    """fsync a directory so a just-renamed/created entry is durable."""
+    fd = os.open(path, os.O_RDONLY)
+    try:
+        os.fsync(fd)
+    finally:
+        os.close(fd)
+
+
+@dataclass
+class JobState:
+    """Reconstructed state of one job (last journal record wins)."""
+
+    state: str = PENDING            # pending | running | done | failed
+    attempts: int = 0               # attempts started so far
+    cached: bool = False            # terminal state came from a cache hit
+    artifact_sha256: str | None = None
+    error: str | None = None
+    breaker: bool = False           # failed by an open circuit breaker
+
+
+@dataclass
+class JournalState:
+    """Everything :func:`read_journal` recovers from a journal file."""
+
+    specs: list[JobSpec]
+    store_root: str | None
+    options: dict[str, Any]
+    jobs: dict[int, JobState] = field(default_factory=dict)
+    records: int = 0                # well-formed records read (incl. header)
+    complete: bool = False          # an end record landed
+
+    def job(self, index: int) -> JobState:
+        return self.jobs.get(index, JobState())
+
+    def summary(self) -> dict[str, int]:
+        counts = {PENDING: 0, RUNNING: 0, DONE: 0, FAILED: 0}
+        for i in range(len(self.specs)):
+            counts[self.job(i).state] += 1
+        return counts
+
+
+def read_journal(path: str | os.PathLike) -> JournalState:
+    """Replay a journal into a :class:`JournalState`.
+
+    Raises ``ValueError`` on a missing/alien header; a torn final line
+    (crash mid-append) is silently dropped — every complete record
+    before it still counts.
+    """
+    text = pathlib.Path(path).read_text()
+    lines = text.split("\n")
+    if lines and lines[-1] == "":
+        lines.pop()
+    else:
+        lines.pop()  # no trailing newline: the final append was torn
+    if not lines:
+        raise ValueError(f"journal {path!s} has no header record")
+    try:
+        header = json.loads(lines[0])
+    except ValueError:
+        raise ValueError(f"journal {path!s} header is not JSON") from None
+    if header.get("type") != "campaign" or header.get("format") != JOURNAL_FORMAT:
+        raise ValueError(
+            f"journal {path!s} is not a format-{JOURNAL_FORMAT} campaign journal"
+        )
+    state = JournalState(
+        specs=[JobSpec.from_dict(s) for s in header["specs"]],
+        store_root=header.get("store"),
+        options=dict(header.get("options", {})),
+        records=1,
+    )
+    for line in lines[1:]:
+        try:
+            rec = json.loads(line)
+        except ValueError:
+            break  # torn mid-file record: nothing after it is trusted
+        state.records += 1
+        kind = rec.get("type")
+        if kind == "end":
+            state.complete = True
+            continue
+        if kind != "state":
+            continue
+        index = rec["index"]
+        job = state.jobs.setdefault(index, JobState())
+        jstate = rec["state"]
+        if jstate == RUNNING:
+            job.state = RUNNING
+            job.attempts = rec.get("attempt", job.attempts + 1)
+        elif jstate in TERMINAL_STATES:
+            job.state = jstate
+            job.attempts = rec.get("attempts", job.attempts)
+            job.cached = bool(rec.get("cached", False))
+            job.artifact_sha256 = rec.get("artifact_sha256")
+            job.error = rec.get("error")
+            job.breaker = bool(rec.get("breaker", False))
+    return state
+
+
+class Journal:
+    """Append-only writer for one campaign's state transitions."""
+
+    def __init__(self, path: str | os.PathLike, *,
+                 fsync: str = "terminal"):
+        if fsync not in ("always", "terminal", "never"):
+            raise ValueError("fsync must be 'always', 'terminal', or 'never'")
+        self.path = pathlib.Path(path)
+        self.fsync = fsync
+        self.records = 0
+        self._fh = None
+
+    # -- lifecycle -----------------------------------------------------------
+
+    @classmethod
+    def create(
+        cls,
+        path: str | os.PathLike,
+        specs: Sequence[JobSpec],
+        *,
+        store_root: str | None,
+        options: Mapping[str, Any] | None = None,
+        fsync: str = "terminal",
+    ) -> "Journal":
+        """Start a fresh journal (truncating any prior file) and write
+        its header record."""
+        journal = cls(path, fsync=fsync)
+        journal.path.parent.mkdir(parents=True, exist_ok=True)
+        journal._fh = open(journal.path, "w")
+        journal._append(
+            {
+                "type": "campaign",
+                "format": JOURNAL_FORMAT,
+                "specs": [s.to_dict() for s in specs],
+                "store": store_root,
+                "options": dict(options or {}),
+            },
+            terminal=True,
+        )
+        return journal
+
+    @classmethod
+    def rotate(
+        cls,
+        path: str | os.PathLike,
+        state: JournalState,
+        *,
+        fsync: str = "terminal",
+    ) -> "Journal":
+        """Atomically compact a journal for resume and reopen it for
+        appending.
+
+        The compacted journal holds the header plus one terminal state
+        record per already-decided job (``running`` records are dropped
+        — those jobs are being re-queued).  Written to a same-directory
+        temp file, fsync'd, then ``os.replace``\\ d over the original,
+        so a crash mid-rotation leaves the old journal intact.
+        """
+        target = pathlib.Path(path)
+        fd, tmp = tempfile.mkstemp(
+            dir=target.parent, prefix=f".{target.name}-", suffix=".tmp"
+        )
+        records = 0
+        try:
+            with os.fdopen(fd, "w") as fh:
+                header = {
+                    "type": "campaign",
+                    "format": JOURNAL_FORMAT,
+                    "specs": [s.to_dict() for s in state.specs],
+                    "store": state.store_root,
+                    "options": dict(state.options),
+                }
+                fh.write(canonical_json(header) + "\n")
+                records = 1
+                for index in sorted(state.jobs):
+                    job = state.jobs[index]
+                    if job.state not in TERMINAL_STATES:
+                        continue
+                    rec = {
+                        "type": "state",
+                        "index": index,
+                        "state": job.state,
+                        "attempts": job.attempts,
+                        "cached": job.cached,
+                        "artifact_sha256": job.artifact_sha256,
+                        "error": job.error,
+                    }
+                    if job.breaker:
+                        rec["breaker"] = True
+                    fh.write(canonical_json(rec) + "\n")
+                    records += 1
+                fh.flush()
+                os.fsync(fh.fileno())
+            os.replace(tmp, target)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+        _fsync_dir(target.parent)
+        journal = cls(target, fsync=fsync)
+        journal._fh = open(target, "a")
+        journal.records = records
+        return journal
+
+    def close(self) -> None:
+        if self._fh is not None:
+            try:
+                self._fh.close()
+            finally:
+                self._fh = None
+
+    # -- record writers ------------------------------------------------------
+
+    def _append(self, record: dict[str, Any], *, terminal: bool) -> None:
+        """One journal append: chaos write check, canonical JSON line,
+        flush (+ fsync per policy), then the kill-boundary hook."""
+        chaos.check_write("journal")
+        self._fh.write(canonical_json(record) + "\n")
+        self._fh.flush()
+        if self.fsync == "always" or (terminal and self.fsync == "terminal"):
+            os.fsync(self._fh.fileno())
+        self.records += 1
+        chaos.maybe_kill_campaign(self.records)
+
+    def record_started(self, index: int, attempt: int) -> None:
+        self._append(
+            {"type": "state", "index": index, "state": RUNNING,
+             "attempt": attempt},
+            terminal=False,
+        )
+
+    def record_cached_hit(self, index: int, artifact_sha256: str) -> None:
+        self._append(
+            {"type": "state", "index": index, "state": DONE,
+             "attempts": 0, "cached": True,
+             "artifact_sha256": artifact_sha256},
+            terminal=True,
+        )
+
+    def record_finished(self, index: int, attempts: int,
+                        artifact_sha256: str) -> None:
+        self._append(
+            {"type": "state", "index": index, "state": DONE,
+             "attempts": attempts, "cached": False,
+             "artifact_sha256": artifact_sha256},
+            terminal=True,
+        )
+
+    def record_failed(self, index: int, attempts: int, error: str | None,
+                      *, breaker: bool = False) -> None:
+        rec: dict[str, Any] = {
+            "type": "state", "index": index, "state": FAILED,
+            "attempts": attempts, "error": error,
+        }
+        if breaker:
+            rec["breaker"] = True
+        self._append(rec, terminal=True)
+
+    def record_end(self, summary: Mapping[str, int]) -> None:
+        self._append({"type": "end", "summary": dict(summary)},
+                     terminal=True)

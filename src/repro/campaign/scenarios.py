@@ -174,9 +174,10 @@ def _placement_penalty(config: dict[str, Any], seed: int) -> dict[str, Any]:
 # -- the worker-pool harness tenant ------------------------------------------
 
 _SELFTEST_DEFAULTS = {
-    "mode": "ok",       # ok | fail | crash-once | sleep
-    "marker": "",       # crash-once: sentinel file path (first attempt dies)
-    "sleep_s": 0.0,     # sleep: host seconds to stall (timeout testing)
+    "mode": "ok",       # ok | fail | fail-seeds | crash-once | sleep | count
+    "marker": "",       # crash-once/count: sentinel/tally file path
+    "sleep_s": 0.0,     # sleep/count: host seconds to stall (timeout testing)
+    "fail_seeds": (),   # fail-seeds: seeds that raise (breaker testing)
     "value": 0,
 }
 
@@ -187,6 +188,10 @@ def _selftest(config: dict[str, Any], seed: int) -> dict[str, Any]:
         return {"seed": seed, "value": config["value"]}
     if mode == "fail":
         raise ValueError(f"selftest job failed deliberately (seed {seed})")
+    if mode == "fail-seeds":
+        if seed in tuple(config["fail_seeds"]):
+            raise ValueError(f"selftest job failed deliberately (seed {seed})")
+        return {"seed": seed, "value": config["value"]}
     if mode == "crash-once":
         import os
         import pathlib
@@ -201,6 +206,23 @@ def _selftest(config: dict[str, Any], seed: int) -> dict[str, Any]:
 
         time.sleep(config["sleep_s"])
         return {"seed": seed, "slept_s": config["sleep_s"]}
+    if mode == "count":
+        # Append one line per execution to the tally file (O_APPEND is
+        # atomic for small writes), then optionally stall — proves how
+        # many times a job actually ran, e.g. that a sibling's timeout
+        # didn't discard this job's in-flight work.
+        import os
+        import time
+
+        fd = os.open(config["marker"],
+                     os.O_WRONLY | os.O_CREAT | os.O_APPEND, 0o644)
+        try:
+            os.write(fd, f"{seed}\n".encode())
+        finally:
+            os.close(fd)
+        if config["sleep_s"]:
+            time.sleep(config["sleep_s"])
+        return {"seed": seed, "counted": True}
     raise ValueError(f"unknown _selftest mode {mode!r}")
 
 

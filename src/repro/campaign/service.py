@@ -1,53 +1,88 @@
 """Simulation-as-a-service: submit a campaign, stream progress, get a
-report.
+report — durably.
 
 :class:`CampaignService` is the front door the CLI, the failure-study
 example, and the nightly CI client all share.  ``run()`` takes a list
 of :class:`~repro.campaign.jobs.JobSpec`\\ s (build grids with
 :func:`grid`), consults the content-addressed
 :class:`~repro.campaign.store.ArtifactStore` first, fans the misses
-over the :mod:`~repro.campaign.workers` pool, caches fresh artifacts,
-and returns a :class:`CampaignReport` whose job outcomes are in
-submission order — independent of worker count and completion order.
+over the :mod:`~repro.campaign.workers` pool, caches fresh artifacts
+*at completion time*, and returns a :class:`CampaignReport` whose job
+outcomes are in submission order — independent of worker count and
+completion order.
+
+Durability
+----------
+Pass ``journal=<path>`` (requires a store) and every job-state
+transition is appended to a :class:`~repro.campaign.journal.Journal`
+write-ahead log as it happens.  If the campaign process dies,
+:meth:`CampaignService.resume` rebuilds the service from the journal
+header, restores every already-decided job (artifacts come back from
+the store by recorded hash — **done jobs are never recomputed**),
+re-queues jobs that were in flight, and finishes the campaign; the
+resulting report is byte-identical to the report an uninterrupted run
+would have produced.  Store hit/miss counters are primed from the
+journal so even ``store_stats`` matches, and re-queued in-flight jobs
+bypass the cache probe (their artifact may have landed before the
+crash; serving it would misreport them as cache hits).
+
+Degradation
+-----------
+``breaker_threshold=K`` arms a per-scenario circuit breaker: after
+``K`` consecutive executed failures of one scenario, its remaining
+jobs are failed at submission with a structured
+``circuit breaker open`` reason instead of burning pool time — the
+campaign still completes and reports.  Disk-full on a store or journal
+write is absorbed (counted, never fatal): the report is built in
+memory and the journal simply under-records, costing at most a
+recompute on resume.
 
 Progress streaming
 ------------------
-Every state change emits a :class:`ProgressEvent`
-(``queued`` / ``cached-hit`` / ``started`` / ``finished`` /
+Every state change emits a :class:`ProgressEvent` (``queued`` /
+``cached-hit`` / ``restored`` / ``started`` / ``finished`` /
 ``failed``) carrying the job's digest, scenario, and seed, plus a
-snapshot of the service's own obs counters
-(``campaign.queued``, ``campaign.cached_hit``, ``campaign.executed``,
-``campaign.failed``, ``campaign.crash_attempts`` — via
-:func:`repro.obs.export.counter_snapshot`), so a consumer can render a
-live gauge without holding any other state.  Events serialize to
-JSON-lines via :meth:`ProgressEvent.to_dict`.
+snapshot of the service's own obs counters (``campaign.*`` — queued,
+cached_hit, executed, failed, crash_attempts, timeouts, restored,
+resumed, breaker_trips, breaker_skipped, journal/store write errors,
+and folded ``campaign.chaos.*`` fault-ledger totals) via
+:func:`repro.obs.export.counter_snapshot`, so a consumer can render a
+live gauge without holding any other state.  The final counter totals
+are on :attr:`CampaignReport.counters`.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import asdict, dataclass, field
 from typing import Any, Callable, Iterable, Mapping, Sequence
 
+from repro.campaign import chaos
 from repro.campaign.jobs import (
     DONE,
     FAILED,
+    RUNNING,
     JobSpec,
     content_digest,
     default_code_version,
 )
+from repro.campaign.journal import Journal, read_journal
 from repro.campaign.scenarios import job_config
 from repro.campaign.store import ArtifactStore
 from repro.campaign.workers import run_specs
+from repro.resilience.policy import RetryPolicy
 
 __all__ = ["ProgressEvent", "JobOutcome", "CampaignReport",
-           "CampaignService", "grid"]
+           "CampaignService", "grid", "BREAKER_ERROR_PREFIX"]
+
+#: error-string prefix marking a job failed by an open circuit breaker
+BREAKER_ERROR_PREFIX = "circuit breaker open"
 
 
 @dataclass(frozen=True)
 class ProgressEvent:
     """One streamed campaign state change."""
 
-    event: str                  # queued | cached-hit | started | finished | failed
+    event: str    # queued | cached-hit | restored | started | finished | failed
     index: int                  # submission position of the job
     digest: str                 # the job's full content address
     scenario: str
@@ -106,6 +141,11 @@ class CampaignReport:
     executed: int = 0
     failed: int = 0
     store_stats: dict[str, int] | None = None
+    #: final obs counter totals (campaign.* incl. chaos ledger folds);
+    #: deliberately NOT part of to_dict — a resumed run's counters
+    #: differ from an uninterrupted run's even when the report is
+    #: byte-identical
+    counters: dict[str, float] = field(default_factory=dict)
 
     @property
     def cache_hit_rate(self) -> float:
@@ -159,6 +199,13 @@ class CampaignService:
     workers, timeout, max_retries:
         Pool knobs, passed through to
         :func:`repro.campaign.workers.run_specs`.
+    retry:
+        Crash-retry backoff schedule
+        (:class:`~repro.resilience.policy.RetryPolicy`); ``None`` uses
+        the pool default.
+    breaker_threshold:
+        Consecutive executed failures of one scenario that trip its
+        circuit breaker; ``None`` (the default) disables the breaker.
     """
 
     def __init__(
@@ -168,24 +215,167 @@ class CampaignService:
         workers: int = 1,
         timeout: float | None = None,
         max_retries: int = 1,
+        retry: RetryPolicy | None = None,
+        breaker_threshold: int | None = None,
     ):
         if isinstance(store, (str, bytes)) or hasattr(store, "__fspath__"):
             store = ArtifactStore(store)
+        if breaker_threshold is not None and breaker_threshold < 1:
+            raise ValueError("breaker_threshold must be >= 1")
         self.store = store
         self.workers = workers
         self.timeout = timeout
         self.max_retries = max_retries
+        self.retry = retry
+        self.breaker_threshold = breaker_threshold
+
+    # -- public entry points -------------------------------------------------
 
     def run(
         self,
         specs: Sequence[JobSpec],
         progress: Callable[[ProgressEvent], None] | None = None,
+        *,
+        journal: str | None = None,
+        journal_fsync: str = "terminal",
     ) -> CampaignReport:
-        """Execute a campaign; see the module docstring for the flow."""
+        """Execute a campaign; see the module docstring for the flow.
+
+        ``journal`` names a write-ahead journal file to create for this
+        run (truncating any prior one); it requires a store — the
+        journal records artifact hashes, the store holds the bytes.
+        """
+        jr = None
+        if journal is not None:
+            if self.store is None:
+                raise ValueError(
+                    "journaling requires an artifact store: the journal "
+                    "records artifact hashes, the store holds the bytes"
+                )
+            jr = Journal.create(
+                journal, specs, store_root=str(self.store.root),
+                options=self._options(), fsync=journal_fsync,
+            )
+        return self._run(specs, progress, journal=jr)
+
+    @classmethod
+    def resume(
+        cls,
+        journal: str,
+        progress: Callable[[ProgressEvent], None] | None = None,
+        *,
+        journal_fsync: str = "terminal",
+    ) -> CampaignReport:
+        """Finish a journaled campaign after a crash.
+
+        Rebuilds the service from the journal header (same store, same
+        pool knobs), restores every job whose terminal record landed
+        (artifacts come back from the store — never recomputed),
+        re-queues in-flight jobs with their recorded attempt number,
+        compacts the journal in place, and runs the remainder.  The
+        returned report is byte-identical to an uninterrupted run's.
+        """
+        from repro.obs.recorder import ObsRecorder
+
+        state = read_journal(journal)
+        if state.store_root is None:
+            raise ValueError(f"journal {journal!r} records no store root")
+        opts = state.options
+        retry_opts = opts.get("retry")
+        service = cls(
+            store=state.store_root,
+            workers=int(opts.get("workers", 1)),
+            timeout=opts.get("timeout"),
+            max_retries=int(opts.get("max_retries", 1)),
+            retry=RetryPolicy(**retry_opts) if retry_opts else None,
+            breaker_threshold=opts.get("breaker_threshold"),
+        )
+        store = service.store
+        rec = ObsRecorder()
+        rec.count("campaign.resumed")
+
+        restored: dict[int, JobOutcome] = {}
+        bypass: set[int] = set()
+        initial: dict[int, int] = {}
+        for i, spec in enumerate(state.specs):
+            js = state.job(i)
+            if js.state == DONE:
+                artifact = store.peek(spec)
+                if artifact is None:
+                    # Terminal record landed but the artifact didn't
+                    # survive (crash beat the cache write, or the file
+                    # was corrupted since): recompute, keeping the
+                    # recorded attempt count.
+                    rec.count("campaign.restore_misses")
+                    bypass.add(i)
+                    initial[i] = max(1, js.attempts)
+                    store.misses += 1
+                    continue
+                rec.count("campaign.restored")
+                if js.cached:
+                    store.hits += 1
+                    restored[i] = JobOutcome(
+                        spec, spec.digest, DONE, cached=True, artifact=artifact,
+                        artifact_sha256=js.artifact_sha256,
+                    )
+                else:
+                    store.misses += 1
+                    restored[i] = JobOutcome(
+                        spec, spec.digest, DONE, attempts=js.attempts,
+                        artifact=artifact, artifact_sha256=js.artifact_sha256,
+                    )
+            elif js.state == FAILED:
+                rec.count("campaign.restored")
+                store.misses += 1
+                restored[i] = JobOutcome(
+                    spec, spec.digest, FAILED, attempts=js.attempts,
+                    error=js.error,
+                )
+            elif js.state == RUNNING:
+                # In flight at the crash: re-run with the same attempt
+                # number (the campaign died, not the job).  Bypass the
+                # cache probe — the artifact may have landed before the
+                # crash, and serving it would misreport the job as a
+                # cache hit.
+                bypass.add(i)
+                initial[i] = max(1, js.attempts)
+                store.misses += 1
+        jr = Journal.rotate(journal, state, fsync=journal_fsync)
+        return service._run(
+            state.specs, progress, journal=jr, restored=restored,
+            bypass=bypass, initial_attempts=initial, rec=rec,
+        )
+
+    # -- internals -----------------------------------------------------------
+
+    def _options(self) -> dict[str, Any]:
+        """The journal-header options block ``resume`` rebuilds from."""
+        return {
+            "workers": self.workers,
+            "timeout": self.timeout,
+            "max_retries": self.max_retries,
+            "breaker_threshold": self.breaker_threshold,
+            "retry": asdict(self.retry) if self.retry is not None else None,
+        }
+
+    def _run(
+        self,
+        specs: Sequence[JobSpec],
+        progress: Callable[[ProgressEvent], None] | None,
+        *,
+        journal: Journal | None = None,
+        restored: Mapping[int, JobOutcome] | None = None,
+        bypass: frozenset[int] | set[int] = frozenset(),
+        initial_attempts: Mapping[int, int] | None = None,
+        rec=None,
+    ) -> CampaignReport:
         from repro.obs.export import counter_snapshot
         from repro.obs.recorder import ObsRecorder
 
-        rec = ObsRecorder()
+        if rec is None:
+            rec = ObsRecorder()
+        restored = restored or {}
+        initial_attempts = initial_attempts or {}
 
         def emit(event: str, index: int, spec: JobSpec,
                  detail: Mapping[str, Any] | None = None) -> None:
@@ -194,8 +384,19 @@ class CampaignService:
                     event=event, index=index, digest=digests[index],
                     scenario=spec.scenario, seed=spec.seed,
                     detail=dict(detail or {}),
-                    counters=counter_snapshot(rec),
+                    counters=counter_snapshot(rec, prefix="campaign."),
                 ))
+
+        def jwrite(method: str, *args: Any, **kwargs: Any) -> None:
+            # A journal write failure (injected or real disk-full) is
+            # absorbed: the run continues un-journaled for that record,
+            # costing at most a recompute on resume.
+            if journal is None:
+                return
+            try:
+                getattr(journal, method)(*args, **kwargs)
+            except OSError:
+                rec.count("campaign.journal.write_errors")
 
         digests = [spec.digest for spec in specs]
         outcomes: list[JobOutcome | None] = [None] * len(specs)
@@ -203,6 +404,17 @@ class CampaignService:
         for i, spec in enumerate(specs):
             rec.count("campaign.queued")
             emit("queued", i, spec)
+            if i in restored:
+                out = restored[i]
+                outcomes[i] = out
+                emit("restored", i, spec, {
+                    "state": out.state, "cached": out.cached,
+                    "attempts": out.attempts,
+                })
+                continue
+            if i in bypass:
+                to_run.append(i)
+                continue
             cached = self.store.get(spec) if self.store is not None else None
             if cached is not None:
                 rec.count("campaign.cached_hit")
@@ -210,50 +422,18 @@ class CampaignService:
                     spec, digests[i], DONE, cached=True, artifact=cached,
                     artifact_sha256=content_digest(cached),
                 )
+                jwrite("record_cached_hit", i, outcomes[i].artifact_sha256)
                 emit("cached-hit", i, spec,
                      {"artifact_sha256": outcomes[i].artifact_sha256})
             else:
                 to_run.append(i)
 
         if to_run:
-            def relay(event: str, pool_index: int, spec: JobSpec,
-                      detail: dict) -> None:
-                # Counters move with the event, so the snapshot a
-                # consumer sees on a "finished" line already includes
-                # that finish.
-                if event == "started":
-                    if detail.get("attempt", 1) > 1:
-                        rec.count("campaign.crash_attempts")
-                elif event == "finished":
-                    rec.count("campaign.executed")
-                elif event == "failed":
-                    rec.count("campaign.failed")
-                emit(event, to_run[pool_index], spec, detail)
-
-            run_results = run_specs(
-                [specs[i] for i in to_run],
-                workers=self.workers, timeout=self.timeout,
-                max_retries=self.max_retries, progress=relay,
-            )
-            for pool_index, result in enumerate(run_results):
-                index = to_run[pool_index]
-                if result.state == DONE:
-                    sha = content_digest(result.artifact)
-                    if self.store is not None:
-                        self.store.put(result.spec, result.artifact)
-                    outcomes[index] = JobOutcome(
-                        result.spec, digests[index], DONE,
-                        attempts=result.attempts, artifact=result.artifact,
-                        artifact_sha256=sha,
-                    )
-                else:
-                    outcomes[index] = JobOutcome(
-                        result.spec, digests[index], FAILED,
-                        attempts=result.attempts, error=result.error,
-                    )
+            self._run_pool(specs, to_run, outcomes, digests, rec,
+                           emit, jwrite, journal, restored, initial_attempts)
 
         final = [o for o in outcomes if o is not None]
-        return CampaignReport(
+        report = CampaignReport(
             outcomes=final,
             submitted=len(specs),
             cached_hits=sum(1 for o in final if o.cached),
@@ -262,4 +442,113 @@ class CampaignService:
             ),
             failed=sum(1 for o in final if o.state == FAILED),
             store_stats=self.store.stats() if self.store is not None else None,
+        )
+        jwrite("record_end", {
+            "submitted": report.submitted,
+            "cached_hits": report.cached_hits,
+            "executed": report.executed,
+            "failed": report.failed,
+        })
+        if journal is not None:
+            journal.close()
+        plan = chaos.active_plan()
+        if plan is not None and plan.ledger is not None:
+            for name, total in chaos.ledger_counts(plan.ledger).items():
+                rec.count(name, float(total))
+        report.counters = counter_snapshot(rec, prefix="campaign.")
+        return report
+
+    def _run_pool(self, specs, to_run, outcomes, digests, rec,
+                  emit, jwrite, journal, restored, initial_attempts) -> None:
+        """Fan the cache misses over the worker pool, wiring in the
+        breaker gate, completion-time persistence, and the journal."""
+        # Per-scenario consecutive-failure counts; replaying restored
+        # outcomes (submission order) re-arms a breaker that was open
+        # at the crash.
+        breaker_counts: dict[str, int] = {}
+        breaker_open: set[str] = set()
+
+        def note_outcome(scenario: str, failed: bool, skipped: bool) -> None:
+            if self.breaker_threshold is None or skipped:
+                return
+            if not failed:
+                breaker_counts[scenario] = 0
+                return
+            count = breaker_counts.get(scenario, 0) + 1
+            breaker_counts[scenario] = count
+            if count >= self.breaker_threshold and scenario not in breaker_open:
+                breaker_open.add(scenario)
+                rec.count("campaign.breaker_trips")
+
+        for i in sorted(restored):
+            out = restored[i]
+            skipped = bool(out.error and
+                           out.error.startswith(BREAKER_ERROR_PREFIX))
+            note_outcome(out.spec.scenario, out.state == FAILED, skipped)
+
+        def gate(spec: JobSpec) -> str | None:
+            if spec.scenario in breaker_open:
+                rec.count("campaign.breaker_skipped")
+                return (
+                    f"{BREAKER_ERROR_PREFIX}: scenario "
+                    f"{spec.scenario!r} reached "
+                    f"{self.breaker_threshold} consecutive failures"
+                )
+            return None
+
+        def on_result(pool_index: int, result) -> None:
+            # Fires at resolution time (completion order): persist the
+            # artifact and journal the terminal state as soon as they
+            # exist — a crash after this point never recomputes the job.
+            index = to_run[pool_index]
+            spec = result.spec
+            skipped = bool(result.detail.get("skipped"))
+            if result.state == DONE:
+                sha = content_digest(result.artifact)
+                if self.store is not None:
+                    try:
+                        self.store.put(spec, result.artifact)
+                    except OSError:
+                        rec.count("campaign.store.put_errors")
+                outcomes[index] = JobOutcome(
+                    spec, digests[index], DONE, attempts=result.attempts,
+                    artifact=result.artifact, artifact_sha256=sha,
+                )
+                jwrite("record_finished", index, result.attempts, sha)
+            else:
+                outcomes[index] = JobOutcome(
+                    spec, digests[index], FAILED, attempts=result.attempts,
+                    error=result.error,
+                )
+                if result.detail.get("timeout"):
+                    rec.count("campaign.timeouts")
+                jwrite("record_failed", index, result.attempts,
+                       result.error, breaker=skipped)
+            note_outcome(spec.scenario, result.state == FAILED, skipped)
+
+        def relay(event: str, pool_index: int, spec: JobSpec,
+                  detail: dict) -> None:
+            # Counters move with the event, so the snapshot a consumer
+            # sees on a "finished" line already includes that finish.
+            index = to_run[pool_index]
+            if event == "started":
+                jwrite("record_started", index, detail.get("attempt", 1))
+                if detail.get("attempt", 1) > 1:
+                    rec.count("campaign.crash_attempts")
+            elif event == "finished":
+                rec.count("campaign.executed")
+            elif event == "failed":
+                rec.count("campaign.failed")
+            emit(event, index, spec, detail)
+
+        run_specs(
+            [specs[i] for i in to_run],
+            workers=self.workers, timeout=self.timeout,
+            max_retries=self.max_retries, progress=relay,
+            retry=self.retry,
+            gate=gate if self.breaker_threshold is not None else None,
+            on_result=on_result,
+            initial_attempts=[
+                initial_attempts.get(i, 1) for i in to_run
+            ],
         )

@@ -14,14 +14,19 @@ self-describing envelope::
       "artifact": {...}             # the cached result payload
     }
 
-Reads are paranoid: a file that is missing, truncated, not JSON, from
-a different format version, keyed by a different spec digest, or whose
-payload no longer matches its recorded ``artifact_sha256`` is treated
-as a cache **miss** (and counted in :attr:`ArtifactStore.corrupt` when
-it existed but failed verification) — the service then recomputes and
-atomically rewrites it.  Writes go through a same-directory temp file
-and ``os.replace``, so a crashed writer can truncate at worst, never
-tear a verified read.
+Reads are paranoid: a file that is missing, truncated, not JSON (or
+not even UTF-8 after a media bit-flip), from a different format
+version, keyed by a different spec digest, whose embedded spec no
+longer hashes to its recorded ``spec_digest``, or whose payload no
+longer matches its recorded ``artifact_sha256`` is treated as a cache
+**miss** (and counted in :attr:`ArtifactStore.corrupt` when it existed
+but failed verification) — the service then recomputes and atomically
+rewrites it, which counts as a **heal**.  Writes go through a
+same-directory temp file that is ``fsync``\\ ed (and the directory
+after the rename) before the write is considered durable, so a crashed
+or power-cut writer can lose the entry at worst, never tear a verified
+read.  The write path consults :func:`repro.campaign.chaos.check_write`
+so the chaos harness can inject disk-full faults.
 """
 
 from __future__ import annotations
@@ -32,6 +37,7 @@ import pathlib
 import tempfile
 from typing import Any
 
+from repro.campaign import chaos
 from repro.campaign.jobs import JobSpec, canonical_json, content_digest
 
 __all__ = ["ArtifactStore", "STORE_FORMAT"]
@@ -40,14 +46,23 @@ __all__ = ["ArtifactStore", "STORE_FORMAT"]
 STORE_FORMAT = 1
 
 
+def _fsync_dir(path: pathlib.Path) -> None:
+    """fsync a directory so a just-renamed entry survives power loss."""
+    fd = os.open(path, os.O_RDONLY)
+    try:
+        os.fsync(fd)
+    finally:
+        os.close(fd)
+
+
 class ArtifactStore:
     """On-disk, content-addressed cache of job artifacts.
 
     The store never judges freshness — the content address already
     encodes scenario, config, seed, and code version, so an entry is
-    valid for as long as its bytes verify.  Hit/miss/corrupt counters
-    accumulate over the store's lifetime (the service snapshots them
-    into progress events).
+    valid for as long as its bytes verify.  Hit/miss/corrupt/healed
+    counters accumulate over the store's lifetime (the service
+    snapshots them into progress events and obs counters).
     """
 
     def __init__(self, root: str | os.PathLike):
@@ -56,38 +71,68 @@ class ArtifactStore:
         self.hits = 0
         self.misses = 0
         self.corrupt = 0
+        self.healed = 0
+        #: digests whose last read failed verification; a subsequent
+        #: put over one of them counts as a heal
+        self._corrupt_digests: set[str] = set()
 
     def path_for(self, spec: JobSpec) -> pathlib.Path:
         """Where ``spec``'s artifact lives (whether or not it exists)."""
         digest = spec.digest
         return self.root / digest[:2] / f"{digest}.json"
 
-    def get(self, spec: JobSpec) -> dict[str, Any] | None:
-        """The verified cached artifact for ``spec``, or ``None``."""
+    def _read(self, spec: JobSpec) -> tuple[dict[str, Any] | None, bool]:
+        """Verified read: ``(artifact, existed_but_corrupt)``.
+
+        Verification covers the envelope format, the key (``spec_digest``
+        must match the requesting spec), the embedded spec (must hash
+        back to ``spec_digest`` — catches bit-flips in the audit copy),
+        and the payload (must hash to ``artifact_sha256``).
+        """
         path = self.path_for(spec)
         try:
             raw = path.read_text()
-        except (FileNotFoundError, OSError):
-            self.misses += 1
-            return None
+        except (FileNotFoundError, OSError, UnicodeDecodeError):
+            # Missing, unreadable, or bit-flipped into invalid UTF-8.
+            return None, path.exists()
         try:
             data = json.loads(raw)
             if (
                 data["format"] == STORE_FORMAT
                 and data["spec_digest"] == spec.digest
+                and content_digest(data["spec"]) == data["spec_digest"]
                 and content_digest(data["artifact"]) == data["artifact_sha256"]
             ):
-                self.hits += 1
-                return data["artifact"]
+                return data["artifact"], False
         except (ValueError, KeyError, TypeError):
             pass
-        # Existed but failed verification: corrupt/truncated/foreign.
-        self.corrupt += 1
+        return None, True
+
+    def get(self, spec: JobSpec) -> dict[str, Any] | None:
+        """The verified cached artifact for ``spec``, or ``None``."""
+        artifact, was_corrupt = self._read(spec)
+        if artifact is not None:
+            self.hits += 1
+            return artifact
         self.misses += 1
+        if was_corrupt:
+            # Existed but failed verification: corrupt/truncated/foreign.
+            self.corrupt += 1
+            self._corrupt_digests.add(spec.digest)
         return None
 
+    def peek(self, spec: JobSpec) -> dict[str, Any] | None:
+        """Like :meth:`get` but with **no counter side effects** — the
+        resume path uses it to restore journaled artifacts without
+        perturbing the hit/miss accounting it is reconstructing."""
+        artifact, _ = self._read(spec)
+        return artifact
+
     def put(self, spec: JobSpec, artifact: dict[str, Any]) -> pathlib.Path:
-        """Atomically cache ``artifact`` under ``spec``'s address."""
+        """Durably and atomically cache ``artifact`` under ``spec``'s
+        address: temp file in the same directory, fsync the file,
+        ``os.replace``, fsync the directory."""
+        chaos.check_write("store")
         path = self.path_for(spec)
         path.parent.mkdir(parents=True, exist_ok=True)
         envelope = {
@@ -104,6 +149,8 @@ class ArtifactStore:
         try:
             with os.fdopen(fd, "w") as fh:
                 fh.write(payload)
+                fh.flush()
+                os.fsync(fh.fileno())
             os.replace(tmp, path)
         except BaseException:
             try:
@@ -111,6 +158,10 @@ class ArtifactStore:
             except OSError:
                 pass
             raise
+        _fsync_dir(path.parent)
+        if spec.digest in self._corrupt_digests:
+            self._corrupt_digests.discard(spec.digest)
+            self.healed += 1
         return path
 
     def __len__(self) -> int:
@@ -118,10 +169,11 @@ class ArtifactStore:
         return sum(1 for _ in self.root.glob("??/*.json"))
 
     def stats(self) -> dict[str, int]:
-        """Lifetime hit/miss/corruption counters (JSON-able)."""
+        """Lifetime hit/miss/corruption/heal counters (JSON-able)."""
         return {
             "hits": self.hits,
             "misses": self.misses,
             "corrupt": self.corrupt,
+            "healed": self.healed,
             "entries": len(self),
         }

@@ -109,15 +109,19 @@ def to_summary(rec: ObsRecorder, sim_time: float) -> dict[str, Any]:
     }
 
 
-def counter_snapshot(rec: ObsRecorder) -> dict[str, float]:
+def counter_snapshot(rec: ObsRecorder,
+                     prefix: str | None = None) -> dict[str, float]:
     """Flat, JSON-able counter totals (track dimension summed away).
 
     The progress-event payload for streaming consumers — e.g. the
     campaign service embeds a snapshot in every emitted event, so a
-    client can render a live gauge from any single line.
+    client can render a live gauge from any single line.  ``prefix``
+    restricts the snapshot to counters whose name starts with it.
     """
     totals: dict[str, float] = {}
     for (name, _track), value in rec.counters.items():
+        if prefix is not None and not name.startswith(prefix):
+            continue
         totals[name] = totals.get(name, 0.0) + value
     return {name: totals[name] for name in sorted(totals)}
 

@@ -12,6 +12,9 @@ package adds the failure axis the paper's measurements assume away:
     :class:`~repro.sim.engine.Simulator` from seeded MTBF draws and
     delivers them to victim processes via ``Process.interrupt``.
 :mod:`repro.resilience.policy`
+    :class:`RetryPolicy` — the one seeded exponential-backoff schedule
+    shared by SimMPI retransmission and the campaign worker pool's
+    crash retries (delays are pure functions of ``(seed, attempt)``);
     :class:`DeliveryPolicy` — retry/timeout/exponential-backoff
     semantics for :class:`~repro.comm.mpi.SimMPI`.  The default policy
     is today's perfect fabric; ``SimMPI`` without a policy is untouched
@@ -40,7 +43,7 @@ communicator in :mod:`repro.comm.membership`.
 from repro.resilience.checkpoint import CheckpointModel, sweep_failure_study
 from repro.resilience.faults import Fault, FaultInjector, checkpoint_clock
 from repro.resilience.health import FabricHealth, edge_key
-from repro.resilience.policy import DeliveryPolicy
+from repro.resilience.policy import DeliveryPolicy, RetryPolicy
 from repro.resilience.recovery import (
     RecoveryOutcome,
     draw_fault_plan,
@@ -55,6 +58,7 @@ __all__ = [
     "Fault",
     "FaultInjector",
     "RecoveryOutcome",
+    "RetryPolicy",
     "checkpoint_clock",
     "draw_fault_plan",
     "edge_key",

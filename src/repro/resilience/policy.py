@@ -1,12 +1,23 @@
-"""Retry/timeout/exponential-backoff delivery semantics for SimMPI.
+"""Retry/timeout/exponential-backoff policies, shared across layers.
 
-A :class:`DeliveryPolicy` decides, per transmission attempt, whether a
-message crosses the fabric, and how long a sender waits before
-retransmitting.  :class:`~repro.comm.mpi.SimMPI` consults it only when
-one is installed — ``SimMPI(..., delivery=None)`` (the default) keeps
-the perfect-fabric fast path byte-for-byte identical to the historical
-behavior, a property the perf smoke tier asserts
-(``benchmarks/perf/perf_resilience.py``).
+Two things live here:
+
+* :class:`RetryPolicy` — the one seeded exponential-backoff schedule
+  every retry loop in the repository draws from: SimMPI message
+  retransmission (via :class:`DeliveryPolicy`) and the campaign worker
+  pool's crash retries (:mod:`repro.campaign.workers`).  Delays are a
+  pure function of ``(seed, attempt)`` — jitter comes from a hash of
+  both, never from shared RNG state — so a retry *schedule* is
+  deterministic per seed and independent of how many other retry loops
+  are running (``tests/test_resilience.py`` property-tests this).
+* :class:`DeliveryPolicy` — per-message delivery semantics for SimMPI:
+  it decides, per transmission attempt, whether a message crosses the
+  fabric, and delegates its backoff schedule to an embedded jitter-free
+  :class:`RetryPolicy`.  :class:`~repro.comm.mpi.SimMPI` consults it
+  only when one is installed — ``SimMPI(..., delivery=None)`` (the
+  default) keeps the perfect-fabric fast path byte-for-byte identical
+  to the historical behavior, a property the perf smoke tier asserts
+  (``benchmarks/perf/perf_resilience.py``).
 
 Two loss mechanisms compose:
 
@@ -32,7 +43,63 @@ from dataclasses import dataclass, field
 from repro.resilience.health import FabricHealth
 from repro.units import US
 
-__all__ = ["DeliveryPolicy"]
+__all__ = ["RetryPolicy", "DeliveryPolicy"]
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """A seeded, bounded exponential-backoff schedule.
+
+    ``delay(attempt)`` is ``base_delay * backoff**attempt`` capped at
+    ``max_delay``, optionally spread by ``jitter``: with ``jitter=j``
+    the capped delay is scaled by a factor drawn uniformly from
+    ``[1 - j, 1 + j]``.  The draw is seeded by ``(seed, attempt)``
+    alone — no RNG state is carried between calls — so the full
+    schedule is a pure function of the policy's fields: replayable,
+    order-independent, and bounded by ``max_delay * (1 + jitter)``.
+
+    ``max_retries`` is the retry *budget* the schedule serves; loops
+    that consume a policy read it to know when to give up (attempt
+    numbers run ``0 .. max_retries - 1``).
+    """
+
+    base_delay: float = 0.05
+    backoff: float = 2.0
+    max_delay: float = 2.0
+    jitter: float = 0.0
+    max_retries: int = 3
+    seed: int = 0
+
+    def __post_init__(self):
+        if self.base_delay < 0:
+            raise ValueError("base_delay must be >= 0")
+        if self.backoff < 1.0:
+            raise ValueError("backoff must be >= 1")
+        if self.max_delay <= 0:
+            raise ValueError("max_delay must be positive")
+        if not 0.0 <= self.jitter < 1.0:
+            raise ValueError("jitter must be in [0, 1)")
+        if self.max_retries < 0:
+            raise ValueError("max_retries must be >= 0")
+
+    def delay(self, attempt: int) -> float:
+        """Backoff wait before retry number ``attempt + 1`` (seconds)."""
+        delay = self.base_delay * self.backoff**attempt
+        if delay >= self.max_delay:
+            delay = self.max_delay
+        if self.jitter:
+            # Hash-seeded draw: deterministic per (seed, attempt), no
+            # state shared with any other retry loop.  String seeds go
+            # through CPython's sha512 path, stable across processes.
+            u = random.Random(f"retry:{self.seed}:{attempt}").random()
+            delay *= 1.0 + self.jitter * (2.0 * u - 1.0)
+        return delay
+
+    def schedule(self, attempts: int | None = None) -> list[float]:
+        """The full delay schedule for ``attempts`` retries (defaults
+        to :attr:`max_retries`)."""
+        n = self.max_retries if attempts is None else attempts
+        return [self.delay(a) for a in range(n)]
 
 
 @dataclass
@@ -68,6 +135,7 @@ class DeliveryPolicy:
     seed: int = 0
     health: FabricHealth | None = None
     _rng: random.Random = field(init=False, repr=False, compare=False)
+    _retry: RetryPolicy = field(init=False, repr=False, compare=False)
 
     def __post_init__(self):
         if not 0.0 <= self.drop_probability < 1.0:
@@ -81,6 +149,13 @@ class DeliveryPolicy:
         if self.max_delay <= 0:
             raise ValueError("max_delay must be positive")
         self._rng = random.Random(self.seed)
+        # Jitter-free: a retransmission schedule is part of the DES
+        # timeline, which must stay bit-identical to the seed behavior.
+        self._retry = RetryPolicy(
+            base_delay=self.ack_timeout, backoff=self.backoff,
+            max_delay=self.max_delay, jitter=0.0,
+            max_retries=self.max_retries, seed=self.seed,
+        )
 
     def delivered(self, src, dst, size: int) -> bool:
         """Whether one transmission attempt from ``src`` to ``dst``
@@ -96,9 +171,9 @@ class DeliveryPolicy:
         return self._rng.random() >= p
 
     def retry_delay(self, attempt: int) -> float:
-        """Backoff wait before retransmission number ``attempt + 1``."""
-        delay = self.ack_timeout * self.backoff**attempt
-        return delay if delay < self.max_delay else self.max_delay
+        """Backoff wait before retransmission number ``attempt + 1``
+        (delegates to the shared :class:`RetryPolicy` schedule)."""
+        return self._retry.delay(attempt)
 
     def reset(self) -> "DeliveryPolicy":
         """Re-seed the loss RNG (for exact replay of a run); returns self."""

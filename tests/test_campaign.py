@@ -27,9 +27,11 @@ from repro.campaign import (
     ArtifactStore,
     CampaignService,
     JobSpec,
+    Journal,
     canonical_json,
     content_digest,
     grid,
+    read_journal,
     run_specs,
 )
 from repro.campaign.jobs import DONE, FAILED
@@ -242,12 +244,107 @@ def test_pool_timeout_does_not_wedge_the_campaign():
     assert [r.state for r in results[1:]] == [DONE, DONE]
 
 
+def test_pool_timeout_abandons_only_the_offender(tmp_path):
+    """Regression: one job's lease expiry must not discard or re-run
+    its siblings' work.  The tally files prove every sibling executed
+    exactly once while the wedged worker sat abandoned."""
+    sleepy = _selftest_spec(0, mode="sleep", sleep_s=3.0)
+    siblings = [
+        _selftest_spec(s, mode="count", sleep_s=0.3,
+                       marker=str(tmp_path / f"tally-{s}"))
+        for s in (1, 2, 3)
+    ]
+    results = run_specs([sleepy, *siblings], workers=2, timeout=0.8)
+    assert results[0].state == FAILED
+    assert results[0].detail.get("timeout") is True
+    assert [r.state for r in results[1:]] == [DONE] * 3
+    for s in (1, 2, 3):
+        tally = (tmp_path / f"tally-{s}").read_text().splitlines()
+        assert tally == [str(s)], f"sibling {s} ran {len(tally)} times"
+
+
 def test_inline_and_pool_agree_on_results():
     specs = [_selftest_spec(s, mode="ok", value=s * s) for s in range(4)]
     inline = run_specs(specs, workers=1)
     pooled = run_specs(specs, workers=2)
     assert [r.artifact for r in inline] == [r.artifact for r in pooled]
     assert [r.state for r in inline] == [r.state for r in pooled]
+
+
+# -- the journal -------------------------------------------------------------
+
+
+def _journal_fixture(tmp_path, n=3):
+    specs = [_selftest_spec(s, mode="ok", value=s) for s in range(n)]
+    journal = Journal.create(
+        tmp_path / "journal", specs,
+        store_root=str(tmp_path / "cache"), options={"workers": 1},
+        fsync="never",
+    )
+    return specs, journal
+
+
+def test_journal_reader_tolerates_torn_tail(tmp_path):
+    specs, journal = _journal_fixture(tmp_path)
+    journal.record_started(0, 1)
+    journal.record_finished(0, 1, "a" * 64)
+    journal.record_started(1, 1)
+    journal.close()
+    # a crash mid-append leaves a partial final line (no newline)
+    with open(tmp_path / "journal", "a") as fh:
+        fh.write('{"type": "state", "index": 1, "sta')
+    state = read_journal(tmp_path / "journal")
+    assert state.records == 4                   # header + 3 complete records
+    assert state.job(0).state == DONE
+    assert state.job(0).artifact_sha256 == "a" * 64
+    assert state.job(1).state == "running"      # torn terminal is dropped
+    assert state.job(2).state == "pending"
+    assert not state.complete
+
+
+def test_journal_rotation_compacts_and_reopens(tmp_path):
+    specs, journal = _journal_fixture(tmp_path)
+    journal.record_started(0, 1)
+    journal.record_finished(0, 1, "a" * 64)
+    journal.record_started(1, 2)                # in flight: dropped by rotate
+    journal.record_started(2, 1)
+    journal.record_failed(2, 1, "boom")
+    journal.close()
+
+    state = read_journal(tmp_path / "journal")
+    rotated = Journal.rotate(tmp_path / "journal", state, fsync="never")
+    lines = (tmp_path / "journal").read_text().splitlines()
+    assert len(lines) == 3                      # header + 2 terminal records
+    compact = read_journal(tmp_path / "journal")
+    assert [s.digest for s in compact.specs] == [s.digest for s in specs]
+    assert compact.options == {"workers": 1}
+    assert compact.job(0).state == DONE and compact.job(0).attempts == 1
+    assert compact.job(1).state == "pending"    # re-queued, not recorded
+    assert compact.job(2).state == FAILED and compact.job(2).error == "boom"
+
+    # the rotated journal stays appendable
+    rotated.record_started(1, 2)
+    rotated.record_finished(1, 2, "b" * 64)
+    rotated.record_end(read_journal(tmp_path / "journal").summary())
+    rotated.close()
+    final = read_journal(tmp_path / "journal")
+    assert final.complete
+    assert final.job(1).state == DONE and final.job(1).attempts == 2
+
+
+def test_journal_rejects_missing_or_alien_header(tmp_path):
+    empty = tmp_path / "empty"
+    empty.write_text("")
+    with pytest.raises(ValueError, match="no header"):
+        read_journal(empty)
+    alien = tmp_path / "alien"
+    alien.write_text('{"type": "diary", "format": 1}\n')
+    with pytest.raises(ValueError, match="not a format-1 campaign journal"):
+        read_journal(alien)
+    garbage = tmp_path / "garbage"
+    garbage.write_text("not json at all\n")
+    with pytest.raises(ValueError, match="not JSON"):
+        read_journal(garbage)
 
 
 # -- the CLI -----------------------------------------------------------------

@@ -26,6 +26,7 @@ from repro.resilience import (
     DeliveryPolicy,
     FabricHealth,
     FaultInjector,
+    RetryPolicy,
     checkpoint_clock,
     edge_key,
     sweep_failure_study,
@@ -174,6 +175,71 @@ def test_retry_delay_backs_off_exponentially_with_cap():
     policy = DeliveryPolicy(ack_timeout=10 * US, backoff=2.0, max_delay=35 * US)
     delays = [policy.retry_delay(k) for k in range(4)]
     assert delays == pytest.approx([10 * US, 20 * US, 35 * US, 35 * US])
+
+
+# -- RetryPolicy: the shared backoff schedule (property tests) ---------------
+
+from hypothesis import given, settings  # noqa: E402
+from hypothesis import strategies as st  # noqa: E402
+
+_retry_policies = st.builds(
+    RetryPolicy,
+    base_delay=st.floats(0.0, 10.0, allow_nan=False),
+    backoff=st.floats(1.0, 8.0, allow_nan=False),
+    max_delay=st.floats(0.001, 100.0, allow_nan=False),
+    jitter=st.floats(0.0, 0.999, allow_nan=False),
+    seed=st.integers(0, 2**32),
+)
+
+
+@settings(max_examples=100, deadline=None)
+@given(_retry_policies, st.integers(0, 40))
+def test_retry_policy_is_a_pure_function_of_seed_and_attempt(policy, attempt):
+    # identical fields => identical schedule; no hidden RNG state, so
+    # call order and repetition are invisible
+    clone = RetryPolicy(
+        base_delay=policy.base_delay, backoff=policy.backoff,
+        max_delay=policy.max_delay, jitter=policy.jitter, seed=policy.seed,
+    )
+    later = policy.delay(attempt + 1)  # perturb any would-be shared state
+    assert policy.delay(attempt) == clone.delay(attempt)
+    assert policy.delay(attempt) == policy.delay(attempt)
+    assert later == clone.delay(attempt + 1)
+
+
+@settings(max_examples=100, deadline=None)
+@given(_retry_policies, st.integers(0, 40))
+def test_retry_policy_delay_is_bounded(policy, attempt):
+    raw = min(policy.base_delay * policy.backoff**attempt, policy.max_delay)
+    d = policy.delay(attempt)
+    assert d >= 0.0
+    assert raw * (1.0 - policy.jitter) - 1e-12 <= d
+    assert d <= raw * (1.0 + policy.jitter) + 1e-12
+    assert d <= policy.max_delay * (1.0 + policy.jitter) + 1e-12
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    st.floats(1e-6, 1.0, allow_nan=False),   # ack_timeout
+    st.floats(1.0, 8.0, allow_nan=False),    # backoff
+    st.floats(1e-6, 10.0, allow_nan=False),  # max_delay
+    st.integers(0, 20),                      # attempt
+)
+def test_jitter_free_retry_policy_matches_delivery_schedule(
+    ack_timeout, backoff, max_delay, attempt
+):
+    # DeliveryPolicy delegates to a jitter-free RetryPolicy; both must
+    # equal the closed form the DES timeline has always used
+    delivery = DeliveryPolicy(
+        ack_timeout=ack_timeout, backoff=backoff, max_delay=max_delay
+    )
+    shared = RetryPolicy(
+        base_delay=ack_timeout, backoff=backoff, max_delay=max_delay
+    )
+    expected = min(ack_timeout * backoff**attempt, max_delay)
+    assert delivery.retry_delay(attempt) == shared.delay(attempt)
+    assert shared.delay(attempt) == expected
+    assert shared.schedule(3) == [shared.delay(a) for a in range(3)]
 
 
 def test_send_to_failed_node_exhausts_retries():
