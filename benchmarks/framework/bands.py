@@ -1,0 +1,98 @@
+"""Perf references: floors, ceilings, and tolerance bands.
+
+A :class:`Reference` is the declarative replacement for the ad-hoc
+``assert speedup >= FLOOR`` lines the old scripts carried: it names the
+bound, renders itself into the report, and produces a structured
+violation message instead of a bare ``AssertionError``.  References are
+checked against the flat metrics dict a test's ``measure()`` (or, for
+shape gates, ``sanity()``) returns.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["Reference", "Floor", "Ceiling", "Band", "check_references"]
+
+
+@dataclass(frozen=True)
+class Reference:
+    """An acceptance band ``[lo, hi]`` over one metric.
+
+    Either bound may be ``None`` (unbounded on that side).  ``required``
+    controls what a *missing* metric means: ``True`` (default) makes it
+    a violation, ``False`` makes the reference conditional — enforced
+    only when the metric was produced (e.g. speedups that need git
+    history to compute).
+    """
+
+    lo: float | None = None
+    hi: float | None = None
+    required: bool = True
+
+    def describe(self) -> str:
+        if self.lo is not None and self.hi is not None:
+            return f"within [{self.lo:g}, {self.hi:g}]"
+        if self.lo is not None:
+            return f">= {self.lo:g}"
+        if self.hi is not None:
+            return f"<= {self.hi:g}"
+        return "unconstrained"
+
+    def violation(self, value: float) -> str | None:
+        """A human-readable violation for ``value``, or ``None``."""
+        if self.lo is not None and value < self.lo:
+            return f"{value:g} < floor {self.lo:g}"
+        if self.hi is not None and value > self.hi:
+            return f"{value:g} > ceiling {self.hi:g}"
+        return None
+
+    def to_dict(self) -> dict:
+        """JSON form for the report artifact."""
+        out: dict = {}
+        if self.lo is not None:
+            out["lo"] = self.lo
+        if self.hi is not None:
+            out["hi"] = self.hi
+        if not self.required:
+            out["required"] = False
+        return out
+
+
+def Floor(value: float, *, required: bool = True) -> Reference:
+    """``metric >= value``."""
+    return Reference(lo=value, required=required)
+
+
+def Ceiling(value: float, *, required: bool = True) -> Reference:
+    """``metric <= value``."""
+    return Reference(hi=value, required=required)
+
+
+def Band(lo: float, hi: float, *, required: bool = True) -> Reference:
+    """``lo <= metric <= hi``."""
+    if hi < lo:
+        raise ValueError(f"band hi {hi!r} < lo {lo!r}")
+    return Reference(lo=lo, hi=hi, required=required)
+
+
+def check_references(
+    metrics: dict[str, float], references: dict[str, Reference]
+) -> list[str]:
+    """Every reference violation in ``metrics``, formatted, all
+    together rather than first-failure (the old
+    ``enforce_speedup_floors`` behavior, generalized)."""
+    violations: list[str] = []
+    for name in sorted(references):
+        ref = references[name]
+        if name not in metrics:
+            if ref.required:
+                violations.append(
+                    f"{name}: metric missing (reference {ref.describe()})"
+                )
+            continue
+        value = metrics[name]
+        bad = ref.violation(float(value))
+        if bad is not None:
+            violations.append(f"{name}: {bad}")
+    return violations

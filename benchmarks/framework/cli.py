@@ -1,0 +1,127 @@
+"""The ``python -m repro perftest`` runner.
+
+Usage::
+
+    python -m repro perftest --list
+    python -m repro perftest --tier smoke
+    python -m repro perftest --tier measured sweep3d_kernel des_engine
+    python -m repro perftest --refresh-baselines
+    python -m repro perftest --tier smoke --out report.json
+
+``--tier smoke`` runs sanity checks only and writes nothing (the tier-1
+CI gate).  ``--tier measured`` runs timed measurements and enforces the
+declared references in check-only mode.  ``--refresh-baselines`` is the
+measured tier plus a rewrite of each test's ``BENCH_perf.json``
+section — the baseline-capture half of the lifecycle.  ``--out`` saves
+the run's JSON report artifact (the nightly CI upload).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+from benchmarks.framework.report import BENCH_JSON
+from benchmarks.framework.runner import discover, run
+
+__all__ = ["main"]
+
+_STATUS_GLYPH = {
+    "passed": "ok  ",
+    "failed": "FAIL",
+    "skipped": "skip",
+    "xfailed": "xfail",
+    "xpassed": "XPASS",
+}
+
+
+def _list_tests() -> int:
+    registry = discover()
+    width = max((len(n) for n in registry), default=0)
+    for name in sorted(registry):
+        cls = registry[name]
+        test = cls()
+        ncases = len(test.cases())
+        tiers = ",".join(test.tiers)
+        print(f"{name:<{width}}  [{tiers}] {ncases:>3} case(s)  {cls.title}")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro perftest",
+        description="run the declarative perf/scaling test suites",
+    )
+    parser.add_argument(
+        "names", nargs="*", help="test names to run (default: all)"
+    )
+    parser.add_argument(
+        "--list", action="store_true", help="list registered tests and exit"
+    )
+    parser.add_argument(
+        "--tier",
+        choices=("smoke", "measured"),
+        default="smoke",
+        help="which tier to run (default: smoke)",
+    )
+    parser.add_argument(
+        "--refresh-baselines",
+        action="store_true",
+        help="measured tier + rewrite BENCH_perf.json sections",
+    )
+    parser.add_argument(
+        "--bench",
+        default=str(BENCH_JSON),
+        help="BENCH_perf.json path (default: repo root)",
+    )
+    parser.add_argument(
+        "--out", default=None, help="write the JSON report artifact here"
+    )
+    parser.add_argument(
+        "-v", "--verbose", action="store_true", help="print every metric"
+    )
+    args = parser.parse_args(argv)
+
+    if args.list:
+        return _list_tests()
+
+    tier = "measured" if args.refresh_baselines else args.tier
+    try:
+        report = run(
+            args.names or None,
+            tier=tier,
+            refresh=args.refresh_baselines,
+            bench_path=Path(args.bench),
+        )
+    except KeyError as exc:
+        print(f"error: {exc.args[0]}", file=sys.stderr)
+        return 2
+
+    for outcome in report.outcomes:
+        glyph = _STATUS_GLYPH.get(outcome.status, outcome.status)
+        line = f"  {glyph:<5} {outcome.test}:{outcome.case_id}"
+        if outcome.duration_s >= 0.01:
+            line += f"  ({outcome.duration_s:.2f}s)"
+        print(line)
+        if outcome.detail and (args.verbose or not outcome.ok):
+            for detail_line in outcome.detail.strip().splitlines():
+                print(f"        {detail_line}")
+        if args.verbose and outcome.metrics:
+            for key in sorted(outcome.metrics):
+                print(f"        {key} = {outcome.metrics[key]:g}")
+
+    counts = report.counts()
+    summary = ", ".join(f"{v} {k}" for k, v in sorted(counts.items()))
+    print(f"[perftest] tier={tier}: {summary or 'no cases'}")
+    if args.refresh_baselines:
+        print(f"[perftest] baselines refreshed in {args.bench}")
+
+    if args.out:
+        Path(args.out).write_text(
+            json.dumps(report.to_dict(), indent=2) + "\n"
+        )
+        print(f"[perftest] report written to {args.out}")
+
+    return report.exit_code

@@ -1,0 +1,155 @@
+"""The ``PerfTest`` declaration API and the test registry.
+
+A test is a subclass of :class:`PerfTest` registered with the
+:func:`perftest` decorator.  It declares:
+
+* ``params`` — its parameter space (a mapping of parameter name to the
+  values it takes); the runner expands the Cartesian product into
+  :class:`Case`\\ s, so a scaling sweep is one declaration, not a loop;
+* ``sanity(case)`` — the smoke-tier check: bit-identity against the
+  git-seed implementation, a determinism fingerprint, or any property
+  of the result.  Raise ``AssertionError`` to fail, :class:`SkipCase`
+  to skip.  May return a metrics dict — shape-gate families report
+  their observed fractions this way;
+* ``measure(case)`` — the measured-tier body: returns a flat metrics
+  dict (``{"speedup": 3.1, ...}``);
+* ``references`` / ``references_for(case)`` — perf references
+  (:mod:`~benchmarks.framework.bands`) enforced over the metrics;
+* ``skip(case)`` / ``xfail(case)`` — policy hooks returning a reason
+  string or ``None``.  A skipped case never runs; an xfailed case runs
+  and *must* fail (an unexpected pass is itself a failure, so stale
+  xfails cannot linger).
+
+Tests are stateless: the runner instantiates the class per run.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Any, Iterator, Mapping, Sequence
+
+__all__ = ["Case", "PerfTest", "SkipCase", "REGISTRY", "perftest"]
+
+
+class SkipCase(Exception):
+    """Raised by a test body to skip its case (reason in ``args[0]``)."""
+
+
+class Case(Mapping):
+    """One point of a test's parameter space (immutable mapping).
+
+    Parameter values are attributes too: ``case.workload``.  The case
+    id — parameter values joined with ``-`` — names the pytest item and
+    the report entry.
+    """
+
+    def __init__(self, values: Mapping[str, Any]):
+        self._values = dict(values)
+
+    def __getitem__(self, key: str) -> Any:
+        return self._values[key]
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._values)
+
+    def __len__(self) -> int:
+        return len(self._values)
+
+    def __getattr__(self, key: str) -> Any:
+        try:
+            return self._values[key]
+        except KeyError:
+            raise AttributeError(key) from None
+
+    @property
+    def id(self) -> str:
+        return "-".join(str(v) for v in self._values.values()) or "default"
+
+    def __repr__(self) -> str:
+        inner = ", ".join(f"{k}={v!r}" for k, v in self._values.items())
+        return f"Case({inner})"
+
+
+def expand(params: Mapping[str, Sequence[Any]]) -> list[Case]:
+    """The Cartesian product of ``params`` as :class:`Case`\\ s (one
+    default case for an empty space)."""
+    if not params:
+        return [Case({})]
+    names = list(params)
+    return [
+        Case(dict(zip(names, combo)))
+        for combo in itertools.product(*(params[n] for n in names))
+    ]
+
+
+class PerfTest:
+    """Base class for declarative perf tests (see module docstring)."""
+
+    #: registry key; must be unique across suites
+    name: str = ""
+    #: one-line description shown by ``perftest --list``
+    title: str = ""
+    #: ``BENCH_perf.json`` section this test publishes (default: name)
+    section: str | None = None
+    #: parameter space (name -> values); empty means one default case
+    params: Mapping[str, Sequence[Any]] = {}
+    #: which tiers this test participates in
+    tiers: Sequence[str] = ("smoke", "measured")
+    #: perf references enforced over measured metrics
+    references: Mapping[str, Any] = {}
+
+    # -- declaration hooks ---------------------------------------------------
+
+    def cases(self) -> list[Case]:
+        return expand(self.params)
+
+    def skip(self, case: Case) -> str | None:
+        """Reason to skip ``case`` entirely, or ``None`` to run it."""
+        return None
+
+    def xfail(self, case: Case) -> str | None:
+        """Reason ``case`` is expected to fail, or ``None``."""
+        return None
+
+    def sanity(self, case: Case) -> Mapping[str, float] | None:
+        """Smoke-tier check; optionally returns observed metrics."""
+        return None
+
+    def measure(self, case: Case) -> Mapping[str, float]:
+        """Measured-tier body; returns the case's metrics."""
+        return {}
+
+    def references_for(self, case: Case) -> Mapping[str, Any]:
+        """References for one case (default: the class-level table)."""
+        return self.references
+
+    def publish(self, metrics: Mapping[str, Mapping[str, float]]) -> dict:
+        """Assemble the ``BENCH_perf.json`` section payload from the
+        per-case measured metrics (keyed by case id).  The default
+        shape nests cases; ported legacy suites override this to keep
+        their historical section shape byte-compatible."""
+        return {"cases": {cid: dict(m) for cid, m in metrics.items()}}
+
+    # -- conveniences --------------------------------------------------------
+
+    @property
+    def section_name(self) -> str:
+        return self.section or self.name
+
+
+#: every registered test, keyed by name (import a suite module to fill)
+REGISTRY: dict[str, type[PerfTest]] = {}
+
+
+def perftest(cls: type[PerfTest]) -> type[PerfTest]:
+    """Class decorator: validate and register a :class:`PerfTest`."""
+    if not cls.name:
+        raise ValueError(f"{cls.__name__} declares no name")
+    existing = REGISTRY.get(cls.name)
+    if existing is not None and existing is not cls:
+        raise ValueError(f"duplicate perf test name {cls.name!r}")
+    for tier in cls.tiers:
+        if tier not in ("smoke", "measured"):
+            raise ValueError(f"{cls.name}: unknown tier {tier!r}")
+    REGISTRY[cls.name] = cls
+    return cls

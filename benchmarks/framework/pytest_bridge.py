@@ -1,0 +1,92 @@
+"""Run framework declarations as pytest items.
+
+A suite module that used to hand-write ``test_*_smoke`` and
+``bench_*_measured`` functions now ends with::
+
+    install_pytest_tests(globals())
+
+which injects, for every :class:`PerfTest` the module registered:
+
+* ``test_<name>_smoke`` — parameterized over the test's cases, running
+  the smoke-tier pipeline (skips and xfails translate to their pytest
+  equivalents);
+* ``test_<name>_measured`` — one item running the whole measured tier
+  (gated by the ``perf_full`` fixture, i.e. the ``--perf-full`` flag),
+  refreshing the test's ``BENCH_perf.json`` section exactly as the old
+  hand-rolled scripts did.
+
+The injected functions call the same runner as the CLI, so the two
+vehicles cannot drift.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+import pytest
+
+from benchmarks.framework.core import PerfTest
+from benchmarks.framework.runner import run_case, run_measured_test
+
+__all__ = ["install_pytest_tests"]
+
+
+def _fail(outcome) -> None:
+    pytest.fail(f"[{outcome.test}:{outcome.case_id}] {outcome.detail}")
+
+
+def _smoke_fn(cls: type[PerfTest]):
+    test = cls()
+
+    @pytest.mark.parametrize(
+        "case", test.cases(), ids=lambda c: c.id
+    )
+    def smoke(case):
+        outcome = run_case(test, case, "smoke")
+        if outcome.status == "skipped":
+            pytest.skip(outcome.detail)
+        elif outcome.status == "xfailed":
+            pytest.xfail(outcome.detail)
+        elif not outcome.ok or outcome.status == "xpassed":
+            _fail(outcome)
+
+    smoke.__name__ = f"test_{cls.name}_smoke"
+    smoke.__doc__ = f"{cls.title} (smoke tier)"
+    return smoke
+
+
+def _measured_fn(cls: type[PerfTest]):
+    def measured(perf_full):
+        outcomes = run_measured_test(cls(), refresh=True)
+        bad = [o for o in outcomes if not o.ok or o.status == "xpassed"]
+        if bad:
+            pytest.fail(
+                "; ".join(f"[{o.test}:{o.case_id}] {o.detail}" for o in bad)
+            )
+        if all(o.status == "skipped" for o in outcomes):
+            pytest.skip(outcomes[0].detail if outcomes else "no cases")
+
+    measured.__name__ = f"test_{cls.name}_measured"
+    measured.__doc__ = f"{cls.title} (measured tier, writes BENCH_perf.json)"
+    return measured
+
+
+def install_pytest_tests(namespace: dict[str, Any]) -> None:
+    """Inject pytest items for every :class:`PerfTest` subclass found in
+    ``namespace`` (call with ``globals()`` at the end of a suite
+    module)."""
+    classes = [
+        obj
+        for obj in list(namespace.values())
+        if isinstance(obj, type)
+        and issubclass(obj, PerfTest)
+        and obj is not PerfTest
+        and obj.name
+    ]
+    for cls in classes:
+        if "smoke" in cls.tiers:
+            fn = _smoke_fn(cls)
+            namespace[fn.__name__] = fn
+        if "measured" in cls.tiers:
+            fn = _measured_fn(cls)
+            namespace[fn.__name__] = fn

@@ -1,0 +1,89 @@
+"""``BENCH_perf.json`` (format 2) and the runner's report artifact.
+
+Format 2 is a compatible evolution of the hand-rolled format 1: the
+per-suite *sections* keep their exact historical shapes (the old
+readers — ``enforce_speedup_floors``, the CI publish snippets, the
+docs tables — consume sections, never ``_meta``), while ``_meta``
+records the bump, the emitting framework, and the same host fingerprint
+as before.  A format-1 file on disk is migrated in place on the next
+section update; the original format is remembered in
+``_meta.migrated_from``.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+import sys
+from pathlib import Path
+from typing import Any
+
+from benchmarks.framework.gitseed import REPO_ROOT
+
+__all__ = [
+    "BENCH_FORMAT",
+    "BENCH_JSON",
+    "load_bench",
+    "migrate_bench",
+    "update_bench_section",
+]
+
+#: BENCH_perf.json schema version written by the framework
+BENCH_FORMAT = 2
+
+BENCH_JSON = REPO_ROOT / "BENCH_perf.json"
+
+
+def migrate_bench(data: dict[str, Any]) -> dict[str, Any]:
+    """Upgrade a loaded BENCH document to :data:`BENCH_FORMAT` in
+    memory.  Sections are untouched — only ``_meta`` moves."""
+    meta = data.setdefault("_meta", {})
+    fmt = meta.get("format")
+    if fmt is None or fmt == BENCH_FORMAT:
+        meta["format"] = BENCH_FORMAT
+        return data
+    if fmt == 1:
+        meta["migrated_from"] = 1
+        meta["format"] = BENCH_FORMAT
+        return data
+    raise ValueError(
+        f"BENCH_perf.json is format {fmt!r}; this framework reads "
+        f"formats 1..{BENCH_FORMAT}"
+    )
+
+
+def load_bench(path: str | os.PathLike = BENCH_JSON) -> dict[str, Any]:
+    """The BENCH document at ``path``, migrated to the current format
+    ({} when missing or unreadable)."""
+    p = Path(path)
+    if not p.exists():
+        return migrate_bench({})
+    try:
+        data = json.loads(p.read_text())
+    except (OSError, json.JSONDecodeError):
+        data = {}
+    return migrate_bench(data)
+
+
+def update_bench_section(
+    section: str, payload: dict[str, Any], path: str | os.PathLike = BENCH_JSON
+) -> None:
+    """Merge ``payload`` under ``section``, preserving every other
+    section, migrating the file format if needed.
+
+    ``_meta`` records the interpreter and host platform the numbers
+    were taken on — two BENCH files are only comparable when these
+    match.
+    """
+    data = load_bench(path)
+    meta = data["_meta"]
+    meta["framework"] = "benchmarks.framework"
+    meta["python"] = sys.version.split()[0]
+    meta["machine"] = platform.machine()
+    meta["processor"] = platform.processor()
+    meta["cpu_count"] = os.cpu_count()
+    data[section] = payload
+    Path(path).write_text(
+        json.dumps(data, indent=2, sort_keys=True) + "\n"
+    )

@@ -1,0 +1,237 @@
+"""The runner: expand, check policy, execute, enforce, report.
+
+One entry point per granularity:
+
+* :func:`run_case` — a single (test, case, tier) execution with the
+  full policy pipeline (skip -> xfail -> body -> references).  The
+  pytest bridge calls this per collected item.
+* :func:`run_measured_test` — every case of one test's measured tier,
+  then section assembly (``publish``) and the optional
+  ``BENCH_perf.json`` refresh.  The pytest ``--perf-full`` items call
+  this with ``refresh=True``, preserving the historical behavior.
+* :func:`run` — the whole registry at one tier (the CLI and CI entry
+  point), producing a :class:`RunReport` artifact.
+"""
+
+from __future__ import annotations
+
+import time
+import traceback
+from dataclasses import dataclass, field
+from typing import Any, Mapping, Sequence
+
+from benchmarks.framework.bands import check_references
+from benchmarks.framework.core import REGISTRY, Case, PerfTest, SkipCase
+from benchmarks.framework.report import BENCH_JSON, update_bench_section
+
+__all__ = [
+    "CaseOutcome",
+    "RunReport",
+    "discover",
+    "run",
+    "run_case",
+    "run_measured_test",
+]
+
+#: the suite modules discovery imports (each registers its PerfTests)
+SUITE_MODULES = (
+    "benchmarks.perf.perf_des_engine",
+    "benchmarks.perf.perf_network",
+    "benchmarks.perf.perf_obs",
+    "benchmarks.perf.perf_resilience",
+    "benchmarks.perf.perf_sweep3d_kernel",
+    "benchmarks.perf.perf_sweep3d_parallel",
+    "benchmarks.perf.perf_fullmachine",
+    "benchmarks.perf.perf_profile_shape",
+    "benchmarks.perf.perf_roofline",
+)
+
+
+@dataclass
+class CaseOutcome:
+    """What one (test, case, tier) execution did."""
+
+    test: str
+    case_id: str
+    tier: str
+    status: str = "passed"   # passed | failed | skipped | xfailed | xpassed
+    detail: str = ""
+    metrics: dict[str, float] = field(default_factory=dict)
+    duration_s: float = 0.0
+
+    @property
+    def ok(self) -> bool:
+        return self.status in ("passed", "skipped", "xfailed")
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "test": self.test,
+            "case": self.case_id,
+            "tier": self.tier,
+            "status": self.status,
+            "detail": self.detail,
+            "metrics": self.metrics,
+            "duration_s": round(self.duration_s, 4),
+        }
+
+
+@dataclass
+class RunReport:
+    """The artifact of one runner invocation (the CI upload)."""
+
+    tier: str
+    outcomes: list[CaseOutcome] = field(default_factory=list)
+
+    @property
+    def failed(self) -> list[CaseOutcome]:
+        return [o for o in self.outcomes if not o.ok]
+
+    @property
+    def exit_code(self) -> int:
+        return 1 if self.failed else 0
+
+    def counts(self) -> dict[str, int]:
+        out: dict[str, int] = {}
+        for o in self.outcomes:
+            out[o.status] = out.get(o.status, 0) + 1
+        return out
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "tier": self.tier,
+            "counts": self.counts(),
+            "cases": [o.to_dict() for o in self.outcomes],
+        }
+
+
+def discover() -> dict[str, type[PerfTest]]:
+    """Import every suite module (filling :data:`REGISTRY`) and return
+    the registry.  Import errors propagate — a suite that cannot even
+    import must fail the run, not vanish from it."""
+    import importlib
+
+    for mod in SUITE_MODULES:
+        importlib.import_module(mod)
+    return REGISTRY
+
+
+def _metrics_of(result: Mapping[str, float] | None) -> dict[str, float]:
+    return dict(result) if result else {}
+
+
+def run_case(test: PerfTest, case: Case, tier: str) -> CaseOutcome:
+    """Execute one case at one tier through the full policy pipeline.
+
+    Never raises: failures (including reference violations on measured
+    metrics) come back as ``status="failed"`` outcomes.
+    """
+    outcome = CaseOutcome(test=test.name, case_id=case.id, tier=tier)
+    if tier not in test.tiers:
+        outcome.status = "skipped"
+        outcome.detail = f"test does not participate in the {tier} tier"
+        return outcome
+    reason = test.skip(case)
+    if reason is not None:
+        outcome.status = "skipped"
+        outcome.detail = reason
+        return outcome
+    xfail_reason = test.xfail(case)
+    t0 = time.perf_counter()
+    try:
+        if tier == "smoke":
+            result = test.sanity(case)
+        else:
+            result = test.measure(case)
+        outcome.metrics = _metrics_of(result)
+        # References bind on the measured tier always, and on the smoke
+        # tier whenever the sanity body reports metrics (profile-shape
+        # gates are deterministic, so their bands hold in tier-1 CI).
+        violations = []
+        if tier == "measured" or outcome.metrics:
+            violations = check_references(
+                outcome.metrics, dict(test.references_for(case))
+            )
+        if violations:
+            raise AssertionError("; ".join(violations))
+    except SkipCase as skip:
+        outcome.status = "skipped"
+        outcome.detail = str(skip.args[0]) if skip.args else "skipped"
+    except AssertionError as exc:
+        if xfail_reason is not None:
+            outcome.status = "xfailed"
+            outcome.detail = xfail_reason
+        else:
+            outcome.status = "failed"
+            outcome.detail = str(exc) or "assertion failed"
+    except Exception:
+        outcome.status = "failed"
+        outcome.detail = traceback.format_exc(limit=8)
+    else:
+        if xfail_reason is not None:
+            outcome.status = "xpassed"
+            outcome.detail = (
+                f"expected to fail ({xfail_reason}) but passed — "
+                "remove the stale xfail"
+            )
+        else:
+            outcome.status = "passed"
+    outcome.duration_s = time.perf_counter() - t0
+    return outcome
+
+
+def run_measured_test(
+    test: PerfTest, *, refresh: bool = False, bench_path=BENCH_JSON
+) -> list[CaseOutcome]:
+    """Every case of one test's measured tier, plus section publishing.
+
+    Metrics from all non-skipped cases are assembled through the test's
+    ``publish`` hook; with ``refresh=True`` the section is written to
+    ``BENCH_perf.json`` (the baseline-capture side of the lifecycle).
+    Publishing happens even when references are violated — the report
+    should show the regressing numbers, not hide them.
+    """
+    outcomes = []
+    metrics: dict[str, dict[str, float]] = {}
+    for case in test.cases():
+        outcome = run_case(test, case, "measured")
+        outcomes.append(outcome)
+        if outcome.metrics:
+            metrics[case.id] = outcome.metrics
+    if metrics and refresh:
+        update_bench_section(test.section_name, test.publish(metrics),
+                             path=bench_path)
+    return outcomes
+
+
+def run(
+    names: Sequence[str] | None = None,
+    *,
+    tier: str = "smoke",
+    refresh: bool = False,
+    bench_path=BENCH_JSON,
+) -> RunReport:
+    """Run the selected tests (default: every registered test) at one
+    tier and return the :class:`RunReport`."""
+    registry = discover()
+    if names:
+        unknown = [n for n in names if n not in registry]
+        if unknown:
+            raise KeyError(
+                f"unknown perf test(s): {', '.join(unknown)}; "
+                f"known: {', '.join(sorted(registry))}"
+            )
+        selected = [registry[n] for n in names]
+    else:
+        selected = [registry[n] for n in sorted(registry)]
+
+    report = RunReport(tier=tier)
+    for cls in selected:
+        test = cls()
+        if tier == "measured":
+            report.outcomes.extend(
+                run_measured_test(test, refresh=refresh, bench_path=bench_path)
+            )
+        else:
+            for case in test.cases():
+                report.outcomes.append(run_case(test, case, "smoke"))
+    return report

@@ -1,0 +1,98 @@
+"""Timing primitives shared by every measured perf test.
+
+Two practical problems, solved once (previously re-derived by each
+hand-rolled script in ``benchmarks/perf``):
+
+* **Noisy wall clocks.**  Timings are taken best-of-N with the
+  competing variants sampled round-robin (A, B, A, B, ...), so a load
+  spike hits both sides rather than biasing one ratio.
+* **Determinism fingerprints.**  Event timelines are hashed exact to
+  the last float bit, so bit-identity sanity checks are one string
+  comparison.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import time
+from typing import Any, Callable
+
+__all__ = [
+    "best_rate",
+    "paired_rates",
+    "best_seconds",
+    "paired_seconds",
+    "timeline_fingerprint",
+]
+
+
+def best_rate(fn: Callable[[], int], repeats: int = 3) -> float:
+    """Best-of-``repeats`` rate (work units per second) of ``fn``.
+
+    ``fn`` returns the number of work units it performed.
+    """
+    best = 0.0
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        units = fn()
+        dt = time.perf_counter() - t0
+        if dt > 0:
+            best = max(best, units / dt)
+    return best
+
+
+def paired_rates(
+    variants: dict[str, Callable[[], int]], repeats: int = 3
+) -> dict[str, float]:
+    """Best-of rates for several variants, sampled round-robin.
+
+    One pass runs every variant once before any variant runs again, so
+    transient machine load degrades all of them together instead of
+    skewing the ratio between them.
+    """
+    best = {name: 0.0 for name in variants}
+    for _ in range(repeats):
+        for name, fn in variants.items():
+            t0 = time.perf_counter()
+            units = fn()
+            dt = time.perf_counter() - t0
+            if dt > 0:
+                best[name] = max(best[name], units / dt)
+    return best
+
+
+def best_seconds(fn: Callable[[], Any], repeats: int = 3) -> float:
+    """Best-of-``repeats`` wall-clock seconds of ``fn``."""
+    best = float("inf")
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+def paired_seconds(
+    variants: dict[str, Callable[[], Any]], repeats: int = 3
+) -> dict[str, float]:
+    """Best-of wall-clock seconds per variant, sampled round-robin
+    (same rationale as :func:`paired_rates`)."""
+    best = {name: float("inf") for name in variants}
+    for _ in range(repeats):
+        for name, fn in variants.items():
+            t0 = time.perf_counter()
+            fn()
+            best[name] = min(best[name], time.perf_counter() - t0)
+    return best
+
+
+def timeline_fingerprint(times: list[float]) -> str:
+    """A hash of an event-time sequence, exact to the last float bit.
+
+    Two runs obeying the determinism contract produce equal
+    fingerprints; any reordering or numeric drift changes the hash.
+    """
+    h = hashlib.sha256()
+    for t in times:
+        h.update(repr(t).encode())
+        h.update(b";")
+    return h.hexdigest()

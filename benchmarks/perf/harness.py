@@ -1,37 +1,54 @@
-"""Shared machinery for the perf-regression benchmarks.
+"""Compatibility shim over :mod:`benchmarks.framework`.
 
-The harness addresses two practical problems:
+The hand-rolled harness this module used to be — timing loops, git-seed
+loading, ``BENCH_perf.json`` writing — moved into the framework package
+(:mod:`benchmarks.framework.timing`, ``.gitseed``, ``.report``).  The
+names are re-exported here so external readers of the old surface keep
+working; :func:`enforce_speedup_floors` stays as a real implementation
+because it *is* the old reader the framework's format-2 sections are
+regression-tested against (``tests/test_perftest_framework.py``).
 
-* **Noisy wall clocks.**  Timings are taken best-of-N with the
-  competing variants sampled round-robin (A, B, A, B, ...), so a load
-  spike hits both sides rather than biasing one ratio.
-* **An honest baseline.**  The pre-optimization DES engine is loaded
-  straight out of git (the repository's seed commit) when available, so
-  the recorded speedups compare against the real pre-PR code on the
-  same machine, same Python, same moment — not against a number typed
-  into a file.  Without git the recorded seed-era throughput constants
-  are used and marked as such in ``BENCH_perf.json``.
+New code should declare a :class:`benchmarks.framework.PerfTest`
+instead of importing from here.
 """
 
 from __future__ import annotations
 
-import hashlib
-import importlib.util
-import json
-import os
-import platform
-import subprocess
-import sys
-import time
-from pathlib import Path
-from typing import Any, Callable
+from benchmarks.framework.gitseed import (
+    REPO_ROOT,
+    load_seed_engine,
+    load_seed_module,
+    seed_commit,
+)
+from benchmarks.framework.report import (
+    BENCH_JSON,
+    update_bench_section,
+)
+from benchmarks.framework.timing import (
+    best_rate,
+    best_seconds,
+    paired_rates,
+    paired_seconds,
+    timeline_fingerprint,
+)
 
-REPO_ROOT = Path(__file__).resolve().parent.parent.parent
-BENCH_JSON = REPO_ROOT / "BENCH_perf.json"
+__all__ = [
+    "REPO_ROOT",
+    "BENCH_JSON",
+    "FALLBACK_SEED_RATES",
+    "seed_commit",
+    "load_seed_module",
+    "load_seed_engine",
+    "best_rate",
+    "paired_rates",
+    "best_seconds",
+    "paired_seconds",
+    "timeline_fingerprint",
+    "update_bench_json",
+    "enforce_speedup_floors",
+]
 
-#: Seed-era event-loop throughput (events/s) measured on the reference
-#: container, used only when the seed engine cannot be loaded from git.
-#: The ISSUE's motivating probe measured ~450k events/s on this machine.
+#: recorded pre-PR rates (events/s) used when git history is absent
 FALLBACK_SEED_RATES = {
     "chain": 450_000.0,
     "interleave": 430_000.0,
@@ -40,167 +57,24 @@ FALLBACK_SEED_RATES = {
 }
 
 
-def best_rate(fn: Callable[[], int], repeats: int = 3) -> float:
-    """Best-of-``repeats`` rate (work units per second) of ``fn``.
-
-    ``fn`` returns the number of work units it performed.
-    """
-    best = 0.0
-    for _ in range(repeats):
-        t0 = time.perf_counter()
-        units = fn()
-        dt = time.perf_counter() - t0
-        if dt > 0:
-            best = max(best, units / dt)
-    return best
-
-
-def paired_rates(
-    variants: dict[str, Callable[[], int]], repeats: int = 3
-) -> dict[str, float]:
-    """Best-of rates for several variants, sampled round-robin.
-
-    One pass runs every variant once before any variant runs again, so
-    transient machine load degrades all of them together instead of
-    skewing the ratio between them.
-    """
-    best = {name: 0.0 for name in variants}
-    for _ in range(repeats):
-        for name, fn in variants.items():
-            t0 = time.perf_counter()
-            units = fn()
-            dt = time.perf_counter() - t0
-            if dt > 0:
-                best[name] = max(best[name], units / dt)
-    return best
-
-
-def best_seconds(fn: Callable[[], Any], repeats: int = 3) -> float:
-    """Best-of-``repeats`` wall-clock seconds of ``fn``."""
-    best = float("inf")
-    for _ in range(repeats):
-        t0 = time.perf_counter()
-        fn()
-        best = min(best, time.perf_counter() - t0)
-    return best
-
-
-def paired_seconds(
-    variants: dict[str, Callable[[], Any]], repeats: int = 3
-) -> dict[str, float]:
-    """Best-of wall-clock seconds per variant, sampled round-robin
-    (same rationale as :func:`paired_rates`)."""
-    best = {name: float("inf") for name in variants}
-    for _ in range(repeats):
-        for name, fn in variants.items():
-            t0 = time.perf_counter()
-            fn()
-            best[name] = min(best[name], time.perf_counter() - t0)
-    return best
-
-
-def seed_commit() -> str | None:
-    """The repository's root (seed) commit, or None outside git."""
-    try:
-        out = subprocess.run(
-            ["git", "rev-list", "--max-parents=0", "HEAD"],
-            cwd=REPO_ROOT,
-            capture_output=True,
-            text=True,
-            timeout=30,
-        )
-    except (OSError, subprocess.TimeoutExpired):
-        return None
-    if out.returncode != 0:
-        return None
-    commits = out.stdout.split()
-    return commits[0] if commits else None
-
-
-def load_seed_module(relpath: str, module_name: str):
-    """A module from the seed commit, executed against the *current*
-    package tree (its ``repro.*`` imports resolve normally); None when
-    git history is unavailable or the file fails to load."""
-    commit = seed_commit()
-    if commit is None:
-        return None
-    try:
-        out = subprocess.run(
-            ["git", "show", f"{commit}:{relpath}"],
-            cwd=REPO_ROOT,
-            capture_output=True,
-            text=True,
-            timeout=30,
-        )
-    except (OSError, subprocess.TimeoutExpired):
-        return None
-    if out.returncode != 0 or not out.stdout:
-        return None
-    spec = importlib.util.spec_from_loader(module_name, loader=None)
-    module = importlib.util.module_from_spec(spec)
-    module.__dict__["__file__"] = f"<git:{commit[:12]}:{relpath}>"
-    # Registered before exec: @dataclass resolves string annotations via
-    # ``sys.modules[cls.__module__]`` while the class body executes.
-    sys.modules[module_name] = module
-    try:
-        exec(compile(out.stdout, module.__dict__["__file__"], "exec"), module.__dict__)
-    except Exception:
-        del sys.modules[module_name]
-        return None
-    return module
-
-
-def load_seed_engine():
-    """The pre-PR ``repro.sim.engine`` module, loaded from the seed
-    commit; None when git history is unavailable."""
-    return load_seed_module("src/repro/sim/engine.py", "_seed_sim_engine")
-
-
-def timeline_fingerprint(times: list[float]) -> str:
-    """A hash of an event-time sequence, exact to the last float bit.
-
-    Two runs obeying the determinism contract produce equal
-    fingerprints; any reordering or numeric drift changes the hash.
-    """
-    h = hashlib.sha256()
-    for t in times:
-        h.update(repr(t).encode())
-        h.update(b";")
-    return h.hexdigest()
-
-
 def update_bench_json(section: str, payload: dict) -> None:
-    """Merge ``payload`` under ``section`` in ``BENCH_perf.json``.
+    """Merge ``payload`` under ``section`` in ``BENCH_perf.json``
+    (delegates to the framework's format-2 writer)."""
+    update_bench_section(section, payload)
 
-    ``_meta`` records the interpreter and host platform the numbers
-    were taken on — two BENCH files are only comparable when these
-    match.
+
+def enforce_speedup_floors(results: dict, floors: dict) -> None:
+    """Assert ``results[name]["speedup"] >= floor`` for every floor,
+    reporting all violations together.
+
+    This is the historical reader of the per-workload section shape
+    (``{name: {"speedup": ...}}``); the framework's ``publish`` hooks
+    keep emitting sections it can consume, and the regression test pins
+    that round-trip.
     """
-    data: dict = {}
-    if BENCH_JSON.exists():
-        try:
-            data = json.loads(BENCH_JSON.read_text())
-        except (OSError, json.JSONDecodeError):
-            data = {}
-    meta = data.setdefault("_meta", {})
-    meta["format"] = 1
-    meta["python"] = sys.version.split()[0]
-    meta["machine"] = platform.machine()
-    meta["processor"] = platform.processor()
-    meta["cpu_count"] = os.cpu_count()
-    data[section] = payload
-    BENCH_JSON.write_text(json.dumps(data, indent=2, sort_keys=True) + "\n")
-
-
-def enforce_speedup_floors(results: dict, floors: dict[str, float]) -> None:
-    """Assert every workload's measured speedup meets its committed
-    floor.  ``results`` maps workload name to a dict with a
-    ``"speedup"`` entry (the shape the des_engine section records);
-    ``floors`` maps workload name to the minimum acceptable ratio.
-    All violations are reported together rather than first-failure."""
-    failures = {
-        name: {"measured": results[name]["speedup"], "floor": floor}
-        for name, floor in floors.items()
-        if results[name]["speedup"] < floor
-    }
-    assert not failures, f"speedup floors violated: {failures}"
+    failures = []
+    for name, floor in floors.items():
+        speedup = results[name]["speedup"]
+        if speedup < floor:
+            failures.append(f"{name}: {speedup:.2f}x < required {floor}x")
+    assert not failures, "; ".join(failures)

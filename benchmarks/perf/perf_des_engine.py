@@ -9,26 +9,27 @@ Four microbenchmark workloads cover the kernel's hot paths:
 * ``spawn_join`` — process creation/termination and joining;
 * ``pingpong`` — two processes signalling through bare events.
 
-The smoke tier asserts the determinism contract: the same workload run
-twice — and run against the seed engine pulled from git — pops events
-at bit-identical simulated times.  The measured tier
-(``--perf-full``) times both engines round-robin on the same machine
-and asserts a committed speedup floor on every workload (see
-``MIN_SPEEDUPS``).
+Declared on the perf framework as two tests: the smoke-tier
+determinism oracle (same workload run twice — and run against the seed
+engine pulled from git — pops events at bit-identical simulated times)
+and the measured-tier throughput comparison, which times both engines
+round-robin on the same machine and holds a committed speedup floor on
+every workload (see ``MIN_SPEEDUPS``).
 """
 
 from __future__ import annotations
 
-import pytest
-
-from benchmarks.perf.harness import (
-    FALLBACK_SEED_RATES,
-    enforce_speedup_floors,
+from benchmarks.framework import (
+    Case,
+    Floor,
+    PerfTest,
+    SkipCase,
     load_seed_engine,
     paired_rates,
+    perftest,
     timeline_fingerprint,
-    update_bench_json,
 )
+from benchmarks.framework.pytest_bridge import install_pytest_tests
 from repro.sim import engine as current_engine
 
 SMOKE_N = 4_000
@@ -51,6 +52,16 @@ MIN_SPEEDUPS = {
     "spawn_join": 2.2,
     "pingpong": 1.45,
 }
+
+#: recorded pre-PR rates, used only when git history is unavailable
+FALLBACK_SEED_RATES = {
+    "chain": 450_000.0,
+    "interleave": 430_000.0,
+    "spawn_join": 390_000.0,
+    "pingpong": 500_000.0,
+}
+
+WORKLOAD_NAMES = ["chain", "interleave", "spawn_join", "pingpong"]
 
 
 def _workloads(mod):
@@ -150,69 +161,74 @@ def _fingerprint(mod, name: str, n: int) -> str:
     return timeline_fingerprint(flat)
 
 
-WORKLOAD_NAMES = ["chain", "interleave", "spawn_join", "pingpong"]
+@perftest
+class DesEngineDeterminism(PerfTest):
+    """Determinism contract of the engine event loop."""
 
+    name = "des_engine_determinism"
+    title = "DES kernel: bit-identical timelines run-to-run and vs git seed"
+    tiers = ("smoke",)
+    params = {
+        "workload": WORKLOAD_NAMES,
+        "oracle": ["twice", "seed"],
+    }
 
-@pytest.mark.parametrize("name", WORKLOAD_NAMES)
-def test_smoke_run_twice_is_bit_identical(name):
-    """Determinism contract: identical event timelines run-to-run."""
-    assert _fingerprint(current_engine, name, SMOKE_N) == _fingerprint(
-        current_engine, name, SMOKE_N
-    )
-
-
-@pytest.mark.parametrize("name", WORKLOAD_NAMES)
-def test_smoke_matches_seed_engine_timeline(name):
-    """The optimized kernel visits bit-identical simulated times to the
-    pre-PR kernel from the seed commit (acceptance oracle)."""
-    seed = load_seed_engine()
-    if seed is None:
-        pytest.skip("seed engine unavailable (no git history)")
-    assert _fingerprint(seed, name, SMOKE_N) == _fingerprint(
-        current_engine, name, SMOKE_N
-    )
-
-
-def test_measured_event_throughput(perf_full):
-    """Measured tier: record events/s for both engines, assert every
-    workload's committed speedup floor, write BENCH_perf.json."""
-    seed = load_seed_engine()
-    current = _workloads(current_engine)
-    baseline_source = "git-seed-commit" if seed is not None else "recorded-constants"
-
-    variants: dict = {}
-    for name in WORKLOAD_NAMES:
-        variants[f"current:{name}"] = (
-            lambda fn=current[name]: fn(FULL_N)
+    def sanity(self, case: Case):
+        if case.oracle == "twice":
+            assert _fingerprint(current_engine, case.workload, SMOKE_N) == (
+                _fingerprint(current_engine, case.workload, SMOKE_N)
+            )
+            return None
+        seed = load_seed_engine()
+        if seed is None:
+            raise SkipCase("seed engine unavailable (no git history)")
+        assert _fingerprint(seed, case.workload, SMOKE_N) == _fingerprint(
+            current_engine, case.workload, SMOKE_N
         )
+        return None
+
+
+@perftest
+class DesEngineThroughput(PerfTest):
+    """Events/s of both engines, per workload, with committed floors."""
+
+    name = "des_engine"
+    title = "DES kernel: event throughput vs the seed engine"
+    tiers = ("measured",)
+    section = "des_engine"
+    params = {"workload": WORKLOAD_NAMES}
+
+    def measure(self, case: Case):
+        seed = load_seed_engine()
+        current = _workloads(current_engine)[case.workload]
+        variants = {"current": lambda: current(FULL_N)}
         if seed is not None:
-            seed_fn = _workloads(seed)[name]
-            variants[f"seed:{name}"] = lambda fn=seed_fn: fn(FULL_N)
-
-    rates = paired_rates(variants, repeats=7)
-
-    results = {}
-    for name in WORKLOAD_NAMES:
-        now = rates[f"current:{name}"]
-        base = (
-            rates[f"seed:{name}"]
-            if seed is not None
-            else FALLBACK_SEED_RATES[name]
-        )
-        results[name] = {
+            seed_fn = _workloads(seed)[case.workload]
+            variants["seed"] = lambda: seed_fn(FULL_N)
+        rates = paired_rates(variants, repeats=7)
+        base = rates.get("seed") or FALLBACK_SEED_RATES[case.workload]
+        return {
             "baseline_events_per_s": round(base),
-            "current_events_per_s": round(now),
-            "speedup": round(now / base, 2),
+            "current_events_per_s": round(rates["current"]),
+            "speedup": round(rates["current"] / base, 2),
         }
 
-    update_bench_json(
-        "des_engine",
-        {
-            "baseline_source": baseline_source,
+    def references_for(self, case: Case):
+        return {"speedup": Floor(MIN_SPEEDUPS[case.workload])}
+
+    def publish(self, metrics):
+        # The historical "des_engine" section shape, byte for byte.
+        return {
+            "baseline_source": (
+                "git-seed-commit"
+                if load_seed_engine() is not None
+                else "recorded-constants"
+            ),
             "events_per_workload": FULL_N,
-            "workloads": results,
+            "workloads": {name: dict(metrics[name]) for name in metrics},
             "headline": "chain",
             "min_speedups": MIN_SPEEDUPS,
-        },
-    )
-    enforce_speedup_floors(results, MIN_SPEEDUPS)
+        }
+
+
+install_pytest_tests(globals())

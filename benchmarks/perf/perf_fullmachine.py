@@ -12,14 +12,13 @@ not extrapolate to it.  This module pins that capability:
   streaming obs sink reproduces the unbounded recorder's summary; and
   an enabled-obs run with the sink stays inside a tracemalloc memory
   band that the unbounded recorder already violates at this scale.
-* **measured** (``--perf-full``): wall-clock and logical events/s for
-  one 3,060-rank iteration under *both* scheduler backends (calendar
-  and heap, round-robin; the census must agree bit for bit between
-  them), tracemalloc peaks with obs disabled and with
-  the streaming sink (the ISSUE's <= 2x contract), the 6,120-rank
-  what-if, all written to the ``fullmachine`` section of
-  ``BENCH_perf.json`` with floors that fail the run if the scale
-  capability regresses.
+* **measured**: wall-clock and logical events/s for one 3,060-rank
+  iteration under *both* scheduler backends (calendar and heap,
+  round-robin; the census must agree bit for bit between them),
+  tracemalloc peaks with obs disabled and with the streaming sink (the
+  ISSUE's <= 2x contract), the 6,120-rank what-if, all written to the
+  ``fullmachine`` section of ``BENCH_perf.json`` with floors that fail
+  the run if the scale capability regresses.
 
 Wall-clock is timed without tracemalloc (tracing multiplies allocator
 cost); memory is a separate traced run.
@@ -34,9 +33,16 @@ import tracemalloc
 from typing import Any
 
 import numpy as np
-import pytest
 
-from benchmarks.perf.harness import paired_seconds, update_bench_json
+from benchmarks.framework import (
+    Case,
+    Ceiling,
+    Floor,
+    PerfTest,
+    paired_seconds,
+    perftest,
+)
+from benchmarks.framework.pytest_bridge import install_pytest_tests
 from repro.comm.mpi import UniformFabric
 from repro.comm.transport import Transport
 from repro.obs import AggregatingSink, ObsRecorder, to_summary
@@ -80,12 +86,27 @@ def _run(ranks: int, obs=None, tracer=None, iterations: int = 1):
     return sweep.run(iterations=iterations)
 
 
-def _unpooled_simulator(monkeypatch):
-    """Rebind the sweep layer's Simulator to the pool-free engine —
-    the honest unpooled baseline, same code, recycling disabled."""
-    monkeypatch.setattr(
-        parallel, "Simulator", functools.partial(Simulator, pool_size=0)
-    )
+def _run_unpooled(ranks: int, tracer=None):
+    """``_run`` with the sweep layer's Simulator rebound to the
+    pool-free engine — the honest unpooled baseline, same code,
+    recycling disabled.  (Manual rebind/restore: the framework runs
+    without pytest, so no monkeypatch fixture.)"""
+    orig = parallel.Simulator
+    parallel.Simulator = functools.partial(Simulator, pool_size=0)
+    try:
+        return _run(ranks, tracer=tracer)
+    finally:
+        parallel.Simulator = orig
+
+
+def _run_with_scheduler(scheduler: str, ranks: int, obs=None):
+    """``_run`` with the sweep layer's Simulator pinned to a backend."""
+    orig = parallel.Simulator
+    parallel.Simulator = functools.partial(Simulator, scheduler=scheduler)
+    try:
+        return _run(ranks, obs=obs)
+    finally:
+        parallel.Simulator = orig
 
 
 def _traced_peak(fn) -> int:
@@ -139,13 +160,12 @@ def _assert_summaries_agree(a: dict, b: dict) -> None:
 # -- smoke tier ------------------------------------------------------------
 
 
-def test_smoke_pooled_vs_unpooled_bit_identical(monkeypatch):
+def _check_pooled_vs_unpooled():
     """Event/timeout/envelope recycling is timeline-invisible: the
     pooled run equals the pool-free run bit for bit."""
     t_pool, t_plain = Tracer(), Tracer()
     pooled = _run(SMOKE_RANKS, tracer=t_pool)
-    _unpooled_simulator(monkeypatch)
-    plain = _run(SMOKE_RANKS, tracer=t_plain)
+    plain = _run_unpooled(SMOKE_RANKS, tracer=t_plain)
     assert pooled.iteration_time == plain.iteration_time
     assert pooled.messages == plain.messages
     assert pooled.bytes_sent == plain.bytes_sent
@@ -154,7 +174,7 @@ def test_smoke_pooled_vs_unpooled_bit_identical(monkeypatch):
     assert t_pool.records == t_plain.records
 
 
-def test_smoke_sink_summary_matches_unbounded():
+def _check_sink_matches_unbounded():
     rec_full = ObsRecorder()
     r_full = _run(SMOKE_RANKS, obs=rec_full, iterations=2)
     rec_sink = ObsRecorder(sink=AggregatingSink(), flush_threshold=1000)
@@ -168,7 +188,7 @@ def test_smoke_sink_summary_matches_unbounded():
     )
 
 
-def test_smoke_sink_summary_is_deterministic():
+def _check_sink_deterministic():
     runs = []
     for _ in range(2):
         rec = ObsRecorder(sink=AggregatingSink(), flush_threshold=1000)
@@ -179,7 +199,7 @@ def test_smoke_sink_summary_is_deterministic():
     assert runs[0] == runs[1]
 
 
-def test_smoke_obs_sink_memory_ceiling():
+def _check_sink_memory_ceiling():
     """The tracemalloc band for the nightly job: with the streaming
     sink an enabled recorder must stay well under the unbounded
     recorder and inside an absolute ceiling the unbounded path is
@@ -201,17 +221,35 @@ def test_smoke_obs_sink_memory_ceiling():
     assert peak_sink < 8_000_000
 
 
+@perftest
+class FullMachineSmoke(PerfTest):
+    """Smoke tier: pooling, streaming sink, and memory at 120 ranks."""
+
+    name = "fullmachine_smoke"
+    title = "fullmachine: pooled/sink identity and memory at 120 ranks"
+    tiers = ("smoke",)
+    params = {
+        "check": [
+            "pooled_vs_unpooled",
+            "sink_matches_unbounded",
+            "sink_deterministic",
+            "memory_ceiling",
+        ]
+    }
+
+    _CHECKS = {
+        "pooled_vs_unpooled": _check_pooled_vs_unpooled,
+        "sink_matches_unbounded": _check_sink_matches_unbounded,
+        "sink_deterministic": _check_sink_deterministic,
+        "memory_ceiling": _check_sink_memory_ceiling,
+    }
+
+    def sanity(self, case: Case):
+        self._CHECKS[case.check]()
+        return None
+
+
 # -- measured tier ---------------------------------------------------------
-
-
-def _run_with_scheduler(scheduler: str, ranks: int, obs=None):
-    """``_run`` with the sweep layer's Simulator pinned to a backend."""
-    orig = parallel.Simulator
-    parallel.Simulator = functools.partial(Simulator, scheduler=scheduler)
-    try:
-        return _run(ranks, obs=obs)
-    finally:
-        parallel.Simulator = orig
 
 
 def _logical_events(ranks: int, scheduler: str) -> tuple[dict, Any]:
@@ -236,67 +274,82 @@ def _logical_events(ranks: int, scheduler: str) -> tuple[dict, Any]:
     )
 
 
-def test_measured_fullmachine(perf_full):
-    # Wall-clock, untraced: best-of-5 per scheduler backend, sampled
-    # round-robin so load spikes degrade both backends together (five
-    # samples because the floor sits ~15% under the quiet-machine rate
-    # and shared-runner noise windows routinely last a repeat or two).
-    walls = paired_seconds(
-        {
-            "calendar": lambda: _run_with_scheduler("calendar", FULL_RANKS),
-            "heap": lambda: _run_with_scheduler("heap", FULL_RANKS),
-        },
-        repeats=5,
-    )
-    wall_3060, wall_heap = walls["calendar"], walls["heap"]
-    # Obs-sink runs give the deterministic census — identical across
-    # backends (the calendar queue reproduces heap order exactly).
-    census, result = _logical_events(FULL_RANKS, "calendar")
-    census_heap, _ = _logical_events(FULL_RANKS, "heap")
-    assert census == census_heap, (census, census_heap)
-    events = census["logical"]
-    events_per_s = events / wall_3060
-    events_per_s_heap = events / wall_heap
-    # Memory, traced separately: disabled vs streaming-sink recorder.
-    peak_disabled = _traced_peak(lambda: _run(FULL_RANKS))
-    peak_sink = _traced_peak(
-        lambda: _run(FULL_RANKS, obs=ObsRecorder(sink=AggregatingSink()))
-    )
-    obs_ratio = peak_sink / peak_disabled
-    wall_6120 = _timed(lambda: _run(DOUBLE_RANKS))
-
-    payload = {
-        "config": (
-            f"{FULL_RANKS} ranks (60x51 KBA), per-rank tile "
-            "it=jt=2 kt=8 mk=4 mmi=2, 1 iteration"
-        ),
-        "events": events,
-        "events_dispatched": census["dispatched"],
-        "events_batched_deliveries": census["batched_deliveries"],
-        "spans": census["spans"],
-        "messages": census["messages"],
-        "wall_s_3060": round(wall_3060, 3),
-        "wall_s_3060_heap": round(wall_heap, 3),
-        "events_per_s": round(events_per_s),
-        "events_per_s_heap": round(events_per_s_heap),
-        "scheduler": "calendar",
-        "peak_mb_3060": round(peak_disabled / 1e6, 1),
-        "peak_mb_3060_obs_sink": round(peak_sink / 1e6, 1),
-        "obs_peak_ratio": round(obs_ratio, 2),
-        "wall_s_6120_whatif": round(wall_6120, 3),
-        "min_events_per_s": MIN_EVENTS_PER_S,
-        "max_wall_s_3060": MAX_WALL_S_3060,
-        "max_peak_mb_3060": MAX_PEAK_MB_3060,
-        "max_obs_peak_ratio": MAX_OBS_PEAK_RATIO,
-    }
-    update_bench_json("fullmachine", payload)
-    assert events_per_s >= MIN_EVENTS_PER_S
-    assert wall_3060 <= MAX_WALL_S_3060
-    assert peak_disabled <= MAX_PEAK_MB_3060 * 1e6
-    assert obs_ratio <= MAX_OBS_PEAK_RATIO
-
-
 def _timed(fn) -> float:
     t0 = time.perf_counter()
     fn()
     return time.perf_counter() - t0
+
+
+@perftest
+class FullMachineMeasured(PerfTest):
+    """Measured tier: the 3,060-rank capability floors."""
+
+    name = "fullmachine"
+    title = "fullmachine: 3,060-rank wall/throughput/memory floors"
+    tiers = ("measured",)
+    section = "fullmachine"
+    references = {
+        "events_per_s": Floor(MIN_EVENTS_PER_S),
+        "wall_s_3060": Ceiling(MAX_WALL_S_3060),
+        "peak_mb_3060": Ceiling(MAX_PEAK_MB_3060),
+        "obs_peak_ratio": Ceiling(MAX_OBS_PEAK_RATIO),
+    }
+
+    def measure(self, case: Case):
+        # Wall-clock, untraced: best-of-5 per scheduler backend, sampled
+        # round-robin so load spikes degrade both backends together
+        # (five samples because the floor sits ~15% under the
+        # quiet-machine rate and shared-runner noise windows routinely
+        # last a repeat or two).
+        walls = paired_seconds(
+            {
+                "calendar": lambda: _run_with_scheduler("calendar", FULL_RANKS),
+                "heap": lambda: _run_with_scheduler("heap", FULL_RANKS),
+            },
+            repeats=5,
+        )
+        wall_3060, wall_heap = walls["calendar"], walls["heap"]
+        # Obs-sink runs give the deterministic census — identical across
+        # backends (the calendar queue reproduces heap order exactly).
+        census, _result = _logical_events(FULL_RANKS, "calendar")
+        census_heap, _ = _logical_events(FULL_RANKS, "heap")
+        assert census == census_heap, (census, census_heap)
+        events = census["logical"]
+        # Memory, traced separately: disabled vs streaming-sink recorder.
+        peak_disabled = _traced_peak(lambda: _run(FULL_RANKS))
+        peak_sink = _traced_peak(
+            lambda: _run(FULL_RANKS, obs=ObsRecorder(sink=AggregatingSink()))
+        )
+        wall_6120 = _timed(lambda: _run(DOUBLE_RANKS))
+        return {
+            "events": events,
+            "events_dispatched": census["dispatched"],
+            "events_batched_deliveries": census["batched_deliveries"],
+            "spans": census["spans"],
+            "messages": census["messages"],
+            "wall_s_3060": round(wall_3060, 3),
+            "wall_s_3060_heap": round(wall_heap, 3),
+            "events_per_s": round(events / wall_3060),
+            "events_per_s_heap": round(events / wall_heap),
+            "peak_mb_3060": round(peak_disabled / 1e6, 1),
+            "peak_mb_3060_obs_sink": round(peak_sink / 1e6, 1),
+            "obs_peak_ratio": round(peak_sink / peak_disabled, 2),
+            "wall_s_6120_whatif": round(wall_6120, 3),
+        }
+
+    def publish(self, metrics):
+        return {
+            "config": (
+                f"{FULL_RANKS} ranks (60x51 KBA), per-rank tile "
+                "it=jt=2 kt=8 mk=4 mmi=2, 1 iteration"
+            ),
+            "scheduler": "calendar",
+            "min_events_per_s": MIN_EVENTS_PER_S,
+            "max_wall_s_3060": MAX_WALL_S_3060,
+            "max_peak_mb_3060": MAX_PEAK_MB_3060,
+            "max_obs_peak_ratio": MAX_OBS_PEAK_RATIO,
+            **dict(metrics["default"]),
+        }
+
+
+install_pytest_tests(globals())

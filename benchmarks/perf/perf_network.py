@@ -11,11 +11,17 @@ and the measured tier records an honest same-machine speedup
 
 from __future__ import annotations
 
+import functools
 from collections import Counter
 
-import pytest
-
-from benchmarks.perf.harness import best_seconds, update_bench_json
+from benchmarks.framework import (
+    Case,
+    Floor,
+    PerfTest,
+    best_seconds,
+    perftest,
+)
+from benchmarks.framework.pytest_bridge import install_pytest_tests
 from repro.network import loadmap, routing
 from repro.network.latency import IBLatencyModel
 from repro.network.topology import RoadrunnerTopology
@@ -23,8 +29,8 @@ from repro.network.topology import RoadrunnerTopology
 MIN_NETWORK_SPEEDUP = 5.0
 
 
-@pytest.fixture(scope="module")
-def topo():
+@functools.lru_cache(maxsize=1)
+def _topo():
     return RoadrunnerTopology(cu_count=17)
 
 
@@ -90,68 +96,88 @@ def _pair_set(n_pairs: int = 765):
     return pairs
 
 
-# -- smoke tier: vectorized results identical to the reference ------------
+@perftest
+class NetworkVectorizationIdentity(PerfTest):
+    """Smoke tier: vectorized results identical to the reference."""
 
-def test_smoke_latency_map_matches_reference(topo):
-    model = IBLatencyModel()
-    assert model.latency_map(topo) == _reference_latency_map(model, topo)
+    name = "network_identity"
+    title = "network: vectorized sweeps equal the per-node reference"
+    tiers = ("smoke",)
+    params = {"check": ["latency_map", "hop_census", "hop_vector", "link_loads"]}
+
+    def sanity(self, case: Case):
+        topo = _topo()
+        if case.check == "latency_map":
+            model = IBLatencyModel()
+            assert model.latency_map(topo) == _reference_latency_map(model, topo)
+        elif case.check == "hop_census":
+            assert routing.hop_census(topo) == _reference_hop_census(topo)
+        elif case.check == "hop_vector":
+            hops = routing.hop_vector(topo, src=123)
+            for dst in range(0, topo.node_count, 61):
+                assert hops[dst] == _reference_hop_count(topo, 123, dst)
+        else:
+            pairs = _pair_set(128)
+            for spread in (False, True):
+                assert loadmap.link_loads(
+                    topo, pairs, spread=spread
+                ) == _reference_link_loads(topo, pairs, spread=spread)
+        return None
 
 
-def test_smoke_hop_census_matches_reference(topo):
-    assert routing.hop_census(topo) == _reference_hop_census(topo)
+@perftest
+class NetworkSweepSpeedup(PerfTest):
+    """Measured tier: wall-clock of each sweep vs its reference loop."""
+
+    name = "network"
+    title = "network: vectorized sweep speedups vs the reference loops"
+    tiers = ("measured",)
+    section = "network"
+    params = {"op": ["latency_map", "hop_census", "link_loads_warm"]}
+
+    def measure(self, case: Case):
+        topo = _topo()
+        if case.op == "latency_map":
+            model = IBLatencyModel()
+            current = lambda: model.latency_map(topo)  # noqa: E731
+            reference = lambda: _reference_latency_map(model, topo)  # noqa: E731
+            size = topo.node_count
+        elif case.op == "hop_census":
+            current = lambda: routing.hop_census(topo)  # noqa: E731
+            reference = lambda: _reference_hop_census(topo)  # noqa: E731
+            size = topo.node_count
+        else:
+            pairs = _pair_set()
+            loadmap.link_loads(topo, pairs)  # warm the flow cache
+            current = lambda: loadmap.link_loads(topo, pairs)  # noqa: E731
+            reference = lambda: _reference_link_loads(topo, pairs)  # noqa: E731
+            size = len(pairs)
+        t_now = best_seconds(current, repeats=5)
+        t_ref = best_seconds(reference, repeats=5)
+        return {
+            "size": size,
+            "reference_ms": round(t_ref * 1e3, 4),
+            "current_ms": round(t_now * 1e3, 4),
+            "speedup": round(t_ref / t_now, 1),
+        }
+
+    def references_for(self, case: Case):
+        # hop_census rides along unguarded, exactly as before.
+        if case.op == "hop_census":
+            return {}
+        return {"speedup": Floor(MIN_NETWORK_SPEEDUP)}
+
+    def publish(self, metrics):
+        # The historical "network" section shape: the size field is
+        # named per op (nodes for topology sweeps, pairs for flows).
+        payload: dict = {}
+        for op, m in metrics.items():
+            entry = dict(m)
+            size = entry.pop("size")
+            entry_key = "pairs" if op == "link_loads_warm" else "nodes"
+            payload[op] = {entry_key: int(size), **entry}
+        payload["min_required_speedup"] = MIN_NETWORK_SPEEDUP
+        return payload
 
 
-def test_smoke_hop_vector_matches_hop_count(topo):
-    hops = routing.hop_vector(topo, src=123)
-    for dst in range(0, topo.node_count, 61):
-        assert hops[dst] == _reference_hop_count(topo, 123, dst)
-
-
-def test_smoke_link_loads_matches_reference(topo):
-    pairs = _pair_set(128)
-    for spread in (False, True):
-        assert loadmap.link_loads(topo, pairs, spread=spread) == _reference_link_loads(
-            topo, pairs, spread=spread
-        )
-
-
-# -- measured tier --------------------------------------------------------
-
-def test_measured_network_sweeps(topo, perf_full):
-    model = IBLatencyModel()
-    pairs = _pair_set()
-
-    t_map = best_seconds(lambda: model.latency_map(topo), repeats=5)
-    t_map_ref = best_seconds(lambda: _reference_latency_map(model, topo), repeats=5)
-    t_census = best_seconds(lambda: routing.hop_census(topo), repeats=5)
-    t_census_ref = best_seconds(lambda: _reference_hop_census(topo), repeats=5)
-
-    loadmap.link_loads(topo, pairs)  # warm the flow cache
-    t_loads = best_seconds(lambda: loadmap.link_loads(topo, pairs), repeats=5)
-    t_loads_ref = best_seconds(lambda: _reference_link_loads(topo, pairs), repeats=5)
-
-    payload = {
-        "latency_map": {
-            "nodes": topo.node_count,
-            "reference_ms": round(t_map_ref * 1e3, 4),
-            "current_ms": round(t_map * 1e3, 4),
-            "speedup": round(t_map_ref / t_map, 1),
-        },
-        "hop_census": {
-            "nodes": topo.node_count,
-            "reference_ms": round(t_census_ref * 1e3, 4),
-            "current_ms": round(t_census * 1e3, 4),
-            "speedup": round(t_census_ref / t_census, 1),
-        },
-        "link_loads_warm": {
-            "pairs": len(pairs),
-            "reference_ms": round(t_loads_ref * 1e3, 4),
-            "current_ms": round(t_loads * 1e3, 4),
-            "speedup": round(t_loads_ref / t_loads, 1),
-        },
-        "min_required_speedup": MIN_NETWORK_SPEEDUP,
-    }
-    update_bench_json("network", payload)
-
-    assert t_map_ref / t_map >= MIN_NETWORK_SPEEDUP, payload
-    assert t_loads_ref / t_loads >= MIN_NETWORK_SPEEDUP, payload
+install_pytest_tests(globals())

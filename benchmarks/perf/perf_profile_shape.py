@@ -1,0 +1,179 @@
+"""Profile-shape gates: phase *fractions* pinned in tolerance bands.
+
+Wall-clock floors catch a simulator that got slower; they cannot catch
+one that got *different* — a scheduling change that silently doubles
+recv-wait, a collective sneaking into a point-to-point pipeline, a rank
+left idle by a broken pipeline fill.  The per-rank sim-time attribution
+from ``to_summary()`` is a pure function of the scenario (bit-exact run
+to run), so its phase fractions can be pinned in bands and checked in
+tier-1 CI with zero timing noise.
+
+Each case runs one scenario, reduces the per-rank fractions from
+:func:`repro.obs.phase_fractions` to min/max/mean aggregates, and holds
+the declared bands — including the headline gate: every rank of the
+fullmachine-class 120-rank sweep spends between 40% and 85% of its
+attributed time in recv-wait (pipeline-dominated, exactly as the
+paper's wavefront analysis predicts), with the population min, max and
+mean each pinned in a ~±0.05 band around the recorded shape.
+
+The measured tier re-runs the same cases (they are cheap) and publishes
+the observed aggregates under ``profile_shape`` in ``BENCH_perf.json``
+so the recorded shape stays visible next to the timing baselines.
+"""
+
+from __future__ import annotations
+
+from benchmarks.framework import (
+    Band,
+    Case,
+    Ceiling,
+    PerfTest,
+    perftest,
+)
+from benchmarks.framework.pytest_bridge import install_pytest_tests
+from repro.comm.mpi import UniformFabric
+from repro.comm.transport import Transport
+from repro.obs import (
+    AggregatingSink,
+    ObsRecorder,
+    phase_fractions,
+    run_scenario,
+    to_summary,
+)
+from repro.sweep3d import parallel
+from repro.sweep3d.decomposition import Decomposition2D
+from repro.sweep3d.input import SweepInput
+
+#: the fullmachine-class configuration (perf_fullmachine's smoke tile)
+FULLMACHINE_INP = SweepInput(it=2, jt=2, kt=8, mk=4, mmi=2)
+FULLMACHINE_RANKS = 120
+
+
+def _fullmachine_summary() -> dict:
+    rec = ObsRecorder(sink=AggregatingSink(), flush_threshold=1000)
+    fabric = UniformFabric(Transport("ib", latency=2e-6, bandwidth=2e9))
+    sweep = parallel.ParallelSweep(
+        FULLMACHINE_INP,
+        Decomposition2D.near_square(FULLMACHINE_RANKS),
+        1e-6,
+        fabric,
+        obs=rec,
+    )
+    result = sweep.run(iterations=1)
+    return to_summary(rec, result.iteration_time)
+
+
+def _scenario_summary(name: str) -> dict:
+    rec, sim_time = run_scenario(name)
+    return to_summary(rec, sim_time)
+
+
+_SUMMARIES = {
+    "fullmachine120": _fullmachine_summary,
+    "sweep16": lambda: _scenario_summary("sweep16"),
+    "solve4": lambda: _scenario_summary("solve4"),
+}
+
+
+def _shape_metrics(summary: dict) -> dict[str, float]:
+    """Min/max/mean aggregates of the per-rank phase fractions, plus
+    the worst sum-to-one error across ranks."""
+    fractions = phase_fractions(summary)
+    assert fractions, "scenario produced no rank attribution"
+    metrics: dict[str, float] = {"ranks": float(len(fractions))}
+    for phase, key in (
+        ("compute", "compute"),
+        ("recv-wait", "recv_wait"),
+        ("send", "send"),
+        ("collective", "collective"),
+        ("idle", "idle"),
+    ):
+        values = [f[phase] for f in fractions.values()]
+        metrics[f"{key}_min"] = min(values)
+        metrics[f"{key}_max"] = max(values)
+        metrics[f"{key}_mean"] = sum(values) / len(values)
+    metrics["frac_sum_err_max"] = max(
+        abs(sum(f.values()) - 1.0) for f in fractions.values()
+    )
+    return metrics
+
+
+#: the declared shape bands, per scenario.  Recorded aggregates in the
+#: comments; bands leave ~±0.05 absolute headroom so a legitimate
+#: refactor that shifts a fraction by a few points still passes while a
+#: semantic change (doubled waits, vanished compute) cannot.
+SHAPE_BANDS = {
+    "fullmachine120": {
+        # every rank: compute 0.2273 (uniform tile => uniform fraction)
+        "compute_min": Band(0.18, 0.28),
+        "compute_max": Band(0.18, 0.28),
+        # the headline per-rank recv-wait gate: min 0.4695, max 0.7722
+        "recv_wait_min": Band(0.40, 0.55),
+        "recv_wait_max": Band(0.70, 0.85),
+        "recv_wait_mean": Band(0.55, 0.70),  # 0.6205
+        "send_max": Ceiling(0.01),           # 0.0009
+        "collective_max": Ceiling(1e-9),     # no collectives in the sweep
+        "idle_max": Ceiling(0.40),           # 0.3027
+        "frac_sum_err_max": Ceiling(1e-9),
+    },
+    "sweep16": {
+        "compute_min": Band(0.62, 0.73),     # 0.6759 uniform
+        "compute_max": Band(0.62, 0.73),
+        "recv_wait_min": Band(0.20, 0.30),   # 0.2513
+        "recv_wait_max": Band(0.27, 0.38),   # 0.3228
+        "collective_max": Ceiling(1e-9),
+        "frac_sum_err_max": Ceiling(1e-9),
+    },
+    "solve4": {
+        "compute_min": Band(0.62, 0.73),     # 0.6779
+        "compute_max": Band(0.62, 0.73),
+        "recv_wait_max": Band(0.25, 0.40),   # ~0.32
+        "collective_max": Ceiling(1e-9),
+        "frac_sum_err_max": Ceiling(1e-9),
+    },
+}
+
+
+@perftest
+class ProfileShapeGates(PerfTest):
+    """Per-rank phase fractions pinned in declared bands."""
+
+    name = "profile_shape"
+    title = "profile shape: per-rank phase fractions inside declared bands"
+    tiers = ("smoke", "measured")
+    section = "profile_shape"
+    params = {"scenario": list(SHAPE_BANDS)}
+
+    def sanity(self, case: Case):
+        # Returning the metrics makes the runner enforce the bands in
+        # the smoke tier too — the whole point of a deterministic gate.
+        return _shape_metrics(_SUMMARIES[case.scenario]())
+
+    def measure(self, case: Case):
+        return self.sanity(case)
+
+    def references_for(self, case: Case):
+        return SHAPE_BANDS[case.scenario]
+
+    def publish(self, metrics):
+        return {
+            "config": (
+                f"fullmachine120: {FULLMACHINE_RANKS} ranks, tile "
+                "it=jt=2 kt=8 mk=4 mmi=2; sweep16/solve4: canned obs "
+                "scenarios"
+            ),
+            "bands": {
+                scenario: {
+                    metric: ref.to_dict()
+                    for metric, ref in bands.items()
+                }
+                for scenario, bands in SHAPE_BANDS.items()
+            },
+            "observed": {
+                scenario: {k: round(v, 6) for k, v in m.items()}
+                for scenario, m in metrics.items()
+            },
+        }
+
+
+install_pytest_tests(globals())

@@ -14,13 +14,15 @@ from __future__ import annotations
 import gc
 import hashlib
 
-import pytest
-
-from benchmarks.perf.harness import (
+from benchmarks.framework import (
+    Case,
+    PerfTest,
+    SkipCase,
     load_seed_module,
     paired_seconds,
-    update_bench_json,
+    perftest,
 )
+from benchmarks.framework.pytest_bridge import install_pytest_tests
 from repro.comm import mpi as current_mpi
 from repro.comm.transport import Transport
 from repro.resilience.policy import DeliveryPolicy
@@ -71,20 +73,6 @@ def _fingerprint(tracer: Tracer) -> str:
     return h.hexdigest()
 
 
-def test_smoke_disabled_path_bit_identical_to_seed_mpi():
-    """delivery=None must reproduce the seed commit's event timeline and
-    trace stream exactly."""
-    seed = load_seed_module("src/repro/comm/mpi.py", "_seed_comm_mpi")
-    if seed is None:
-        pytest.skip("seed mpi layer unavailable (no git history)")
-    t_seed, t_now = Tracer(), Tracer()
-    now_seed = _run_ring(seed, tracer=t_seed)
-    now_current = _run_ring(current_mpi, tracer=t_now)
-    assert now_current == now_seed
-    assert len(t_now.records) > 0
-    assert _fingerprint(t_now) == _fingerprint(t_seed)
-
-
 def _leftover_objects(mod, n_messages: int) -> int:
     """Live-object growth from ``n_messages`` undelivered-to-user sends
     (the Messages stay parked in the destination mailbox)."""
@@ -107,57 +95,106 @@ def _leftover_objects(mod, n_messages: int) -> int:
     return after - before
 
 
-def test_smoke_disabled_path_adds_no_per_message_allocation():
-    """The per-message live-object slope of ``Rank.send`` with no policy
-    must not exceed the seed commit's — the ``delivery`` guard costs an
-    attribute load and an ``is`` check, not an allocation."""
-    seed = load_seed_module("src/repro/comm/mpi.py", "_seed_comm_mpi_alloc")
-    if seed is None:
-        pytest.skip("seed mpi layer unavailable (no git history)")
-    n1, n2 = 256, 512
-    slope_now = (_leftover_objects(current_mpi, n2)
-                 - _leftover_objects(current_mpi, n1)) / (n2 - n1)
-    slope_seed = (_leftover_objects(seed, n2)
-                  - _leftover_objects(seed, n1)) / (n2 - n1)
-    # Identical code path => identical slope; allow a sliver of noise
-    # (interned ints, list growth granularity) but nothing near one
-    # extra object per message.
-    assert slope_now <= slope_seed + 0.25, (slope_now, slope_seed)
+@perftest
+class ResilienceDisabledContract(PerfTest):
+    """Smoke tier: the no-policy send path is the historical code."""
 
-
-def test_smoke_perfect_policy_timeline_matches_disabled():
-    """Installing DeliveryPolicy() (perfect fabric) must not move one
-    event: same finish time, same trace stream."""
-    t_off, t_on = Tracer(), Tracer()
-    now_off = _run_ring(current_mpi, tracer=t_off)
-    now_on = _run_ring(current_mpi, tracer=t_on, delivery=DeliveryPolicy())
-    assert now_on == now_off
-    assert _fingerprint(t_on) == _fingerprint(t_off)
-
-
-def test_measured_resilience_overhead(perf_full):
-    """Record what the resilient send path costs when enabled."""
-    times = paired_seconds(
-        {
-            "disabled": lambda: _run_ring(current_mpi),
-            "perfect_policy": lambda: _run_ring(
-                current_mpi, delivery=DeliveryPolicy()
-            ),
-            "lossy_policy": lambda: _run_ring(
-                current_mpi,
-                delivery=DeliveryPolicy(drop_probability=0.05, max_retries=10),
-            ),
-        },
-        repeats=4,
-    )
-    payload = {
-        "config": f"{RANKS}-rank ring, {ROUNDS} rounds, mixed 64B/8KiB",
-        "disabled_s": round(times["disabled"], 5),
-        "perfect_policy_s": round(times["perfect_policy"], 5),
-        "lossy_policy_s": round(times["lossy_policy"], 5),
-        "perfect_overhead": round(
-            times["perfect_policy"] / times["disabled"], 3
-        ),
+    name = "resilience_contract"
+    title = "resilience: delivery=None is the seed-commit send path"
+    tiers = ("smoke",)
+    params = {
+        "check": [
+            "timeline_vs_seed",
+            "allocation_slope",
+            "perfect_policy_timeline",
+        ]
     }
-    update_bench_json("resilience", payload)
-    assert times["disabled"] > 0
+
+    def sanity(self, case: Case):
+        if case.check == "timeline_vs_seed":
+            # delivery=None must reproduce the seed commit's event
+            # timeline and trace stream exactly.
+            seed = load_seed_module("src/repro/comm/mpi.py", "_seed_comm_mpi")
+            if seed is None:
+                raise SkipCase("seed mpi layer unavailable (no git history)")
+            t_seed, t_now = Tracer(), Tracer()
+            now_seed = _run_ring(seed, tracer=t_seed)
+            now_current = _run_ring(current_mpi, tracer=t_now)
+            assert now_current == now_seed
+            assert len(t_now.records) > 0
+            assert _fingerprint(t_now) == _fingerprint(t_seed)
+        elif case.check == "allocation_slope":
+            # The per-message live-object slope of ``Rank.send`` with no
+            # policy must not exceed the seed commit's — the ``delivery``
+            # guard costs an attribute load and an ``is`` check, not an
+            # allocation.
+            seed = load_seed_module(
+                "src/repro/comm/mpi.py", "_seed_comm_mpi_alloc"
+            )
+            if seed is None:
+                raise SkipCase("seed mpi layer unavailable (no git history)")
+            n1, n2 = 256, 512
+            slope_now = (_leftover_objects(current_mpi, n2)
+                         - _leftover_objects(current_mpi, n1)) / (n2 - n1)
+            slope_seed = (_leftover_objects(seed, n2)
+                          - _leftover_objects(seed, n1)) / (n2 - n1)
+            # Identical code path => identical slope; allow a sliver of
+            # noise (interned ints, list growth granularity) but nothing
+            # near one extra object per message.
+            assert slope_now <= slope_seed + 0.25, (slope_now, slope_seed)
+        else:
+            # Installing DeliveryPolicy() (perfect fabric) must not move
+            # one event: same finish time, same trace stream.
+            t_off, t_on = Tracer(), Tracer()
+            now_off = _run_ring(current_mpi, tracer=t_off)
+            now_on = _run_ring(
+                current_mpi, tracer=t_on, delivery=DeliveryPolicy()
+            )
+            assert now_on == now_off
+            assert _fingerprint(t_on) == _fingerprint(t_off)
+        return None
+
+
+@perftest
+class ResilienceOverhead(PerfTest):
+    """Measured tier: what the resilient send path costs when enabled."""
+
+    name = "resilience"
+    title = "resilience: overhead of perfect and lossy delivery policies"
+    tiers = ("measured",)
+    section = "resilience"
+
+    def measure(self, case: Case):
+        times = paired_seconds(
+            {
+                "disabled": lambda: _run_ring(current_mpi),
+                "perfect_policy": lambda: _run_ring(
+                    current_mpi, delivery=DeliveryPolicy()
+                ),
+                "lossy_policy": lambda: _run_ring(
+                    current_mpi,
+                    delivery=DeliveryPolicy(
+                        drop_probability=0.05, max_retries=10
+                    ),
+                ),
+            },
+            repeats=4,
+        )
+        assert times["disabled"] > 0
+        return {
+            "disabled_s": round(times["disabled"], 5),
+            "perfect_policy_s": round(times["perfect_policy"], 5),
+            "lossy_policy_s": round(times["lossy_policy"], 5),
+            "perfect_overhead": round(
+                times["perfect_policy"] / times["disabled"], 3
+            ),
+        }
+
+    def publish(self, metrics):
+        return {
+            "config": f"{RANKS}-rank ring, {ROUNDS} rounds, mixed 64B/8KiB",
+            **dict(metrics["default"]),
+        }
+
+
+install_pytest_tests(globals())

@@ -14,9 +14,9 @@ The smoke tier is the bit-identity contract of the sweep-plan rewrite:
 * replay-mode ``run(iterations=N)`` against the full run — flux,
   message counts, bytes, iteration time, and the traced DES timeline.
 
-The measured tier (``--perf-full``) times the kernel micro-benchmark,
-a sequential solve, and a replay run against the seed baselines and
-records them under ``sweep3d_kernel`` in ``BENCH_perf.json``.
+The measured tier times the kernel micro-benchmark, a sequential solve,
+and a replay run against the seed baselines and records them under
+``sweep3d_kernel`` in ``BENCH_perf.json``.
 """
 
 from __future__ import annotations
@@ -24,14 +24,18 @@ from __future__ import annotations
 import hashlib
 
 import numpy as np
-import pytest
 
-from benchmarks.perf.harness import (
+from benchmarks.framework import (
+    Case,
+    Floor,
+    PerfTest,
+    SkipCase,
     best_seconds,
     load_seed_module,
     paired_seconds,
-    update_bench_json,
+    perftest,
 )
+from benchmarks.framework.pytest_bridge import install_pytest_tests
 from repro.hardware.cell import POWERXCELL_8I
 from repro.sim.trace import Tracer
 from repro.sweep3d.cellport import grind_time
@@ -64,11 +68,13 @@ SOLVE_ITERATIONS = 4
 REPLAY_INP = SweepInput(it=5, jt=5, kt=40, mk=20, mmi=6)
 REPLAY_DECOMP = Decomposition2D(8, 4)
 
+MIN_SOLVE_SPEEDUP = 3.0
+
 
 def _seed(relpath: str, name: str):
     mod = load_seed_module(relpath, name)
     if mod is None:
-        pytest.skip("seed modules unavailable (no git history)")
+        raise SkipCase("seed modules unavailable (no git history)")
     return mod
 
 
@@ -85,7 +91,7 @@ def _cases(rng, I, J, K, mmi):
     return ang, src, inflows, sigmas
 
 
-def test_smoke_plan_kernels_bitwise_vs_seed():
+def _check_plan_kernels_vs_seed():
     seed_kernel = _seed("src/repro/sweep3d/kernel.py", "_seed_s3d_kernel")
     seed_fixup = _seed("src/repro/sweep3d/fixup.py", "_seed_s3d_fixup")
     rng = np.random.default_rng(31)
@@ -103,7 +109,7 @@ def test_smoke_plan_kernels_bitwise_vs_seed():
                     assert np.array_equal(g, w), (now.__name__, I, J, K, mmi)
 
 
-def test_smoke_batched_bitwise_vs_per_octant():
+def _check_batched_vs_per_octant():
     """The 8-octant batched path and the octant loop are the same sweep:
     identical flux, leakage and (zero) reflected influx, both kernels."""
     rng = np.random.default_rng(32)
@@ -119,7 +125,7 @@ def test_smoke_batched_bitwise_vs_per_octant():
             assert loop[2] == fast[2]
 
 
-def test_smoke_solver_stack_bitwise_vs_seed():
+def _check_solver_stack_vs_seed():
     """The full current stack (plan kernels + auto-batching) against the
     seed solver driving the seed kernels — vacuum, reflective, and
     fixup-with-face-memory sweeps."""
@@ -171,7 +177,7 @@ def _trace_fingerprint(tracer: Tracer) -> str:
     return h.hexdigest()
 
 
-def test_smoke_replay_bitwise_vs_full_run():
+def _check_replay_vs_full_run():
     """Replay mode is pure bookkeeping: flux, message counts, bytes,
     iteration time and the traced DES timeline all match the full run
     bit for bit."""
@@ -184,6 +190,29 @@ def test_smoke_replay_bitwise_vs_full_run():
     assert full.compute_time_per_rank == fast.compute_time_per_rank
     assert len(t_full.records) > 0
     assert _trace_fingerprint(t_full) == _trace_fingerprint(t_fast)
+
+
+@perftest
+class SweepKernelIdentity(PerfTest):
+    """Smoke tier: the rewrite's bit-identity contract."""
+
+    name = "sweep3d_kernel_identity"
+    title = "sweep3d: plan kernels, batching, solver stack, replay identity"
+    tiers = ("smoke",)
+    params = {
+        "check": ["plan_kernels", "batched", "solver_stack", "replay"]
+    }
+
+    _CHECKS = {
+        "plan_kernels": _check_plan_kernels_vs_seed,
+        "batched": _check_batched_vs_per_octant,
+        "solver_stack": _check_solver_stack_vs_seed,
+        "replay": _check_replay_vs_full_run,
+    }
+
+    def sanity(self, case: Case):
+        self._CHECKS[case.check]()
+        return None
 
 
 # -- measured tier -------------------------------------------------------------
@@ -222,39 +251,62 @@ def _parallel_replay_run():
     return sweep.run(iterations=8, replay=True)
 
 
-def test_measured_sweep3d_kernel(perf_full):
-    seed_solver = load_seed_module("src/repro/sweep3d/solver.py", "_seed_s3d_solver_m")
-    seed_kernel = load_seed_module("src/repro/sweep3d/kernel.py", "_seed_s3d_kernel_m")
-    payload: dict = {
-        "config": (
-            f"kernel: 5x5x20 block x64 calls; solve: it=jt=kt=16 mmi=6 "
-            f"x{SOLVE_ITERATIONS} iterations; replay: 8x4 ranks x8 iterations"
-        ),
-        "min_required_solve_speedup": 3.0,
-    }
-    if seed_kernel is not None:
-        micro = paired_seconds(
-            {
-                "current": _kernel_micro(sweep_octant),
-                "seed": _kernel_micro(seed_kernel.sweep_octant),
-            },
-            repeats=5,
+@perftest
+class SweepKernelThroughput(PerfTest):
+    """Measured tier: kernel micro, sequential solve, replay run."""
+
+    name = "sweep3d_kernel"
+    title = "sweep3d: kernel/solve/replay wall-clock vs the seed stack"
+    tiers = ("measured",)
+    section = "sweep3d_kernel"
+    # The floor binds only when git history provides the seed baseline,
+    # exactly like the old `if "solve_speedup" in payload` guard.
+    references = {"solve_speedup": Floor(MIN_SOLVE_SPEEDUP, required=False)}
+
+    def measure(self, case: Case):
+        seed_solver = load_seed_module(
+            "src/repro/sweep3d/solver.py", "_seed_s3d_solver_m"
         )
-        payload["kernel_current_s"] = round(micro["current"], 4)
-        payload["kernel_seed_s"] = round(micro["seed"], 4)
-        payload["kernel_speedup"] = round(micro["seed"] / micro["current"], 2)
-    if seed_solver is not None and seed_kernel is not None:
-        times = paired_seconds(
-            {
-                "current": _solve_current,
-                "seed": _make_solve_seed(seed_solver, seed_kernel),
-            },
-            repeats=3,
+        seed_kernel = load_seed_module(
+            "src/repro/sweep3d/kernel.py", "_seed_s3d_kernel_m"
         )
-        payload["solve_current_s"] = round(times["current"], 4)
-        payload["solve_seed_s"] = round(times["seed"], 4)
-        payload["solve_speedup"] = round(times["seed"] / times["current"], 2)
-    payload["replay_run8_s"] = round(best_seconds(_parallel_replay_run, repeats=3), 4)
-    update_bench_json("sweep3d_kernel", payload)
-    if "solve_speedup" in payload:
-        assert payload["solve_speedup"] >= 3.0
+        metrics: dict = {}
+        if seed_kernel is not None:
+            micro = paired_seconds(
+                {
+                    "current": _kernel_micro(sweep_octant),
+                    "seed": _kernel_micro(seed_kernel.sweep_octant),
+                },
+                repeats=5,
+            )
+            metrics["kernel_current_s"] = round(micro["current"], 4)
+            metrics["kernel_seed_s"] = round(micro["seed"], 4)
+            metrics["kernel_speedup"] = round(micro["seed"] / micro["current"], 2)
+        if seed_solver is not None and seed_kernel is not None:
+            times = paired_seconds(
+                {
+                    "current": _solve_current,
+                    "seed": _make_solve_seed(seed_solver, seed_kernel),
+                },
+                repeats=3,
+            )
+            metrics["solve_current_s"] = round(times["current"], 4)
+            metrics["solve_seed_s"] = round(times["seed"], 4)
+            metrics["solve_speedup"] = round(times["seed"] / times["current"], 2)
+        metrics["replay_run8_s"] = round(
+            best_seconds(_parallel_replay_run, repeats=3), 4
+        )
+        return metrics
+
+    def publish(self, metrics):
+        return {
+            "config": (
+                f"kernel: 5x5x20 block x64 calls; solve: it=jt=kt=16 mmi=6 "
+                f"x{SOLVE_ITERATIONS} iterations; replay: 8x4 ranks x8 iterations"
+            ),
+            "min_required_solve_speedup": MIN_SOLVE_SPEEDUP,
+            **dict(metrics["default"]),
+        }
+
+
+install_pytest_tests(globals())

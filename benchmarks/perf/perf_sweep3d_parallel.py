@@ -9,7 +9,7 @@ The measured tier times the same configuration against the seed
 commit's ``parallel.py`` with the seed-commit ``sweep_octant`` injected
 into it — the genuine pre-PR numeric stack, not the seed sweep layer
 running over today's kernel — and records both wall-clock times in
-``BENCH_perf.json``, asserting the ISSUE's >= 2x end-to-end target.
+``BENCH_perf.json``, holding the ISSUE's >= 2x end-to-end floor.
 """
 
 from __future__ import annotations
@@ -17,14 +17,18 @@ from __future__ import annotations
 import hashlib
 
 import numpy as np
-import pytest
 
-from benchmarks.perf.harness import (
+from benchmarks.framework import (
+    Case,
+    Floor,
+    PerfTest,
+    SkipCase,
     best_seconds,
     load_seed_module,
     paired_seconds,
-    update_bench_json,
+    perftest,
 )
+from benchmarks.framework.pytest_bridge import install_pytest_tests
 from repro.hardware.cell import POWERXCELL_8I
 from repro.sim.trace import Tracer
 from repro.sweep3d import parallel as current_parallel
@@ -36,6 +40,8 @@ from repro.sweep3d.placement import cell_fabric, spe_locations
 #: one simulated triblade: 8x4 SPE tile, reduced K extent
 INP = SweepInput(it=5, jt=5, kt=40, mk=20, mmi=6)
 DECOMP = Decomposition2D(8, 4)
+
+MIN_E2E_SPEEDUP = 2.0
 
 
 def _run(mod, tracer=None):
@@ -58,57 +64,88 @@ def _trace_fingerprint(tracer: Tracer) -> str:
     return h.hexdigest()
 
 
-def test_smoke_sweep_run_twice_is_bit_identical():
-    t1, t2 = Tracer(), Tracer()
-    r1 = _run(current_parallel, tracer=t1)
-    r2 = _run(current_parallel, tracer=t2)
-    assert r1.iteration_time == r2.iteration_time
-    assert r1.messages == r2.messages
-    assert np.array_equal(r1.phi, r2.phi)
-    assert len(t1.records) > 0
-    assert _trace_fingerprint(t1) == _trace_fingerprint(t2)
+@perftest
+class ParallelSweepDeterminism(PerfTest):
+    """Smoke tier: the distributed sweep's determinism contract."""
+
+    name = "sweep3d_parallel_determinism"
+    title = "sweep3d parallel: bit-identical runs and seed-layer identity"
+    tiers = ("smoke",)
+    params = {"oracle": ["twice", "seed"]}
+
+    def sanity(self, case: Case):
+        if case.oracle == "twice":
+            t1, t2 = Tracer(), Tracer()
+            r1 = _run(current_parallel, tracer=t1)
+            r2 = _run(current_parallel, tracer=t2)
+            assert r1.iteration_time == r2.iteration_time
+            assert r1.messages == r2.messages
+            assert np.array_equal(r1.phi, r2.phi)
+            assert len(t1.records) > 0
+            assert _trace_fingerprint(t1) == _trace_fingerprint(t2)
+        else:
+            # The preallocated-inflow sweep produces bit-identical
+            # results to the seed commit's sweep layer over the same
+            # kernel.
+            seed = load_seed_module(
+                "src/repro/sweep3d/parallel.py", "_seed_sweep3d_parallel"
+            )
+            if seed is None:
+                raise SkipCase("seed sweep layer unavailable (no git history)")
+            r_seed = _run(seed)
+            r_now = _run(current_parallel)
+            assert r_now.iteration_time == r_seed.iteration_time
+            assert r_now.messages == r_seed.messages
+            assert np.array_equal(r_now.phi, r_seed.phi)
+        return None
 
 
-def test_smoke_matches_seed_sweep_layer():
-    """The preallocated-inflow sweep produces bit-identical results to
-    the seed commit's sweep layer run over the same kernel."""
-    seed = load_seed_module("src/repro/sweep3d/parallel.py", "_seed_sweep3d_parallel")
-    if seed is None:
-        pytest.skip("seed sweep layer unavailable (no git history)")
-    r_seed = _run(seed)
-    r_now = _run(current_parallel)
-    assert r_now.iteration_time == r_seed.iteration_time
-    assert r_now.messages == r_seed.messages
-    assert np.array_equal(r_now.phi, r_seed.phi)
+@perftest
+class ParallelSweepThroughput(PerfTest):
+    """Measured tier: end-to-end wall-clock vs the pre-PR stack."""
 
+    name = "sweep3d_parallel"
+    title = "sweep3d parallel: end-to-end wall-clock vs the seed stack"
+    tiers = ("measured",)
+    section = "sweep3d_parallel"
+    # Binds only when git history provides the seed baseline.
+    references = {"speedup": Floor(MIN_E2E_SPEEDUP, required=False)}
 
-def test_measured_parallel_sweep(perf_full):
-    seed = load_seed_module("src/repro/sweep3d/parallel.py", "_seed_sweep3d_parallel")
-    payload = {
-        "config": "8x4 SPE tile, it=jt=5 kt=40 mk=20 mmi=6",
-        "min_required_speedup": 2.0,
-    }
-    if seed is not None:
-        seed_kernel = load_seed_module(
-            "src/repro/sweep3d/kernel.py", "_seed_sweep3d_kernel_p"
+    def measure(self, case: Case):
+        seed = load_seed_module(
+            "src/repro/sweep3d/parallel.py", "_seed_sweep3d_parallel"
         )
-        if seed_kernel is not None:
-            # The seed sweep layer imports the *current* kernel; rebind
-            # it so the baseline is the full pre-PR numeric stack.
-            seed.sweep_octant = seed_kernel.sweep_octant
-        times = paired_seconds(
-            {
-                "current": lambda: _run(current_parallel),
-                "seed": lambda: _run(seed),
-            },
-            repeats=4,
-        )
-        t_now = times["current"]
-        payload["seed_stack_s"] = round(times["seed"], 4)
-        payload["speedup"] = round(times["seed"] / t_now, 2)
-    else:
-        t_now = best_seconds(lambda: _run(current_parallel), repeats=3)
-    payload["current_s"] = round(t_now, 4)
-    update_bench_json("sweep3d_parallel", payload)
-    if "speedup" in payload:
-        assert payload["speedup"] >= 2.0
+        metrics: dict = {}
+        if seed is not None:
+            seed_kernel = load_seed_module(
+                "src/repro/sweep3d/kernel.py", "_seed_sweep3d_kernel_p"
+            )
+            if seed_kernel is not None:
+                # The seed sweep layer imports the *current* kernel;
+                # rebind it so the baseline is the full pre-PR stack.
+                seed.sweep_octant = seed_kernel.sweep_octant
+            times = paired_seconds(
+                {
+                    "current": lambda: _run(current_parallel),
+                    "seed": lambda: _run(seed),
+                },
+                repeats=4,
+            )
+            metrics["current_s"] = round(times["current"], 4)
+            metrics["seed_stack_s"] = round(times["seed"], 4)
+            metrics["speedup"] = round(times["seed"] / times["current"], 2)
+        else:
+            metrics["current_s"] = round(
+                best_seconds(lambda: _run(current_parallel), repeats=3), 4
+            )
+        return metrics
+
+    def publish(self, metrics):
+        return {
+            "config": "8x4 SPE tile, it=jt=5 kt=40 mk=20 mmi=6",
+            "min_required_speedup": MIN_E2E_SPEEDUP,
+            **dict(metrics["default"]),
+        }
+
+
+install_pytest_tests(globals())

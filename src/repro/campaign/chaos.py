@@ -53,6 +53,7 @@ __all__ = [
     "active_plan",
     "maybe_kill_worker",
     "check_write",
+    "maybe_vanish_store",
     "maybe_kill_campaign",
     "ledger_counts",
     "corrupt_store",
@@ -85,6 +86,9 @@ class ChaosPlan:
     store_enospc_writes: list[int] = field(default_factory=list)
     #: 1-based journal-append ordinals that raise ENOSPC
     journal_enospc_records: list[int] = field(default_factory=list)
+    #: delete the whole artifact-store directory after store write N
+    #: lands (a scratch filesystem wiped by the operators mid-campaign)
+    store_vanish_after_writes: int | None = None
     #: fault ledger path (one JSON line per injected fault)
     ledger: str | None = None
 
@@ -251,6 +255,29 @@ def check_write(stream: str) -> None:
         _log_fault(plan, f"{stream}_enospc", ordinal=ordinal)
         raise OSError(errno.ENOSPC, f"chaos: injected disk-full on "
                                     f"{stream} write {ordinal}")
+
+
+def maybe_vanish_store(root: str | os.PathLike) -> None:
+    """Store-side hook: delete the artifact store *wholesale* after the
+    planned store-write ordinal has landed — the scratch directory
+    disappearing under a live campaign (operator wipe, quota purge,
+    node-local tmpfs reset).
+
+    Runs after :func:`check_write` bumped the ordinal for the same
+    write, so ``store_vanish_after_writes=N`` vanishes the store
+    immediately after the Nth successful put.  One-shot per process:
+    later writes recreate the directory and must be left alone.
+    """
+    plan = active_plan()
+    if plan is None or plan.store_vanish_after_writes is None:
+        return
+    if _write_ordinals.get("store", 0) != plan.store_vanish_after_writes:
+        return
+    import shutil
+
+    _log_fault(plan, "store_vanished",
+               after_writes=plan.store_vanish_after_writes)
+    shutil.rmtree(root, ignore_errors=True)
 
 
 def maybe_kill_campaign(records: int) -> None:

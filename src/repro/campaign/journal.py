@@ -127,9 +127,20 @@ def read_journal(path: str | os.PathLike) -> JournalState:
         header = json.loads(lines[0])
     except ValueError:
         raise ValueError(f"journal {path!s} header is not JSON") from None
-    if header.get("type") != "campaign" or header.get("format") != JOURNAL_FORMAT:
+    if header.get("type") != "campaign":
         raise ValueError(
-            f"journal {path!s} is not a format-{JOURNAL_FORMAT} campaign journal"
+            f"journal {path!s} is not a campaign journal "
+            f"(header type {header.get('type')!r})"
+        )
+    fmt = header.get("format")
+    if fmt != JOURNAL_FORMAT:
+        # Distinguish "written by a newer repro" from "not a journal at
+        # all": a clear upgrade message beats a generic parse failure.
+        raise ValueError(
+            f"journal {path!s} has format {fmt!r}, but this version of "
+            f"repro only reads format {JOURNAL_FORMAT} — it was likely "
+            f"written by a newer version; upgrade repro or re-run the "
+            f"campaign to produce a fresh journal"
         )
     state = JournalState(
         specs=[JobSpec.from_dict(s) for s in header["specs"]],

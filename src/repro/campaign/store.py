@@ -162,6 +162,10 @@ class ArtifactStore:
         if spec.digest in self._corrupt_digests:
             self._corrupt_digests.discard(spec.digest)
             self.healed += 1
+        # After the write is durable: the chaos harness may now delete
+        # the whole store out from under us (a wiped scratch directory).
+        # The next put heals the tree via mkdir(parents=True) above.
+        chaos.maybe_vanish_store(self.root)
         return path
 
     def __len__(self) -> int:

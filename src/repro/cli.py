@@ -144,9 +144,37 @@ def _campaign_main(argv: list[str]) -> int:
     return campaign_main(argv)
 
 
+def _perftest_main(argv: list[str]) -> int:
+    """The ``perftest`` subcommand: the declarative perf/scaling test
+    runner.  The suites live under ``benchmarks/`` next to the package
+    tree, which is not importable from an installed ``repro`` alone —
+    put the repo root on ``sys.path`` when it is present."""
+    try:
+        import benchmarks.framework  # noqa: F401
+    except ImportError:
+        from pathlib import Path
+
+        repo_root = Path(__file__).resolve().parents[2]
+        if not (repo_root / "benchmarks" / "framework").is_dir():
+            print(
+                "perftest needs the repository checkout (benchmarks/ "
+                "not found next to src/)",
+                file=sys.stderr,
+            )
+            return 2
+        sys.path.insert(0, str(repo_root))
+    from benchmarks.framework.cli import main as perftest_main
+
+    return perftest_main(argv)
+
+
 register_subcommand(
     "profile", _profile_main,
     "run a canned scenario under the obs recorder and print its profile",
+)
+register_subcommand(
+    "perftest", _perftest_main,
+    "run the declarative perf/scaling test suites (smoke or measured tier)",
 )
 register_subcommand(
     "campaign", _campaign_main,

@@ -17,9 +17,12 @@ exportable traces:
 """
 
 from repro.obs.export import (
+    SUMMARY_RANK_FIELDS,
+    SUMMARY_SCHEMA,
     counter_snapshot,
     deterministic_summary,
     format_profile,
+    phase_fractions,
     span_stream,
     to_chrome_trace,
     to_summary,
@@ -67,6 +70,9 @@ __all__ = [
     "to_summary",
     "counter_snapshot",
     "deterministic_summary",
+    "phase_fractions",
+    "SUMMARY_SCHEMA",
+    "SUMMARY_RANK_FIELDS",
     "to_chrome_trace",
     "write_chrome_trace",
     "format_profile",

@@ -27,10 +27,31 @@ __all__ = [
     "to_summary",
     "counter_snapshot",
     "deterministic_summary",
+    "phase_fractions",
+    "SUMMARY_SCHEMA",
+    "SUMMARY_RANK_FIELDS",
     "to_chrome_trace",
     "write_chrome_trace",
     "format_profile",
 ]
+
+#: the stable top-level keys of a :func:`to_summary` document.  External
+#: readers (the perf framework's profile-shape gates, campaign artifact
+#: consumers) key off this constant instead of hard-coding strings, so a
+#: schema change shows up as one obvious diff here.
+SUMMARY_SCHEMA: tuple[str, ...] = (
+    "sim_time",
+    "span_count",
+    "ranks",
+    "links",
+    "counters",
+    "gauges",
+    "engine",
+)
+
+#: the per-rank attribution fields inside ``summary["ranks"][track]``:
+#: the profiler phases plus the residual/idle/total bookkeeping.
+SUMMARY_RANK_FIELDS: tuple[str, ...] = (*PHASES, "other", "idle", "total")
 
 #: simulated seconds -> trace_event timestamp units (microseconds)
 _TS_SCALE = 1e6
@@ -107,6 +128,28 @@ def to_summary(rec: ObsRecorder, sim_time: float) -> dict[str, Any]:
             "host_run_time_s": rec.host_run_time,
         },
     }
+
+
+def phase_fractions(summary: dict[str, Any]) -> dict[str, dict[str, float]]:
+    """Per-rank phase *fractions* of a :func:`to_summary` document.
+
+    For every track, each attribution field (compute, recv-wait, send,
+    collective, other, idle) divided by that rank's total.  Fractions of
+    one deterministic run are themselves deterministic, which is what
+    makes them pinnable in tolerance bands where wall-clock metrics are
+    not.  Ranks with a zero total are omitted (nothing to attribute).
+    """
+    out: dict[str, dict[str, float]] = {}
+    for track, fields in summary["ranks"].items():
+        total = fields["total"]
+        if total <= 0:
+            continue
+        out[str(track)] = {
+            name: fields[name] / total
+            for name in SUMMARY_RANK_FIELDS
+            if name != "total"
+        }
+    return out
 
 
 def counter_snapshot(rec: ObsRecorder,

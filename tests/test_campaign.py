@@ -339,12 +339,39 @@ def test_journal_rejects_missing_or_alien_header(tmp_path):
         read_journal(empty)
     alien = tmp_path / "alien"
     alien.write_text('{"type": "diary", "format": 1}\n')
-    with pytest.raises(ValueError, match="not a format-1 campaign journal"):
+    with pytest.raises(ValueError, match="not a campaign journal"):
         read_journal(alien)
     garbage = tmp_path / "garbage"
     garbage.write_text("not json at all\n")
     with pytest.raises(ValueError, match="not JSON"):
         read_journal(garbage)
+
+
+def test_journal_rejects_future_format_with_upgrade_message(tmp_path):
+    """Forward compatibility: a journal written by a hypothetical newer
+    repro (format 2, extra header fields, unknown record types) is
+    rejected with a clear upgrade error — not a KeyError deep in the
+    replay loop, and never silently misread."""
+    future = tmp_path / "future"
+    future.write_text(
+        '{"type": "campaign", "format": 2, "specs": [], "store": null, '
+        '"options": {}, "shards": 4}\n'
+        '{"type": "shard-map", "assignment": [0, 1, 2, 3]}\n'
+        '{"type": "state", "index": 0, "state": "done", "attempts": 1, '
+        '"artifact_sha256": null, "lease": "w3"}\n'
+    )
+    with pytest.raises(ValueError) as err:
+        read_journal(future)
+    msg = str(err.value)
+    assert "format 2" in msg
+    assert "only reads format 1" in msg
+    assert "newer version" in msg
+
+    # a missing format field is the same refusal, not a crash
+    unversioned = tmp_path / "unversioned"
+    unversioned.write_text('{"type": "campaign", "specs": []}\n')
+    with pytest.raises(ValueError, match="format None"):
+        read_journal(unversioned)
 
 
 # -- the CLI -----------------------------------------------------------------

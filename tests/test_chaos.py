@@ -346,6 +346,55 @@ def test_journal_disk_full_is_absorbed_and_resume_recovers(tmp_path):
     )
 
 
+# -- the store directory disappears wholesale --------------------------------
+
+
+def test_store_vanishes_wholesale_and_campaign_converges(tmp_path):
+    """The whole artifact-store directory is deleted out from under a
+    live campaign (operator wipe / tmpfs reset).  The run completes
+    with no job lost, later writes heal the tree, and a journaled
+    resume recomputes the wiped entries and converges byte-for-byte
+    with a fault-free reference."""
+    specs = _specs(8, code_version="chaos-vanish")
+    ref = CampaignService(tmp_path / "ref", workers=1).run(specs)
+    ref_bytes = _cache_bytes(tmp_path / "ref")
+
+    vanish_after = 3
+    cache, journal = tmp_path / "cache", tmp_path / "journal"
+    plan = chaos.ChaosPlan(store_vanish_after_writes=vanish_after,
+                           ledger=str(tmp_path / "ledger"))
+    chaos.install(plan, tmp_path / "plan.json")
+    try:
+        report = CampaignService(cache, workers=1).run(
+            specs, journal=str(journal)
+        )
+    finally:
+        chaos.clear()
+
+    # no job lost: every spec reached done despite the mid-run wipe,
+    # and the in-memory report still carries every artifact
+    assert len(report.outcomes) == len(specs)
+    assert all(o.state == "done" for o in report.outcomes)
+    assert report.artifacts() == ref.artifacts()
+    # the first N entries were wiped; the very next put re-created the
+    # tree via mkdir(parents=True), so exactly the later entries survive
+    assert len(_cache_bytes(cache)) == len(specs) - vanish_after
+    assert chaos.ledger_counts(tmp_path / "ledger") == {
+        "campaign.chaos.store_vanished": 1
+    }
+    assert report.counters["campaign.chaos.store_vanished"] == 1
+
+    # a resume of the journal sees done jobs whose artifacts did not
+    # survive, recomputes them, and converges — store fully healed
+    resumed = CampaignService.resume(str(journal))
+    assert len(resumed.outcomes) == len(specs)
+    assert all(o.state == "done" for o in resumed.outcomes)
+    assert resumed.artifacts() == ref.artifacts()
+    assert resumed.counters["campaign.resumed"] == 1
+    assert resumed.counters["campaign.restore_misses"] == vanish_after
+    assert _cache_bytes(cache) == ref_bytes
+
+
 # -- circuit breaker degradation ---------------------------------------------
 
 

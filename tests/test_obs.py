@@ -15,12 +15,16 @@ import pytest
 
 from repro.comm.mpi import Location, SimMPI, UniformFabric
 from repro.comm.transport import Transport
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
 from repro.obs import (
     NULL_RECORDER,
     ObsRecorder,
     SpanRecord,
     active,
     link_occupancy,
+    phase_fractions,
     profile,
     run_scenario,
     self_times,
@@ -358,6 +362,61 @@ def test_summary_is_json_serializable():
     assert summary["span_count"] == len(rec.spans)
     assert set(summary["ranks"]) == {"0", "1", "2", "3"}
     assert summary["counters"]["mpi.messages"]["total"] > 0
+
+
+def _summary_for(npe_i, npe_j, mk, blocks, iterations, latency_ns):
+    """One observed sweep run -> its ``deterministic_summary`` dict
+    (``to_summary`` minus host wall-clock, the one nondeterministic
+    field)."""
+    from repro.obs.export import deterministic_summary
+
+    rec = ObsRecorder()
+    inp = SweepInput(it=2, jt=2, kt=mk * blocks, mk=mk, mmi=2)
+    fabric = UniformFabric(
+        Transport("ib", latency=latency_ns * 1e-9, bandwidth=2e9)
+    )
+    sweep = ParallelSweep(
+        inp, Decomposition2D(npe_i, npe_j), 1e-6, fabric, obs=rec
+    )
+    result = sweep.run(iterations=iterations)
+    return deterministic_summary(
+        rec, result.iteration_time * result.iterations
+    )
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    npe_i=st.integers(1, 3),
+    npe_j=st.integers(1, 3),
+    mk=st.sampled_from([1, 2]),
+    blocks=st.integers(1, 4),
+    iterations=st.integers(1, 3),
+    latency_ns=st.integers(100, 5000),
+)
+def test_summary_phase_fractions_sum_to_one_and_are_stable(
+    npe_i, npe_j, mk, blocks, iterations, latency_ns
+):
+    """Property: for any sweep configuration, every rank's phase
+    fractions partition its wall time (sum to 1 within 1e-9), and the
+    whole summary is bitwise-stable across repeated runs of the same
+    configuration (the determinism contract ``phase_fractions`` and the
+    profile-shape perf gates rely on)."""
+    summary = _summary_for(npe_i, npe_j, mk, blocks, iterations, latency_ns)
+    fractions = phase_fractions(summary)
+    assert set(fractions) == set(summary["ranks"])
+    for track, fracs in fractions.items():
+        total = sum(fracs.values())
+        assert abs(total - 1.0) <= 1e-9, (track, total)
+        # idle is total-minus-accounted, so it may carry a -epsilon
+        assert all(f >= -1e-12 for f in fracs.values()), (track, fracs)
+
+    rerun = _summary_for(npe_i, npe_j, mk, blocks, iterations, latency_ns)
+    assert json.dumps(rerun, sort_keys=True) == json.dumps(
+        summary, sort_keys=True
+    )
+    # bitwise, not approximately: the fractions are floats derived from
+    # identical span streams, so they must compare equal exactly
+    assert phase_fractions(rerun) == fractions
 
 
 def test_simulator_attach_detach_observer():
